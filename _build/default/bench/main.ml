@@ -1,0 +1,631 @@
+(* Benchmark harness: regenerates every experiment in EXPERIMENTS.md.
+
+     dune exec bench/main.exe            -- run everything (moderate sizes)
+     dune exec bench/main.exe -- e1 e4   -- run selected experiments
+     dune exec bench/main.exe -- quick   -- smaller sizes (CI)
+     dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks only
+
+   The paper (Hieb & Dybvig, PPoPP 1990) reports no measured tables; its
+   quantitative claims are complexity claims (Section 7) and work-saving
+   claims (Sections 3/5).  Each experiment below prints a table whose
+   SHAPE checks one claim; EXPERIMENTS.md records the expected shapes and
+   measured results. *)
+
+module C = Pcont_util.Counters
+module Interp = Pcont_syntax.Interp
+module Pstack = Pcont_pstack
+module Sched = Pcont_sched.Sched
+module Ops = Pcont_sched.Ops
+module M = Pcont_machine
+
+let quick = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, t1 -. t0)
+
+(* Best-of-n wall time: robust against scheduler noise for coarse runs. *)
+let time_best ?(n = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to n do
+    let r, t = time_once f in
+    result := Some r;
+    if t < !best then best := t
+  done;
+  (Option.get !result, !best)
+
+let ns_per t ops = t *. 1e9 /. float_of_int ops
+
+let header title = Printf.printf "\n==== %s ====\n" title
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Scheme helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let repeat_defs =
+  {|
+(define (repeat n thunk)
+  (if (zero? n) 0 (begin (thunk) (repeat (- n 1) thunk))))
+(define (deep n thunk)
+  (if (zero? n) (thunk) (+ 1 (deep (- n 1) thunk))))
+|}
+
+let eval_scheme ?mode ~strategy src =
+  let t = Interp.create ~strategy () in
+  ignore (Interp.eval_string t repeat_defs);
+  let (), dt =
+    time_best (fun () -> ignore (Interp.eval_value ?mode ~fuel:2_000_000_000 t src))
+  in
+  (Interp.config t, dt)
+
+(* ------------------------------------------------------------------ *)
+(* E1: controller capture cost vs continuation size                    *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1  capture+reinstate cost vs frame depth (1 root, K captures)";
+  Printf.printf "%8s %6s | %14s %14s | %16s %16s\n" "frames" "K" "linked ns/op"
+    "copying ns/op" "linked frm/op" "copying frm/op";
+  let k = if !quick then 20 else 100 in
+  let depths = if !quick then [ 10; 100; 1000 ] else [ 10; 100; 1000; 5000; 20000 ] in
+  List.iter
+    (fun n ->
+      (* Subtract the capture-free baseline so the one-time cost of
+         building and unwinding the [deep] frames does not pollute the
+         per-capture figure. *)
+      let src =
+        Printf.sprintf
+          "(spawn (lambda (c) (deep %d (lambda () (repeat %d (lambda () (c (lambda (k) (k 0)))))))))"
+          n k
+      in
+      let baseline =
+        Printf.sprintf
+          "(spawn (lambda (c) (deep %d (lambda () (repeat %d (lambda () 0))))))" n k
+      in
+      let run strategy =
+        let _, dt0 = eval_scheme ~strategy baseline in
+        let cfg, dt = eval_scheme ~strategy src in
+        let frames =
+          C.get cfg.Pstack.Machine.counters "capture.frames"
+          + C.get cfg.Pstack.Machine.counters "reinstate.frames"
+        in
+        (ns_per (Float.max 0. (dt -. dt0)) k, float_of_int frames /. float_of_int k)
+      in
+      let lt, lf = run Pstack.Types.Linked in
+      let ct, cf = run Pstack.Types.Copying in
+      row "%8d %6d | %14.0f %14.0f | %16.1f %16.1f\n" n k lt ct lf cf)
+    depths;
+  print_endline "shape: linked columns flat in frames; copying columns linear in frames.";
+  print_endline "claim (paper S7): control operations are linear in control points, not size.";
+  (* Ablation: captures crossing dynamic-wind frames pay per WINDER (their
+     thunks must run), never per plain frame. *)
+  Printf.printf "\n%8s %8s | %14s  (linked, %d captures across winders)\n" "frames"
+    "winders" "ns/op" k;
+  List.iter
+    (fun (frames, winders) ->
+      let program inner =
+        Printf.sprintf
+          "(define (wind-deep w thunk)
+             (if (zero? w) (thunk)
+                 (dynamic-wind (lambda () 0)
+                               (lambda () (wind-deep (- w 1) thunk))
+                               (lambda () 0))))
+           (spawn (lambda (c)
+             (deep %d (lambda ()
+               (wind-deep %d (lambda ()
+                 (repeat %d (lambda () %s))))))))"
+          frames winders k inner
+      in
+      let _, dt0 = eval_scheme ~strategy:Pstack.Types.Linked (program "0") in
+      let _, dt =
+        eval_scheme ~strategy:Pstack.Types.Linked (program "(c (lambda (k) (k 0)))")
+      in
+      row "%8d %8d | %14.0f\n" frames winders (ns_per (Float.max 0. (dt -. dt0)) k))
+    (if !quick then [ (100, 0); (100, 8) ]
+     else [ (1000, 0); (1000, 4); (1000, 16); (1000, 64); (20000, 16) ]);
+  print_endline "shape: cost tracks winders crossed, independent of plain frames."
+
+(* ------------------------------------------------------------------ *)
+(* E2: capture cost vs number of control points                        *)
+(* ------------------------------------------------------------------ *)
+
+let nested_roots_src roots k =
+  let buf = Buffer.create 256 in
+  for i = 1 to roots do
+    Buffer.add_string buf (Printf.sprintf "(spawn (lambda (c%d) " i)
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "(repeat %d (lambda () (c1 (lambda (k) (k 0)))))" k);
+  for _ = 1 to roots do
+    Buffer.add_string buf "))"
+  done;
+  Buffer.contents buf
+
+let e2 () =
+  header "E2  capture+reinstate cost vs control points (roots), frames fixed";
+  Printf.printf "%8s %6s | %14s | %16s\n" "roots" "K" "linked ns/op" "segments/op";
+  let k = if !quick then 20 else 100 in
+  let roots = if !quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  List.iter
+    (fun r ->
+      let src = nested_roots_src r k in
+      let cfg, dt = eval_scheme ~strategy:Pstack.Types.Linked src in
+      let segs =
+        C.get cfg.Pstack.Machine.counters "capture.segments"
+        + C.get cfg.Pstack.Machine.counters "reinstate.segments"
+      in
+      row "%8d %6d | %14.0f | %16.1f\n" r k (ns_per dt k)
+        (float_of_int segs /. float_of_int k))
+    roots;
+  print_endline "shape: both columns linear in roots (the control points).";
+  print_endline "claim (paper S7): cost scales with labels and forks only."
+
+(* ------------------------------------------------------------------ *)
+(* E3: nonlocal exit cost (native): spawn_exit vs exception vs none    *)
+(* ------------------------------------------------------------------ *)
+
+exception Found_zero
+
+let e3 () =
+  header "E3  product with nonlocal exit (native)";
+  let n = if !quick then 10_000 else 100_000 in
+  let make_list ~zero_at =
+    List.init n (fun i -> if Some i = zero_at then 0 else 1 + (i mod 7))
+  in
+  let product_exit ls =
+    Pcont.Exit.spawn_exit (fun e ->
+        let rec go acc = function
+          | [] -> acc
+          | 0 :: _ -> e.Pcont.Exit.exit 0
+          | x :: rest -> go (acc * x mod 1000003) rest
+        in
+        go 1 ls)
+  in
+  let product_exn ls =
+    try
+      let rec go acc = function
+        | [] -> acc
+        | 0 :: _ -> raise Found_zero
+        | x :: rest -> go (acc * x mod 1000003) rest
+      in
+      go 1 ls
+    with Found_zero -> 0
+  in
+  let product_plain ls =
+    let rec go acc = function
+      | [] -> acc
+      | x :: rest -> go (acc * max x 1 mod 1000003) rest
+    in
+    go 1 ls
+  in
+  Printf.printf "%12s | %12s %12s %12s   (microseconds per product, n=%d)\n" "zero at"
+    "spawn_exit" "exception" "no-exit" n;
+  let positions =
+    [ ("none", None); ("10%", Some (n / 10)); ("50%", Some (n / 2)); ("90%", Some (n * 9 / 10)) ]
+  in
+  List.iter
+    (fun (label, zero_at) ->
+      let ls = make_list ~zero_at in
+      let reps = 20 in
+      let t_of f =
+        let _, dt = time_best (fun () -> for _ = 1 to reps do ignore (f ls) done) in
+        dt /. float_of_int reps *. 1e6
+      in
+      row "%12s | %12.1f %12.1f %12.1f\n" label (t_of product_exit) (t_of product_exn)
+        (t_of product_plain))
+    positions;
+  print_endline "shape: spawn_exit within a small constant factor of exceptions;";
+  print_endline "       earlier zeroes cost less (the exit aborts pending work)."
+
+(* ------------------------------------------------------------------ *)
+(* E4: parallel-or abandons losing branches                            *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4  parallel-or: work and time vs position of the witness";
+  Printf.printf "%10s | %12s %12s | %12s %12s\n" "witness" "seq work" "par work"
+    "seq us" "par us";
+  let widths = if !quick then [ 10; 100 ] else [ 10; 100; 1000; 10000 ] in
+  List.iter
+    (fun w ->
+      (* Branch A finds the witness after w yields; branch B would need
+         10*w before returning false. *)
+      let work = ref 0 in
+      let branch_a () =
+        for _ = 1 to w do
+          incr work;
+          Sched.yield ()
+        done;
+        true
+      in
+      let branch_b () =
+        for _ = 1 to 10 * w do
+          incr work;
+          Sched.yield ()
+        done;
+        false
+      in
+      let seq () =
+        work := 0;
+        ignore (Sched.run (fun () -> branch_b () || branch_a ()));
+        !work
+      in
+      let par () =
+        work := 0;
+        ignore (Sched.run (fun () -> Ops.parallel_or [ branch_b; branch_a ]));
+        !work
+      in
+      let seq_work, seq_t = time_best seq in
+      let par_work, par_t = time_best par in
+      row "%10d | %12d %12d | %12.0f %12.0f\n" w seq_work par_work (seq_t *. 1e6)
+        (par_t *. 1e6))
+    widths;
+  print_endline "shape: parallel work ~ 2x witness position; sequential ~ 11x.";
+  print_endline "claim (paper S5): the losing branch is abandoned on first true."
+
+(* ------------------------------------------------------------------ *)
+(* E5: parallel-search suspend/resume throughput                       *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  header "E5  parallel-search: suspension cost vs plain traversal";
+  Printf.printf "%7s %8s | %12s %12s | %14s\n" "depth" "matches" "walk us" "search us"
+    "us/suspension";
+  let depths = if !quick then [ 6; 8 ] else [ 6; 8; 10; 12 ] in
+  List.iter
+    (fun d ->
+      let tree = Ops.perfect ~depth:d (fun i -> i) in
+      let pred x = x mod 5 = 0 in
+      let rec walk acc = function
+        | Ops.Leaf -> acc
+        | Ops.Node (l, x, r) ->
+            let acc = walk acc l in
+            let acc = if pred x then x :: acc else acc in
+            walk acc r
+      in
+      let baseline () = List.length (walk [] tree) in
+      let search () = List.length (Sched.run (fun () -> Ops.search_all tree pred)) in
+      let matches, wt = time_best baseline in
+      let matches', st = time_best search in
+      assert (matches = matches');
+      row "%7d %8d | %12.1f %12.1f | %14.1f\n" d matches (wt *. 1e6) (st *. 1e6)
+        ((st -. wt) *. 1e6 /. float_of_int (max matches 1)))
+    depths;
+  print_endline "shape: cost per suspension grows with live tree size (whole-tree";
+  print_endline "       prune+graft), but stays far below re-searching from scratch.";
+  print_endline "claim (paper S5): each match suspends and resumes the whole search."
+
+(* ------------------------------------------------------------------ *)
+(* E6: derived control abstractions: switch overhead                   *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  header "E6  coroutine / engine / generator switch overhead (native)";
+  let n = if !quick then 20_000 else 200_000 in
+  let co_time =
+    let co =
+      Pcont.Coroutine.create (fun ~yield first ->
+          let v = ref first in
+          let rec loop () =
+            v := yield !v;
+            loop ()
+          in
+          loop ())
+    in
+    let _, dt =
+      time_best ~n:1 (fun () ->
+          for i = 1 to n do
+            ignore (Pcont.Coroutine.resume co i)
+          done)
+    in
+    ns_per dt n
+  in
+  let eng_time =
+    let slices = n / 10 in
+    let e =
+      Pcont.Engine.make (fun ~tick ->
+          let rec spin i =
+            tick ();
+            if i = 0 then 0 else spin (i - 1)
+          in
+          spin max_int)
+    in
+    let cur = ref e in
+    let _, dt =
+      time_best ~n:1 (fun () ->
+          for _ = 1 to slices do
+            match Pcont.Engine.run !cur ~fuel:1 with
+            | Pcont.Engine.Expired e' -> cur := e'
+            | Pcont.Engine.Done _ -> assert false
+          done)
+    in
+    ns_per dt slices
+  in
+  let gen_time =
+    let g = Pcont.Generator.ints () in
+    let _, dt =
+      time_best ~n:1 (fun () ->
+          for _ = 1 to n do
+            ignore (Pcont.Generator.next g)
+          done)
+    in
+    ns_per dt n
+  in
+  let spawn_time =
+    let _, dt =
+      time_best (fun () ->
+          for i = 1 to n do
+            ignore (Pcont.Spawn.spawn (fun _c -> i))
+          done)
+    in
+    ns_per dt n
+  in
+  let control_time =
+    let _, dt =
+      time_best (fun () ->
+          for i = 1 to n do
+            ignore
+              (Pcont.Spawn.spawn (fun c ->
+                   Pcont.Spawn.control c (fun k -> Pcont.Spawn.resume k i)))
+          done)
+    in
+    ns_per dt n
+  in
+  row "  spawn (empty process)      : %8.0f ns\n" spawn_time;
+  row "  control + resume           : %8.0f ns\n" control_time;
+  row "  coroutine resume/yield pair: %8.0f ns\n" co_time;
+  row "  generator next             : %8.0f ns\n" gen_time;
+  row "  engine slice (run+expire)  : %8.0f ns\n" eng_time;
+  print_endline "shape: all switches are sub-microsecond constants.";
+  print_endline "claim (paper S8): spawn suffices to build process abstractions."
+
+(* ------------------------------------------------------------------ *)
+(* E7: Scheme-level: call/cc vs spawn/exit vs plain recursion          *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  header "E7  interpreted product: plain vs call/cc exit vs spawn/exit";
+  Printf.printf "%8s %10s | %10s %12s %12s  (milliseconds)\n" "n" "zero?" "plain"
+    "call/cc" "spawn/exit";
+  let defs =
+    {|
+(define (make-list-n n zero-at)
+  (let loop ([i 0])
+    (cond [(= i n) '()]
+          [(= i zero-at) (cons 0 (loop (+ i 1)))]
+          [else (cons (+ 1 (modulo i 7)) (loop (+ i 1)))])))
+(define (product-plain ls)
+  (if (null? ls) 1 (* (car ls) (product-plain (cdr ls)))))
+(define (product0 ls exit)
+  (cond [(null? ls) 1]
+        [(= (car ls) 0) (exit 0)]
+        [else (* (car ls) (product0 (cdr ls) exit))]))
+(define (product-cc ls)
+  (call/cc (lambda (exit) (product0 ls exit))))
+(define (product-se ls)
+  (spawn/exit (lambda (exit) (product0 ls exit))))
+|}
+  in
+  let sizes = if !quick then [ 200; 1000 ] else [ 200; 1000; 5000 ] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (zlabel, zero_at) ->
+          let t = Interp.create () in
+          ignore (Interp.eval_string t defs);
+          ignore
+            (Interp.eval_string t
+               (Printf.sprintf "(define ls (make-list-n %d %d))" n zero_at));
+          let run src =
+            let _, dt =
+              time_best (fun () -> ignore (Interp.eval_value ~fuel:2_000_000_000 t src))
+            in
+            dt *. 1e3
+          in
+          row "%8d %10s | %10.2f %12.2f %12.2f\n" n zlabel (run "(product-plain ls)")
+            (run "(product-cc ls)") (run "(product-se ls)"))
+        [ ("none", -1); ("middle", n / 2) ])
+    sizes;
+  print_endline "shape: spawn/exit comparable to call/cc; a middle zero halves";
+  print_endline "       the work for both exit variants.";
+  print_endline "claim (paper S3/S5): spawn provides the exits call/cc provides, delimited."
+
+(* ------------------------------------------------------------------ *)
+(* E8: semantics machine throughput                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  header "E8  Section 6 machine: rewrite throughput, naive vs zipper stepper";
+  Printf.printf "%-28s %10s %12s %12s %9s\n" "program" "steps" "naive ms" "zipper ms"
+    "speedup";
+  let bench name term =
+    match M.Eval.steps_to_value ~fuel:5_000_000 term with
+    | None -> row "%-28s %10s\n" name "stuck/fuel"
+    | Some steps ->
+        (* Repeat small programs so the measured interval is meaningful. *)
+        let reps = max 1 (20_000 / max steps 1) in
+        let timed eval =
+          let _, dt =
+            time_best (fun () ->
+                for _ = 1 to reps do
+                  ignore (eval term)
+                done)
+          in
+          dt /. float_of_int reps
+        in
+        let naive = timed (M.Eval.eval ~fuel:5_000_000) in
+        let zipper = timed (M.Zipper.eval ~fuel:15_000_000) in
+        row "%-28s %10d %12.3f %12.3f %8.1fx\n" name steps (naive *. 1e3)
+          (zipper *. 1e3) (naive /. zipper)
+  in
+  let n = if !quick then 40 else 150 in
+  bench "reinstated (S4 ex.3)" M.Examples.reinstated_applied;
+  bench "pk-twice" M.Examples.pk_twice;
+  bench
+    (Printf.sprintf "product [1..%d]" n)
+    (M.Examples.product_of (List.init n (fun i -> 1 + (i mod 5))));
+  bench
+    (Printf.sprintf "product w/ zero @%d" (n / 2))
+    (M.Examples.product_of (List.init n (fun i -> if i = n / 2 then 0 else 1 + (i mod 5))));
+  bench "nested spawns (depth 8)" (M.Examples.nested_spawn_depth 8);
+  print_endline "shape: early-exit product takes roughly half the steps of the full one."
+
+(* ------------------------------------------------------------------ *)
+(* E9: tree-of-stacks scheduler overhead (grain size and quantum)      *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  header "E9  concurrent scheduler: fork overhead vs grain size";
+  Printf.printf "%8s %8s | %10s %12s %12s | %10s
+" "leaves" "grain" "forks"
+    "seq ms" "conc ms" "us/fork";
+  (* Sum 2^depth numbers with a pcall tree; below [grain] leaves the branch
+     sums sequentially.  Small grain = many forks = scheduler-bound. *)
+  let defs =
+    {|
+(define (tsum lo hi grain)
+  (if (<= (- hi lo) grain)
+      (let loop ([i lo] [acc 0])
+        (if (> i hi) acc (loop (+ i 1) (+ acc i))))
+      (let ([mid (quotient (+ lo hi) 2)])
+        (pcall + (tsum lo mid grain) (tsum (+ mid 1) hi grain)))))
+|}
+  in
+  let n = if !quick then 1 lsl 8 else 1 lsl 11 in
+  List.iter
+    (fun grain ->
+      let t = Interp.create () in
+      ignore (Interp.eval_string t defs);
+      let src = Printf.sprintf "(tsum 1 %d %d)" n grain in
+      let expected = n * (n + 1) / 2 in
+      let run mode =
+        let (), dt =
+          time_best (fun () ->
+              match Interp.eval_value ~mode ~fuel:2_000_000_000 t src with
+              | Pstack.Types.Int v when v = expected -> ()
+              | v -> failwith ("bad sum " ^ Pstack.Value.to_string v))
+        in
+        dt
+      in
+      let seq_t = run Interp.Sequential in
+      let cfg = Interp.config t in
+      Pcont_util.Counters.reset cfg.Pstack.Machine.counters;
+      let conc_t = run (Interp.Concurrent Pstack.Concur.Round_robin) in
+      let forks = C.get cfg.Pstack.Machine.counters "concur.fork" in
+      row "%8d %8d | %10d %12.2f %12.2f | %10.2f
+" n grain forks (seq_t *. 1e3)
+        (conc_t *. 1e3)
+        ((conc_t -. seq_t) *. 1e6 /. float_of_int (max forks 1)))
+    (if !quick then [ 8; 64 ] else [ 2; 8; 32; 128; 512 ]);
+  print_endline "shape: per-fork overhead roughly constant; coarse grains amortize it.";
+
+  Printf.printf "
+%8s | %12s  (quantum sweep, grain 8, same workload)
+" "quantum" "conc ms";
+  List.iter
+    (fun q ->
+      let t = Interp.create () in
+      ignore (Interp.eval_string t defs);
+      let src = Printf.sprintf "(tsum 1 %d 8)" n in
+      let (), dt =
+        time_best (fun () ->
+            ignore
+              (Interp.eval_value
+                 ~mode:(Interp.Concurrent Pstack.Concur.Round_robin)
+                 ~quantum:q ~fuel:2_000_000_000 t src))
+      in
+      row "%8d | %12.2f
+" q (dt *. 1e3))
+    (if !quick then [ 1; 16 ] else [ 1; 4; 16; 64; 256 ]);
+  print_endline "shape: larger quanta cut round-robin overhead until fairness stops mattering."
+
+(* ------------------------------------------------------------------ *)
+(* micro: bechamel measurements of the native primitives               *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "micro  bechamel OLS estimates (ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"spawn" (Staged.stage (fun () -> Pcont.Spawn.spawn (fun _ -> 0)));
+      Test.make ~name:"control+resume"
+        (Staged.stage (fun () ->
+             Pcont.Spawn.spawn (fun c ->
+                 Pcont.Spawn.control c (fun k -> Pcont.Spawn.resume k 0))));
+      Test.make ~name:"spawn_exit(abort)"
+        (Staged.stage (fun () -> Pcont.Exit.spawn_exit (fun e -> e.Pcont.Exit.exit 0)));
+      Test.make ~name:"generator next"
+        (let g = Pcont.Generator.ints () in
+         Staged.stage (fun () -> ignore (Pcont.Generator.next g)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"pcont" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] |> List.sort compare in
+  List.iter
+    (fun name ->
+      let res = Hashtbl.find results name in
+      match Analyze.OLS.estimates res with
+      | Some [ est ] -> row "  %-24s %10.1f ns\n" name est
+      | Some ests ->
+          row "  %-24s %s\n" name
+            (String.concat ", " (List.map (Printf.sprintf "%.1f") ests))
+      | None -> row "  %-24s (no estimate)\n" name)
+    names
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("e8", e8);
+    ("e9", e9);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with [] | [ "all" ] -> List.map fst experiments | picks -> picks
+  in
+  print_endline "pcont benchmark harness (Hieb & Dybvig, PPoPP 1990 reproduction)";
+  if !quick then print_endline "(quick mode: reduced sizes)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (have: %s)\n" name
+            (String.concat ", " (List.map fst experiments)))
+    selected

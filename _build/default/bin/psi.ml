@@ -1,0 +1,202 @@
+(* psi — process-continuation Scheme interpreter.
+
+   Runs Scheme programs with the paper's control operators (spawn, process
+   controllers and continuations, pcall, parallel-or, future/touch) on the
+   process-stack machine, either sequentially or under the concurrent
+   tree-of-stacks scheduler.  With no program it starts a REPL.
+
+   Diagnostics: --stats prints the machine's instrumentation counters
+   (captures, segments/frames moved, forks, locks); --trace streams
+   scheduler events (forks, captures with their control-point counts,
+   grafts, futures); --strategy copying switches to the stack-copying
+   continuation representation of experiment E1. *)
+
+module Interp = Pcont_syntax.Interp
+module Pstack = Pcont_pstack
+module Bridge = Pcont_bridge.Bridge
+module M = Pcont_machine
+
+(* Run a whole program on the Section 6 rewriting machine (--backend
+   machine|zipper): the program is folded into one closed term and
+   rewritten to a value. *)
+let run_on_machine ~zipper fuel src =
+  match Bridge.scheme_to_term src with
+  | Error m ->
+      Printf.printf "error: %s\n" m;
+      1
+  | Ok term -> (
+      let eval t = if zipper then M.Zipper.eval ?fuel t else M.Eval.eval ?fuel t in
+      match eval term with
+      | M.Eval.Value v ->
+          print_endline (M.Pp.term_to_string v);
+          0
+      | M.Eval.Stuck m ->
+          Printf.printf "error: machine stuck: %s\n" m;
+          1
+      | M.Eval.Out_of_fuel _ ->
+          print_endline "error: out of fuel";
+          1)
+
+let print_result show_defines r =
+  begin
+    match r with
+    | Interp.Value Pcont_pstack.Types.Unit -> ()
+    | Interp.Value v -> print_endline (Pcont_pstack.Value.to_string v)
+    | Interp.Defined x -> if show_defines then Printf.printf "%s\n" x
+    | Interp.Error msg -> Printf.printf "error: %s\n" msg
+  end;
+  let out = Interp.take_output () in
+  if out <> "" then print_string out
+
+let print_stats t =
+  let counters = (Interp.config t).Pstack.Machine.counters in
+  match Pcont_util.Counters.to_list counters with
+  | [] -> prerr_endline ";; no machine events recorded"
+  | stats ->
+      prerr_endline ";; machine statistics:";
+      List.iter (fun (name, v) -> Printf.eprintf ";;   %-36s %d\n" name v) stats
+
+let repl t mode eval_form =
+  Printf.printf "psi — Scheme with process continuations (Hieb & Dybvig, PPoPP 1990)\n";
+  Printf.printf "mode: %s; type an expression, or Ctrl-D to exit\n"
+    (match mode with Interp.Sequential -> "sequential" | Interp.Concurrent _ -> "concurrent");
+  let rec loop () =
+    print_string "> ";
+    match In_channel.input_line stdin with
+    | None -> print_newline ()
+    | Some line ->
+        if String.trim line <> "" then List.iter (print_result true) (eval_form t line);
+        loop ()
+  in
+  loop ()
+
+let run file expr concurrent seed no_prelude fuel quantum strategy stats trace backend =
+  let mode =
+    if concurrent || seed <> None || trace then
+      Interp.Concurrent
+        (match seed with
+        | None -> Pcont_pstack.Concur.Round_robin
+        | Some s -> Pcont_pstack.Concur.Randomized (Int64.of_int s))
+    else Interp.Sequential
+  in
+  let strategy =
+    match strategy with
+    | "linked" -> Pstack.Types.Linked
+    | "copying" -> Pstack.Types.Copying
+    | other ->
+        Printf.eprintf "psi: unknown strategy %S (expected linked or copying)\n" other;
+        exit 2
+  in
+  let on_event =
+    if trace then Some (fun ev -> Printf.eprintf ";; %s\n" (Pstack.Concur.event_to_string ev))
+    else None
+  in
+  (match backend with
+  | "pstack" -> ()
+  | "machine" | "zipper" -> ()
+  | other ->
+      Printf.eprintf "psi: unknown backend %S (expected pstack, machine or zipper)\n" other;
+      exit 2);
+  let t = Interp.create ~prelude:(not no_prelude) ~strategy () in
+  let eval_form t src = Interp.eval_string ~mode ?fuel ?quantum ?on_event t src in
+  let finish code =
+    if stats then print_stats t;
+    code
+  in
+  let run_source src =
+    match backend with
+    | "machine" -> run_on_machine ~zipper:false fuel src
+    | "zipper" -> run_on_machine ~zipper:true fuel src
+    | _ ->
+        let results = eval_form t src in
+        List.iter (print_result false) results;
+        if List.exists (function Interp.Error _ -> true | _ -> false) results then 1
+        else 0
+  in
+  match (file, expr) with
+  | None, None ->
+      repl t mode eval_form;
+      finish 0
+  | _, Some src -> finish (run_source src)
+  | Some path, None -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | src -> finish (run_source src)
+      | exception Sys_error msg ->
+          Printf.eprintf "psi: %s\n" msg;
+          2)
+
+open Cmdliner
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Scheme program to run.")
+
+let expr =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "eval" ] ~docv:"EXPR" ~doc:"Evaluate $(docv) instead of a file.")
+
+let concurrent =
+  Arg.(
+    value & flag
+    & info [ "c"; "concurrent" ]
+        ~doc:"Run under the concurrent tree-of-stacks scheduler (pcall forks, future plants trees).")
+
+let seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Randomize the branch interleaving with seed $(docv) (implies --concurrent).")
+
+let no_prelude =
+  Arg.(value & flag & info [ "no-prelude" ] ~doc:"Do not load the Scheme prelude.")
+
+let fuel =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"STEPS" ~doc:"Abort after $(docv) machine transitions.")
+
+let quantum =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quantum" ] ~docv:"STEPS"
+        ~doc:"Machine transitions per branch before the scheduler rotates (default 16).")
+
+let strategy =
+  Arg.(
+    value & opt string "linked"
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:"Continuation representation: $(b,linked) (the paper's segments) or $(b,copying) (stack-copying baseline).")
+
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print machine instrumentation counters to stderr on exit.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Stream scheduler events (forks, captures, grafts, futures) to stderr; implies --concurrent.")
+
+let backend =
+  Arg.(
+    value & opt string "pstack"
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Evaluator: $(b,pstack) (the Section 7 process-stack machine), \
+           $(b,machine) (the Section 6 rewriting semantics; pure fragment + \
+           spawn only), or $(b,zipper) (the focused Section 6 stepper).")
+
+let cmd =
+  let doc = "Scheme with process continuations (spawn, pcall, parallel-or, future)" in
+  Cmd.v
+    (Cmd.info "psi" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ file $ expr $ concurrent $ seed $ no_prelude $ fuel $ quantum
+      $ strategy $ stats $ trace $ backend)
+
+let () = exit (Cmd.eval' cmd)

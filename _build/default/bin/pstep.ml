@@ -1,0 +1,115 @@
+(* pstep — step through the Section 6 rewriting semantics.
+
+   Shows every rewrite of a program, labeled with the rule that fired
+   (beta, delta, label-return, control, spawn, ...), so the paper's
+   rules can be watched operating on real programs.
+
+     dune exec bin/pstep.exe -- -e '(spawn (lambda (c) (+ 1 (c (lambda (k) (k 5))))))'
+     dune exec bin/pstep.exe -- --example reinstated
+     dune exec bin/pstep.exe -- --example pk-twice --rules control,spawn *)
+
+module M = Pcont_machine
+module Bridge = Pcont_bridge.Bridge
+
+let examples =
+  [
+    ("escaping", M.Examples.escaping_controller);
+    ("double-use", M.Examples.double_use);
+    ("reinstated", M.Examples.reinstated_applied);
+    ("pk-twice", M.Examples.pk_twice);
+    ("product", M.Examples.product_of [ 1; 2; 3; 4 ]);
+    ("product-zero", M.Examples.product_of [ 1; 0; 4 ]);
+    ("nested-spawns", M.Examples.nested_spawn_depth 3);
+  ]
+
+let run term max_steps rules_filter quiet =
+  let filter rule =
+    match rules_filter with [] -> true | rs -> List.mem rule rs
+  in
+  let shown = ref 0 in
+  let rec go n term =
+    if n > max_steps then begin
+      Printf.printf "... stopped after %d steps\n" max_steps;
+      1
+    end
+    else
+      match M.Step.step term with
+      | M.Step.Finished v ->
+          Printf.printf "%4d steps => %s\n" n (M.Pp.term_to_string v);
+          0
+      | M.Step.Stuck msg ->
+          Printf.printf "%4d steps => STUCK: %s\n" n msg;
+          1
+      | M.Step.Next (term', rule) ->
+          if (not quiet) && filter rule then begin
+            incr shown;
+            Printf.printf "%4d %-14s %s\n" (n + 1) ("[" ^ rule ^ "]")
+              (M.Pp.term_to_string term')
+          end;
+          go (n + 1) term'
+  in
+  Printf.printf "     %-14s %s\n" "[start]" (M.Pp.term_to_string term);
+  go 0 term
+
+let main expr example max_steps rules quiet =
+  let rules_filter =
+    match rules with
+    | None -> []
+    | Some s -> String.split_on_char ',' s |> List.map String.trim
+  in
+  match (expr, example) with
+  | Some src, None -> (
+      match Bridge.scheme_to_term src with
+      | Ok term -> run term max_steps rules_filter quiet
+      | Error m ->
+          Printf.eprintf "pstep: %s\n" m;
+          2)
+  | None, Some name -> (
+      match List.assoc_opt name examples with
+      | Some term -> run term max_steps rules_filter quiet
+      | None ->
+          Printf.eprintf "pstep: unknown example %S (have: %s)\n" name
+            (String.concat ", " (List.map fst examples));
+          2)
+  | Some _, Some _ ->
+      Printf.eprintf "pstep: give either -e or --example, not both\n";
+      2
+  | None, None ->
+      Printf.eprintf "pstep: nothing to step (use -e EXPR or --example NAME)\n";
+      2
+
+open Cmdliner
+
+let expr =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "eval" ] ~docv:"EXPR"
+        ~doc:"Scheme expression to translate and step (pure fragment + spawn).")
+
+let example =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "example" ] ~docv:"NAME" ~doc:"Step a built-in paper example.")
+
+let max_steps =
+  Arg.(value & opt int 500 & info [ "max" ] ~docv:"N" ~doc:"Stop after $(docv) rewrites.")
+
+let rules =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"R1,R2"
+        ~doc:"Show only these rules (beta, delta, if, fix, partial, label-return, control, spawn).")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Print only the final result and step count.")
+
+let cmd =
+  let doc = "step through the Section 6 rewriting semantics" in
+  Cmd.v
+    (Cmd.info "pstep" ~version:"1.0.0" ~doc)
+    Term.(const main $ expr $ example $ max_steps $ rules $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/backtracking_amb.ml: List Pcont_syntax Printf String

@@ -1,0 +1,1 @@
+examples/backtracking_amb.mli:

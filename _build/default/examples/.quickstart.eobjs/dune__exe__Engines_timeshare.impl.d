@@ -1,0 +1,1 @@
+examples/engines_timeshare.ml: Engine List Pcont Printf

@@ -1,0 +1,1 @@
+examples/futures_forest.ml: List Option Pcont_pstack Pcont_sched Pcont_syntax Printf String

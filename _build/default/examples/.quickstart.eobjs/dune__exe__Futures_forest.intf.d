@@ -1,0 +1,1 @@
+examples/futures_forest.mli:

@@ -1,0 +1,1 @@
+examples/nqueens_parallel.ml: List Pcont_sched Printf

@@ -1,0 +1,1 @@
+examples/nqueens_parallel.mli:

@@ -1,0 +1,1 @@
+examples/parallel_search.ml: List Pcont_sched Printf String

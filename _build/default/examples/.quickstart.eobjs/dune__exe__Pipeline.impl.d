@@ -1,0 +1,1 @@
+examples/pipeline.ml: List Pcont_sched Printf String

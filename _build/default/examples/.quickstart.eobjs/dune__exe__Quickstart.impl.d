@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Exit Generator List Option Pcont Printf Spawn String

@@ -1,0 +1,1 @@
+examples/scheme_paper_examples.ml: List Pcont_pstack Pcont_syntax Printf String

@@ -1,0 +1,1 @@
+examples/scheme_paper_examples.mli:

@@ -1,0 +1,106 @@
+(* McCarthy's amb via MULTI-SHOT process continuations.
+
+   The paper cites amb as tree-based concurrency; a classic sequential
+   realisation of amb is backtracking, which requires invoking the same
+   continuation several times — once per alternative.  OCaml's native
+   effect continuations are one-shot, so this example runs on the
+   process-stack machine, whose process continuations are immutable data
+   and can be invoked any number of times (Section 4: "process
+   continuations can be applied more than once").
+
+   amb is implemented in Scheme, on top of spawn alone:
+
+   - (amb-run thunk) spawns a process whose controller is the backtrack
+     point;
+   - (amb choices) captures the process continuation k (the rest of the
+     search) and re-invokes it once per choice, collecting every success.
+
+   Run with:  dune exec examples/backtracking_amb.exe *)
+
+module Interp = Pcont_syntax.Interp
+
+let amb_library =
+  {|
+;; The controller of the enclosing amb-collect: the root every choice
+;; point captures back to.
+(define amb-root (make-cell #f))
+
+;; (amb-collect thunk) returns the list of all values (thunk) can produce
+;; under amb choices.  A successful run contributes a singleton; choice
+;; points splice together the contributions of every alternative.
+(define (amb-collect thunk)
+  (spawn
+    (lambda (c)
+      (cell-set! amb-root c)
+      (list (thunk)))))
+
+;; (fail) abandons the current alternative: it aborts back to the collect
+;; root, contributing no successes, and discards the process continuation.
+(define (fail)
+  ((cell-ref amb-root) (lambda (k) '())))
+
+;; (amb-choose xs) picks an element of xs, MULTI-SHOT: the captured
+;; process continuation k is the whole rest of the search (up to and
+;; including the collect root), and it is invoked once per alternative;
+;; each invocation reinstates the root, so nested choices capture the
+;; topmost reinstated occurrence — exactly the paper's innermost-label
+;; rule.  The per-alternative success lists are appended.
+(define (amb-choose xs)
+  ((cell-ref amb-root)
+   (lambda (k)
+     (fold-right append '() (map1 k xs)))))
+
+;; (require p) kills the current alternative unless p holds.
+(define (require p)
+  (unless p (fail)))
+|}
+
+let () =
+  let t = Interp.create () in
+  (match Interp.eval_string t amb_library with
+  | rs when List.for_all (function Interp.Error _ -> false | _ -> true) rs -> ()
+  | rs ->
+      List.iter (fun r -> print_endline (Interp.result_to_string r)) rs;
+      failwith "amb library failed to load");
+
+  let show title src =
+    Printf.printf "\n== %s ==\n%s\n" title (String.trim src);
+    List.iter
+      (fun r -> Printf.printf "  => %s\n" (Interp.result_to_string r))
+      (Interp.eval_string t src)
+  in
+
+  show "Pythagorean triples with legs up to 15"
+    {|
+(amb-collect
+  (lambda ()
+    (let* ([a (amb-choose (map1 1+ (iota 15)))]
+           [b (amb-choose (map1 1+ (iota 15)))]
+           [c (amb-choose (map1 1+ (iota 20)))])
+      (require (< a b))
+      (require (= (+ (* a a) (* b b)) (* c c)))
+      (list a b c))))
+|};
+
+  show "two-digit numbers equal to twice the product of their digits (36 only)"
+    {|
+(amb-collect
+  (lambda ()
+    (let* ([d1 (amb-choose (map1 1+ (iota 9)))]
+           [d2 (amb-choose (iota 10))])
+      (require (= (+ (* 10 d1) d2) (* 2 (* d1 d2))))
+      (list d1 d2))))
+|};
+
+  show "all subsets of (1 2 3) summing to an even number"
+    {|
+(amb-collect
+  (lambda ()
+    (let* ([take1 (amb-choose '(#t #f))]
+           [take2 (amb-choose '(#t #f))]
+           [take3 (amb-choose '(#t #f))]
+           [subset (append (if take1 '(1) '())
+                           (append (if take2 '(2) '()) (if take3 '(3) '())))])
+      (require (even? (fold-left + 0 subset)))
+      subset)))
+|}

@@ -1,0 +1,90 @@
+(* Section 8: combining dependent and independent concurrency as a FOREST
+   of process trees.
+
+   "Some programming languages also provide operations to create
+   independent parallel processes... One possibility is to treat such
+   combinations of dependent and independent processes as a forest of
+   trees, in which control operations affect only the tree in which they
+   occur."
+
+   Both the native scheduler and the Scheme machine implement exactly
+   this: [future] plants an independent tree; [touch] waits for its value;
+   a controller can never capture across a tree boundary, and pruning the
+   subtree that created a future does not disturb the future.
+
+   Run with:  dune exec examples/futures_forest.exe *)
+
+module S = Pcont_sched.Sched
+module Ops = Pcont_sched.Ops
+module Interp = Pcont_syntax.Interp
+
+let native () =
+  print_endline "== native scheduler: futures alongside pcall ==";
+  let r =
+    S.run (fun () ->
+        (* Three independent background computations... *)
+        let squares =
+          List.init 3 (fun i ->
+              S.future (fun () ->
+                  S.yield ();
+                  (i + 1) * (i + 1)))
+        in
+        (* ...while the main tree does tree-structured work... *)
+        let a, b = S.pcall2 (fun () -> 10) (fun () -> 20) in
+        (* ...and finally joins the forest. *)
+        a + b + List.fold_left (fun acc f -> acc + S.touch f) 0 squares)
+  in
+  Printf.printf "pcall sum + future squares = %d\n" r;
+
+  (* The forest rule: a controller from the main tree is dead inside a
+     future's tree. *)
+  let isolated =
+    S.run (fun () ->
+        S.spawn (fun c ->
+            S.touch
+              (S.future (fun () ->
+                   try S.control c (fun _pk -> -1)
+                   with S.Dead_controller -> 0))))
+  in
+  Printf.printf "controller crossing a tree boundary: %s\n"
+    (if isolated = 0 then "Dead_controller (forest rule holds)" else "BUG");
+
+  (* Pruning the subtree that created a future leaves the future alive. *)
+  let pruned =
+    S.run (fun () ->
+        let cell = ref None in
+        let v =
+          Ops.with_exit (fun exit ->
+              let vs =
+                S.pcall
+                  [
+                    (fun () ->
+                      cell := Some (S.future (fun () -> S.yield (); 30));
+                      S.yield ();
+                      exit 12;
+                      0);
+                    (fun () -> 999);
+                  ]
+              in
+              List.fold_left ( + ) 0 vs)
+        in
+        v + S.touch (Option.get !cell))
+  in
+  Printf.printf "exit pruned the branch, future survived: %d\n" pruned
+
+let interpreted () =
+  print_endline "\n== Scheme machine: Multilisp-style future/touch ==";
+  let t = Interp.create () in
+  let mode = Interp.Concurrent Pcont_pstack.Concur.Round_robin in
+  let show src =
+    Printf.printf "%s\n  => %s\n" (String.trim src)
+      (Pcont_pstack.Value.to_string (Interp.eval_value ~mode t src))
+  in
+  show "(define fibs (map1 (lambda (i) (future (let fib ([n i]) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))) (iota 10)))
+(map1 touch fibs)";
+  show "(touch 42)  ; touching a non-future returns it (Halstead's rule)";
+  show "(future? (car fibs))"
+
+let () =
+  native ();
+  interpreted ()

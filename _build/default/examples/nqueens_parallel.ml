@@ -1,0 +1,80 @@
+(* Parallel backtracking search with process-tree control: N-queens.
+
+   The board columns are explored as concurrent branches of the process
+   tree (pcall).  Two control regimes, both straight from Section 5:
+
+   - count all solutions: plain tree-structured fork/join;
+   - find ONE solution: a spawn/exit above the whole tree aborts every
+     other branch the moment any branch completes a placement — the
+     "abandoning evaluation of any remaining arguments" behaviour of
+     parallel-or, at problem scale.
+
+   Run with:  dune exec examples/nqueens_parallel.exe *)
+
+module S = Pcont_sched.Sched
+module Ops = Pcont_sched.Ops
+
+let safe placed row =
+  let rec ok dist = function
+    | [] -> true
+    | r :: rest -> r <> row && abs (r - row) <> dist && ok (dist + 1) rest
+  in
+  ok 1 placed
+
+(* Count all solutions, exploring each candidate row in parallel. *)
+let count_all n =
+  S.run (fun () ->
+      let rec go placed col =
+        if col = n then 1
+        else begin
+          S.yield ();
+          let candidates = List.init n (fun row -> row) in
+          let branches =
+            List.map
+              (fun row () -> if safe placed row then go (row :: placed) (col + 1) else 0)
+              candidates
+          in
+          List.fold_left ( + ) 0 (S.pcall branches)
+        end
+      in
+      go [] 0)
+
+(* Find one solution: every branch shares a single exit; the first branch
+   to complete a full placement aborts the entire search tree. *)
+let find_one n =
+  S.run (fun () ->
+      Ops.spawn_exit (fun e ->
+          let rec go placed col =
+            if col = n then e.Ops.exit (Some (List.rev placed))
+            else begin
+              S.yield ();
+              let branches =
+                List.map
+                  (fun row () -> if safe placed row then go (row :: placed) (col + 1))
+                  (List.init n (fun row -> row))
+              in
+              ignore (S.pcall branches)
+            end
+          in
+          go [] 0;
+          None))
+
+let render n solution =
+  List.iteri
+    (fun _col row ->
+      for r = 0 to n - 1 do
+        print_string (if r = row then " Q" else " .")
+      done;
+      print_newline ())
+    solution
+
+let () =
+  List.iter
+    (fun n -> Printf.printf "%d-queens solutions: %d\n" n (count_all n))
+    [ 4; 5; 6 ];
+  let n = 6 in
+  match find_one n with
+  | Some solution ->
+      Printf.printf "\nfirst %d-queens solution found (search aborted early):\n" n;
+      render n solution
+  | None -> Printf.printf "no %d-queens solution\n" n

@@ -1,0 +1,58 @@
+(* The paper's Section 5 finale: parallel-search.
+
+   A binary tree is searched with its branches evaluated as concurrent
+   processes (pcall).  When a branch finds a node satisfying the predicate,
+   it invokes the process controller, which suspends the ENTIRE search —
+   all branches, wherever they are — and returns the match together with a
+   thunk that grafts the suspended search back and continues it.
+
+   Run with:  dune exec examples/parallel_search.exe *)
+
+module S = Pcont_sched.Sched
+module Ops = Pcont_sched.Ops
+
+let () =
+  (* A perfect tree of depth 5 holding 31 integers. *)
+  let tree = Ops.perfect ~depth:5 (fun i -> i) in
+
+  print_endline "streaming multiples of 3, one suspension at a time:";
+  S.run (fun () ->
+      let rec drain n stream =
+        match stream with
+        | Ops.Snil -> Printf.printf "  search exhausted after %d matches\n" n
+        | Ops.Scons (v, rest) ->
+            Printf.printf "  found %d (search suspended; resuming...)\n" v;
+            drain (n + 1) (rest ())
+      in
+      drain 0 (Ops.parallel_search tree (fun x -> x mod 3 = 0)));
+
+  (* search_first abandons the suspended search: only the first answer is
+     paid for.  The pruned subtree is simply dropped. *)
+  let first =
+    S.run (fun () -> Ops.search_first tree (fun x -> x mod 7 = 6))
+  in
+  (match first with
+  | Some v -> Printf.printf "first x = 6 (mod 7): %d\n" v
+  | None -> print_endline "no match");
+
+  (* search_all drains the stream. *)
+  let all = S.run (fun () -> Ops.search_all tree (fun x -> x mod 2 = 1)) in
+  Printf.printf "all odd nodes (%d): %s\n" (List.length all)
+    (String.concat " " (List.map string_of_int (List.sort compare all)));
+
+  (* The same derived operators give parallel-or: the first branch to
+     produce a true value wins and the other branches are abandoned,
+     including branches that would diverge. *)
+  let diverge () =
+    let rec loop () =
+      S.yield ();
+      loop ()
+    in
+    loop ()
+  in
+  let won =
+    S.run (fun () ->
+        Ops.parallel_or
+          [ diverge; (fun () -> S.yield (); true); diverge ])
+  in
+  Printf.printf "parallel-or with two divergent branches: %b\n" won

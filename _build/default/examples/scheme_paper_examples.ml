@@ -1,0 +1,146 @@
+(* Every Scheme program from the paper, run through the interpreter on the
+   process-stack machine — sequentially and, where the program is
+   concurrent, under the tree-of-stacks scheduler.
+
+   Run with:  dune exec examples/scheme_paper_examples.exe *)
+
+module Interp = Pcont_syntax.Interp
+
+let banner title = Printf.printf "\n== %s ==\n" title
+
+let show ?(mode = Interp.Sequential) title src =
+  banner title;
+  print_endline (String.trim src);
+  let t = Interp.create () in
+  List.iter
+    (fun r -> Printf.printf "  => %s\n" (Interp.result_to_string r))
+    (List.filter
+       (function Interp.Defined _ -> false | _ -> true)
+       (Interp.eval_string ~mode t src))
+
+let () =
+  show "Section 2: make-cell"
+    {|
+(let ([x (make-cell 0)]) ((cdr x) 1) ((car x)))
+|};
+
+  show "Section 3: product via call/cc"
+    {|
+(define product0
+  (lambda (ls exit)
+    (cond
+      [(null? ls) 1]
+      [(= (car ls) 0) (exit 0)]
+      [else (* (car ls) (product0 (cdr ls) exit))])))
+(define product
+  (lambda (ls)
+    (call/cc (lambda (exit) (product0 ls exit)))))
+(product '(1 2 3 4 5))
+(product '(1 2 0 4 5))
+|};
+
+  show "Section 4: an escaped controller is invalid"
+    {|
+((spawn (lambda (c) c)) (lambda (k) k))
+|};
+
+  show "Section 4: a controller cannot be used twice without reinstatement"
+    {|
+(spawn (lambda (c) (c (lambda (k) (c (lambda (k2) k2))))))
+|};
+
+  show "Section 4: reinstating the process continuation revalidates it"
+    {|
+((spawn (lambda (c) (c (c (lambda (k) (k (lambda (k) (k (lambda (k) k))))))))) 42)
+|};
+
+  show "Section 5: product via spawn/exit (delimited, resumable-free exit)"
+    {|
+(define product0
+  (lambda (ls exit)
+    (cond
+      [(null? ls) 1]
+      [(= (car ls) 0) (exit 0)]
+      [else (* (car ls) (product0 (cdr ls) exit))])))
+(define product
+  (lambda (ls) (spawn/exit (lambda (exit) (product0 ls exit)))))
+(product '(1 2 3 4 5))
+(product '(7 0 9))
+|};
+
+  show ~mode:(Interp.Concurrent Pcont_pstack.Concur.Round_robin)
+    "Section 5: adding concurrently-computed products (exit inside each arm)"
+    {|
+(define product0
+  (lambda (ls exit)
+    (cond
+      [(null? ls) 1]
+      [(= (car ls) 0) (exit 0)]
+      [else (* (car ls) (product0 (cdr ls) exit))])))
+(define product
+  (lambda (ls) (spawn/exit (lambda (exit) (product0 ls exit)))))
+(pcall + (product '(1 2 0)) (product '(4 5 6)))
+|};
+
+  show ~mode:(Interp.Concurrent Pcont_pstack.Concur.Round_robin)
+    "Section 5: multiplying products, aborting BOTH arms on a zero"
+    {|
+(define product0
+  (lambda (ls exit)
+    (cond
+      [(null? ls) 1]
+      [(= (car ls) 0) (exit 0)]
+      [else (* (car ls) (product0 (cdr ls) exit))])))
+(spawn/exit
+  (lambda (exit)
+    (pcall * (product0 '(1 2 0 4) exit) (product0 '(5 6 7) exit))))
+|};
+
+  show ~mode:(Interp.Concurrent Pcont_pstack.Concur.Round_robin)
+    "Section 5: parallel-or (via first-true, as in the paper)"
+    {|
+(parallel-or #f 17)
+(parallel-or (quote yes) #f)
+(parallel-or #f #f)
+|};
+
+  show ~mode:(Interp.Concurrent Pcont_pstack.Concur.Round_robin)
+    "Section 5: parallel-search and search-all"
+    {|
+(define (node t) (car t))
+(define (left t) (cadr t))
+(define (right t) (car (cddr t)))
+(define (empty? t) (null? t))
+
+(define parallel-search
+  (lambda (tree predicate?)
+    (spawn
+      (lambda (c)
+        (define search
+          (lambda (tree)
+            (unless (empty? tree)
+              (pcall
+                (lambda (x y z) #f)
+                (when (predicate? (node tree))
+                  (c (lambda (k)
+                       (cons (node tree)
+                             (lambda () (k #f))))))
+                (search (left tree))
+                (search (right tree))))))
+        (search tree)
+        #f))))
+
+(define search-all
+  (lambda (tree predicate?)
+    (letrec ([collect (lambda (result)
+                        (if result
+                            (cons (car result) (collect ((cdr result))))
+                            '()))])
+      (collect (parallel-search tree predicate?)))))
+
+(define t
+  '(4 (2 (1 () ()) (3 () ())) (6 (5 () ()) (7 () ()))))
+
+(search-all t even?)
+(search-all t odd?)
+|}

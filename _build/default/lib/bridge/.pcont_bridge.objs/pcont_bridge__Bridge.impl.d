@@ -1,0 +1,1 @@
+lib/bridge/bridge.ml: Format Hashtbl List Pcont_machine Pcont_pstack Pcont_syntax Printf

@@ -1,0 +1,1 @@
+lib/bridge/bridge.mli: Pcont_machine Pcont_pstack Pcont_syntax

@@ -1,0 +1,174 @@
+module T = Pcont_machine.Term
+module Ir = Pcont_pstack.Ir
+module Expand = Pcont_syntax.Expand
+
+(* ------------------------------------------------------------------ *)
+(* machine term -> IR (total)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prim_var (p : T.prim) = Ir.var (T.prim_name p)
+
+(* Machine primitives are curried; IR primitives are n-ary.  Translate a
+   primitive applied to [seen] (already translated) arguments into an
+   exact-arity application, eta-expanding under-application. *)
+let prim_app (p : T.prim) (seen : Ir.t list) : Ir.t =
+  let arity = T.prim_arity p in
+  let missing = arity - List.length seen in
+  if missing = 0 then Ir.app (prim_var p) seen
+  else begin
+    assert (missing > 0);
+    let extras = List.init missing (fun i -> Printf.sprintf "%%eta%d" i) in
+    Ir.lam extras (Ir.app (prim_var p) (seen @ List.map Ir.var extras))
+  end
+
+let rec of_term (t : T.term) : Ir.t =
+  match t with
+  | T.Int n -> Ir.int n
+  | T.Bool b -> Ir.bool b
+  | T.Unit -> Ir.Const Ir.Cunit
+  | T.Nil -> Ir.Const Ir.Cnil
+  | T.Prim p -> prim_app p []
+  | T.Papp (p, args) -> prim_app p (List.map of_term args)
+  | T.Pair (a, d) -> Ir.app (Ir.var "cons") [ of_term a; of_term d ]
+  | T.Var x -> Ir.var x
+  | T.Lam (x, body) -> Ir.lam [ x ] (of_term body)
+  | T.Fix (f, x, body) -> Ir.Letrec ([ (f, Ir.lam [ x ] (of_term body)) ], Ir.var f)
+  | T.App _ -> of_app t
+  | T.If (c, a, b) -> Ir.if_ (of_term c) (of_term a) (of_term b)
+  | T.Spawn e -> Ir.app (Ir.var "spawn") [ of_term e ]
+  | T.Label _ | T.Control _ ->
+      invalid_arg "Bridge.of_term: labeled term (an execution intermediate)"
+
+(* Flatten an application spine; a primitive head absorbs exactly its
+   arity, anything beyond is applied one argument at a time (and fails on
+   both machines alike). *)
+and of_app t =
+  let rec spine t args =
+    match t with T.App (f, a) -> spine f (a :: args) | head -> (head, args)
+  in
+  let head, args = spine t [] in
+  let targs = List.map of_term args in
+  match head with
+  | T.Prim p ->
+      let arity = T.prim_arity p in
+      if List.length targs <= arity then prim_app p targs
+      else
+        let rec take n = function
+          | x :: rest when n > 0 ->
+              let first, leftover = take (n - 1) rest in
+              (x :: first, leftover)
+          | rest -> ([], rest)
+        in
+        let first, leftover = take arity targs in
+        List.fold_left (fun acc a -> Ir.app acc [ a ]) (prim_app p first) leftover
+  | _ -> List.fold_left (fun acc a -> Ir.app acc [ a ]) (of_term head) targs
+
+(* ------------------------------------------------------------------ *)
+(* IR -> machine term (partial)                                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+let prim_of_name = function
+  | "+" -> Some T.Add
+  | "-" -> Some T.Sub
+  | "*" -> Some T.Mul
+  | "quotient" -> Some T.Div
+  | "=" -> Some T.Eq
+  | "<" -> Some T.Lt
+  | "<=" -> Some T.Leq
+  | "not" -> Some T.Not
+  | "cons" -> Some T.Cons
+  | "car" -> Some T.Car
+  | "cdr" -> Some T.Cdr
+  | "null?" -> Some T.Is_null
+  | "pair?" -> Some T.Is_pair
+  | "zero?" -> Some T.Is_zero
+  | _ -> None
+
+let rec quoted_term : Ir.quoted -> T.term = function
+  | Ir.Qint n -> T.Int n
+  | Ir.Qbool b -> T.Bool b
+  | Ir.Qnil -> T.Nil
+  | Ir.Qlist qs -> List.fold_right (fun q acc -> T.Pair (quoted_term q, acc)) qs T.Nil
+  | Ir.Qdot (qs, tail) ->
+      List.fold_right (fun q acc -> T.Pair (quoted_term q, acc)) qs (quoted_term tail)
+  | Ir.Qstr _ -> unsupported "quoted string"
+  | Ir.Qsym _ -> unsupported "quoted symbol"
+  | Ir.Qchar _ -> unsupported "quoted character"
+
+(* Zero-argument procedures become unit-taking; applications follow. *)
+let rec term_of (ir : Ir.t) : T.term =
+  match ir with
+  | Ir.Const (Ir.Cint n) -> T.Int n
+  | Ir.Const (Ir.Cbool b) -> T.Bool b
+  | Ir.Const Ir.Cnil -> T.Nil
+  | Ir.Const Ir.Cunit -> T.Unit
+  | Ir.Const (Ir.Cstr _) -> unsupported "string literal"
+  | Ir.Const (Ir.Csym _) -> unsupported "symbol literal"
+  | Ir.Const (Ir.Cchar _) -> unsupported "character literal"
+  | Ir.Quoted q -> quoted_term q
+  | Ir.Var x -> (
+      match prim_of_name x with Some p -> T.Prim p | None -> T.Var x)
+  | Ir.Lam { rest = Some _; _ } -> unsupported "variadic procedure"
+  | Ir.Lam { params = []; rest = None; body } -> T.Lam ("_", term_of body)
+  | Ir.Lam { params; rest = None; body } ->
+      List.fold_right (fun x acc -> T.Lam (x, acc)) params (term_of body)
+  | Ir.App (f, []) -> T.App (term_of f, T.Unit)
+  | Ir.App (Ir.Var "spawn", [ e ]) -> T.Spawn (term_of e)
+  | Ir.App (f, args) ->
+      List.fold_left (fun acc a -> T.App (acc, term_of a)) (term_of f) args
+  | Ir.If (c, a, b) -> T.If (term_of c, term_of a, term_of b)
+  | Ir.Seq [] -> T.Unit
+  | Ir.Seq [ e ] -> term_of e
+  | Ir.Seq (e :: rest) -> T.seq (term_of e) (term_of (Ir.Seq rest))
+  | Ir.Let (bindings, body) ->
+      (* parallel let = application of an abstraction, as in the paper §2 *)
+      let names = List.map fst bindings in
+      let inits = List.map (fun (_, e) -> term_of e) bindings in
+      let lam = List.fold_right (fun x acc -> T.Lam (x, acc)) names (term_of body) in
+      List.fold_left (fun acc a -> T.App (acc, a)) lam inits
+  | Ir.Letrec ([ (f, Ir.Lam { params = [ x ]; rest = None; body = fb }) ], body) ->
+      T.let_ f (T.Fix (f, x, term_of fb)) (term_of body)
+  | Ir.Letrec ([ (f, Ir.Lam { params = x :: more; rest = None; body = fb }) ], body)
+    ->
+      (* curry extra parameters under the fixpoint *)
+      let inner = List.fold_right (fun y acc -> T.Lam (y, acc)) more (term_of fb) in
+      T.let_ f (T.Fix (f, x, inner)) (term_of body)
+  | Ir.Letrec _ -> unsupported "letrec (only a single recursive procedure is supported)"
+  | Ir.Set _ -> unsupported "set!"
+  | Ir.Future _ -> unsupported "future"
+  | Ir.Pcall _ -> unsupported "pcall"
+
+let to_term ir = match term_of ir with t -> Ok t | exception Unsupported m -> Error m
+
+let program_to_term tops =
+  let rec fold = function
+    | [] -> Error "program has no final expression"
+    | [ Expand.Expr ir ] -> to_term ir
+    | Expand.Expr ir :: rest -> (
+        (* an intermediate expression: evaluate for effect and discard *)
+        match (to_term ir, fold rest) with
+        | Ok t, Ok body -> Ok (T.seq t body)
+        | Error m, _ | _, Error m -> Error m)
+    | Expand.Define (x, ir) :: rest -> (
+        match (to_term ir, fold rest) with
+        | Ok t, Ok body ->
+            (* A define whose right-hand side mentions itself is recursive:
+               tie the knot with the machine's fixpoint value. *)
+            if Hashtbl.mem (T.free_vars t) x then
+              match t with
+              | T.Lam (y, b) -> Ok (T.let_ x (T.Fix (x, y, b)) body)
+              | _ -> Error ("recursive define of a non-procedure: " ^ x)
+            else Ok (T.let_ x t body)
+        | Error m, _ | _, Error m -> Error m)
+    | Expand.Defsyntax _ :: rest -> fold rest
+  in
+  fold tops
+
+let scheme_to_term src =
+  match Expand.parse_program src with
+  | Error m -> Error ("read/expand error: " ^ m)
+  | Ok tops -> program_to_term tops

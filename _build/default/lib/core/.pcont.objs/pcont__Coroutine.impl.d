@@ -1,0 +1,1 @@
+lib/core/coroutine.ml: Spawn

@@ -1,0 +1,1 @@
+lib/core/exit.ml: Spawn

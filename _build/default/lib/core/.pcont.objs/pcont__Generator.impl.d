@@ -1,0 +1,1 @@
+lib/core/generator.ml: Coroutine List Seq

@@ -1,0 +1,1 @@
+lib/core/prompt.ml: List Spawn

@@ -1,0 +1,1 @@
+lib/core/spawn.ml: Effect Fun

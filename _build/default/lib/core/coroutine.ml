@@ -1,0 +1,34 @@
+type 'o status = Yielded of 'o | Returned of 'o
+
+exception Finished
+
+type ('i, 'o) state =
+  | Unstarted of (yield:('o -> 'i) -> 'i -> 'o)
+  | Suspended of ('i, 'o status) Spawn.subcont
+  | Running
+  | Done
+
+type ('i, 'o) t = { mutable state : ('i, 'o) state }
+
+let create body = { state = Unstarted body }
+
+let resume co i =
+  match co.state with
+  | Running -> invalid_arg "Coroutine.resume: coroutine is already running"
+  | Done -> raise Finished
+  | Unstarted body ->
+      co.state <- Running;
+      Spawn.spawn (fun c ->
+          let yield o =
+            Spawn.control c (fun k ->
+                co.state <- Suspended k;
+                Yielded o)
+          in
+          let r = body ~yield i in
+          co.state <- Done;
+          Returned r)
+  | Suspended k ->
+      co.state <- Running;
+      Spawn.resume k i
+
+let is_finished co = match co.state with Done -> true | _ -> false

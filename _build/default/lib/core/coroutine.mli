@@ -1,0 +1,26 @@
+(** Asymmetric coroutines built on process continuations.
+
+    A coroutine consumes values of type ['i] and produces values of type
+    ['o].  Each [resume] runs the coroutine until it either [yield]s or
+    returns; the paper's point (Section 3) is that such process
+    abstractions need the capture of {e the coroutine's own} continuation,
+    not the whole program's — which is exactly what a controller provides,
+    with no global protocol. *)
+
+type ('i, 'o) t
+
+type 'o status =
+  | Yielded of 'o  (** the coroutine suspended at a [yield] *)
+  | Returned of 'o  (** the coroutine's body returned *)
+
+exception Finished
+(** Raised by {!resume} if the coroutine has already returned. *)
+
+val create : (yield:('o -> 'i) -> 'i -> 'o) -> ('i, 'o) t
+(** [create body] makes a coroutine; [body ~yield i] receives the first
+    [resume] argument and may call [yield o] to suspend, which returns the
+    next [resume] argument. *)
+
+val resume : ('i, 'o) t -> 'i -> 'o status
+
+val is_finished : ('i, 'o) t -> bool

@@ -1,0 +1,56 @@
+type 'a outcome = Done of 'a * int | Expired of 'a t
+
+and 'a state =
+  | Unstarted of (tick:(unit -> unit) -> 'a)
+  | Suspended of (unit, 'a outcome) Spawn.subcont
+  | Consumed
+
+and 'a t = { fuel_cell : int ref; mutable state : 'a state }
+
+exception Engine_used
+
+let make body = { fuel_cell = ref 0; state = Unstarted body }
+
+let run e ~fuel =
+  if fuel <= 0 then invalid_arg "Engine.run: fuel must be positive";
+  e.fuel_cell := fuel;
+  match e.state with
+  | Consumed -> raise Engine_used
+  | Suspended k ->
+      e.state <- Consumed;
+      Spawn.resume k ()
+  | Unstarted body ->
+      e.state <- Consumed;
+      let cell = e.fuel_cell in
+      Spawn.spawn (fun c ->
+          let tick () =
+            if !cell <= 0 then
+              (* Fuel exhausted: capture the rest of the computation back
+                 to this engine's root and hand it out as a new engine.
+                 The subsequent run resumes the continuation, reinstating
+                 the root so later ticks remain valid. *)
+              Spawn.control c (fun k ->
+                  Expired { fuel_cell = cell; state = Suspended k })
+            else decr cell
+          in
+          let v = body ~tick in
+          Done (v, !cell))
+
+let run_to_completion ?(fuel_per_slice = 64) e =
+  let rec go e slices =
+    match run e ~fuel:fuel_per_slice with
+    | Done (v, _) -> (v, slices)
+    | Expired e' -> go e' (slices + 1)
+  in
+  go e 1
+
+let round_robin engines ~fuel =
+  let rec go pending finished =
+    match pending with
+    | [] -> List.rev finished
+    | e :: rest -> (
+        match run e ~fuel with
+        | Done (v, _) -> go rest (v :: finished)
+        | Expired e' -> go (rest @ [ e' ]) finished)
+  in
+  go engines []

@@ -1,0 +1,39 @@
+(** Engines: fuel-bounded computations (Dybvig & Hieb, "Engines from
+    Continuations", 1989 — reference [6] of the paper).
+
+    An engine runs a computation for a bounded amount of fuel.  If the
+    computation finishes first, [run] reports its value and the unused
+    fuel; otherwise it reports a {e new} engine denoting the rest of the
+    computation.  The paper cites engines as a process abstraction whose
+    continuation-based implementation needs exactly the delimited capture
+    a controller provides.
+
+    Fuel is consumed cooperatively: engine code must call the [tick]
+    procedure it is given at progress points (the classic construction
+    hooks timer interrupts; a sealed, deterministic reproduction uses
+    explicit ticks). *)
+
+type 'a t
+
+type 'a outcome =
+  | Done of 'a * int  (** finished; carries the unused fuel *)
+  | Expired of 'a t  (** fuel exhausted; the engine denotes the rest *)
+
+exception Engine_used
+(** Raised when running an engine that has already been run (engines are
+    one-shot in this embedding; see {!Spawn}). *)
+
+val make : (tick:(unit -> unit) -> 'a) -> 'a t
+(** [make body] creates an engine; [body ~tick] must call [tick ()] at
+    progress points, each call consuming one unit of fuel. *)
+
+val run : 'a t -> fuel:int -> 'a outcome
+(** Run the engine with the given fuel.  [fuel] must be positive. *)
+
+val run_to_completion : ?fuel_per_slice:int -> 'a t -> 'a * int
+(** Repeatedly {!run} until done; returns the value and the number of
+    slices used.  Useful for round-robin timesharing tests. *)
+
+val round_robin : 'a t list -> fuel:int -> 'a list
+(** Timeshare a list of engines, giving each [fuel] per turn, until all
+    complete; results are returned in completion order. *)

@@ -1,0 +1,19 @@
+exception Dead_exit
+
+type 'a exit = { exit : 'b. 'a -> 'b }
+
+let spawn_exit f =
+  Spawn.spawn (fun c ->
+      let exit v =
+        (* The real controller is invoked with a procedure that discards
+           the process continuation and returns the exit value, exactly as
+           in the paper's definition of spawn/exit. *)
+        try
+          Spawn.control c (fun k ->
+              Spawn.abandon k;
+              v)
+        with Spawn.Dead_controller -> raise Dead_exit
+      in
+      f { exit })
+
+let with_exit f = spawn_exit (fun e -> f (fun v -> e.exit v))

@@ -1,0 +1,23 @@
+(** Nonlocal exits — the paper's [spawn/exit] (Section 5).
+
+    [spawn_exit f] runs [f] with an exit procedure that can be used only to
+    abort the computation delimited by the [spawn_exit] call and return a
+    value; the process continuation is thrown away, so the aborted
+    computation cannot be resumed and the exit procedure becomes invalid as
+    soon as [f] returns or exits. *)
+
+exception Dead_exit
+(** Raised when an exit procedure escapes and is used after its extent has
+    ended. *)
+
+type 'a exit = { exit : 'b. 'a -> 'b }
+(** Calling [e.exit v] never returns. *)
+
+val spawn_exit : ('a exit -> 'a) -> 'a
+(** [spawn_exit (fun e -> body)] evaluates [body]; [e.exit v] aborts it and
+    makes [spawn_exit] return [v] immediately. *)
+
+val with_exit : (('a -> unit) -> 'a) -> 'a
+(** A simpler face of {!spawn_exit} for callers who do not need the exit
+    call to typecheck at an arbitrary type: [with_exit (fun exit -> body)].
+    The [exit] function still never actually returns. *)

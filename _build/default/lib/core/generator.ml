@@ -1,0 +1,79 @@
+type 'a t = { co : (unit, 'a option) Coroutine.t }
+
+let create body =
+  {
+    co =
+      Coroutine.create (fun ~yield () ->
+          body ~yield:(fun x -> ignore (yield (Some x)));
+          None);
+  }
+
+let next g =
+  if Coroutine.is_finished g.co then None
+  else
+    match Coroutine.resume g.co () with
+    | Coroutine.Yielded v -> v
+    | Coroutine.Returned v -> v
+
+let rec iter f g =
+  match next g with
+  | None -> ()
+  | Some x ->
+      f x;
+      iter f g
+
+let rec fold f acc g =
+  match next g with None -> acc | Some x -> fold f (f acc x) g
+
+let to_list g = List.rev (fold (fun acc x -> x :: acc) [] g)
+
+let of_list xs = create (fun ~yield -> List.iter yield xs)
+
+let take n g =
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else match next g with None -> List.rev acc | Some x -> go (n - 1) (x :: acc)
+  in
+  go n []
+
+let map f g = create (fun ~yield -> iter (fun x -> yield (f x)) g)
+
+let filter p g = create (fun ~yield -> iter (fun x -> if p x then yield x) g)
+
+let ints ?(from = 0) () =
+  create (fun ~yield ->
+      let rec go i =
+        yield i;
+        go (i + 1)
+      in
+      go from)
+
+let to_seq g =
+  let rec seq () = match next g with None -> Seq.Nil | Some x -> Seq.Cons (x, seq) in
+  seq
+
+let of_seq s = create (fun ~yield -> Seq.iter yield s)
+
+let append a b =
+  create (fun ~yield ->
+      iter yield a;
+      iter yield b)
+
+let zip a b =
+  create (fun ~yield ->
+      let rec go () =
+        match (next a, next b) with
+        | Some x, Some y ->
+            yield (x, y);
+            go ()
+        | _ -> ()
+      in
+      go ())
+
+let take_while p g =
+  let rec go acc =
+    match next g with
+    | Some x when p x -> go (x :: acc)
+    | _ -> List.rev acc
+  in
+  go []

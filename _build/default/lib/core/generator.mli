@@ -1,0 +1,48 @@
+(** Generators: one-directional coroutines producing a stream of values. *)
+
+type 'a t
+
+val create : (yield:('a -> unit) -> unit) -> 'a t
+(** [create body] makes a generator; [body ~yield] calls [yield x] for each
+    element to produce. *)
+
+val next : 'a t -> 'a option
+(** The next element, or [None] once the body has returned.  Subsequent
+    calls keep returning [None]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Consume all remaining elements. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val take : int -> 'a t -> 'a list
+(** Up to [n] further elements; the generator can be consumed further
+    afterwards (useful for infinite generators). *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Lazily transform the remaining elements of a generator. *)
+
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+val ints : ?from:int -> unit -> int t
+(** The infinite generator of consecutive integers. *)
+
+val to_seq : 'a t -> 'a Seq.t
+(** The remaining elements as a standard (ephemeral) sequence; consuming
+    the sequence consumes the generator. *)
+
+val of_seq : 'a Seq.t -> 'a t
+
+val append : 'a t -> 'a t -> 'a t
+(** All elements of the first generator, then all of the second. *)
+
+val zip : 'a t -> 'b t -> ('a * 'b) t
+(** Pairs until either generator is exhausted. *)
+
+val take_while : ('a -> bool) -> 'a t -> 'a list
+(** Elements up to (excluding) the first that fails the predicate; the
+    failing element is consumed. *)

@@ -1,0 +1,38 @@
+exception No_prompt
+
+module Make (Answer : sig
+  type t
+end) =
+struct
+  type 'a fk = ('a, Answer.t) Spawn.subcont
+
+  (* The dynamic stack of live prompts: innermost first.  Entries are
+     identified physically so a prompt's epilogue removes exactly its own
+     entry, wherever interleaved resumptions have left it. *)
+  type entry = { controller : Answer.t Spawn.controller }
+
+  let stack : entry list ref = ref []
+
+  let remove entry = stack := List.filter (fun e -> not (e == entry)) !stack
+
+  let prompt thunk =
+    Spawn.spawn (fun c ->
+        let entry = { controller = c } in
+        stack := entry :: !stack;
+        let v = thunk () in
+        remove entry;
+        v)
+
+  let fcontrol body =
+    match !stack with
+    | [] -> raise No_prompt
+    | entry :: _ ->
+        Spawn.control entry.controller (fun k ->
+            (* The aborted prompt's extent is gone; its entry with it.  The
+               prompt is re-established around the body, per the rewrite
+               #E[F f] -> #(f (lambda (x) E[x])). *)
+            remove entry;
+            prompt (fun () -> body k))
+
+  let resume k v = Spawn.resume k v
+end

@@ -1,0 +1,40 @@
+(** Felleisen's prompt ([#]) and functional continuations ([F]), derived
+    from [spawn].
+
+    Section 4 observes that "one can think of spawn as a version of # that
+    creates a new F each time it is used".  This module runs the
+    construction in the other direction: given [spawn], the {e shadowing}
+    pair [#]/[F] is user-level code — each [prompt] pushes its controller
+    onto a dynamic stack, and [fcontrol] always captures to the innermost
+    one, which is exactly the shadowing the paper criticises ("prompts
+    replace the problem of capturing too much of a continuation with the
+    problem of capturing too little").
+
+    Prompts are classically typed at a fixed answer type, so the module is
+    a functor over it.  The functional continuation passed to [fcontrol]'s
+    argument is composable and does not carry the prompt (Felleisen 1988:
+    [#E\[F f\] → #(f (λx. E\[x\]))] — the prompt stays around the body,
+    not inside the captured [E]).  One-shot, like everything in the native
+    embedding. *)
+
+exception No_prompt
+(** [fcontrol] was applied with no prompt in the current dynamic extent. *)
+
+module Make (Answer : sig
+  type t
+end) : sig
+  type 'a fk
+  (** The functional continuation from an [fcontrol] application point back
+      to (but not including) the nearest prompt. *)
+
+  val prompt : (unit -> Answer.t) -> Answer.t
+  (** Establish a prompt (the [#] operator) around the thunk. *)
+
+  val fcontrol : ('a fk -> Answer.t) -> 'a
+  (** Capture the continuation up to the nearest prompt, abort it, and run
+      the body in its place — with the prompt re-established around it. *)
+
+  val resume : 'a fk -> 'a -> Answer.t
+  (** Compose the captured continuation with the current one; does not
+      reinstate any prompt. *)
+end

@@ -1,0 +1,67 @@
+open Effect
+open Effect.Deep
+
+exception Dead_controller
+
+exception Expired_subcont
+
+exception Abandoned_process
+
+type ('a, 'r) subcont = {
+  mutable taken : bool;
+  k : ('a, 'r) continuation;
+}
+
+(* A controller is a polymorphic capture operation: each application may be
+   at a different answer type 'a, as in the paper. *)
+type 'r controller = { ctl : 'a. (('a, 'r) subcont -> 'r) -> 'a }
+
+let spawn (type r) (f : r controller -> r) : r =
+  (* The fresh effect constructor is the root's unique label: only this
+     spawn's handler recognizes it, and nested spawns' handlers pass it
+     through to the next enclosing handler. *)
+  let module M = struct
+    type _ Effect.t += Control : (('a, r) subcont -> r) -> 'a Effect.t
+  end in
+  let controller =
+    {
+      ctl =
+        (fun body ->
+          try perform (M.Control body)
+          with Effect.Unhandled (M.Control _) -> raise Dead_controller);
+    }
+  in
+  match_with f controller
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | M.Control body ->
+              Some
+                (fun (k : (b, r) continuation) -> body { taken = false; k })
+          | _ -> None);
+    }
+
+let control c body = c.ctl body
+
+let resume sc v =
+  if sc.taken then raise Expired_subcont
+  else begin
+    sc.taken <- true;
+    continue sc.k v
+  end
+
+let abandon sc =
+  if not sc.taken then begin
+    sc.taken <- true;
+    (* Unwind the captured stack; the Abandoned_process exception surfaces
+       at the capture point inside the (reinstated) process, and whatever
+       it propagates to is discarded. *)
+    match discontinue sc.k Abandoned_process with
+    | _ -> ()
+    | exception Abandoned_process -> ()
+  end
+
+let is_valid sc = not sc.taken

@@ -1,0 +1,74 @@
+(** Process continuations in direct-style OCaml, via effect handlers.
+
+    [spawn f] runs [f] as a process, establishing a {e root} that delimits
+    the process's extent and passing [f] a {e process controller}.
+    [control c body] captures and aborts the current continuation back to
+    (and including) [c]'s root and applies [body] to the resulting
+    {e process continuation} outside the root; [resume pk v] composes the
+    captured subcomputation onto the current continuation, reinstating the
+    root (so [c] becomes valid again) and returning [v] to the capture
+    point.
+
+    The embedding maps the paper's semantics onto OCaml 5 deep handlers:
+    each [spawn] mints a fresh effect constructor (the root's label), the
+    deep handler is the labeled stack segment, and the handler's
+    reinstatement on [continue] is exactly the reinstatement of the root.
+
+    {b One-shot restriction.} OCaml effect-handler continuations are
+    one-shot, so unlike the paper's process continuations (and unlike the
+    machine implementations in [Pcont_machine] and [Pcont_pstack], which
+    are multi-shot), a [subcont] here may be resumed at most once;
+    violating this raises {!Expired_subcont}. *)
+
+type ('a, 'r) subcont
+(** The rest of a process, from a [control] application back to (and
+    including) its root.  Resuming with an ['a] eventually produces the
+    process's result ['r]. *)
+
+type 'r controller
+(** A process controller for a process whose result type is ['r].  A
+    controller may be applied at any answer type ['a], once per extent of
+    its root. *)
+
+exception Dead_controller
+(** Raised when a controller is applied while its root is not in the
+    current continuation — after the process returned normally, or after a
+    previous [control] removed the root (and it has not been reinstated by
+    resuming the process continuation). *)
+
+exception Expired_subcont
+(** Raised when a process continuation is resumed a second time. *)
+
+exception Abandoned_process
+(** Raised inside a process when its pending continuation is explicitly
+    discarded with {!abandon}. *)
+
+val spawn : ('r controller -> 'r) -> 'r
+(** [spawn f] invokes [f] as a process.  Returns [f]'s normal return value,
+    or the value produced by a [control body] escaping through the root. *)
+
+val control : 'r controller -> (('a, 'r) subcont -> 'r) -> 'a
+(** [control c body] captures the current continuation up to and including
+    [c]'s root, aborts it, and applies [body] to it {e outside} the root;
+    [body]'s result becomes the result of the [spawn] that created [c].
+    The call itself returns only if the captured continuation is later
+    resumed, with the value passed to {!resume}.
+
+    @raise Dead_controller if [c]'s root is not in the current
+    continuation. *)
+
+val resume : ('a, 'r) subcont -> 'a -> 'r
+(** [resume k v] composes the captured process with the current
+    continuation: the capture point returns [v], the root is reinstated,
+    and [resume] itself returns the process's eventual result.
+
+    @raise Expired_subcont on a second resumption. *)
+
+val abandon : ('a, 'r) subcont -> unit
+(** Discard a process continuation without resuming it, unwinding the
+    captured stack by raising {!Abandoned_process} at the capture point (so
+    OCaml resources held by the captured frames are released).  Idempotent
+    on already-used continuations. *)
+
+val is_valid : ('a, 'r) subcont -> bool
+(** Whether the continuation is still resumable. *)

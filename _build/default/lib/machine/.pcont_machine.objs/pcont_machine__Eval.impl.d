@@ -1,0 +1,1 @@
+lib/machine/eval.ml: List Step Term

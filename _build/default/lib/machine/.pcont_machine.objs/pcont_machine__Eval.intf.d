@@ -1,0 +1,1 @@
+lib/machine/eval.mli: Pcont_util Term

@@ -1,0 +1,1 @@
+lib/machine/examples.ml: List Printf Term

@@ -1,0 +1,1 @@
+lib/machine/pp.ml: Format Term

@@ -1,0 +1,1 @@
+lib/machine/step.ml: Ctx List Option Pcont_util Pp Printf Term

@@ -1,0 +1,1 @@
+lib/machine/step.mli: Ctx Pcont_util Term

@@ -1,0 +1,1 @@
+lib/machine/term.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/machine/zipper.ml: Ctx Eval List Pp Printf Step Term

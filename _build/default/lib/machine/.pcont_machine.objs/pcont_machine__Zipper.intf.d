@@ -1,0 +1,1 @@
+lib/machine/zipper.mli: Eval Term

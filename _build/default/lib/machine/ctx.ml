@@ -1,0 +1,38 @@
+type frame =
+  | Fapp_fun of Term.term
+  | Fapp_arg of Term.term
+  | Flabel of Term.label
+  | Fif of Term.term * Term.term
+  | Fspawn
+
+type t = frame list
+
+let plug_frame f e =
+  match f with
+  | Fapp_fun arg -> Term.App (e, arg)
+  | Fapp_arg fn -> Term.App (fn, e)
+  | Flabel l -> Term.Label (l, e)
+  | Fif (e2, e3) -> Term.If (e, e2, e3)
+  | Fspawn -> Term.Spawn e
+
+let plug c e = List.fold_left (fun acc f -> plug_frame f acc) e c
+
+let split_at_label l c =
+  let rec go inner = function
+    | [] -> None
+    | Flabel l' :: outer when l' = l -> Some (List.rev inner, outer)
+    | f :: rest -> go (f :: inner) rest
+  in
+  go [] c
+
+let labels c = List.filter_map (function Flabel l -> Some l | _ -> None) c
+
+let pp ppf c =
+  let pp_frame ppf = function
+    | Fapp_fun e -> Format.fprintf ppf "(HOLE %a)" Pp.pp_term e
+    | Fapp_arg v -> Format.fprintf ppf "(%a HOLE)" Pp.pp_term v
+    | Flabel l -> Format.fprintf ppf "(label %d HOLE)" l
+    | Fif (e2, e3) -> Format.fprintf ppf "(if HOLE %a %a)" Pp.pp_term e2 Pp.pp_term e3
+    | Fspawn -> Format.fprintf ppf "(spawn HOLE)"
+  in
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_frame) c

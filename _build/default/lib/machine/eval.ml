@@ -1,0 +1,35 @@
+type outcome = Value of Term.term | Stuck of string | Out_of_fuel of Term.term
+
+let default_fuel = 1_000_000
+
+let eval ?(fuel = default_fuel) ?stats program =
+  let rec loop fuel p =
+    if fuel <= 0 then Out_of_fuel p
+    else
+      match Step.step ?stats p with
+      | Step.Finished v -> Value v
+      | Step.Stuck msg -> Stuck msg
+      | Step.Next (p', _) -> loop (fuel - 1) p'
+  in
+  loop fuel program
+
+let eval_exn ?fuel program =
+  match eval ?fuel program with
+  | Value v -> v
+  | Stuck msg -> failwith ("machine stuck: " ^ msg)
+  | Out_of_fuel _ -> failwith "machine out of fuel"
+
+let trace ?(fuel = default_fuel) program =
+  let rec loop fuel p acc =
+    if fuel <= 0 then (List.rev acc, Out_of_fuel p)
+    else
+      match Step.step p with
+      | Step.Finished v -> (List.rev acc, Value v)
+      | Step.Stuck msg -> (List.rev acc, Stuck msg)
+      | Step.Next (p', rule) -> loop (fuel - 1) p' ((p', rule) :: acc)
+  in
+  loop fuel program []
+
+let steps_to_value ?fuel program =
+  let steps, outcome = trace ?fuel program in
+  match outcome with Value _ -> Some (List.length steps) | _ -> None

@@ -1,0 +1,23 @@
+(** Fuel-bounded evaluation by iterated rewriting. *)
+
+type outcome =
+  | Value of Term.term  (** the program rewrote to a value *)
+  | Stuck of string  (** no rule applies; the string explains why *)
+  | Out_of_fuel of Term.term  (** the fuel bound was reached; carries the
+                                  last program state *)
+
+val eval : ?fuel:int -> ?stats:Pcont_util.Counters.t -> Term.term -> outcome
+(** [eval p] rewrites [p] to a value, taking at most [fuel] steps
+    (default 1_000_000). *)
+
+val eval_exn : ?fuel:int -> Term.term -> Term.term
+(** Like {!eval} but raises [Failure] on [Stuck] or [Out_of_fuel].  Intended
+    for tests and examples. *)
+
+val trace : ?fuel:int -> Term.term -> (Term.term * string) list * outcome
+(** [trace p] is the list of intermediate programs paired with the name of
+    the rule that produced each, plus the final outcome.  The initial program
+    is not included. *)
+
+val steps_to_value : ?fuel:int -> Term.term -> int option
+(** Number of rewrites needed to reach a value, if one is reached. *)

@@ -1,0 +1,90 @@
+open Term
+
+(* ((spawn (lambda (c) c)) (lambda (k) k)) *)
+let escaping_controller = App (Spawn (Lam ("c", Var "c")), Lam ("k", Var "k"))
+
+(* (spawn (lambda (c) (c (lambda (k) (c (lambda (k2) k2)))))): the second
+   application of [c] happens after the first removed the root. *)
+let double_use =
+  Spawn
+    (Lam ("c", App (Var "c", Lam ("k", App (Var "c", Lam ("k2", Var "k2"))))))
+
+(* (spawn (lambda (c) (c (c (lambda (k) (k (lambda (k) (k (lambda (k) k))))))))),
+   with the shadowed [k]s renamed apart for readability. *)
+let reinstated =
+  let innermost = Lam ("k3", Var "k3") in
+  let middle = Lam ("k2", App (Var "k2", innermost)) in
+  let outer = Lam ("k", App (Var "k", middle)) in
+  Spawn (Lam ("c", App (Var "c", App (Var "c", outer))))
+
+let reinstated_applied = App (reinstated, Int 42)
+
+(* (define spawn/exit
+     (lambda (proc)
+       (spawn (lambda (c)
+                (proc (lambda (v) (c (lambda (k) v)))))))) *)
+let spawn_exit =
+  Lam
+    ( "proc",
+      Spawn
+        (Lam
+           ( "c",
+             App (Var "proc", Lam ("v", App (Var "c", Lam ("k", Var "v")))) ))
+    )
+
+(* (define product0
+     (lambda (ls exit)
+       (cond [(null? ls) 1]
+             [(zero? (car ls)) (exit 0)]
+             [else (mul (car ls) (product0 (cdr ls) exit))]))) *)
+let product0 =
+  Fix
+    ( "product0",
+      "ls",
+      Lam
+        ( "exit",
+          If
+            ( prim1 Is_null (Var "ls"),
+              Int 1,
+              If
+                ( prim1 Is_zero (prim1 Car (Var "ls")),
+                  App (Var "exit", Int 0),
+                  prim2 Mul
+                    (prim1 Car (Var "ls"))
+                    (app2 (Var "product0") (prim1 Cdr (Var "ls")) (Var "exit"))
+                ) ) ) )
+
+(* (define product
+     (lambda (ls) (spawn/exit (lambda (exit) (product0 ls exit))))) *)
+let product =
+  Lam
+    ( "ls",
+      App
+        ( spawn_exit,
+          Lam ("exit", app2 product0 (Var "ls") (Var "exit")) ) )
+
+let int_list ns = list_of (List.map (fun n -> Int n) ns)
+
+let product_of ns = App (product, int_list ns)
+
+let nested_spawn_depth n =
+  if n < 1 then invalid_arg "nested_spawn_depth: need at least one spawn";
+  let rec build i =
+    if i > n then App (Var "exit1", Int 7)
+    else App (spawn_exit, Lam (Printf.sprintf "exit%d" i, build (i + 1)))
+  in
+  build 1
+
+(* (spawn (lambda (c) (+ 1 (c (lambda (k) (mul (k 2) (k 3))))))): the process
+   continuation [k = (lambda (x) (label l (+ 1 x)))] is invoked twice. *)
+let pk_twice =
+  Spawn
+    (Lam
+       ( "c",
+         prim2 Add (Int 1)
+           (App
+              ( Var "c",
+                Lam
+                  ( "k",
+                    prim2 Mul (App (Var "k", Int 2)) (App (Var "k", Int 3)) )
+              )) ))

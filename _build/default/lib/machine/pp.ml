@@ -1,0 +1,30 @@
+open Term
+
+let rec pp_term ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Bool true -> Format.fprintf ppf "#t"
+  | Bool false -> Format.fprintf ppf "#f"
+  | Unit -> Format.fprintf ppf "#!void"
+  | Nil -> Format.fprintf ppf "'()"
+  | Prim p -> Format.fprintf ppf "%s" (prim_name p)
+  | Papp (p, args) ->
+      Format.fprintf ppf "@[<hov 1>(partial %s%a)@]" (prim_name p) pp_args args
+  | Pair (a, d) -> Format.fprintf ppf "@[<hov 1>(cons@ %a@ %a)@]" pp_term a pp_term d
+  | Var x -> Format.fprintf ppf "%s" x
+  | Lam (x, body) -> Format.fprintf ppf "@[<hov 1>(lambda (%s)@ %a)@]" x pp_term body
+  | Fix (f, x, body) ->
+      Format.fprintf ppf "@[<hov 1>(rec (%s %s)@ %a)@]" f x pp_term body
+  | App (e1, e2) -> Format.fprintf ppf "@[<hov 1>(%a%a)@]" pp_term e1 pp_args [ e2 ]
+  | If (e1, e2, e3) ->
+      Format.fprintf ppf "@[<hov 1>(if %a@ %a@ %a)@]" pp_term e1 pp_term e2 pp_term e3
+  | Label (l, e) -> Format.fprintf ppf "@[<hov 1>(label %d@ %a)@]" l pp_term e
+  | Control (e, l) -> Format.fprintf ppf "@[<hov 1>(control %a@ %d)@]" pp_term e l
+  | Spawn e -> Format.fprintf ppf "@[<hov 1>(spawn@ %a)@]" pp_term e
+
+and pp_args ppf = function
+  | [] -> ()
+  | a :: rest ->
+      Format.fprintf ppf "@ %a" pp_term a;
+      pp_args ppf rest
+
+let term_to_string t = Format.asprintf "%a" pp_term t

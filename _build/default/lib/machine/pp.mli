@@ -1,0 +1,9 @@
+(** Pretty-printing of machine terms in a Scheme-like concrete syntax.
+
+    Labeled expressions print as [(label l e)] and control expressions as
+    [(control e l)]; everything else follows Scheme conventions, so traces
+    of the machine read like the paper's examples. *)
+
+val pp_term : Format.formatter -> Term.term -> unit
+
+val term_to_string : Term.term -> string

@@ -1,0 +1,113 @@
+open Term
+
+type state = { ctx : Ctx.t; focus : Term.term; next_label : int }
+
+type stepped = Next of state | Finished of Term.term | Stuck of string
+
+(* Contract an application of two values; shared with the focused driver.
+   Returns the new focus (the context is unchanged by these rules). *)
+let apply_values v1 v2 =
+  match v1 with
+  | Lam (x, body) -> Ok (subst x v2 body)
+  | Fix (f, x, body) -> Ok (subst x v2 (subst f (Fix (f, x, body)) body))
+  | Prim p ->
+      if prim_arity p = 1 then Step.delta p [ v2 ]
+      else Ok (Papp (p, [ v2 ]))
+  | Papp (p, args) ->
+      let args = args @ [ v2 ] in
+      if List.length args = prim_arity p then Step.delta p args
+      else if List.length args < prim_arity p then Ok (Papp (p, args))
+      else Error ("primitive applied to too many arguments: " ^ prim_name p)
+  | _ -> Error ("application of a non-procedure: " ^ Pp.term_to_string v1)
+
+let step st =
+  let { ctx; focus; next_label } = st in
+  if is_value focus then
+    (* Return the value to the enclosing frame. *)
+    match ctx with
+    | [] -> Finished focus
+    | Ctx.Fapp_fun arg :: rest ->
+        if is_value arg then
+          match apply_values focus arg with
+          | Ok focus -> Next { st with ctx = rest; focus }
+          | Error msg -> Stuck msg
+        else Next { st with ctx = Ctx.Fapp_arg focus :: rest; focus = arg }
+    | Ctx.Fapp_arg fn :: rest -> (
+        match apply_values fn focus with
+        | Ok focus -> Next { st with ctx = rest; focus }
+        | Error msg -> Stuck msg)
+    | Ctx.Flabel _ :: rest ->
+        (* rule (2): l : v => v *)
+        Next { st with ctx = rest }
+    | Ctx.Fif (thn, els) :: rest -> (
+        match focus with
+        | Bool b -> Next { st with ctx = rest; focus = (if b then thn else els) }
+        | v -> Stuck ("if: non-boolean test " ^ Pp.term_to_string v))
+    | Ctx.Fspawn :: rest ->
+        (* spawn rule: the counter provides a label fresh for the whole
+           program by construction. *)
+        let l = next_label in
+        let x = rename_var "x" in
+        Next
+          {
+            ctx = rest;
+            focus = Label (l, App (focus, Lam (x, Control (Var x, l))));
+            next_label = l + 1;
+          }
+  else
+    match focus with
+    | App (e1, e2) -> Next { st with ctx = Ctx.Fapp_fun e2 :: ctx; focus = e1 }
+    | If (c, t, e) -> Next { st with ctx = Ctx.Fif (t, e) :: ctx; focus = c }
+    | Label (l, e) -> Next { st with ctx = Ctx.Flabel l :: ctx; focus = e }
+    | Spawn e -> Next { st with ctx = Ctx.Fspawn :: ctx; focus = e }
+    | Control (e, l) -> (
+        (* rule (3): split the retained context at the nearest matching
+           label; the captured part becomes the process continuation. *)
+        match Ctx.split_at_label l ctx with
+        | None ->
+            Stuck
+              (Printf.sprintf
+                 "invalid controller application: no root labeled %d in the \
+                  current continuation"
+                 l)
+        | Some (inner, outer) ->
+            let x = rename_var "k" in
+            let pk = Lam (x, Label (l, Ctx.plug inner (Var x))) in
+            Next { st with ctx = outer; focus = App (e, pk) })
+    | Var x -> Stuck ("free variable: " ^ x)
+    | Int _ | Bool _ | Unit | Nil | Prim _ | Papp _ | Pair _ | Lam _ | Fix _ ->
+        (* values are handled above *)
+        assert false
+
+let initial program =
+  { ctx = []; focus = program; next_label = max_label program + 1 }
+
+let default_fuel = 1_000_000
+
+let eval ?(fuel = default_fuel) program =
+  let rec loop fuel st =
+    if fuel <= 0 then Eval.Out_of_fuel (Ctx.plug st.ctx st.focus)
+    else
+      match step st with
+      | Finished v -> Eval.Value v
+      | Stuck msg -> Eval.Stuck msg
+      | Next st' -> loop (fuel - 1) st'
+  in
+  loop fuel (initial program)
+
+let eval_exn ?fuel program =
+  match eval ?fuel program with
+  | Eval.Value v -> v
+  | Eval.Stuck msg -> failwith ("machine stuck: " ^ msg)
+  | Eval.Out_of_fuel _ -> failwith "machine out of fuel"
+
+let steps_to_value ?(fuel = default_fuel) program =
+  let rec loop n fuel st =
+    if fuel <= 0 then None
+    else
+      match step st with
+      | Finished _ -> Some n
+      | Stuck _ -> None
+      | Next st' -> loop (n + 1) (fuel - 1) st'
+  in
+  loop 0 fuel (initial program)

@@ -1,0 +1,25 @@
+(** A focused (zipper) evaluator for the Section 6 calculus.
+
+    {!Step.step} re-decomposes the whole program on every transition, which
+    is faithful to the rewriting presentation but costs O(program) per
+    step.  This evaluator keeps the decomposition — an evaluation context
+    and the focused subterm — across steps, so each transition is O(1)
+    except for the work the rule itself demands (substitution; the context
+    split of rule (3), which is linear in the {e inner} context only).
+
+    The two evaluators implement the same rules and are differentially
+    tested against each other; the only permitted difference is the
+    identity of fresh labels (this evaluator draws them from a counter
+    seeded above every label in the program, which satisfies the same
+    freshness side condition as scanning the whole program). *)
+
+val eval : ?fuel:int -> Term.term -> Eval.outcome
+(** Fuel default: 1_000_000 transitions. *)
+
+val eval_exn : ?fuel:int -> Term.term -> Term.term
+
+val steps_to_value : ?fuel:int -> Term.term -> int option
+(** Number of transitions to reach a value.  Note: "transitions" counts
+    focus movements as well as rule applications, so it is an upper bound
+    on (and generally larger than) {!Eval.steps_to_value}'s rewrite
+    count. *)

@@ -1,0 +1,1 @@
+lib/pstack/concur.ml: Array Ir List Machine Option Pcont_util Printf Types Value

@@ -1,0 +1,1 @@
+lib/pstack/concur.mli: Ir Machine Types

@@ -1,0 +1,1 @@
+lib/pstack/debug.ml: Array Format Ir List String Types Value

@@ -1,0 +1,1 @@
+lib/pstack/debug.mli: Format Types

@@ -1,0 +1,1 @@
+lib/pstack/env.ml: Hashtbl List Printf String Types Value

@@ -1,0 +1,1 @@
+lib/pstack/env.mli: Types

@@ -1,0 +1,1 @@
+lib/pstack/ir.ml: Format List

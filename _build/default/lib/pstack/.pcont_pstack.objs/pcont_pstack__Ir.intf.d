@@ -1,0 +1,1 @@
+lib/pstack/ir.mli: Format

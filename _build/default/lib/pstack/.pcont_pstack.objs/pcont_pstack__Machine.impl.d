@@ -1,0 +1,1 @@
+lib/pstack/machine.ml: Env Fun Ir List Pcont_util Printf Types Value

@@ -1,0 +1,1 @@
+lib/pstack/machine.mli: Ir Pcont_util Types

@@ -1,0 +1,1 @@
+lib/pstack/prims.ml: Array Buffer Env Format List String Types Value

@@ -1,0 +1,1 @@
+lib/pstack/prims.mli: Types

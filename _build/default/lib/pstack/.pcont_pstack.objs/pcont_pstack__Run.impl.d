@@ -1,0 +1,1 @@
+lib/pstack/run.ml: Format Machine Printf Types Value

@@ -1,0 +1,1 @@
+lib/pstack/run.mli: Format Ir Machine Types

@@ -1,0 +1,1 @@
+lib/pstack/types.ml: Hashtbl Ir

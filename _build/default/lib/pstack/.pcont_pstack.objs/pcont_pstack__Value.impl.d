@@ -1,0 +1,1 @@
+lib/pstack/value.ml: Array Format List String Types

@@ -1,0 +1,1 @@
+lib/pstack/value.mli: Format Types

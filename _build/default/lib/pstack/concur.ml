@@ -1,0 +1,352 @@
+open Types
+module Counters = Pcont_util.Counters
+module Xorshift = Pcont_util.Xorshift
+
+type sched =
+  | Round_robin
+  | Randomized of int64
+  | Driven of (int -> int)
+      (* each scheduling decision steps exactly one runnable branch:
+         [pick n] receives the number of runnable branches and returns the
+         index of the one to step — systematic schedule exploration *)
+
+type outcome = Value of Types.value | Error of string | Out_of_fuel
+
+(* Scheduler trace events, for the REPL's --trace and for tests. *)
+type event =
+  | Ev_fork of { node : int; branches : int }
+  | Ev_capture of { label : Types.label; control_points : int }
+  | Ev_graft of { label : Types.label }
+  | Ev_future of { node : int }
+  | Ev_branch_done of { node : int }
+  | Ev_invalid of Types.label
+
+let event_to_string = function
+  | Ev_fork { node; branches } -> Printf.sprintf "fork    node=%d branches=%d" node branches
+  | Ev_capture { label; control_points } ->
+      Printf.sprintf "capture root=%d control-points=%d" label control_points
+  | Ev_graft { label } -> Printf.sprintf "graft   root=%d" label
+  | Ev_future { node } -> Printf.sprintf "future  tree=%d" node
+  | Ev_branch_done { node } -> Printf.sprintf "done    node=%d" node
+  | Ev_invalid label -> Printf.sprintf "invalid controller root=%d" label
+
+let outcome_to_string = function
+  | Value v -> "VALUE " ^ Value.to_string v
+  | Error msg -> "ERROR " ^ msg
+  | Out_of_fuel -> "OUT-OF-FUEL"
+
+(* The live process tree.  A node is a leaf (a branch with its own local
+   stack), a fork created by pcall, or done (its value delivered to the
+   parent fork).  Captured subtrees are converted to the immutable
+   [Types.ptree] form and their nodes discarded. *)
+type node = { nid : int; mutable parent : parent; mutable body : body }
+
+and parent = Ptop | Pfut of future_cell | Pchild of node * int
+
+and body = Nleaf of state | Nfork of nfork | Ndone
+
+and nfork = {
+  trunk : segment list;
+  children : node array;
+  results : value option array;
+  mutable pending : int;
+}
+
+let control_points ptree =
+  let count_roots segs =
+    List.length (List.filter (fun s -> match s.root with Rspawn _ -> true | _ -> false) segs)
+  in
+  let rec go = function
+    | Pleaf st -> count_roots st.pstack
+    | Phole segs -> count_roots segs
+    | Pdone -> 0
+    | Pfork pf ->
+        1 + count_roots pf.pf_trunk + Array.fold_left (fun n t -> n + go t) 0 pf.pf_children
+  in
+  go ptree
+
+let invalid_controller l =
+  Printf.sprintf
+    "invalid controller application: no process root labeled %d in the \
+     current continuation"
+    l
+
+let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
+    ?(drain_futures = true) ?(on_event = fun (_ : event) -> ()) ?cfg env ir =
+  let cfg = match cfg with Some c -> c | None -> Machine.config () in
+  let counters = cfg.Machine.counters in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  let root =
+    { nid = 0; parent = Ptop; body = Nleaf (Machine.initial ir env) }
+  in
+  (* The forest (Section 8): the main tree plus one tree per future. *)
+  let roots = ref [ root ] in
+  let final = ref None in
+  let failure = ref None in
+  let fuel_left = ref fuel in
+  let rng =
+    match sched with
+    | Round_robin | Driven _ -> None
+    | Randomized seed -> Some (Xorshift.create seed)
+  in
+
+  (* A node is attached iff following parent links reaches the live root
+     through matching child slots.  Nodes pruned into a process continuation
+     fail this test and are skipped by the scheduler. *)
+  let rec attached n =
+    match n.parent with
+    | Ptop -> n == root
+    | Pfut _ -> List.memq n !roots
+    | Pchild (p, i) -> (
+        match p.body with
+        | Nfork f -> i < Array.length f.children && f.children.(i) == n && attached p
+        | _ -> false)
+  in
+
+  let rec collect_leaves acc n =
+    match n.body with
+    | Nleaf _ -> n :: acc
+    | Ndone -> acc
+    | Nfork f -> Array.fold_left collect_leaves acc f.children
+  in
+
+  let fork_of n = match n.body with Nfork f -> f | _ -> assert false in
+
+  (* Deliver a branch's final value to its parent fork; when the fork's last
+     child completes, the fork resumes as a leaf applying the first value to
+     the rest in the trunk. *)
+  let deliver n v =
+    on_event (Ev_branch_done { node = n.nid });
+    n.body <- Ndone;
+    match n.parent with
+    | Ptop -> final := Some v
+    | Pfut cell ->
+        cell.fvalue <- Some v;
+        roots := List.filter (fun r -> not (r == n)) !roots
+    | Pchild (p, slot) ->
+        let f = fork_of p in
+        f.results.(slot) <- Some v;
+        f.pending <- f.pending - 1;
+        if f.pending = 0 then begin
+          let vs = Array.to_list (Array.map Option.get f.results) in
+          match vs with
+          | op :: args ->
+              p.body <- Nleaf { control = Capply (op, args); pstack = f.trunk }
+          | [] -> assert false
+        end
+
+  (* pcall: turn this leaf into a fork; every subexpression becomes a child
+     branch with a fresh local stack. *)
+  and do_fork n st exprs env' =
+    Counters.incr counters "concur.fork";
+    let k = List.length exprs in
+    on_event (Ev_fork { node = n.nid; branches = k });
+    let f =
+      {
+        trunk = st.pstack;
+        children = Array.make k n;
+        results = Array.make k None;
+        pending = k;
+      }
+    in
+    n.body <- Nfork f;
+    List.iteri
+      (fun i e ->
+        f.children.(i) <-
+          {
+            nid = fresh_id ();
+            parent = Pchild (n, i);
+            body = Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
+          })
+      exprs
+
+  (* Controller application whose root is not in the invoking branch's local
+     stack: climb the tree for the nearest trunk containing the root, prune
+     the subtree of stacks it delimits, and apply the controller's argument
+     to the packaged process continuation in the remaining trunk. *)
+  and do_capture n st l body_fn =
+    let rec ptree_of m =
+      if m == n then Phole st.pstack
+      else
+        match m.body with
+        | Nleaf s -> Pleaf s
+        | Ndone -> Pdone
+        | Nfork f ->
+            Pfork
+              {
+                pf_trunk = f.trunk;
+                pf_children = Array.map ptree_of f.children;
+                pf_results = Array.copy f.results;
+              }
+    in
+    let rec climb cur =
+      match cur.parent with
+      | Ptop | Pfut _ -> None
+      | Pchild (p, _) -> (
+          let f = fork_of p in
+          match Machine.split_at_spawn_label l f.trunk with
+          | Some (above_incl, below) -> Some (p, f, above_incl, below)
+          | None -> climb p)
+    in
+    match climb n with
+    | None ->
+        on_event (Ev_invalid l);
+        failure := Some (invalid_controller l)
+    | Some (p, f, above_incl, below) ->
+        Counters.incr counters "concur.capture";
+        Counters.incr counters "sync.lock";
+        let tree =
+          Pfork
+            {
+              pf_trunk = above_incl;
+              pf_children = Array.map ptree_of f.children;
+              pf_results = Array.copy f.results;
+            }
+        in
+        Counters.add counters "concur.capture.control-points" (control_points tree);
+        on_event (Ev_capture { label = l; control_points = control_points tree });
+        let pk = Pktree { pkt_label = l; pkt_tree = tree } in
+        p.body <- Nleaf { control = Capply (body_fn, [ pk ]); pstack = below }
+
+  (* Invoke a tree-shaped process continuation: graft the saved subtree onto
+     the invoking branch.  The saved trunk is spliced on top of the invoking
+     branch's stack, every saved leaf is rebuilt as a fresh node, and the
+     continuation's argument is returned at the saved hole. *)
+  and do_graft n st pkt v =
+    Counters.incr counters "concur.graft";
+    on_event (Ev_graft { label = pkt.pkt_label });
+    let rec rebuild parent pt =
+      let m = { nid = fresh_id (); parent; body = Ndone } in
+      (match pt with
+      | Phole segs -> m.body <- Nleaf { control = Creturn v; pstack = segs }
+      | Pleaf s -> m.body <- Nleaf s
+      | Pdone -> m.body <- Ndone
+      | Pfork pf ->
+          let k = Array.length pf.pf_children in
+          let f =
+            {
+              trunk = pf.pf_trunk;
+              children = Array.make k m;
+              results = Array.copy pf.pf_results;
+              pending = Array.fold_left (fun c r -> if r = None then c + 1 else c) 0 pf.pf_results;
+            }
+          in
+          m.body <- Nfork f;
+          Array.iteri (fun i child -> f.children.(i) <- rebuild (Pchild (m, i)) child) pf.pf_children);
+      m
+    in
+    match pkt.pkt_tree with
+    | Pfork pf ->
+        let k = Array.length pf.pf_children in
+        let f =
+          {
+            trunk = pf.pf_trunk @ st.pstack;
+            children = Array.make k n;
+            results = Array.copy pf.pf_results;
+            pending = Array.fold_left (fun c r -> if r = None then c + 1 else c) 0 pf.pf_results;
+          }
+        in
+        n.body <- Nfork f;
+        Array.iteri (fun i child -> f.children.(i) <- rebuild (Pchild (n, i)) child) pf.pf_children
+    | Phole _ | Pleaf _ | Pdone ->
+        (* Captures always package a fork at the top. *)
+        assert false
+  in
+
+  (* Step one branch for up to [quantum] transitions, or until it blocks on
+     a scheduler-level event. *)
+  let step_leaf n =
+    let rec go st q =
+      if !failure <> None then ()
+      else if q = 0 || !fuel_left <= 0 then n.body <- Nleaf st
+      else
+        match st.control with
+        | Ceval (Ir.Pcall [], _) -> failure := Some "pcall: expects at least an operator expression"
+        | Ceval (Ir.Pcall exprs, env') -> do_fork n st exprs env'
+        | Ceval (Ir.Future e, env') ->
+            (* Plant an independent tree in the forest; the current branch
+               continues immediately with the (pending) future. *)
+            Counters.incr counters "concur.future";
+            let cell = { fvalue = None } in
+            on_event (Ev_future { node = n.nid });
+            let fnode =
+              {
+                nid = fresh_id ();
+                parent = Pfut cell;
+                body = Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
+              }
+            in
+            roots := !roots @ [ fnode ];
+            go { st with control = Creturn (Future cell) } (q - 1)
+        | _ -> (
+            decr fuel_left;
+            match Machine.step cfg st with
+            | Machine.Next st' -> go st' (q - 1)
+            | Machine.Final v -> deliver n v
+            | Machine.Err msg -> failure := Some msg
+            | Machine.Esc_control (l, body_fn) -> do_capture n st l body_fn
+            | Machine.Esc_pktree (pkt, v) -> do_graft n st pkt v
+            | Machine.Esc_touch _ ->
+                (* Still pending: park the branch in the same state; other
+                   trees progress and the touch is retried next round. *)
+                Counters.incr counters "concur.touch-wait";
+                n.body <- Nleaf st)
+    in
+    match n.body with
+    | Nleaf st -> go st quantum
+    | Nfork _ | Ndone -> ()
+  in
+
+  let round () =
+    let leaves = List.rev (List.fold_left collect_leaves [] !roots) in
+    match sched with
+    | Driven pick ->
+        (* Systematic exploration: one decision, one branch, one quantum. *)
+        let arr = Array.of_list leaves in
+        let count = Array.length arr in
+        if count > 0 then begin
+          let idx = pick count in
+          if idx < 0 || idx >= count then
+            failure := Some "scheduler: Driven pick returned an out-of-range index"
+          else
+            let n = arr.(idx) in
+            if !failure = None && !fuel_left > 0 && attached n then step_leaf n
+        end
+    | Round_robin | Randomized _ ->
+        let leaves =
+          match rng with
+          | None -> leaves
+          | Some g ->
+              let a = Array.of_list leaves in
+              Xorshift.shuffle g a;
+              Array.to_list a
+        in
+        List.iter
+          (fun n -> if !failure = None && !fuel_left > 0 && attached n then step_leaf n)
+          leaves
+  in
+
+  let rec drive () =
+    match (!final, !failure) with
+    | _, Some msg -> Error msg
+    | Some v, None ->
+        (* Join-on-exit: finish the remaining independent trees so futures
+           created by this program remain touchable afterwards (bounded by
+           the remaining fuel). *)
+        if drain_futures && List.length !roots > 1 && !fuel_left > 0 then begin
+          round ();
+          drive ()
+        end
+        else Value v
+    | None, None ->
+        if !fuel_left <= 0 then Out_of_fuel
+        else begin
+          round ();
+          drive ()
+        end
+  in
+  drive ()

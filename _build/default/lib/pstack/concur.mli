@@ -1,0 +1,78 @@
+(** The concurrent implementation: a tree of stacks (Section 7).
+
+    Each [pcall] turns the evaluating branch into a {e fork} whose trunk is
+    the process stack below the fork point; every subexpression becomes a
+    child branch with its own local stack.  A deterministic cooperative
+    scheduler interleaves runnable branches (simulated processors), stepping
+    each for a fixed quantum of machine transitions.
+
+    Controller application from within a branch first searches the branch's
+    local stack (handled by {!Machine.step}); failing that, the scheduler
+    climbs the process tree looking for the nearest trunk segment carrying
+    the controller's root.  The subtree of stacks rooted at that segment —
+    including {e all} concurrently executing sibling branches, which are
+    suspended at quantum boundaries — is pruned from the tree and packaged
+    into a tree-shaped process continuation.  Invoking such a continuation
+    grafts the saved subtree onto the invoking branch and resumes every
+    saved leaf.  Pruning counts one simulated mutual-exclusion acquisition
+    ("sync.lock"), per the paper's remark that concurrent removal requires
+    cooperation between processors.
+
+    Process continuations remain multi-shot: grafting rebuilds fresh tree
+    nodes from the immutable captured structure each time.
+
+    Limitation: [dynamic-wind] winders are honoured by captures within a
+    single branch's stack; a cross-branch prune does not run winders in
+    sibling branches or trunk segments (suspension of a branch is not an
+    exit, and the 1994 Subcontinuations semantics is sequential). *)
+
+type sched =
+  | Round_robin  (** deterministic: branches step in tree order *)
+  | Randomized of int64  (** seeded shuffle of the branch order each round *)
+  | Driven of (int -> int)
+      (** systematic schedule exploration: each scheduling decision steps
+          exactly one runnable branch (for one quantum); [pick n] receives
+          the number of runnable branches and chooses which.  Combine with
+          [~quantum:1] for the finest interleavings. *)
+
+type outcome = Value of Types.value | Error of string | Out_of_fuel
+
+val outcome_to_string : outcome -> string
+
+(** Scheduler trace events (see [run]'s [on_event]). *)
+type event =
+  | Ev_fork of { node : int; branches : int }
+  | Ev_capture of { label : Types.label; control_points : int }
+  | Ev_graft of { label : Types.label }
+  | Ev_future of { node : int }
+  | Ev_branch_done of { node : int }
+  | Ev_invalid of Types.label
+
+val event_to_string : event -> string
+
+val run :
+  ?fuel:int ->
+  ?quantum:int ->
+  ?sched:sched ->
+  ?drain_futures:bool ->
+  ?on_event:(event -> unit) ->
+  ?cfg:Machine.config ->
+  Types.env ->
+  Ir.t ->
+  outcome
+(** Evaluate a program under the concurrent scheduler.  [fuel] bounds the
+    total number of machine transitions across all branches (default
+    10_000_000); [quantum] is the number of transitions a branch may take
+    before the scheduler moves on (default 16).
+
+    [(future e)] plants an {e independent} tree in the process forest
+    (Section 8): controllers cannot capture across its boundary, and
+    pruning the creating subtree does not disturb it.  With [drain_futures]
+    (default true) the scheduler keeps running remaining future trees after
+    the main tree finishes, so futures stay touchable across top-level
+    forms; with it off they are discarded, and touching one later is an
+    error. *)
+
+val control_points : Types.ptree -> int
+(** Labels plus forks in a captured subtree — the quantity the paper's
+    complexity claim is stated in terms of. *)

@@ -1,0 +1,55 @@
+open Types
+
+let frame_name = function
+  | Fapp _ -> "Fapp"
+  | Fpcall _ -> "Fpcall"
+  | Fif _ -> "Fif"
+  | Fseq _ -> "Fseq"
+  | Flet _ -> "Flet"
+  | Fletrec _ -> "Fletrec"
+  | Fset _ -> "Fset"
+  | Ffuture _ -> "Ffuture"
+  | Fwind _ -> "Fwind"
+  | Fwinding _ -> "Fwinding"
+
+let pp_root ppf = function
+  | Rbase -> Format.fprintf ppf "base"
+  | Rspawn l -> Format.fprintf ppf "spawn#%d" l
+  | Rprompt -> Format.fprintf ppf "prompt"
+
+let pp_segment ppf seg =
+  Format.fprintf ppf "%a[%d]" pp_root seg.root (List.length seg.frames)
+
+let pp_pstack ppf segs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+    pp_segment ppf segs
+
+let pp_control ppf = function
+  | Ceval (ir, _) ->
+      let s = Ir.to_string ir in
+      let s = if String.length s > 40 then String.sub s 0 37 ^ "..." else s in
+      Format.fprintf ppf "eval %s" s
+  | Creturn v -> Format.fprintf ppf "return %s" (Value.to_string v)
+  | Capply (f, args) ->
+      Format.fprintf ppf "apply %s/%d" (Value.to_string f) (List.length args)
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[<h><%a @@ %a>@]" pp_control st.control pp_pstack st.pstack
+
+let rec pp_ptree ppf = function
+  | Pleaf st -> Format.fprintf ppf "leaf%a" pp_bracket_stack st.pstack
+  | Phole segs -> Format.fprintf ppf "HOLE%a" pp_bracket_stack segs
+  | Pdone -> Format.fprintf ppf "done"
+  | Pfork pf ->
+      Format.fprintf ppf "fork%a(%a)" pp_bracket_stack pf.pf_trunk
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_ptree)
+        (Array.to_list pf.pf_children)
+
+and pp_bracket_stack ppf segs = Format.fprintf ppf "{%a}" pp_pstack segs
+
+let state_summary st = Format.asprintf "%a" pp_state st
+
+let ptree_summary t = Format.asprintf "%a" pp_ptree t

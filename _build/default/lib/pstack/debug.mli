@@ -1,0 +1,26 @@
+(** Introspection and pretty-printing of machine states.
+
+    Summaries of frames, segments, process stacks and whole states, for the
+    REPL's [--stats]/[--trace] modes and for debugging scheduler tests.
+    The printed forms are compact one-liners, not full terms. *)
+
+val frame_name : Types.frame -> string
+
+val pp_root : Format.formatter -> Types.root -> unit
+
+val pp_segment : Format.formatter -> Types.segment -> unit
+(** e.g. [spawn#3\[Fapp Fif\]]. *)
+
+val pp_pstack : Format.formatter -> Types.segment list -> unit
+(** Top segment first, e.g. [spawn#3\[2 frames\] | base\[0\]]. *)
+
+val pp_control : Format.formatter -> Types.control -> unit
+
+val pp_state : Format.formatter -> Types.state -> unit
+
+val pp_ptree : Format.formatter -> Types.ptree -> unit
+(** Shape of a captured subtree: forks, suspended leaves, the hole. *)
+
+val state_summary : Types.state -> string
+
+val ptree_summary : Types.ptree -> string

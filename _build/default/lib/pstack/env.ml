@@ -1,0 +1,51 @@
+open Types
+
+let empty () = { vars = []; globals = Hashtbl.create 64 }
+
+let lookup env name =
+  let rec scan = function
+    | [] -> Hashtbl.find_opt env.globals name
+    | (n, cell) :: rest -> if String.equal n name then Some cell else scan rest
+  in
+  scan env.vars
+
+let extend env bindings =
+  let vars =
+    List.fold_left (fun acc (n, v) -> (n, ref v) :: acc) env.vars bindings
+  in
+  { env with vars }
+
+let extend_refs env bindings =
+  let vars = List.fold_left (fun acc (n, c) -> (n, c) :: acc) env.vars bindings in
+  { env with vars }
+
+let define_global env name v =
+  match Hashtbl.find_opt env.globals name with
+  | Some cell -> cell := v
+  | None -> Hashtbl.add env.globals name (ref v)
+
+let bind_params closure args =
+  let { params; rest; cenv; _ } = closure in
+  let nparams = List.length params in
+  let nargs = List.length args in
+  if nargs < nparams then
+    Error
+      (Printf.sprintf "procedure expects %s%d arguments, got %d"
+         (if rest = None then "" else "at least ")
+         nparams nargs)
+  else if rest = None && nargs > nparams then
+    Error (Printf.sprintf "procedure expects %d arguments, got %d" nparams nargs)
+  else
+    let rec take ps vs acc =
+      match (ps, vs) with
+      | [], vs -> (List.rev acc, vs)
+      | p :: ps, v :: vs -> take ps vs ((p, v) :: acc)
+      | _ :: _, [] -> assert false
+    in
+    let bound, leftover = take params args [] in
+    let bound =
+      match rest with
+      | None -> bound
+      | Some r -> (r, Value.values_to_list leftover) :: bound
+    in
+    Ok (extend cenv bound)

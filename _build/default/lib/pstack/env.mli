@@ -1,0 +1,21 @@
+(** Environments: lexical frames over a mutable global table. *)
+
+val empty : unit -> Types.env
+(** A fresh environment with an empty global table. *)
+
+val lookup : Types.env -> string -> Types.value ref option
+(** Lexical scope first, then globals. *)
+
+val extend : Types.env -> (string * Types.value) list -> Types.env
+(** Bind each name to a fresh cell, shadowing outer bindings. *)
+
+val extend_refs : Types.env -> (string * Types.value ref) list -> Types.env
+(** Bind names to the given (shared) cells, as needed for [letrec]. *)
+
+val define_global : Types.env -> string -> Types.value -> unit
+(** Top-level [define]: create or overwrite a global binding. *)
+
+val bind_params :
+  Types.closure -> Types.value list -> (Types.env, string) result
+(** Bind a closure's parameters to actual arguments, checking arity and
+    collecting any rest arguments into a list. *)

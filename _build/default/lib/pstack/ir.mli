@@ -1,0 +1,83 @@
+(** Core intermediate representation executed by the process-stack machine.
+
+    The Scheme front end ([Pcont_syntax]) compiles surface programs to this
+    IR; tests and benchmarks may also build IR directly.  The IR is a
+    conventional Scheme core: constants, variables, abstractions,
+    applications, conditionals, sequencing, [let]/[letrec], assignment — plus
+    [pcall], the paper's tree-structured fork form.  The control operators
+    ([spawn], [call/cc], [prompt], [fcontrol]) are primitive {e procedures},
+    not syntax, exactly as [call/cc] is in Scheme. *)
+
+type const =
+  | Cint of int
+  | Cbool of bool
+  | Cstr of string
+  | Csym of string
+  | Cchar of char
+  | Cnil
+  | Cunit
+
+type quoted =
+  | Qint of int
+  | Qbool of bool
+  | Qstr of string
+  | Qsym of string
+  | Qchar of char
+  | Qnil
+  | Qlist of quoted list
+  | Qdot of quoted list * quoted  (** improper list *)
+
+type t =
+  | Const of const
+  | Quoted of quoted
+      (** a [quote]d literal; the machine builds the (fresh) value *)
+  | Var of string
+  | Lam of lambda
+  | App of t * t list
+  | If of t * t * t
+  | Seq of t list  (** [begin]; empty sequence evaluates to the unit value *)
+  | Let of (string * t) list * t
+  | Letrec of (string * t) list * t
+  | Set of string * t
+  | Future of t
+      (** [(future e)]: start [e] as an {e independent} tree of the process
+          forest (Section 8) and immediately return a future; [touch]
+          retrieves the value.  The sequential machine evaluates eagerly. *)
+  | Pcall of t list
+      (** [(pcall f e1 ... en)]: evaluate all subexpressions as parallel
+          branches of the process tree, then apply the value of the first to
+          the values of the rest.  The sequential machine evaluates them
+          left to right; {!Concur} actually forks. *)
+
+and lambda = { params : string list; rest : string option; body : t }
+
+val int : int -> t
+
+val bool : bool -> t
+
+val str : string -> t
+
+val sym : string -> t
+
+val var : string -> t
+
+val lam : string list -> t -> t
+
+val lam_rest : string list -> string -> t -> t
+
+val app : t -> t list -> t
+
+val if_ : t -> t -> t -> t
+
+val let_ : (string * t) list -> t -> t
+
+val seq : t list -> t
+
+val size : t -> int
+(** Number of IR nodes, for generators and statistics. *)
+
+val pp_quoted : Format.formatter -> quoted -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

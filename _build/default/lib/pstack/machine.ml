@@ -1,0 +1,369 @@
+open Types
+module Counters = Pcont_util.Counters
+module Id = Pcont_util.Id
+
+type config = { strategy : strategy; counters : Counters.t; labels : Id.t }
+
+let config ?(strategy = Linked) () =
+  { strategy; counters = Counters.create (); labels = Id.create () }
+
+let initial_pstack = [ { root = Rbase; frames = []; winders = [] } ]
+
+let initial ir env = { control = Ceval (ir, env); pstack = initial_pstack }
+
+type stepped =
+  | Next of Types.state
+  | Final of Types.value
+  | Err of string
+  | Esc_control of Types.label * Types.value
+  | Esc_pktree of Types.pktree * Types.value
+  | Esc_touch of Types.future_cell
+
+let push_frame f = function
+  | seg :: rest ->
+      let winders =
+        match f with Fwind (b, a) -> (b, a) :: seg.winders | _ -> seg.winders
+      in
+      { seg with frames = f :: seg.frames; winders } :: rest
+  | [] -> assert false
+
+(* Run winder thunks one by one (discarding their values), then perform
+   the target action. *)
+let rec run_winders st thunks target =
+  match thunks with
+  | [] -> (
+      match target with
+      | Wreturn v -> Next { st with control = Creturn v }
+      | Wapply (f, args) -> Next { st with control = Capply (f, args) }
+      | Wenter (before, thunk, after) ->
+          let pstack = push_frame (Fwind (before, after)) st.pstack in
+          Next { control = Capply (thunk, []); pstack })
+  | t :: rest ->
+      let pstack = push_frame (Fwinding (rest, target)) st.pstack in
+      Next { control = Capply (t, []); pstack }
+
+(* [after] thunks of winders inside captured segments, innermost first —
+   the order in which an abort exits their dynamic extents. *)
+and afters_of segs = List.concat_map (fun seg -> List.map snd seg.winders) segs
+
+(* [before] thunks, outermost first — re-entry order on reinstatement. *)
+and befores_of segs = List.rev (befores_rev segs)
+
+and befores_rev segs = List.concat_map (fun seg -> List.map fst seg.winders) segs
+
+let find_spawn_label l pstack =
+  List.exists (fun seg -> seg.root = Rspawn l) pstack
+
+let split_at_spawn_label l pstack =
+  let rec go captured = function
+    | [] -> None
+    | seg :: rest when seg.root = Rspawn l -> Some (List.rev (seg :: captured), rest)
+    | seg :: rest -> go (seg :: captured) rest
+  in
+  go [] pstack
+
+let count_frames segs =
+  List.fold_left (fun n seg -> n + List.length seg.frames) 0 segs
+
+let copy_segments segs =
+  (* Rebuild every cons cell of every frame list: the per-frame work a
+     stack-copying implementation performs.  Frames themselves are immutable
+     and can be shared. *)
+  List.map (fun seg -> { seg with frames = List.map Fun.id seg.frames }) segs
+
+(* Record the cost of moving [segs] during a control operation named [op]
+   ("capture" or "reinstate"), and return the representation to store:
+   under [Copying] the frames are physically copied. *)
+let charge cfg op segs =
+  Counters.add cfg.counters (op ^ ".segments") (List.length segs);
+  match cfg.strategy with
+  | Linked -> segs
+  | Copying ->
+      Counters.add cfg.counters (op ^ ".frames") (count_frames segs);
+      copy_segments segs
+
+let rec quoted_value : Ir.quoted -> value = function
+  | Ir.Qint n -> Int n
+  | Ir.Qbool b -> Bool b
+  | Ir.Qstr s -> Str s
+  | Ir.Qsym s -> Sym s
+  | Ir.Qchar c -> Char c
+  | Ir.Qnil -> Nil
+  | Ir.Qlist qs -> Value.values_to_list (List.map quoted_value qs)
+  | Ir.Qdot (qs, tail) ->
+      List.fold_right
+        (fun q acc -> Value.cons (quoted_value q) acc)
+        qs (quoted_value tail)
+
+let const_value : Ir.const -> value = function
+  | Ir.Cint n -> Int n
+  | Ir.Cbool b -> Bool b
+  | Ir.Cstr s -> Str s
+  | Ir.Csym s -> Sym s
+  | Ir.Cchar c -> Char c
+  | Ir.Cnil -> Nil
+  | Ir.Cunit -> Unit
+
+let prim_arity_ok p nargs =
+  nargs >= p.pmin && match p.pmax with None -> true | Some m -> nargs <= m
+
+(* Capture up to the nearest prompt for Felleisen's F: a flat frame list.
+   Any spawn roots in between are erased (their segments' frames are
+   concatenated), which is the §3 observation that F cannot respect process
+   structure.  Returns (frames, remaining pstack). *)
+let capture_to_prompt pstack =
+  let rec go acc = function
+    | [] -> (List.concat (List.rev acc), initial_pstack)
+    | seg :: rest when seg.root = Rprompt ->
+        ( List.concat (List.rev (seg.frames :: acc)),
+          { seg with frames = []; winders = [] } :: rest )
+    | seg :: rest when seg.root = Rbase ->
+        (* no prompt: F aborts the complete computation to the base *)
+        ( List.concat (List.rev (seg.frames :: acc)),
+          { seg with frames = []; winders = [] } :: rest )
+    | seg :: rest -> go (seg.frames :: acc) rest
+  in
+  go [] pstack
+
+let apply cfg st f args =
+  match f with
+  | Closure c -> (
+      match Env.bind_params c args with
+      | Ok env -> Next { st with control = Ceval (c.cbody, env) }
+      | Error msg -> Err msg)
+  | Prim p -> (
+      if not (prim_arity_ok p (List.length args)) then
+        Err
+          (Printf.sprintf "%s: expects %s%d argument(s), got %d" p.pname
+             (match p.pmax with
+             | Some m when m = p.pmin -> ""
+             | _ -> "at least ")
+             p.pmin (List.length args))
+      else
+        match p.pkind with
+        | Pure fn -> (
+            match fn args with
+            | Ok v -> Next { st with control = Creturn v }
+            | Error msg -> Err msg)
+        | Ctl op -> (
+            match (op, args) with
+            | Op_spawn, [ proc ] ->
+                let l = Id.fresh cfg.labels in
+                Counters.incr cfg.counters "spawn";
+                let pstack = { root = Rspawn l; frames = []; winders = [] } :: st.pstack in
+                Next { control = Capply (proc, [ Controller l ]); pstack }
+            | Op_callcc, [ proc ] ->
+                let saved = charge cfg "capture" st.pstack in
+                Counters.incr cfg.counters "callcc";
+                Next
+                  {
+                    st with
+                    control = Capply (proc, [ Cont { ck_pstack = saved } ]);
+                  }
+            | Op_prompt, [ thunk ] ->
+                Counters.incr cfg.counters "prompt";
+                let pstack = { root = Rprompt; frames = []; winders = [] } :: st.pstack in
+                Next { control = Capply (thunk, []); pstack }
+            | Op_fcontrol, [ proc ] ->
+                Counters.incr cfg.counters "fcontrol";
+                let frames, pstack = capture_to_prompt st.pstack in
+                Counters.add cfg.counters "capture.frames" (List.length frames);
+                Next { control = Capply (proc, [ Fcont frames ]); pstack }
+            | Op_wind, [ before; thunk; after ] ->
+                run_winders st [ before ] (Wenter (before, thunk, after))
+            | Op_touch, [ Future cell ] -> (
+                match cell.fvalue with
+                | Some v -> Next { st with control = Creturn v }
+                | None -> Esc_touch cell)
+            | Op_touch, [ v ] ->
+                (* Multilisp: touching a non-future returns it. *)
+                Next { st with control = Creturn v }
+            | Op_apply, [ proc; arglist ] -> (
+                match Value.list_to_values arglist with
+                | Some vs -> Next { st with control = Capply (proc, vs) }
+                | None -> Err "apply: last argument must be a proper list")
+            | _ -> Err (p.pname ^ ": bad control-operator arguments")))
+  | Controller l -> (
+      match args with
+      | [ body ] -> (
+          match split_at_spawn_label l st.pstack with
+          | Some (captured, rest) ->
+              let captured = charge cfg "capture" captured in
+              Counters.incr cfg.counters "controller";
+              let pk = Pk { pk_label = l; pk_segments = captured } in
+              (* Exiting the captured extent runs its winders' afters,
+                 innermost first, in the context outside the root, before
+                 the controller's argument is applied. *)
+              run_winders { st with pstack = rest } (afters_of captured)
+                (Wapply (body, [ pk ]))
+          | None -> Esc_control (l, body))
+      | _ -> Err "controller: expects exactly one argument")
+  | Pk pk -> (
+      match args with
+      | [ v ] ->
+          let segs = charge cfg "reinstate" pk.pk_segments in
+          Counters.incr cfg.counters "pk-invoke";
+          (* Re-entering the reinstated extent runs its winders' befores,
+             outermost first, before the value reaches the capture point. *)
+          run_winders
+            { control = Creturn v; pstack = segs @ st.pstack }
+            (befores_of segs) (Wreturn v)
+      | _ -> Err "process continuation: expects exactly one argument")
+  | Pktree pkt -> (
+      match args with
+      | [ v ] -> Esc_pktree (pkt, v)
+      | _ -> Err "process continuation: expects exactly one argument")
+  | Cont c -> (
+      match args with
+      | [ v ] ->
+          let segs = charge cfg "reinstate" c.ck_pstack in
+          Counters.incr cfg.counters "cont-invoke";
+          Next { control = Creturn v; pstack = segs }
+      | _ -> Err "continuation: expects exactly one argument")
+  | Fcont frames -> (
+      match args with
+      | [ v ] ->
+          Counters.add cfg.counters "reinstate.frames" (List.length frames);
+          let pstack =
+            match st.pstack with
+            | seg :: rest ->
+                let extra =
+                  List.filter_map
+                    (function Fwind (b, a) -> Some (b, a) | _ -> None)
+                    frames
+                in
+                { seg with frames = frames @ seg.frames; winders = extra @ seg.winders }
+                :: rest
+            | [] -> assert false
+          in
+          Next { control = Creturn v; pstack }
+      | _ -> Err "functional continuation: expects exactly one argument")
+  | v -> Err ("application of a non-procedure: " ^ Value.to_string v)
+
+(* Deliver a returned value to the topmost frame, or pop a segment. *)
+let return_value cfg st v =
+  match st.pstack with
+  | [] -> assert false
+  | { root; frames = []; _ } :: rest -> (
+      match root with
+      | Rbase ->
+          if rest = [] then Final v
+          else Err "internal error: base segment above other segments"
+      | Rspawn _ ->
+          (* Normal return from a spawned process removes its root. *)
+          Next { control = Creturn v; pstack = rest }
+      | Rprompt ->
+          (* A value returning to a prompt falls through to the prompt
+             application's continuation. *)
+          Next { control = Creturn v; pstack = rest })
+  | ({ frames = f :: fs; _ } as seg) :: rest -> (
+      let winders =
+        match f with Fwind _ -> List.tl seg.winders | _ -> seg.winders
+      in
+      let pstack = { seg with frames = fs; winders } :: rest in
+      let st = { control = Creturn v; pstack } in
+      ignore cfg;
+      match f with
+      | Fapp (vals, [], _) ->
+          let all = List.rev (v :: vals) in
+          Next { st with control = Capply (List.hd all, List.tl all) }
+      | Fapp (vals, e :: es, env) ->
+          let pstack = push_frame (Fapp (v :: vals, es, env)) pstack in
+          Next { control = Ceval (e, env); pstack }
+      | Fpcall (vals, [], _) ->
+          let all = List.rev (v :: vals) in
+          Next { st with control = Capply (List.hd all, List.tl all) }
+      | Fpcall (vals, e :: es, env) ->
+          let pstack = push_frame (Fpcall (v :: vals, es, env)) pstack in
+          Next { control = Ceval (e, env); pstack }
+      | Fif (thn, els, env) ->
+          Next { st with control = Ceval ((if Value.is_truthy v then thn else els), env) }
+      | Fseq ([], _) -> Next { st with control = Creturn v }
+      | Fseq ([ e ], env) -> Next { st with control = Ceval (e, env) }
+      | Fseq (e :: es, env) ->
+          let pstack = push_frame (Fseq (es, env)) pstack in
+          Next { control = Ceval (e, env); pstack }
+      | Flet (x, done_, [], body, env) ->
+          let env = Env.extend env (List.rev ((x, v) :: done_)) in
+          Next { st with control = Ceval (body, env) }
+      | Flet (x, done_, (y, e) :: bs, body, env) ->
+          let pstack = push_frame (Flet (y, (x, v) :: done_, bs, body, env)) pstack in
+          Next { control = Ceval (e, env); pstack }
+      | Fletrec (cell, [], body, env) ->
+          cell := v;
+          Next { st with control = Ceval (body, env) }
+      | Fletrec (cell, (cell', e) :: bs, body, env) ->
+          cell := v;
+          let pstack = push_frame (Fletrec (cell', bs, body, env)) pstack in
+          Next { control = Ceval (e, env); pstack }
+      | Fset cell ->
+          cell := v;
+          Next { st with control = Creturn Unit }
+      | Ffuture fc ->
+          fc.fvalue <- Some v;
+          Next { st with control = Creturn (Future fc) }
+      | Fwind (_, after) ->
+          (* normal return exits the wind: run the after, then deliver v *)
+          run_winders st [ after ] (Wreturn v)
+      | Fwinding (pending, target) ->
+          (* a winder thunk finished; its value is discarded *)
+          run_winders st pending target)
+
+let step cfg st =
+  match st.control with
+  | Creturn v -> return_value cfg st v
+  | Capply (f, args) -> apply cfg st f args
+  | Ceval (ir, env) -> (
+      match ir with
+      | Ir.Const c -> Next { st with control = Creturn (const_value c) }
+      | Ir.Quoted q -> Next { st with control = Creturn (quoted_value q) }
+      | Ir.Var x -> (
+          match Env.lookup env x with
+          | Some cell -> Next { st with control = Creturn !cell }
+          | None -> Err ("unbound variable: " ^ x))
+      | Ir.Lam { params; rest; body } ->
+          Next { st with control = Creturn (Closure { params; rest; cbody = body; cenv = env }) }
+      | Ir.App (f, args) ->
+          let pstack = push_frame (Fapp ([], args, env)) st.pstack in
+          Next { control = Ceval (f, env); pstack }
+      | Ir.If (c, t, e) ->
+          let pstack = push_frame (Fif (t, e, env)) st.pstack in
+          Next { control = Ceval (c, env); pstack }
+      | Ir.Seq [] -> Next { st with control = Creturn Unit }
+      | Ir.Seq [ e ] -> Next { st with control = Ceval (e, env) }
+      | Ir.Seq (e :: es) ->
+          let pstack = push_frame (Fseq (es, env)) st.pstack in
+          Next { control = Ceval (e, env); pstack }
+      | Ir.Let ([], body) -> Next { st with control = Ceval (body, env) }
+      | Ir.Let ((x, e) :: bs, body) ->
+          let pstack = push_frame (Flet (x, [], bs, body, env)) st.pstack in
+          Next { control = Ceval (e, env); pstack }
+      | Ir.Letrec (bs, body) -> (
+          let cells = List.map (fun (x, e) -> (x, ref Undef, e)) bs in
+          let env' =
+            Env.extend_refs env (List.map (fun (x, c, _) -> (x, c)) cells)
+          in
+          match cells with
+          | [] -> Next { st with control = Ceval (body, env') }
+          | (_, c0, e0) :: rest ->
+              let remaining = List.map (fun (_, c, e) -> (c, e)) rest in
+              let pstack = push_frame (Fletrec (c0, remaining, body, env')) st.pstack in
+              Next { control = Ceval (e0, env'); pstack })
+      | Ir.Set (x, e) -> (
+          match Env.lookup env x with
+          | Some cell ->
+              let pstack = push_frame (Fset cell) st.pstack in
+              Next { control = Ceval (e, env); pstack }
+          | None -> Err ("set!: unbound variable: " ^ x))
+      | Ir.Future e ->
+          (* Sequential fallback: evaluate eagerly; the future is resolved
+             by the time it is returned.  The concurrent scheduler
+             intercepts Future before stepping and forks a new tree. *)
+          let pstack = push_frame (Ffuture { fvalue = None }) st.pstack in
+          Next { control = Ceval (e, env); pstack }
+      | Ir.Pcall [] -> Err "pcall: expects at least an operator expression"
+      | Ir.Pcall (e :: es) ->
+          (* Sequential fallback: evaluate left to right in this branch.
+             The concurrent scheduler intercepts Pcall before stepping. *)
+          let pstack = push_frame (Fpcall ([], es, env)) st.pstack in
+          Next { control = Ceval (e, env); pstack })

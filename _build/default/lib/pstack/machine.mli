@@ -1,0 +1,78 @@
+(** The process-stack machine: one CESK-style transition per call.
+
+    The machine state is a control (an expression under evaluation, a value
+    being returned, or an application about to happen) plus the process
+    stack.  Control operators transform the process stack exactly as
+    Section 7 describes:
+
+    - [spawn f] pushes an empty segment with a fresh label and applies [f]
+      to the corresponding controller;
+    - applying a controller removes all segments down to and including the
+      topmost segment with its label, packages them into a process
+      continuation, and applies the controller's argument to it {e outside}
+      the removed root (it is an error if no such segment exists);
+    - applying a process continuation pushes its saved segments back onto
+      the current process stack and returns its argument to the reinstated
+      top frame;
+    - [call/cc] captures the entire process stack; invoking the resulting
+      continuation replaces the entire process stack (abortive);
+    - [prompt thunk] (Felleisen's [#]) pushes an unlabeled prompt segment;
+      [fcontrol f] (Felleisen's [F]) captures a flat, composable
+      continuation up to the nearest prompt and aborts to it.
+
+    Instrumentation: every capture/reinstate records how many segments and
+    frames it touched in the configuration's counters, so experiments E1/E2
+    can compare the [Linked] strategy (touches segments only) with the
+    [Copying] strategy (touches every frame). *)
+
+type config = {
+  strategy : Types.strategy;
+  counters : Pcont_util.Counters.t;
+  labels : Pcont_util.Id.t;  (** fresh-label source for [spawn] *)
+}
+
+val config : ?strategy:Types.strategy -> unit -> config
+
+val initial_pstack : Types.segment list
+(** A single empty base segment. *)
+
+val initial : Ir.t -> Types.env -> Types.state
+
+type stepped =
+  | Next of Types.state
+  | Final of Types.value
+      (** the base segment was popped with this return value *)
+  | Err of string
+  | Esc_control of Types.label * Types.value
+      (** a controller was applied whose label does not occur in the local
+          process stack; the concurrent scheduler resolves it against the
+          process tree, the sequential driver reports an invalid controller
+          application.  Carries the label and the controller's argument. *)
+  | Esc_pktree of Types.pktree * Types.value
+      (** a tree-shaped process continuation was invoked with the given
+          argument; only the concurrent scheduler can graft it *)
+  | Esc_touch of Types.future_cell
+      (** [touch] of a still-pending future: the concurrent scheduler
+          retries the branch after other trees have progressed *)
+
+val step : config -> Types.state -> stepped
+
+val apply : config -> Types.state -> Types.value -> Types.value list -> stepped
+(** Apply a procedure value to arguments in the given state's process
+    stack.  Exposed for the drivers. *)
+
+val find_spawn_label : Types.label -> Types.segment list -> bool
+(** Does the process stack contain a segment rooted at [Rspawn l]? *)
+
+val split_at_spawn_label :
+  Types.label ->
+  Types.segment list ->
+  (Types.segment list * Types.segment list) option
+(** [(captured, rest)] where [captured] ends with the topmost segment rooted
+    at the label. *)
+
+val count_frames : Types.segment list -> int
+
+val copy_segments : Types.segment list -> Types.segment list
+(** Reconstruct every frame-list cell, modeling a stack-copying
+    implementation; used by the [Copying] strategy. *)

@@ -1,0 +1,364 @@
+open Types
+
+let output = Buffer.create 256
+
+let take_output () =
+  let s = Buffer.contents output in
+  Buffer.clear output;
+  s
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let int_of name = function
+  | Int n -> Ok n
+  | v -> err "%s: expected an integer, got %s" name (Value.to_string v)
+
+let rec int_fold name op acc = function
+  | [] -> Ok (Int acc)
+  | v :: rest -> (
+      match int_of name v with
+      | Ok n -> int_fold name op (op acc n) rest
+      | Error e -> Error e)
+
+let chain_compare name cmp args =
+  let rec go = function
+    | Int a :: (Int b :: _ as rest) -> if cmp a b then go rest else Ok (Bool false)
+    | [ Int _ ] | [] -> Ok (Bool true)
+    | v :: _ -> err "%s: expected an integer, got %s" name (Value.to_string v)
+  in
+  go args
+
+let pure name pmin pmax fn = (name, { pname = name; pmin; pmax; pkind = Pure fn })
+
+let ctl name arity op =
+  (name, { pname = name; pmin = arity; pmax = Some arity; pkind = Ctl op })
+
+let prim_list : (string * prim) list =
+  [
+    (* --- arithmetic --- *)
+    pure "+" 0 None (fun args -> int_fold "+" ( + ) 0 args);
+    pure "*" 0 None (fun args -> int_fold "*" ( * ) 1 args);
+    pure "-" 1 None (fun args ->
+        match args with
+        | [ Int n ] -> Ok (Int (-n))
+        | Int n :: rest -> int_fold "-" ( - ) n rest
+        | v :: _ -> err "-: expected an integer, got %s" (Value.to_string v)
+        | [] -> assert false);
+    pure "quotient" 2 (Some 2) (fun args ->
+        match args with
+        | [ Int _; Int 0 ] -> err "quotient: division by zero"
+        | [ Int a; Int b ] -> Ok (Int (a / b))
+        | _ -> err "quotient: expected two integers");
+    pure "remainder" 2 (Some 2) (fun args ->
+        match args with
+        | [ Int _; Int 0 ] -> err "remainder: division by zero"
+        | [ Int a; Int b ] -> Ok (Int (a mod b))
+        | _ -> err "remainder: expected two integers");
+    pure "modulo" 2 (Some 2) (fun args ->
+        match args with
+        | [ Int _; Int 0 ] -> err "modulo: division by zero"
+        | [ Int a; Int b ] ->
+            let r = a mod b in
+            Ok (Int (if (r < 0) <> (b < 0) && r <> 0 then r + b else r))
+        | _ -> err "modulo: expected two integers");
+    pure "abs" 1 (Some 1) (fun args ->
+        match args with [ Int n ] -> Ok (Int (abs n)) | _ -> err "abs: expected an integer");
+    pure "min" 1 None (fun args ->
+        match args with
+        | Int n :: rest -> int_fold "min" min n rest
+        | _ -> err "min: expected integers");
+    pure "max" 1 None (fun args ->
+        match args with
+        | Int n :: rest -> int_fold "max" max n rest
+        | _ -> err "max: expected integers");
+    pure "1+" 1 (Some 1) (fun args ->
+        match args with [ Int n ] -> Ok (Int (n + 1)) | _ -> err "1+: expected an integer");
+    pure "1-" 1 (Some 1) (fun args ->
+        match args with [ Int n ] -> Ok (Int (n - 1)) | _ -> err "1-: expected an integer");
+    pure "=" 2 None (chain_compare "=" ( = ));
+    pure "<" 2 None (chain_compare "<" ( < ));
+    pure "<=" 2 None (chain_compare "<=" ( <= ));
+    pure ">" 2 None (chain_compare ">" ( > ));
+    pure ">=" 2 None (chain_compare ">=" ( >= ));
+    pure "zero?" 1 (Some 1) (fun args ->
+        match args with
+        | [ Int n ] -> Ok (Bool (n = 0))
+        | [ v ] -> err "zero?: expected an integer, got %s" (Value.to_string v)
+        | _ -> assert false);
+    pure "even?" 1 (Some 1) (fun args ->
+        match args with [ Int n ] -> Ok (Bool (n mod 2 = 0)) | _ -> err "even?: expected an integer");
+    pure "odd?" 1 (Some 1) (fun args ->
+        match args with [ Int n ] -> Ok (Bool (abs (n mod 2) = 1)) | _ -> err "odd?: expected an integer");
+    (* --- predicates --- *)
+    pure "not" 1 (Some 1) (fun args ->
+        match args with [ v ] -> Ok (Bool (not (Value.is_truthy v))) | _ -> assert false);
+    pure "null?" 1 (Some 1) (fun args ->
+        match args with [ Nil ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "pair?" 1 (Some 1) (fun args ->
+        match args with [ Pair _ ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "number?" 1 (Some 1) (fun args ->
+        match args with [ Int _ ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "boolean?" 1 (Some 1) (fun args ->
+        match args with [ Bool _ ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "symbol?" 1 (Some 1) (fun args ->
+        match args with [ Sym _ ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "string?" 1 (Some 1) (fun args ->
+        match args with [ Str _ ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "char?" 1 (Some 1) (fun args ->
+        match args with [ Char _ ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "vector?" 1 (Some 1) (fun args ->
+        match args with [ Vector _ ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "future?" 1 (Some 1) (fun args ->
+        match args with [ Future _ ] -> Ok (Bool true) | [ _ ] -> Ok (Bool false) | _ -> assert false);
+    pure "procedure?" 1 (Some 1) (fun args ->
+        match args with
+        | [ (Closure _ | Prim _ | Controller _ | Pk _ | Pktree _ | Cont _ | Fcont _) ] ->
+            Ok (Bool true)
+        | [ _ ] -> Ok (Bool false)
+        | _ -> assert false);
+    pure "eq?" 2 (Some 2) (fun args ->
+        match args with [ a; b ] -> Ok (Bool (Value.eqv a b)) | _ -> assert false);
+    pure "eqv?" 2 (Some 2) (fun args ->
+        match args with [ a; b ] -> Ok (Bool (Value.eqv a b)) | _ -> assert false);
+    pure "equal?" 2 (Some 2) (fun args ->
+        match args with [ a; b ] -> Ok (Bool (Value.equal a b)) | _ -> assert false);
+    (* --- pairs and lists --- *)
+    pure "cons" 2 (Some 2) (fun args ->
+        match args with [ a; d ] -> Ok (Value.cons a d) | _ -> assert false);
+    pure "car" 1 (Some 1) (fun args ->
+        match args with
+        | [ Pair p ] -> Ok p.car
+        | [ v ] -> err "car: not a pair: %s" (Value.to_string v)
+        | _ -> assert false);
+    pure "cdr" 1 (Some 1) (fun args ->
+        match args with
+        | [ Pair p ] -> Ok p.cdr
+        | [ v ] -> err "cdr: not a pair: %s" (Value.to_string v)
+        | _ -> assert false);
+    pure "set-car!" 2 (Some 2) (fun args ->
+        match args with
+        | [ Pair p; v ] ->
+            p.car <- v;
+            Ok Unit
+        | _ -> err "set-car!: expected a pair");
+    pure "set-cdr!" 2 (Some 2) (fun args ->
+        match args with
+        | [ Pair p; v ] ->
+            p.cdr <- v;
+            Ok Unit
+        | _ -> err "set-cdr!: expected a pair");
+    pure "caar" 1 (Some 1) (fun args ->
+        match args with
+        | [ Pair { car = Pair p; _ } ] -> Ok p.car
+        | _ -> err "caar: bad argument");
+    pure "cadr" 1 (Some 1) (fun args ->
+        match args with
+        | [ Pair { cdr = Pair p; _ } ] -> Ok p.car
+        | _ -> err "cadr: bad argument");
+    pure "cddr" 1 (Some 1) (fun args ->
+        match args with
+        | [ Pair { cdr = Pair p; _ } ] -> Ok p.cdr
+        | _ -> err "cddr: bad argument");
+    pure "cdar" 1 (Some 1) (fun args ->
+        match args with
+        | [ Pair { car = Pair p; _ } ] -> Ok p.cdr
+        | _ -> err "cdar: bad argument");
+    pure "list" 0 None (fun args -> Ok (Value.values_to_list args));
+    pure "length" 1 (Some 1) (fun args ->
+        match args with
+        | [ v ] -> (
+            match Value.list_to_values v with
+            | Some vs -> Ok (Int (List.length vs))
+            | None -> err "length: not a proper list")
+        | _ -> assert false);
+    pure "append" 0 None (fun args ->
+        let rec go = function
+          | [] -> Ok Nil
+          | [ last ] -> Ok last
+          | v :: rest -> (
+              match Value.list_to_values v with
+              | None -> err "append: not a proper list"
+              | Some vs -> (
+                  match go rest with
+                  | Ok tail -> Ok (List.fold_right Value.cons vs tail)
+                  | Error e -> Error e))
+        in
+        go args);
+    pure "reverse" 1 (Some 1) (fun args ->
+        match args with
+        | [ v ] -> (
+            match Value.list_to_values v with
+            | Some vs -> Ok (Value.values_to_list (List.rev vs))
+            | None -> err "reverse: not a proper list")
+        | _ -> assert false);
+    pure "list-ref" 2 (Some 2) (fun args ->
+        match args with
+        | [ v; Int i ] -> (
+            match Value.list_to_values v with
+            | Some vs when i >= 0 && i < List.length vs -> Ok (List.nth vs i)
+            | Some _ -> err "list-ref: index out of range"
+            | None -> err "list-ref: not a proper list")
+        | _ -> err "list-ref: expected a list and an integer");
+    pure "memq" 2 (Some 2) (fun args ->
+        match args with
+        | [ x; l ] ->
+            let rec go = function
+              | Nil -> Ok (Bool false)
+              | Pair p -> if Value.eqv x p.car then Ok (Pair p) else go p.cdr
+              | _ -> err "memq: not a proper list"
+            in
+            go l
+        | _ -> assert false);
+    pure "member" 2 (Some 2) (fun args ->
+        match args with
+        | [ x; l ] ->
+            let rec go = function
+              | Nil -> Ok (Bool false)
+              | Pair p -> if Value.equal x p.car then Ok (Pair p) else go p.cdr
+              | _ -> err "member: not a proper list"
+            in
+            go l
+        | _ -> assert false);
+    pure "assq" 2 (Some 2) (fun args ->
+        match args with
+        | [ x; l ] ->
+            let rec go = function
+              | Nil -> Ok (Bool false)
+              | Pair { car = Pair entry; cdr } ->
+                  if Value.eqv x entry.car then Ok (Pair entry) else go cdr
+              | _ -> err "assq: not an association list"
+            in
+            go l
+        | _ -> assert false);
+    pure "assoc" 2 (Some 2) (fun args ->
+        match args with
+        | [ x; l ] ->
+            let rec go = function
+              | Nil -> Ok (Bool false)
+              | Pair { car = Pair entry; cdr } ->
+                  if Value.equal x entry.car then Ok (Pair entry) else go cdr
+              | _ -> err "assoc: not an association list"
+            in
+            go l
+        | _ -> assert false);
+    (* --- strings and symbols --- *)
+    pure "string-length" 1 (Some 1) (fun args ->
+        match args with
+        | [ Str s ] -> Ok (Int (String.length s))
+        | _ -> err "string-length: expected a string");
+    pure "string-append" 0 None (fun args ->
+        let buf = Buffer.create 16 in
+        let rec go = function
+          | [] -> Ok (Str (Buffer.contents buf))
+          | Str s :: rest ->
+              Buffer.add_string buf s;
+              go rest
+          | v :: _ -> err "string-append: expected a string, got %s" (Value.to_string v)
+        in
+        go args);
+    pure "substring" 3 (Some 3) (fun args ->
+        match args with
+        | [ Str s; Int a; Int b ] ->
+            if a >= 0 && b >= a && b <= String.length s then Ok (Str (String.sub s a (b - a)))
+            else err "substring: index out of range"
+        | _ -> err "substring: expected a string and two integers");
+    pure "string=?" 2 (Some 2) (fun args ->
+        match args with
+        | [ Str a; Str b ] -> Ok (Bool (String.equal a b))
+        | _ -> err "string=?: expected two strings");
+    pure "number->string" 1 (Some 1) (fun args ->
+        match args with
+        | [ Int n ] -> Ok (Str (string_of_int n))
+        | _ -> err "number->string: expected an integer");
+    pure "string->number" 1 (Some 1) (fun args ->
+        match args with
+        | [ Str s ] -> (
+            match int_of_string_opt s with Some n -> Ok (Int n) | None -> Ok (Bool false))
+        | _ -> err "string->number: expected a string");
+    pure "symbol->string" 1 (Some 1) (fun args ->
+        match args with
+        | [ Sym s ] -> Ok (Str s)
+        | _ -> err "symbol->string: expected a symbol");
+    pure "string->symbol" 1 (Some 1) (fun args ->
+        match args with
+        | [ Str s ] -> Ok (Sym s)
+        | _ -> err "string->symbol: expected a string");
+    (* --- vectors --- *)
+    pure "vector" 0 None (fun args -> Ok (Vector (Array.of_list args)));
+    pure "make-vector" 1 (Some 2) (fun args ->
+        match args with
+        | [ Int n ] when n >= 0 -> Ok (Vector (Array.make n (Int 0)))
+        | [ Int n; fill ] when n >= 0 -> Ok (Vector (Array.make n fill))
+        | _ -> err "make-vector: expected a non-negative size");
+    pure "vector-ref" 2 (Some 2) (fun args ->
+        match args with
+        | [ Vector a; Int i ] ->
+            if i >= 0 && i < Array.length a then Ok a.(i)
+            else err "vector-ref: index out of range"
+        | _ -> err "vector-ref: expected a vector and an integer");
+    pure "vector-set!" 3 (Some 3) (fun args ->
+        match args with
+        | [ Vector a; Int i; v ] ->
+            if i >= 0 && i < Array.length a then begin
+              a.(i) <- v;
+              Ok Unit
+            end
+            else err "vector-set!: index out of range"
+        | _ -> err "vector-set!: expected a vector, an integer and a value");
+    pure "vector-length" 1 (Some 1) (fun args ->
+        match args with
+        | [ Vector a ] -> Ok (Int (Array.length a))
+        | _ -> err "vector-length: expected a vector");
+    pure "vector->list" 1 (Some 1) (fun args ->
+        match args with
+        | [ Vector a ] -> Ok (Value.values_to_list (Array.to_list a))
+        | _ -> err "vector->list: expected a vector");
+    pure "list->vector" 1 (Some 1) (fun args ->
+        match args with
+        | [ v ] -> (
+            match Value.list_to_values v with
+            | Some vs -> Ok (Vector (Array.of_list vs))
+            | None -> err "list->vector: not a proper list")
+        | _ -> assert false);
+    (* --- output --- *)
+    pure "display" 1 (Some 1) (fun args ->
+        match args with
+        | [ v ] ->
+            Buffer.add_string output (Value.display_string v);
+            Ok Unit
+        | _ -> assert false);
+    pure "write" 1 (Some 1) (fun args ->
+        match args with
+        | [ v ] ->
+            Buffer.add_string output (Value.to_string v);
+            Ok Unit
+        | _ -> assert false);
+    pure "newline" 0 (Some 0) (fun _ ->
+        Buffer.add_char output '\n';
+        Ok Unit);
+    pure "void" 0 (Some 0) (fun _ -> Ok Unit);
+    pure "error" 1 None (fun args ->
+        let msg = String.concat " " (List.map Value.display_string args) in
+        Error ("error: " ^ msg));
+    (* --- control --- *)
+    ctl "spawn" 1 Op_spawn;
+    ctl "call/cc" 1 Op_callcc;
+    ctl "call-with-current-continuation" 1 Op_callcc;
+    ctl "prompt" 1 Op_prompt;
+    ctl "fcontrol" 1 Op_fcontrol;
+    ctl "apply" 2 Op_apply;
+    ctl "touch" 1 Op_touch;
+    ctl "dynamic-wind" 3 Op_wind;
+  ]
+
+let find name =
+  List.find_map
+    (fun (n, p) -> if String.equal n name then Some (Prim p) else None)
+    prim_list
+
+let names () = List.sort String.compare (List.map fst prim_list)
+
+let base_env () =
+  let env = Env.empty () in
+  List.iter (fun (name, p) -> Env.define_global env name (Prim p)) prim_list;
+  env

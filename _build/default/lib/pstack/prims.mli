@@ -1,0 +1,26 @@
+(** Primitive procedures and the base global environment.
+
+    Pure primitives (arithmetic, pairs, strings, vectors, predicates, I/O to
+    an internal buffer) plus the control operators of the paper and of the
+    systems it compares against:
+
+    - [spawn] — the paper's operator (Section 4);
+    - [call/cc] / [call-with-current-continuation] — traditional abortive
+      continuations (Section 3);
+    - [prompt] and [fcontrol] — Felleisen's [#] and [F] (Section 3);
+    - [apply].
+
+    [display]/[write]/[newline] append to a per-call buffer drained with
+    {!take_output}, so tests can assert on program output. *)
+
+val base_env : unit -> Types.env
+(** A fresh global environment with every primitive bound. *)
+
+val take_output : unit -> string
+(** Return and clear everything printed since the last call. *)
+
+val find : string -> Types.value option
+(** Look up a primitive by name (for tests). *)
+
+val names : unit -> string list
+(** All primitive names, sorted. *)

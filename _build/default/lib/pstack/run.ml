@@ -1,0 +1,44 @@
+type outcome = Value of Types.value | Error of string | Out_of_fuel
+
+let pp_outcome ppf = function
+  | Value v -> Format.fprintf ppf "VALUE %a" Value.pp v
+  | Error msg -> Format.fprintf ppf "ERROR %s" msg
+  | Out_of_fuel -> Format.fprintf ppf "OUT-OF-FUEL"
+
+let outcome_to_string o = Format.asprintf "%a" pp_outcome o
+
+let default_fuel = 10_000_000
+
+let invalid_controller l =
+  Printf.sprintf
+    "invalid controller application: no process root labeled %d in the \
+     current continuation"
+    l
+
+let run ?(fuel = default_fuel) cfg state =
+  let rec loop fuel st =
+    if fuel <= 0 then Out_of_fuel
+    else
+      match Machine.step cfg st with
+      | Machine.Next st' -> loop (fuel - 1) st'
+      | Machine.Final v -> Value v
+      | Machine.Err msg -> Error msg
+      | Machine.Esc_control (l, _) -> Error (invalid_controller l)
+      | Machine.Esc_pktree _ ->
+          Error
+            "process continuation spanning concurrent branches invoked \
+             outside the concurrent scheduler"
+      | Machine.Esc_touch _ ->
+          Error "touch: unresolved future outside the concurrent scheduler"
+  in
+  loop fuel state
+
+let eval_ir ?fuel ?cfg env ir =
+  let cfg = match cfg with Some c -> c | None -> Machine.config () in
+  run ?fuel cfg (Machine.initial ir env)
+
+let eval_value ?fuel ?cfg env ir =
+  match eval_ir ?fuel ?cfg env ir with
+  | Value v -> v
+  | Error msg -> failwith ("evaluation error: " ^ msg)
+  | Out_of_fuel -> failwith "evaluation ran out of fuel"

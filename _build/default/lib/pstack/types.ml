@@ -1,0 +1,138 @@
+(* Runtime types of the process-stack machine (Section 7 of the paper).
+   Everything here is mutually recursive — values contain closures over
+   environments, continuations contain frames containing values — so the
+   whole runtime representation lives in this single types-only module.
+   No .mli: the definitions are the interface.
+
+   The central structure is the PROCESS STACK: a stack of labeled stacks of
+   activation records ("frames").  A call to spawn pushes an empty segment
+   carrying a fresh label; invoking a process controller removes all
+   segments down to and including the topmost segment with the matching
+   label and packages them into a process continuation; invoking a process
+   continuation pushes the saved segments back. *)
+
+type label = int
+
+(* How continuations are represented, for experiments E1/E2:
+   [Linked] shares the segment spines (the paper's implementation: control
+   operations are linear in the number of control points); [Copying] copies
+   every frame, modeling stack-copying implementations whose control
+   operations are linear in the size of the continuation. *)
+type strategy = Linked | Copying
+
+type value =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Sym of string
+  | Char of char
+  | Nil
+  | Unit
+  | Undef  (* the value of uninitialized letrec bindings *)
+  | Pair of pair
+  | Vector of value array
+  | Closure of closure
+  | Prim of prim
+  | Controller of label
+      (* the process controller passed by spawn; applying it captures and
+         aborts back to the topmost segment labeled [label] *)
+  | Pk of pk_local
+      (* a process continuation whose captured subtree is a pure stack of
+         segments (no forks): the sequential case *)
+  | Pktree of pktree
+      (* a process continuation capturing a genuine subtree of the process
+         tree, produced by the concurrent scheduler *)
+  | Cont of cont  (* a call/cc continuation: the entire process stack *)
+  | Future of future_cell
+      (* a Multilisp-style future (Section 8): an independent tree of the
+         process forest; [touch] waits for its value *)
+  | Fcont of frame list
+      (* a functional continuation captured by Felleisen's F: a flat list of
+         frames up to the nearest prompt, with any intervening spawn roots
+         erased — which is precisely why F cannot manage process trees *)
+
+and pair = { mutable car : value; mutable cdr : value }
+
+and future_cell = { mutable fvalue : value option }
+
+and env = { vars : (string * value ref) list; globals : (string, value ref) Hashtbl.t }
+
+and closure = { params : string list; rest : string option; cbody : Ir.t; cenv : env }
+
+and prim = { pname : string; pmin : int; pmax : int option; pkind : prim_kind }
+
+and prim_kind =
+  | Pure of (value list -> (value, string) result)
+  | Ctl of ctl  (* operators that manipulate the process stack *)
+
+and ctl = Op_spawn | Op_callcc | Op_prompt | Op_fcontrol | Op_apply | Op_touch | Op_wind
+
+(* What established a segment.  [Rbase] is the bottom of a task's stack;
+   [Rspawn l] is a process root; [Rprompt] is Felleisen's #. *)
+and root = Rbase | Rspawn of label | Rprompt
+
+and frame =
+  | Fapp of value list * Ir.t list * env
+      (* evaluated values in reverse (operator first), remaining operands *)
+  | Fpcall of value list * Ir.t list * env
+      (* sequential evaluation of a pcall: same protocol as Fapp *)
+  | Fif of Ir.t * Ir.t * env
+  | Fseq of Ir.t list * env
+  | Flet of string * (string * value) list * (string * Ir.t) list * Ir.t * env
+      (* binder being evaluated, done binders (reversed), remaining, body *)
+  | Fletrec of value ref * (value ref * Ir.t) list * Ir.t * env
+      (* cell being initialized, remaining cells, body; env already extended *)
+  | Fset of value ref
+  | Ffuture of future_cell
+      (* sequential evaluation of (future e): fill the cell on return *)
+  | Fwind of value * value
+      (* (dynamic-wind before thunk after): [before]/[after] thunks; the
+         after runs on normal return AND when a controller captures across
+         this frame; the before re-runs when a process continuation
+         reinstates it (the Subcontinuations-1994 extension) *)
+  | Fwinding of value list * wind_target
+      (* winder thunks still to run, then the target action *)
+
+and wind_target =
+  | Wreturn of value  (* deliver this value *)
+  | Wapply of value * value list  (* perform this application *)
+  | Wenter of value * value * value  (* install Fwind(before, after), run thunk *)
+
+and segment = {
+  root : root;
+  frames : frame list;
+  winders : (value * value) list;
+      (* the (before, after) pairs of the Fwind frames in [frames],
+         innermost first — maintained alongside the frames so control
+         operations find winders in O(winders), never O(frames),
+         preserving the O(control points) claim of Section 7 *)
+}
+
+and control =
+  | Ceval of Ir.t * env
+  | Creturn of value
+  | Capply of value * value list
+
+and state = { control : control; pstack : segment list }
+
+and pk_local = { pk_label : label; pk_segments : segment list }
+
+and cont = { ck_pstack : segment list }
+
+(* A captured subtree of the process tree.  [pkt_tree] is always a [Pfork]
+   whose trunk ends (at the bottom) with the segment labeled [pkt_label]. *)
+and pktree = { pkt_label : label; pkt_tree : ptree }
+
+and ptree =
+  | Pleaf of state  (* a suspended sibling branch *)
+  | Phole of segment list
+      (* the branch that invoked the controller: its local segments; on
+         reinstatement the process continuation's argument is returned here *)
+  | Pdone  (* a branch that had already finished; its value is in results *)
+  | Pfork of pfork
+
+and pfork = {
+  pf_trunk : segment list;  (* segments between this fork and its parent *)
+  pf_children : ptree array;
+  pf_results : value option array;
+}

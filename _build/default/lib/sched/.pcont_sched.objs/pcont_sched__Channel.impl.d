@@ -1,0 +1,1 @@
+lib/sched/channel.ml: Fun Queue Sched

@@ -1,0 +1,1 @@
+lib/sched/ops.mli:

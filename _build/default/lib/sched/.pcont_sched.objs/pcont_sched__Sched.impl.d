@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Effect List Option Pcont_util

@@ -1,0 +1,50 @@
+exception Closed
+
+type 'a t = { buf : 'a Queue.t; capacity : int; mutable closed : bool }
+
+let create ?(capacity = 16) () =
+  if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
+  { buf = Queue.create (); capacity; closed = false }
+
+let rec send ch v =
+  if ch.closed then raise Closed
+  else if Queue.length ch.buf >= ch.capacity then begin
+    Sched.yield ();
+    send ch v
+  end
+  else Queue.add v ch.buf
+
+let try_recv ch = Queue.take_opt ch.buf
+
+let rec recv_opt ch =
+  match Queue.take_opt ch.buf with
+  | Some v -> Some v
+  | None ->
+      if ch.closed then None
+      else begin
+        Sched.yield ();
+        recv_opt ch
+      end
+
+let recv ch = match recv_opt ch with Some v -> v | None -> raise Closed
+
+let close ch = ch.closed <- true
+
+let is_closed ch = ch.closed
+
+let length ch = Queue.length ch.buf
+
+let rec iter f ch =
+  match recv_opt ch with
+  | None -> ()
+  | Some v ->
+      f v;
+      iter f ch
+
+let of_producer ?capacity produce =
+  let ch = create ?capacity () in
+  let _ : unit Sched.future =
+    Sched.future (fun () ->
+        Fun.protect ~finally:(fun () -> close ch) (fun () -> produce ~send:(send ch)))
+  in
+  ch

@@ -1,0 +1,44 @@
+(** Bounded channels over the cooperative process-tree scheduler.
+
+    The paper's concurrency is fork-and-return; pipelines of communicating
+    branches are the natural idiom layered on top of it, and a channel is
+    ordinary user-level code: blocking is cooperative ({!Sched.yield} in a
+    retry loop), so a branch blocked on a channel can be captured into a
+    process continuation and grafted elsewhere like any other branch. *)
+
+type 'a t
+
+exception Closed
+(** Raised by {!send} on a closed channel, and by {!recv} on a closed,
+    drained channel. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** A channel buffering at most [capacity] elements (default 16; must be
+    positive). *)
+
+val send : 'a t -> 'a -> unit
+(** Enqueue, yielding while the channel is full. *)
+
+val recv : 'a t -> 'a
+(** Dequeue, yielding while the channel is empty. *)
+
+val recv_opt : 'a t -> 'a option
+(** Like {!recv} but returns [None] instead of raising once the channel is
+    closed and drained — the idiomatic consumer loop condition. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking dequeue. *)
+
+val close : 'a t -> unit
+(** No further sends; pending elements can still be received. *)
+
+val is_closed : 'a t -> bool
+
+val length : 'a t -> int
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Consume elements until the channel closes. *)
+
+val of_producer : ?capacity:int -> (send:('a -> unit) -> unit) -> 'a t
+(** Start a {!Sched.future} running the producer (the channel is closed
+    when it returns) and return the channel. *)

@@ -1,0 +1,93 @@
+type 'a exit = { exit : 'b. 'a -> 'b }
+
+let spawn_exit f =
+  Sched.spawn (fun c ->
+      let exit v = Sched.control c (fun _pk -> v) in
+      f { exit })
+
+let with_exit f = spawn_exit (fun e -> f (fun v -> e.exit v))
+
+let first_true thunks =
+  spawn_exit (fun e ->
+      let branch thunk () =
+        match thunk () with Some v -> e.exit (Some v) | None -> ()
+      in
+      ignore (Sched.pcall (List.map branch thunks));
+      None)
+
+let parallel_or thunks =
+  match first_true (List.map (fun t () -> if t () then Some true else None) thunks) with
+  | Some b -> b
+  | None -> false
+
+let parallel_map f xs = Sched.pcall (List.map (fun x () -> f x) xs)
+
+let parallel_and thunks =
+  not (parallel_or (List.map (fun t () -> not (t ())) thunks))
+
+type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+
+let rec tree_of_list = function
+  | [] -> Leaf
+  | xs ->
+      let n = List.length xs in
+      let rec split i acc = function
+        | x :: rest when i > 0 -> split (i - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let left, rest = split (n / 2) [] xs in
+      (match rest with
+      | [] -> assert false
+      | x :: right -> Node (tree_of_list left, x, tree_of_list right))
+
+let perfect ~depth label =
+  let counter = ref 0 in
+  let rec build d =
+    if d = 0 then Leaf
+    else
+      let l = build (d - 1) in
+      let v =
+        let i = !counter in
+        incr counter;
+        label i
+      in
+      let r = build (d - 1) in
+      Node (l, v, r)
+  in
+  build depth
+
+type 'a search_stream = Snil | Scons of 'a * (unit -> 'a search_stream)
+
+(* The paper's parallel-search: before starting, set up a controller used
+   to suspend the whole search when a match is found; search the two
+   subtrees of every node concurrently with pcall. *)
+let parallel_search tree pred =
+  Sched.spawn (fun c ->
+      let rec search t =
+        match t with
+        | Leaf -> ()
+        | Node (l, v, r) ->
+            Sched.yield ();
+            ignore
+              (Sched.pcall
+                 [
+                   (fun () ->
+                     if pred v then
+                       Sched.control c (fun k ->
+                           Scons (v, fun () -> Sched.resume k ())));
+                   (fun () -> search l);
+                   (fun () -> search r);
+                 ])
+      in
+      search tree;
+      Snil)
+
+let search_all tree pred =
+  let rec drain acc = function
+    | Snil -> List.rev acc
+    | Scons (v, rest) -> drain (v :: acc) (rest ())
+  in
+  drain [] (parallel_search tree pred)
+
+let search_first tree pred =
+  match parallel_search tree pred with Snil -> None | Scons (v, _) -> Some v

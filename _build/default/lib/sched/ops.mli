@@ -1,0 +1,55 @@
+(** The paper's derived concurrency operators (Section 5), over {!Sched}.
+
+    Everything here is built from [spawn], [control] and [pcall] alone,
+    which is the paper's point: given [spawn] and a simple forking
+    operator, sophisticated concurrency operators are user-level code. *)
+
+type 'a exit = { exit : 'b. 'a -> 'b }
+
+val spawn_exit : ('a exit -> 'a) -> 'a
+(** Nonlocal exit delimiting a subtree of the process tree: [e.exit v]
+    aborts every branch below the [spawn_exit] and returns [v] from it. *)
+
+val with_exit : (('a -> unit) -> 'a) -> 'a
+(** Monomorphic face of {!spawn_exit} (the exit still never returns). *)
+
+val first_true : (unit -> 'a option) list -> 'a option
+(** Run the thunks as parallel branches; return the first [Some] produced,
+    abandoning all other branches, or [None] if every branch returns
+    [None].  This is the paper's [first-true] generalised to [n] branches
+    and to carrying a value. *)
+
+val parallel_or : (unit -> bool) list -> bool
+(** The paper's [parallel-or]: true as soon as any branch yields true. *)
+
+val parallel_and : (unit -> bool) list -> bool
+(** Dual: false as soon as any branch yields false. *)
+
+val parallel_map : ('a -> 'b) -> 'a list -> 'b list
+(** Apply [f] to every element as parallel branches ([pcall] with the
+    identity combiner). *)
+
+(** {1 Parallel tree search with suspension (the paper's Section 5 finale)} *)
+
+type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+
+val tree_of_list : 'a list -> 'a tree
+(** Balanced tree from a list (for tests and benches). *)
+
+val perfect : depth:int -> (int -> 'a) -> 'a tree
+(** Perfect binary tree of the given depth with values from the labeling
+    function (in-order positions). *)
+
+type 'a search_stream = Snil | Scons of 'a * (unit -> 'a search_stream)
+
+val parallel_search : 'a tree -> ('a -> bool) -> 'a search_stream
+(** Search the tree's branches concurrently; each match suspends the whole
+    search (all branches) and delivers the match plus a thunk resuming the
+    search — the paper's [parallel-search], with the search state carried
+    by a process continuation. *)
+
+val search_all : 'a tree -> ('a -> bool) -> 'a list
+(** Drain {!parallel_search}: all matching nodes. *)
+
+val search_first : 'a tree -> ('a -> bool) -> 'a option
+(** The first match only; the suspended search is abandoned. *)

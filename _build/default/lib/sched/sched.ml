@@ -1,0 +1,441 @@
+open Effect
+open Effect.Deep
+module Univ = Pcont_util.Univ
+module Xorshift = Pcont_util.Xorshift
+
+exception Dead_controller
+
+exception Expired_pk
+
+exception Not_in_scheduler
+
+type policy =
+  | Tree_order
+  | Randomized of int64
+  | Driven of (int -> int)
+      (* systematic exploration: each decision steps exactly one fiber *)
+
+(* ------------------------------------------------------------------ *)
+(* Untyped scheduler core: every fiber computes a Univ.t.              *)
+(* ------------------------------------------------------------------ *)
+
+type step_result = Sdone of Univ.t | Ssuspended
+
+type fiber_step = unit -> step_result
+
+type fiber_k = (Univ.t, step_result) continuation
+
+type request =
+  | Rspawn of int * (unit -> Univ.t)  (* root label, process body *)
+  | Rcontrol of int * (upk -> Univ.t)  (* root label, controller argument *)
+  | Rgraft of upk * Univ.t
+  | Rpcall of (unit -> Univ.t) list * (Univ.t array -> Univ.t)
+  | Rfuture of (unit -> Univ.t) * Univ.t option ref
+      (* an INDEPENDENT process tree (Section 8's forest): its result is
+         stored in the cell; control operations cannot cross into it *)
+  | Ryield
+
+(* A captured subtree.  [PHole] marks the fiber that invoked the
+   controller; it receives the process continuation's argument on graft. *)
+and upk = { upk_label : int; upk_tree : ptree; mutable upk_taken : bool }
+
+and ptree =
+  | PLeaf of fiber_step
+  | PHole of fiber_k
+  | PDone
+  | PWait of pwait
+
+and pwait = {
+  pw_kind : wkind;
+  pw_children : ptree array;
+  pw_results : Univ.t option array;
+  pw_resume : fiber_k;
+  pw_join : Univ.t array -> Univ.t;
+}
+
+(* What a suspended fiber waits for: the return of a spawned process
+   (a labeled root), the completion of pcall branches, or the value of a
+   controller body evaluated after a capture. *)
+and wkind = Wroot of int | Wfork | Wbody
+
+type _ Effect.t += Sched : request -> Univ.t Effect.t
+
+let inj_unit, _ = Univ.embed ()
+
+let u_unit = inj_unit ()
+
+let label_counter = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* The live process tree.                                              *)
+(* ------------------------------------------------------------------ *)
+
+type node = { nid : int; mutable parent : parent; mutable body : body }
+
+and parent = Ptop | Pfuture of Univ.t option ref | Pchild of node * int
+
+and body = Nleaf of fiber_step | Nwait of nwait | Ndone
+
+and nwait = {
+  wk : wkind;
+  children : node array;
+  results : Univ.t option array;
+  mutable pending : int;
+  resume : fiber_k;
+  join : Univ.t array -> Univ.t;
+}
+
+let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
+  let inj_a, prj_a = Univ.embed () in
+  let pending_request : (request * fiber_k) option ref = ref None in
+  let make_step (body : unit -> Univ.t) : fiber_step =
+   fun () ->
+    match_with body ()
+      {
+        retc = (fun v -> Sdone v);
+        exnc = raise;
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Sched req ->
+                Some
+                  (fun (k : (b, step_result) continuation) ->
+                    pending_request := Some (req, k);
+                    Ssuspended)
+            | _ -> None);
+      }
+  in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  let root =
+    { nid = 0; parent = Ptop; body = Nleaf (make_step (fun () -> inj_a (main ()))) }
+  in
+  (* The forest: the main tree plus one independent tree per future. *)
+  let roots = ref [ root ] in
+  let final = ref None in
+  let failure = ref None in
+  let rng =
+    match policy with
+    | Tree_order | Driven _ -> None
+    | Randomized seed -> Some (Xorshift.create seed)
+  in
+
+  let rec attached n =
+    match n.parent with
+    | Ptop -> n == root
+    | Pfuture _ -> List.memq n !roots
+    | Pchild (p, i) -> (
+        match p.body with
+        | Nwait w -> i < Array.length w.children && w.children.(i) == n && attached p
+        | _ -> false)
+  in
+
+  let rec collect_leaves acc n =
+    match n.body with
+    | Nleaf _ -> n :: acc
+    | Ndone -> acc
+    | Nwait w -> Array.fold_left collect_leaves acc w.children
+  in
+
+  let resume_step k v : fiber_step = fun () -> continue k v in
+  let raise_step k exn : fiber_step = fun () -> discontinue k exn in
+
+  let deliver n v =
+    n.body <- Ndone;
+    match n.parent with
+    | Ptop -> final := Some v
+    | Pfuture cell ->
+        cell := Some v;
+        roots := List.filter (fun r -> not (r == n)) !roots
+    | Pchild (p, slot) -> (
+        match p.body with
+        | Nwait w ->
+            w.results.(slot) <- Some v;
+            w.pending <- w.pending - 1;
+            if w.pending = 0 then begin
+              let vs = Array.map Option.get w.results in
+              p.body <- Nleaf (resume_step w.resume (w.join vs))
+            end
+        | _ -> assert false)
+  in
+
+  (* Suspend [n]'s fiber as a wait node over freshly spawned children. *)
+  let make_wait n k wk bodies join =
+    let count = List.length bodies in
+    let w =
+      {
+        wk;
+        children = Array.make count n;
+        results = Array.make count None;
+        pending = count;
+        resume = k;
+        join;
+      }
+    in
+    n.body <- Nwait w;
+    List.iteri
+      (fun i body ->
+        w.children.(i) <-
+          { nid = fresh_id (); parent = Pchild (n, i); body = Nleaf (make_step body) })
+      bodies;
+    if count = 0 then begin
+      n.body <- Nleaf (resume_step k (join [||]))
+    end
+  in
+
+  (* Prune the subtree delimited by the nearest root labeled [label] above
+     the invoking fiber and hand it, as a process continuation, to the
+     controller's body, which runs in the root's former position. *)
+  let do_capture n k label body_fn =
+    let rec ptree_of m =
+      if m == n then PHole k
+      else
+        match m.body with
+        | Nleaf s -> PLeaf s
+        | Ndone -> PDone
+        | Nwait w ->
+            PWait
+              {
+                pw_kind = w.wk;
+                pw_children = Array.map ptree_of w.children;
+                pw_results = Array.copy w.results;
+                pw_resume = w.resume;
+                pw_join = w.join;
+              }
+    in
+    let rec climb cur =
+      match cur.parent with
+      | Ptop | Pfuture _ -> None
+      | Pchild (p, _) -> (
+          match p.body with
+          | Nwait w when w.wk = Wroot label -> Some (p, w)
+          | _ -> climb p)
+    in
+    match climb n with
+    | None ->
+        (* Raise inside the invoking fiber so user code can observe
+           Dead_controller, mirroring the direct-style embedding. *)
+        n.body <- Nleaf (raise_step k Dead_controller)
+    | Some (p, w) ->
+        let tree = ptree_of w.children.(0) in
+        let upk = { upk_label = label; upk_tree = tree; upk_taken = false } in
+        let body = make_step (fun () -> body_fn upk) in
+        let w' =
+          {
+            wk = Wbody;
+            children = [||];
+            results = [| None |];
+            pending = 1;
+            resume = w.resume;
+            join = (fun vs -> vs.(0));
+          }
+        in
+        let child =
+          { nid = fresh_id (); parent = Pchild (p, 0); body = Nleaf body }
+        in
+        p.body <- Nwait { w' with children = [| child |] }
+  in
+
+  (* Graft a captured subtree onto the invoking fiber: the fiber waits (as
+     a reinstated root) for the subtree's result; the capture point inside
+     receives [v]; every captured branch becomes runnable. *)
+  let do_graft n k upk v =
+    if upk.upk_taken then n.body <- Nleaf (raise_step k Expired_pk)
+    else begin
+      upk.upk_taken <- true;
+      let rec rebuild parent pt =
+        let m = { nid = fresh_id (); parent; body = Ndone } in
+        (match pt with
+        | PHole hole_k -> m.body <- Nleaf (resume_step hole_k v)
+        | PLeaf s -> m.body <- Nleaf s
+        | PDone -> m.body <- Ndone
+        | PWait pw ->
+            let count = Array.length pw.pw_children in
+            let w =
+              {
+                wk = pw.pw_kind;
+                children = Array.make count m;
+                results = Array.copy pw.pw_results;
+                pending =
+                  Array.fold_left (fun c r -> if r = None then c + 1 else c) 0 pw.pw_results;
+                resume = pw.pw_resume;
+                join = pw.pw_join;
+              }
+            in
+            m.body <- Nwait w;
+            Array.iteri
+              (fun i child -> w.children.(i) <- rebuild (Pchild (m, i)) child)
+              pw.pw_children);
+        m
+      in
+      let w =
+        {
+          wk = Wroot upk.upk_label;
+          children = [||];
+          results = [| None |];
+          pending = 1;
+          resume = k;
+          join = (fun vs -> vs.(0));
+        }
+      in
+      let child_holder = { w with children = [| root (* placeholder *) |] } in
+      n.body <- Nwait child_holder;
+      child_holder.children.(0) <- rebuild (Pchild (n, 0)) upk.upk_tree
+    end
+  in
+
+  let step_leaf n step =
+    pending_request := None;
+    match step () with
+    | Sdone v -> deliver n v
+    | Ssuspended -> (
+        match !pending_request with
+        | None -> assert false
+        | Some (req, k) -> (
+            match req with
+            | Ryield -> n.body <- Nleaf (resume_step k u_unit)
+            | Rspawn (label, body) ->
+                make_wait n k (Wroot label) [ body ] (fun vs -> vs.(0))
+            | Rpcall (thunks, join) -> make_wait n k Wfork thunks join
+            | Rfuture (body, cell) ->
+                let fnode =
+                  {
+                    nid = fresh_id ();
+                    parent = Pfuture cell;
+                    body = Nleaf (make_step body);
+                  }
+                in
+                roots := !roots @ [ fnode ];
+                n.body <- Nleaf (resume_step k u_unit)
+            | Rcontrol (label, body_fn) -> do_capture n k label body_fn
+            | Rgraft (upk, v) -> do_graft n k upk v))
+    | exception e -> failure := Some e
+  in
+
+  let round () =
+    let leaves = List.rev (List.fold_left collect_leaves [] !roots) in
+    match policy with
+    | Driven pick ->
+        let arr = Array.of_list leaves in
+        let count = Array.length arr in
+        if count > 0 then begin
+          let idx = pick count in
+          if idx < 0 || idx >= count then
+            failure := Some (Invalid_argument "Sched: Driven pick out of range")
+          else
+            let n = arr.(idx) in
+            if !final = None && !failure = None && attached n then
+              match n.body with Nleaf s -> step_leaf n s | Nwait _ | Ndone -> ()
+        end
+    | Tree_order | Randomized _ ->
+        let leaves =
+          match rng with
+          | None -> leaves
+          | Some g ->
+              let arr = Array.of_list leaves in
+              Xorshift.shuffle g arr;
+              Array.to_list arr
+        in
+        List.iter
+          (fun n ->
+            if !final = None && !failure = None && attached n then
+              match n.body with Nleaf s -> step_leaf n s | Nwait _ | Ndone -> ())
+          leaves
+  in
+
+  let rec drive () =
+    match (!final, !failure) with
+    | Some v, _ -> (
+        match prj_a v with Some a -> a | None -> assert false)
+    | None, Some e -> raise e
+    | None, None ->
+        round ();
+        drive ()
+  in
+  drive ()
+
+(* ------------------------------------------------------------------ *)
+(* Typed front end.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type 'r controller = {
+  c_label : int;
+  c_inj : 'r -> Univ.t;
+  c_prj : Univ.t -> 'r option;
+}
+
+type ('a, 'r) pk = {
+  p_upk : upk;
+  p_inj_a : 'a -> Univ.t;
+  p_prj_r : Univ.t -> 'r option;
+}
+
+let perform_sched req =
+  try perform (Sched req)
+  with Effect.Unhandled (Sched _) -> raise Not_in_scheduler
+
+let get_exn prj u = match prj u with Some v -> v | None -> assert false
+
+let spawn (type r) (f : r controller -> r) : r =
+  let c_inj, c_prj = Univ.embed () in
+  incr label_counter;
+  let c = { c_label = !label_counter; c_inj; c_prj } in
+  get_exn c_prj (perform_sched (Rspawn (c.c_label, fun () -> c_inj (f c))))
+
+let control (type a) c (body : (a, _) pk -> _) : a =
+  let p_inj_a, prj_a = Univ.embed () in
+  let body_u upk = c.c_inj (body { p_upk = upk; p_inj_a; p_prj_r = c.c_prj }) in
+  get_exn prj_a (perform_sched (Rcontrol (c.c_label, body_u)))
+
+let resume pk v =
+  get_exn pk.p_prj_r (perform_sched (Rgraft (pk.p_upk, pk.p_inj_a v)))
+
+let pcall (type a) (thunks : (unit -> a) list) : a list =
+  match thunks with
+  | [] -> []
+  | _ ->
+      let inj, prj = Univ.embed () in
+      let inj_l, prj_l = Univ.embed () in
+      let bodies = List.map (fun t () -> inj (t ())) thunks in
+      let join vs = inj_l (List.map (get_exn prj) (Array.to_list vs)) in
+      get_exn prj_l (perform_sched (Rpcall (bodies, join)))
+
+let pcall2 (type a b) (ta : unit -> a) (tb : unit -> b) : a * b =
+  let inj_a, prj_a = Univ.embed () in
+  let inj_b, prj_b = Univ.embed () in
+  let inj_p, prj_p = Univ.embed () in
+  let join vs = inj_p (get_exn prj_a vs.(0), get_exn prj_b vs.(1)) in
+  get_exn prj_p
+    (perform_sched (Rpcall ([ (fun () -> inj_a (ta ())); (fun () -> inj_b (tb ())) ], join)))
+
+let yield () = ignore (perform_sched Ryield)
+
+(* ------------------------------------------------------------------ *)
+(* Futures: independent trees in the forest (Section 8).               *)
+(* ------------------------------------------------------------------ *)
+
+type 'a future = { f_cell : Univ.t option ref; f_prj : Univ.t -> 'a option }
+
+let future (type a) (thunk : unit -> a) : a future =
+  let inj, prj = Univ.embed () in
+  let cell = ref None in
+  ignore (perform_sched (Rfuture ((fun () -> inj (thunk ())), cell)));
+  { f_cell = cell; f_prj = prj }
+
+let poll fut =
+  match !(fut.f_cell) with
+  | None -> None
+  | Some u -> Some (get_exn fut.f_prj u)
+
+(* Touch polls cooperatively.  A blocked toucher is an ordinary yielding
+   fiber, so capturing it into a process continuation (and grafting it
+   elsewhere, even into another tree of the forest) just works. *)
+let rec touch fut =
+  match poll fut with
+  | Some v -> v
+  | None ->
+      yield ();
+      touch fut

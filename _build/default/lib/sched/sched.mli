@@ -1,0 +1,101 @@
+(** Tree-structured concurrency with process continuations, in native OCaml.
+
+    A cooperative scheduler maintains the process tree of the paper's
+    concurrent implementation (Section 7), with fibers — one-shot
+    effect-handler continuations — at the leaves:
+
+    - {!pcall} forks the calling fiber into concurrently scheduled
+      branches and resumes it when all branches have returned, which is
+      exactly the paper's tree-structured (fork-and-return) concurrency;
+    - {!spawn} adds a labeled root above a new fiber; the calling fiber
+      waits for the process's result;
+    - {!control} prunes the subtree delimited by a controller's root —
+      including concurrently executing sibling branches, suspended at their
+      last yield point — and packages it as a process continuation;
+    - {!resume} grafts a captured subtree onto the invoking fiber and
+      resumes every suspended branch in it.
+
+    Scheduling is cooperative: a fiber runs until it performs a scheduler
+    operation ([pcall], [spawn], [control], [resume] or {!yield}).  Compute
+    loops that should be interruptible by sibling capture must call
+    {!yield}.  Scheduling order is deterministic (tree order) by default, or
+    seeded-random with {!Randomized}.
+
+    Everything here is one-shot (see {!Pcont.Spawn}): the multi-shot
+    variants live in the machine implementations. *)
+
+exception Dead_controller
+(** The controller's root is not in the current continuation. *)
+
+exception Expired_pk
+(** A process continuation was resumed a second time. *)
+
+exception Not_in_scheduler
+(** A scheduler operation was performed outside {!run}. *)
+
+type policy =
+  | Tree_order  (** deterministic: branches run in process-tree order *)
+  | Randomized of int64  (** seeded shuffle of branch order each round *)
+  | Driven of (int -> int)
+      (** systematic schedule exploration: each scheduling decision runs
+          exactly one fiber until its next suspension; [pick n] receives
+          the number of runnable fibers and chooses which. *)
+
+type 'r controller
+
+type ('a, 'r) pk
+
+val run : ?policy:policy -> (unit -> 'a) -> 'a
+(** Run a computation under the scheduler.  Exceptions escaping any fiber
+    abort the whole computation and re-raise here. *)
+
+val spawn : ('r controller -> 'r) -> 'r
+(** Create a process with a fresh root; see {!Pcont.Spawn.spawn}. *)
+
+val control : 'r controller -> (('a, 'r) pk -> 'r) -> 'a
+(** Capture and abort the subtree back to the controller's root; apply the
+    body to the process continuation outside the root.  Suspended sibling
+    branches are captured inside the [pk].
+
+    @raise Dead_controller if the root is not above the calling fiber. *)
+
+val resume : ('a, 'r) pk -> 'a -> 'r
+(** Graft the captured subtree here: the capture point returns ['a], all
+    captured branches become runnable again, and [resume] returns the
+    process's eventual result.
+
+    @raise Expired_pk on a second resumption. *)
+
+val pcall : (unit -> 'a) list -> 'a list
+(** Evaluate the thunks as parallel branches of the process tree; return
+    their values (in position order) once all have returned. *)
+
+val pcall2 : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Heterogeneous binary [pcall]. *)
+
+val yield : unit -> unit
+(** Let other branches run; also the points at which a fiber can be
+    suspended into a captured subtree. *)
+
+(** {1 Futures: independent concurrency (Section 8)}
+
+    The paper closes by noting that tree-structured and independent
+    concurrency can coexist as a {e forest of trees}, "in which control
+    operations affect only the tree in which they occur".  A {!future}
+    plants a new independent tree in the forest: its branches are scheduled
+    alongside everything else, but a controller inside it cannot capture
+    across the tree boundary (it is {!Dead_controller} there), and pruning
+    the touching tree never disturbs the future's tree. *)
+
+type 'a future
+
+val future : (unit -> 'a) -> 'a future
+(** Start an independent process tree computing the value.  Unlike
+    [pcall], the caller continues immediately.  If {!run}'s main tree
+    finishes first, unfinished futures are discarded. *)
+
+val touch : 'a future -> 'a
+(** Wait (cooperatively) for the future's value. *)
+
+val poll : 'a future -> 'a option
+(** The value if already available. *)

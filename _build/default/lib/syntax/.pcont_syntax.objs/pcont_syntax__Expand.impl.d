@@ -1,0 +1,1 @@
+lib/syntax/expand.ml: Format List Macro Pcont_pstack Printf Reader

@@ -1,0 +1,1 @@
+lib/syntax/expand.mli: Macro Pcont_pstack Reader

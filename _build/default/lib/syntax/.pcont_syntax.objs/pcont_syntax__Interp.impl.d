@@ -1,0 +1,1 @@
+lib/syntax/interp.ml: Expand List Macro Pcont_pstack Prelude Printf Stdlib

@@ -1,0 +1,1 @@
+lib/syntax/interp.mli: Expand Macro Pcont_pstack

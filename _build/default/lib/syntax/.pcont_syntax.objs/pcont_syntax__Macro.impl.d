@@ -1,0 +1,1 @@
+lib/syntax/macro.ml: Format Hashtbl List Printf Reader String

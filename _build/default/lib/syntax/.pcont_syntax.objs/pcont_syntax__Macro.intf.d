@@ -1,0 +1,1 @@
+lib/syntax/macro.mli: Reader

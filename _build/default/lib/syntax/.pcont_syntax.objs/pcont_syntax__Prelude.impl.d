@@ -1,0 +1,1 @@
+lib/syntax/prelude.ml: Expand

@@ -1,0 +1,1 @@
+lib/syntax/reader.ml: Buffer Format List Printf String

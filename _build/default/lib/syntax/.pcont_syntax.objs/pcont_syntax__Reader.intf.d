@@ -1,0 +1,1 @@
+lib/syntax/reader.mli: Format

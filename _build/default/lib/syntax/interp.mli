@@ -1,0 +1,67 @@
+(** A complete Scheme interpreter over the process-stack machine.
+
+    Ties together the reader, the expander, the prelude and the two drivers
+    (sequential {!Pcont_pstack.Run} and concurrent {!Pcont_pstack.Concur}).
+    Top-level [define] forms evaluate their right-hand side and bind it
+    globally; other forms evaluate for value. *)
+
+type mode =
+  | Sequential
+      (** the stack-of-stacks implementation; [pcall] runs left to right *)
+  | Concurrent of Pcont_pstack.Concur.sched
+      (** the tree-of-stacks implementation with interleaved branches *)
+
+type t
+
+val create : ?prelude:bool -> ?strategy:Pcont_pstack.Types.strategy -> unit -> t
+(** A fresh interpreter.  [prelude] (default true) loads the Scheme-level
+    prelude, including the paper's [spawn/exit] and [first-true]. *)
+
+val env : t -> Pcont_pstack.Types.env
+
+val config : t -> Pcont_pstack.Machine.config
+
+val macros : t -> Macro.table
+(** The interpreter's [extend-syntax] macro table. *)
+
+type result =
+  | Value of Pcont_pstack.Types.value
+  | Defined of string
+  | Error of string
+
+val result_to_string : result -> string
+
+val eval_top :
+  ?mode:mode ->
+  ?fuel:int ->
+  ?quantum:int ->
+  ?on_event:(Pcont_pstack.Concur.event -> unit) ->
+  t ->
+  Expand.top ->
+  result
+
+val eval_string :
+  ?mode:mode ->
+  ?fuel:int ->
+  ?quantum:int ->
+  ?on_event:(Pcont_pstack.Concur.event -> unit) ->
+  t ->
+  string ->
+  result list
+(** Read, expand and evaluate every form of a program.  Evaluation stops at
+    the first error (which is included as the final result). *)
+
+val eval_value :
+  ?mode:mode ->
+  ?fuel:int ->
+  ?quantum:int ->
+  ?on_event:(Pcont_pstack.Concur.event -> unit) ->
+  t ->
+  string ->
+  Pcont_pstack.Types.value
+(** Evaluate a program and return the value of its last form; raises
+    [Failure] on read, expansion or evaluation errors, or if the last form
+    is a definition. *)
+
+val take_output : unit -> string
+(** Drain everything the program printed via [display]/[write]/[newline]. *)

@@ -1,0 +1,186 @@
+let source =
+  {prelude|
+;; ------------------------------------------------------------------
+;; List utilities
+;; ------------------------------------------------------------------
+
+(define (map1 f ls)
+  (if (null? ls) '() (cons (f (car ls)) (map1 f (cdr ls)))))
+
+(define (map f . lists)
+  (define (any-null? ls)
+    (if (null? ls) #f (if (null? (car ls)) #t (any-null? (cdr ls)))))
+  (define (heads ls) (map1 car ls))
+  (define (tails ls) (map1 cdr ls))
+  (define (go lists)
+    (if (any-null? lists)
+        '()
+        (cons (apply f (heads lists)) (go (tails lists)))))
+  (go lists))
+
+(define (for-each f ls)
+  (unless (null? ls)
+    (f (car ls))
+    (for-each f (cdr ls))))
+
+(define (filter pred ls)
+  (cond
+    [(null? ls) '()]
+    [(pred (car ls)) (cons (car ls) (filter pred (cdr ls)))]
+    [else (filter pred (cdr ls))]))
+
+(define (fold-left f acc ls)
+  (if (null? ls) acc (fold-left f (f acc (car ls)) (cdr ls))))
+
+(define (fold-right f acc ls)
+  (if (null? ls) acc (f (car ls) (fold-right f acc (cdr ls)))))
+
+(define (iota n)
+  (define (go i) (if (= i n) '() (cons i (go (+ i 1)))))
+  (go 0))
+
+(define (list-tail ls k)
+  (if (zero? k) ls (list-tail (cdr ls) (- k 1))))
+
+(define (last ls)
+  (if (null? (cdr ls)) (car ls) (last (cdr ls))))
+
+(define (take ls n)
+  (if (or (zero? n) (null? ls)) '() (cons (car ls) (take (cdr ls) (- n 1)))))
+
+(define (drop ls n)
+  (if (or (zero? n) (null? ls)) ls (drop (cdr ls) (- n 1))))
+
+(define (any? pred ls)
+  (cond [(null? ls) #f] [(pred (car ls)) #t] [else (any? pred (cdr ls))]))
+
+(define (every? pred ls)
+  (cond [(null? ls) #t] [(pred (car ls)) (every? pred (cdr ls))] [else #f]))
+
+(define (remove pred ls)
+  (filter (lambda (x) (not (pred x))) ls))
+
+;; stable merge sort
+(define (merge less? a b)
+  (cond [(null? a) b]
+        [(null? b) a]
+        [(less? (car b) (car a)) (cons (car b) (merge less? a (cdr b)))]
+        [else (cons (car a) (merge less? (cdr a) b))]))
+
+(define (sort less? ls)
+  (let ([n (length ls)])
+    (if (< n 2)
+        ls
+        (let ([half (quotient n 2)])
+          (merge less? (sort less? (take ls half)) (sort less? (drop ls half)))))))
+
+;; ------------------------------------------------------------------
+;; Section 2 of the paper: make-cell
+;; ------------------------------------------------------------------
+
+(define make-cell
+  (lambda (x)
+    (cons (lambda () x)
+          (lambda (v) (set! x v)))))
+
+(define (cell-ref cell) ((car cell)))
+(define (cell-set! cell v) ((cdr cell) v))
+
+;; ------------------------------------------------------------------
+;; Section 5 of the paper: spawn/exit and first-true
+;; ------------------------------------------------------------------
+
+;; spawn/exit gives its argument a restricted controller usable only to
+;; abort the spawned process and return a value: the real controller is
+;; invoked with a procedure that throws away the process continuation.
+(define spawn/exit
+  (lambda (proc)
+    (spawn
+      (lambda (c)
+        (proc (lambda (exit-value)
+                (c (lambda (k) exit-value))))))))
+
+;; ------------------------------------------------------------------
+;; Coroutines (paper reference [11]) from spawn alone.
+;;
+;; (make-coroutine body) with body : (lambda (yield input) ...) returns a
+;; resume procedure; (resume v) evaluates to (yield . x) when the body
+;; yields x, or (return . r) when it returns r.  The controller captures
+;; exactly the coroutine's own extent — the delimiting call/cc cannot do.
+;; ------------------------------------------------------------------
+
+(define (make-coroutine body)
+  (let ([state (make-cell (cons 'unstarted body))])
+    (lambda (input)
+      (let ([st (cell-ref state)])
+        (cond
+          [(eq? st 'done) (error "coroutine finished")]
+          [(eq? (car st) 'unstarted)
+           (let ([b (cdr st)])
+             (spawn
+               (lambda (c)
+                 (let ([yield
+                        (lambda (v)
+                          (c (lambda (k)
+                               (cell-set! state (cons 'suspended k))
+                               (cons 'yield v))))])
+                   (let ([r (b yield input)])
+                     (cell-set! state 'done)
+                     (cons 'return r))))))]
+          [else
+           (let ([k (cdr st)])
+             (cell-set! state 'running)
+             (k input))])))))
+
+;; ------------------------------------------------------------------
+;; Engines (paper reference [6]) from spawn alone.
+;;
+;; (make-engine body) with body : (lambda (tick) ...) returns an engine;
+;; (engine fuel) evaluates to (done value fuel-left) or (expired engine').
+;; Fuel is consumed by explicit (tick) calls.
+;; ------------------------------------------------------------------
+
+(define (make-engine body)
+  (define (engine-of state fuel-cell)
+    (lambda (fuel)
+      (cell-set! fuel-cell fuel)
+      (let ([st (cell-ref state)])
+        (cond
+          [(eq? st 'consumed) (error "engine already run")]
+          [(eq? (car st) 'unstarted)
+           (let ([b (cdr st)])
+             (cell-set! state 'consumed)
+             (spawn
+               (lambda (c)
+                 (let ([tick
+                        (lambda ()
+                          (if (zero? (cell-ref fuel-cell))
+                              (c (lambda (k)
+                                   (let ([st2 (make-cell (cons 'suspended k))])
+                                     (list 'expired (engine-of st2 fuel-cell)))))
+                              (cell-set! fuel-cell (- (cell-ref fuel-cell) 1))))])
+                   (let ([v (b tick)])
+                     (list 'done v (cell-ref fuel-cell)))))))]
+          [else
+           (let ([k (cdr st)])
+             (cell-set! state 'consumed)
+             (k #f))]))))
+  (engine-of (make-cell (cons 'unstarted body)) (make-cell 0)))
+
+;; first-true applies two procedures concurrently and returns the value of
+;; the first to return a true value, or #f if neither does.  If either
+;; branch produces a true value the controller aborts the whole process;
+;; otherwise the operator branch returns an identity procedure and the
+;; argument branch returns #f, so the pcall application yields #f.
+(define first-true
+  (lambda (proc1 proc2)
+    (spawn
+      (lambda (c)
+        (pcall
+          (let ([v (proc1)])
+            (if v (c (lambda (k) v)) (lambda (x) x)))
+          (let ([v (proc2)])
+            (if v (c (lambda (k) v)) #f)))))))
+|prelude}
+
+let forms () = Expand.parse_program source

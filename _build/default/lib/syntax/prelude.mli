@@ -1,0 +1,13 @@
+(** The Scheme-level standard prelude.
+
+    Library procedures written in the object language itself, loaded into a
+    fresh interpreter: list utilities ([map], [filter], [fold-left],
+    [fold-right], [for-each], [iota], …), the paper's Section 2 [make-cell],
+    and — directly transcribed from Section 5 of the paper — [spawn/exit]
+    and [first-true], on which [parallel-or] expands. *)
+
+val source : string
+(** The prelude program text. *)
+
+val forms : unit -> (Expand.top list, string) result
+(** The prelude parsed and expanded. *)

@@ -1,0 +1,210 @@
+type datum =
+  | Dint of int
+  | Dbool of bool
+  | Dstr of string
+  | Dsym of string
+  | Dchar of char
+  | Dlist of datum list
+  | Ddot of datum list * datum
+
+let rec pp ppf = function
+  | Dint n -> Format.fprintf ppf "%d" n
+  | Dbool true -> Format.fprintf ppf "#t"
+  | Dbool false -> Format.fprintf ppf "#f"
+  | Dstr s -> Format.fprintf ppf "%S" s
+  | Dsym s -> Format.fprintf ppf "%s" s
+  | Dchar ' ' -> Format.fprintf ppf "#\\space"
+  | Dchar '\n' -> Format.fprintf ppf "#\\newline"
+  | Dchar c -> Format.fprintf ppf "#\\%c" c
+  | Dlist ds ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        ds
+  | Ddot (ds, tail) ->
+      Format.fprintf ppf "(%a . %a)"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        ds pp tail
+
+let to_string d = Format.asprintf "%a" pp d
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos msg))) fmt
+
+let is_delim = function
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '[' | ']' | '"' | ';' -> true
+  | _ -> false
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | Some ';' ->
+      let rec to_eol () =
+        match peek c with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance c;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws c
+  | _ -> ()
+
+let read_token c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ch when not (is_delim ch) ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub c.src start (c.pos - start)
+
+let read_string_literal c =
+  advance c (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string literal"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance c;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance c;
+            go ()
+        | Some ('"' | '\\') ->
+            Buffer.add_char buf c.src.[c.pos];
+            advance c;
+            go ()
+        | Some ch -> fail c "unknown string escape \\%c" ch
+        | None -> fail c "unterminated string escape")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ();
+  Dstr (Buffer.contents buf)
+
+let read_hash c =
+  advance c (* '#' *);
+  match peek c with
+  | Some 't' ->
+      advance c;
+      Dbool true
+  | Some 'f' ->
+      advance c;
+      Dbool false
+  | Some '\\' ->
+      advance c;
+      let tok =
+        match peek c with
+        | Some ch when is_delim ch ->
+            (* e.g. #\( or #\space-less single delimiter char *)
+            advance c;
+            String.make 1 ch
+        | _ -> read_token c
+      in
+      begin
+        match tok with
+        | "space" -> Dchar ' '
+        | "newline" -> Dchar '\n'
+        | "tab" -> Dchar '\t'
+        | t when String.length t = 1 -> Dchar t.[0]
+        | t -> fail c "unknown character literal #\\%s" t
+      end
+  | _ -> fail c "unknown # syntax"
+
+let looks_like_int tok =
+  tok <> "" && tok <> "-" && tok <> "+"
+  &&
+  let body = match tok.[0] with '-' | '+' -> String.sub tok 1 (String.length tok - 1) | _ -> tok in
+  body <> "" && String.for_all (fun ch -> ch >= '0' && ch <= '9') body
+
+let rec read_datum c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '(' -> read_list c ')'
+  | Some '[' -> read_list c ']'
+  | Some (')' | ']') -> fail c "unexpected closing bracket"
+  | Some '\'' ->
+      advance c;
+      Dlist [ Dsym "quote"; read_datum c ]
+  | Some '"' -> read_string_literal c
+  | Some '#' -> read_hash c
+  | Some _ ->
+      let tok = read_token c in
+      if tok = "" then fail c "empty token"
+      else if looks_like_int tok then Dint (int_of_string tok)
+      else Dsym tok
+
+and read_list c closer =
+  advance c (* opening bracket *);
+  let rec go acc =
+    skip_ws c;
+    match peek c with
+    | None -> fail c "unterminated list"
+    | Some ch when ch = closer ->
+        advance c;
+        Dlist (List.rev acc)
+    | Some (')' | ']') -> fail c "mismatched brackets"
+    | Some '.' when is_dot c ->
+        advance c;
+        let tail = read_datum c in
+        skip_ws c;
+        begin
+          match peek c with
+          | Some ch when ch = closer ->
+              advance c;
+              if acc = [] then fail c "dotted list needs a head"
+              else Ddot (List.rev acc, tail)
+          | _ -> fail c "expected closing bracket after dotted tail"
+        end
+    | Some _ -> go (read_datum c :: acc)
+  in
+  go []
+
+(* A '.' token is the dotted-pair marker only when followed by a delimiter;
+   otherwise it begins a symbol such as [...]. *)
+and is_dot c =
+  c.pos + 1 >= String.length c.src || is_delim c.src.[c.pos + 1]
+
+let parse src =
+  let c = { src; pos = 0 } in
+  try
+    let d = read_datum c in
+    skip_ws c;
+    match peek c with
+    | None -> Ok d
+    | Some _ -> Error (Printf.sprintf "trailing input at offset %d" c.pos)
+  with Parse_error msg -> Error msg
+
+let parse_all src =
+  let c = { src; pos = 0 } in
+  try
+    let rec go acc =
+      skip_ws c;
+      match peek c with
+      | None -> Ok (List.rev acc)
+      | Some _ -> go (read_datum c :: acc)
+    in
+    go []
+  with Parse_error msg -> Error msg

@@ -1,0 +1,26 @@
+(** S-expression reader.
+
+    Supports the lexical subset the paper's programs use: integers,
+    booleans ([#t]/[#f]), characters ([#\c], [#\space], [#\newline]),
+    strings with the usual escapes, symbols, proper and dotted lists with
+    [()] or [\[\]] brackets, [']-quotation (read as [(quote x)]), and [;]
+    line comments. *)
+
+type datum =
+  | Dint of int
+  | Dbool of bool
+  | Dstr of string
+  | Dsym of string
+  | Dchar of char
+  | Dlist of datum list
+  | Ddot of datum list * datum  (** improper list: at least one element *)
+
+val pp : Format.formatter -> datum -> unit
+
+val to_string : datum -> string
+
+val parse : string -> (datum, string) result
+(** Parse exactly one datum (trailing whitespace/comments allowed). *)
+
+val parse_all : string -> (datum list, string) result
+(** Parse a whole program: a sequence of data. *)

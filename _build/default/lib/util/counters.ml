@@ -1,0 +1,30 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let cell c name =
+  match Hashtbl.find_opt c name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add c name r;
+      r
+
+let add c name n =
+  let r = cell c name in
+  r := !r + n
+
+let incr c name = add c name 1
+
+let get c name = match Hashtbl.find_opt c name with Some r -> !r | None -> 0
+
+let reset c = Hashtbl.iter (fun _ r -> r := 0) c
+
+let to_list c =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) c []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf (name, v) -> Format.fprintf ppf "%s = %d" name v))
+    (to_list c)

@@ -1,0 +1,27 @@
+(** Named instrumentation counters.
+
+    The Section 7 complexity claims (experiments E1/E2) are about the number
+    of activation records and control points touched by a control operation,
+    independent of wall-clock noise.  The pstack machine increments these
+    counters so tests can assert the claims exactly. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** [incr c name] adds 1 to counter [name], creating it at 0 if absent. *)
+
+val add : t -> string -> int -> unit
+(** [add c name n] adds [n] to counter [name]. *)
+
+val get : t -> string -> int
+(** [get c name] is the current value of [name] (0 if never touched). *)
+
+val reset : t -> unit
+(** [reset c] zeroes every counter. *)
+
+val to_list : t -> (string * int) list
+(** [to_list c] lists counters sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

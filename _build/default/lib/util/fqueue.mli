@@ -1,0 +1,30 @@
+(** Purely functional FIFO queues (two-list representation).
+
+    Used by the schedulers to hold runnable leaves of the process tree.  A
+    functional queue keeps scheduler states immutable, so a scheduler
+    configuration can be captured inside a process continuation and later
+    reinstated without aliasing. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a -> 'a t -> 'a t
+(** [push x q] enqueues [x] at the back of [q]. *)
+
+val pop : 'a t -> ('a * 'a t) option
+(** [pop q] is [Some (x, q')] where [x] is the front element, or [None] if
+    [q] is empty.  Amortised O(1). *)
+
+val of_list : 'a list -> 'a t
+(** [of_list xs] is a queue whose front element is [List.hd xs]. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list q] lists elements front-first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [fold f acc q] folds front-first. *)

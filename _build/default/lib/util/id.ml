@@ -1,0 +1,15 @@
+type t = { mutable next : int; mutable count : int }
+
+let create () = { next = 0; count = 0 }
+
+let fresh g =
+  let n = g.next in
+  g.next <- n + 1;
+  g.count <- g.count + 1;
+  n
+
+let fresh_above g n =
+  if n >= g.next then g.next <- n + 1;
+  fresh g
+
+let count g = g.count

@@ -1,0 +1,25 @@
+(** Unique integer identifiers.
+
+    Labels in the semantics (Section 6) and roots in the process tree
+    (Section 7) must be globally fresh.  A [t] is a generator of such
+    identifiers; independent generators produce independent sequences, which
+    keeps tests deterministic. *)
+
+type t
+(** A fresh-identifier generator. *)
+
+val create : unit -> t
+(** [create ()] is a new generator whose first identifier is [0]. *)
+
+val fresh : t -> int
+(** [fresh g] returns the next identifier from [g]. *)
+
+val fresh_above : t -> int -> int
+(** [fresh_above g n] returns an identifier strictly greater than [n] and
+    greater than any identifier previously returned by [g].  This mirrors the
+    paper's side condition [l ∉ labels(C[v])] for the [spawn] rewrite rule:
+    picking an identifier above every label occurring in the program
+    guarantees freshness. *)
+
+val count : t -> int
+(** [count g] is the number of identifiers generated so far. *)

@@ -1,0 +1,7 @@
+type t = exn
+
+let embed (type a) () =
+  let module M = struct
+    exception E of a
+  end in
+  ((fun x -> M.E x), function M.E x -> Some x | _ -> None)

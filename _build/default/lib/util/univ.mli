@@ -1,0 +1,13 @@
+(** A universal type with type-safe injection/projection pairs.
+
+    The cooperative scheduler moves values of arbitrary types between
+    fibers through a single queue; each crossing point creates an
+    [embed]ding and projects on the other side.  Implemented with locally
+    generated extension constructors — no [Obj.magic]. *)
+
+type t
+
+val embed : unit -> ('a -> t) * (t -> 'a option)
+(** [embed ()] is a fresh [(inject, project)] pair.  [project (inject v)]
+    is [Some v]; projecting a value injected by a different pair is
+    [None]. *)

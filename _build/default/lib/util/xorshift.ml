@@ -1,0 +1,33 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+(* splitmix64 finaliser: well-distributed even for sequential seeds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g =
+  g.state <- Int64.add g.state golden;
+  mix g.state
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Xorshift.int: bound must be positive";
+  (* Mask to 62 bits so the Int64->int truncation can never go negative. *)
+  let r = Int64.to_int (Int64.logand (next g) 0x3FFF_FFFF_FFFF_FFFFL) in
+  r mod bound
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let split g = create (next g)
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

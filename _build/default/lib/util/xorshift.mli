@@ -1,0 +1,25 @@
+(** Deterministic splittable pseudo-random numbers (splitmix64).
+
+    The concurrent schedulers optionally randomise the interleaving of
+    process-tree branches.  Reproducibility of every experiment requires a
+    self-contained, seeded generator rather than [Random], whose global state
+    would couple unrelated tests. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 pseudo-random bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** [split g] derives an independent generator, advancing [g]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle g a] permutes [a] in place (Fisher-Yates). *)

@@ -1,0 +1,1 @@
+test/test_bridge.ml: Alcotest List Pcont_bridge Pcont_machine Pcont_pstack Pcont_syntax QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_concur.ml: Alcotest Hashtbl Int64 List Pcont_pstack Pcont_syntax Pcont_util QCheck QCheck_alcotest String

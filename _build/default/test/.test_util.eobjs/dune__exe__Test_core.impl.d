@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Coroutine Engine Exit Fun Generator List Option Pcont Prompt QCheck QCheck_alcotest Spawn String

@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest List Pcont_bridge Pcont_machine Pcont_pstack QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Ctx Eval Examples Format Hashtbl List Option Pcont_machine Pcont_util Pp Printf QCheck QCheck_alcotest Seq Step String Term Zipper

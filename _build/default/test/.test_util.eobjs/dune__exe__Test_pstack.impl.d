@@ -1,0 +1,1 @@
+test/test_pstack.ml: Alcotest Debug Env Format Ir List Machine Option Pcont_pstack Pcont_syntax Pcont_util Prims Printf QCheck QCheck_alcotest Run String Types Value

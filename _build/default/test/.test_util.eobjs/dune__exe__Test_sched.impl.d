@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Hashtbl Int64 List Option Pcont_sched

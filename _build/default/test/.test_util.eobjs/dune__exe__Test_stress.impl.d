@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Buffer List Pcont Pcont_machine Pcont_pstack Pcont_sched Pcont_syntax Printf

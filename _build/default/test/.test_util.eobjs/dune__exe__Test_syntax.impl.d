@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest List Pcont_pstack Pcont_syntax QCheck QCheck_alcotest String

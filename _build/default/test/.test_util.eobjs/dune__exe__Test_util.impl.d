@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Int64 List Option Pcont_util QCheck QCheck_alcotest

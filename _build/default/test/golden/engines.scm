@@ -1,0 +1,22 @@
+;; Reference [6]: engines, in the object language.
+(define (sum-engine n)
+  (make-engine
+    (lambda (tick)
+      (let loop ([i 0] [acc 0])
+        (if (= i n) acc (begin (tick) (loop (+ i 1) (+ acc i))))))))
+
+(define r1 ((sum-engine 10) 100))
+(display r1) (newline)
+
+(define r2 ((sum-engine 10) 3))
+(display (car r2)) (newline)
+(display ((cadr r2) 100)) (newline)
+
+;; Reference [11]: coroutines.
+(define co
+  (make-coroutine
+    (lambda (yield i)
+      (let* ([j (yield (+ i 1))]
+             [k (yield (+ j 10))])
+        (+ k 100)))))
+(display (list (co 1) (co 5) (co 7))) (newline)

@@ -1,0 +1,3 @@
+;; Error paths: invalid controller uses report cleanly (and psi exits 1,
+;; checked by the dune rule's accepted exit codes).
+((spawn (lambda (c) c)) (lambda (k) k))

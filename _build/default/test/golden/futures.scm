@@ -1,0 +1,11 @@
+;; Section 8: Multilisp-style futures as independent trees (run with psi -c).
+(define fibs
+  (map1 (lambda (i)
+          (future
+            (let fib ([n i])
+              (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))))
+        (iota 10)))
+
+(display (map1 touch fibs)) (newline)
+(display (touch 42)) (newline)
+(display (future? (car fibs))) (newline)

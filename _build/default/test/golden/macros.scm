@@ -1,0 +1,21 @@
+;; Section 2: the paper's extend-syntax definition of let, shadowing the
+;; built-in, plus a multi-rule recursive macro.
+(extend-syntax (let)
+  [(let ([x v] ...) e1 e2 ...)
+   ((lambda (x ...) e1 e2 ...) v ...)])
+
+(display (let ([a 1] [b 2]) (+ a b))) (newline)
+
+(extend-syntax (my-list)
+  [(my-list) '()]
+  [(my-list e1 e2 ...) (cons e1 (my-list e2 ...))])
+
+(display (my-list 1 (+ 1 1) 3)) (newline)
+
+(extend-syntax (swap!)
+  [(swap! a b) (let ([tmp a]) (set! a b) (set! b tmp))])
+
+(define p 1)
+(define q 2)
+(swap! p q)
+(display (list p q)) (newline)

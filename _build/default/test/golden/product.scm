@@ -1,0 +1,18 @@
+;; Section 3/5: products with nonlocal exits, three ways.
+(define product0
+  (lambda (ls exit)
+    (cond
+      [(null? ls) 1]
+      [(= (car ls) 0) (exit 0)]
+      [else (* (car ls) (product0 (cdr ls) exit))])))
+
+(define (product-cc ls)
+  (call/cc (lambda (exit) (product0 ls exit))))
+
+(define (product-se ls)
+  (spawn/exit (lambda (exit) (product0 ls exit))))
+
+(display (product-cc '(1 2 3 4 5))) (newline)
+(display (product-cc '(1 2 0 4 5))) (newline)
+(display (product-se '(1 2 3 4 5))) (newline)
+(display (product-se '(7 0 9))) (newline)

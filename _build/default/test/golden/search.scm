@@ -1,0 +1,38 @@
+;; Section 5: parallel-search over a binary tree (run with psi -c).
+(define (node t) (car t))
+(define (left t) (cadr t))
+(define (right t) (car (cddr t)))
+(define (empty? t) (null? t))
+
+(define parallel-search
+  (lambda (tree predicate?)
+    (spawn
+      (lambda (c)
+        (define search
+          (lambda (tree)
+            (unless (empty? tree)
+              (pcall
+                (lambda (x y z) #f)
+                (when (predicate? (node tree))
+                  (c (lambda (k)
+                       (cons (node tree)
+                             (lambda () (k #f))))))
+                (search (left tree))
+                (search (right tree))))))
+        (search tree)
+        #f))))
+
+(define search-all
+  (lambda (tree predicate?)
+    (letrec ([collect (lambda (result)
+                        (if result
+                            (cons (car result) (collect ((cdr result))))
+                            '()))])
+      (collect (parallel-search tree predicate?)))))
+
+(define t '(4 (2 (1 () ()) (3 () ())) (6 (5 () ()) (7 () ()))))
+
+(display (sort < (search-all t even?))) (newline)
+(display (sort < (search-all t odd?))) (newline)
+(display (parallel-or #f 17)) (newline)
+(display (parallel-or #f #f)) (newline)

@@ -1,0 +1,7 @@
+;; Section 4: the reinstated-controller example and multi-shot invocation.
+(display
+  ((spawn (lambda (c) (c (c (lambda (k) (k (lambda (k) (k (lambda (k) k)))))))))
+   42))
+(newline)
+(display (spawn (lambda (c) (+ 1 (c (lambda (k) (* (k 2) (k 3))))))))
+(newline)

@@ -1,0 +1,13 @@
+;; dynamic-wind with process continuations (the Subcontinuations-1994
+;; extension of this paper): winders bracket every exit and re-entry.
+(define log '())
+(define (note x) (set! log (cons x log)))
+
+(display
+  (spawn (lambda (c)
+    (dynamic-wind
+      (lambda () (note 'in))
+      (lambda () (+ 1 (c (lambda (k) (* (k 2) (k 3))))))
+      (lambda () (note 'out))))))
+(newline)
+(display (reverse log)) (newline)

@@ -1,0 +1,260 @@
+(* Tests for the bridge between the Section 6 calculus and the pstack IR:
+   total translation machine->IR, partial translation IR->machine, and
+   whole Scheme programs running on the semantics machine. *)
+
+module Bridge = Pcont_bridge.Bridge
+module M = Pcont_machine
+module T = Pcont_machine.Term
+module P = Pcont_pstack
+module Interp = Pcont_syntax.Interp
+
+(* Observable summaries, as in test_diff. *)
+let rec obs_machine (v : T.term) : string =
+  match v with
+  | T.Int n -> string_of_int n
+  | T.Bool b -> string_of_bool b
+  | T.Unit -> "unit"
+  | T.Nil -> "nil"
+  | T.Pair (a, d) -> "(" ^ obs_machine a ^ " . " ^ obs_machine d ^ ")"
+  | T.Lam _ | T.Fix _ | T.Prim _ | T.Papp _ -> "<procedure>"
+  | _ -> "<other>"
+
+let rec obs_pstack (v : P.Types.value) : string =
+  match v with
+  | P.Types.Int n -> string_of_int n
+  | P.Types.Bool b -> string_of_bool b
+  | P.Types.Unit -> "unit"
+  | P.Types.Nil -> "nil"
+  | P.Types.Pair { car; cdr } -> "(" ^ obs_pstack car ^ " . " ^ obs_pstack cdr ^ ")"
+  | P.Types.Closure _ | P.Types.Prim _ | P.Types.Controller _ | P.Types.Pk _
+  | P.Types.Pktree _ | P.Types.Cont _ | P.Types.Fcont _ ->
+      "<procedure>"
+  | _ -> "<other>"
+
+let machine_value src_term =
+  match M.Eval.eval ~fuel:500_000 src_term with
+  | M.Eval.Value v -> obs_machine v
+  | M.Eval.Stuck m -> Alcotest.failf "machine stuck: %s" m
+  | M.Eval.Out_of_fuel _ -> Alcotest.fail "machine out of fuel"
+
+let run_scheme_on_machine src =
+  match Bridge.scheme_to_term src with
+  | Error m -> Alcotest.failf "translation failed: %s" m
+  | Ok term -> machine_value term
+
+(* ---------------- to_term on Scheme sources ---------------- *)
+
+let test_scheme_on_machine_basics () =
+  Alcotest.(check string) "arith" "7" (run_scheme_on_machine "(+ 3 4)");
+  Alcotest.(check string) "let" "3" (run_scheme_on_machine "(let ([a 1] [b 2]) (+ a b))");
+  Alcotest.(check string) "lambda" "25" (run_scheme_on_machine "((lambda (x) (* x x)) 5)");
+  Alcotest.(check string) "multi-arg" "9"
+    (run_scheme_on_machine "((lambda (x y) (+ x y)) 4 5)");
+  Alcotest.(check string) "thunk" "8" (run_scheme_on_machine "((lambda () 8))");
+  Alcotest.(check string) "if/cond" "2"
+    (run_scheme_on_machine "(cond [(zero? 1) 1] [else 2])");
+  Alcotest.(check string) "and/or" "5" (run_scheme_on_machine "(or #f (and #t 5))");
+  Alcotest.(check string) "quote" "(1 . (2 . nil))"
+    (run_scheme_on_machine "'(1 2)");
+  Alcotest.(check string) "begin" "2" (run_scheme_on_machine "(begin 1 2)")
+
+let test_scheme_on_machine_recursion () =
+  Alcotest.(check string) "factorial" "120"
+    (run_scheme_on_machine
+       "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 5)");
+  Alcotest.(check string) "named let" "55"
+    (run_scheme_on_machine
+       "(let loop ([i 0] [acc 0]) (if (< 10 i) acc (loop (+ i 1) (+ acc i))))")
+
+let test_scheme_on_machine_spawn () =
+  (* The paper's Section 4 example, from Scheme source to the Section 6
+     rewriting machine. *)
+  Alcotest.(check string) "reinstated" "42"
+    (run_scheme_on_machine
+       "((spawn (lambda (c) (c (c (lambda (k) (k (lambda (k) (k (lambda (k) k))))))))) 42)");
+  Alcotest.(check string) "pk twice" "12"
+    (run_scheme_on_machine
+       "(spawn (lambda (c) (+ 1 (c (lambda (k) (* (k 2) (k 3)))))))");
+  Alcotest.(check string) "product via spawn" "0"
+    (run_scheme_on_machine
+       {|
+(define (spawn-exit proc)
+  (spawn (lambda (c) (proc (lambda (v) (c (lambda (k) v)))))))
+(define (product0 ls exit)
+  (cond [(null? ls) 1]
+        [(zero? (car ls)) (exit 0)]
+        [else (* (car ls) (product0 (cdr ls) exit))]))
+(spawn-exit (lambda (exit) (product0 '(1 2 0 4) exit)))
+|})
+
+let test_to_term_unsupported () =
+  let check_err src expect =
+    match Bridge.scheme_to_term src with
+    | Error m ->
+        let contains =
+          let n = String.length expect and l = String.length m in
+          let rec go i = i + n <= l && (String.sub m i n = expect || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) (src ^ " error mentions " ^ expect) true contains
+    | Ok _ -> Alcotest.failf "%s should not translate" src
+  in
+  check_err "(set! x 1)" "set!";
+  check_err "\"str\"" "string";
+  check_err "(pcall + 1 2)" "pcall";
+  check_err "(future 1)" "future";
+  check_err "((lambda args args) 1)" "variadic";
+  check_err "'sym" "symbol"
+
+let test_program_folding () =
+  (* defines become lets over the remaining forms; intermediate
+     expressions are sequenced. *)
+  Alcotest.(check string) "defines chain" "30"
+    (run_scheme_on_machine "(define a 10) (define b (+ a a)) (+ a b)");
+  Alcotest.(check string) "intermediate exprs" "5"
+    (run_scheme_on_machine "(+ 1 1) (define x 5) x");
+  match Bridge.scheme_to_term "(define x 1)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a program ending in a define has no value"
+
+(* ---------------- roundtrip: term -> IR -> term ---------------- *)
+
+let roundtrip_agree name term =
+  let direct = machine_value term in
+  match Bridge.to_term (Bridge.of_term term) with
+  | Error m -> Alcotest.failf "%s: roundtrip failed: %s" name m
+  | Ok term' -> Alcotest.(check string) name direct (machine_value term')
+
+let test_roundtrip_curated () =
+  roundtrip_agree "product" (M.Examples.product_of [ 2; 3; 4 ]);
+  roundtrip_agree "product zero" (M.Examples.product_of [ 2; 0; 4 ]);
+  roundtrip_agree "reinstated" M.Examples.reinstated_applied;
+  roundtrip_agree "pk twice" M.Examples.pk_twice;
+  roundtrip_agree "nested spawns" (M.Examples.nested_spawn_depth 3)
+
+(* ---------------- random IR -> machine agreement ---------------- *)
+
+(* Pure IR programs in the translatable fragment. *)
+let gen_ir =
+  let open QCheck.Gen in
+  let rec go env n =
+    if n <= 0 then
+      oneof
+        [
+          map P.Ir.int small_int;
+          map P.Ir.bool bool;
+          (if env = [] then map P.Ir.int small_int else map P.Ir.var (oneofl env));
+        ]
+    else
+      frequency
+        [
+          (2, map P.Ir.int small_int);
+          (3, let* x = oneofl [ "p"; "q" ] in
+              let* body = go (x :: env) (n / 2) in
+              let* arg = go env (n / 2) in
+              return (P.Ir.app (P.Ir.lam [ x ] body) [ arg ]));
+          (2, let* a = go env (n / 2) in
+              let* b = go env (n / 2) in
+              let* op = oneofl [ "+"; "-"; "*" ] in
+              return (P.Ir.app (P.Ir.var op) [ a; b ]));
+          (2, let* c = go env (n / 3) in
+              let* a = go env (n / 3) in
+              let* b = go env (n / 3) in
+              return (P.Ir.if_ (P.Ir.app (P.Ir.var "zero?") [ c ]) a b));
+          (1, let* bindings =
+                flatten_l
+                  [ (let* e = go env (n / 3) in return ("m", e)) ]
+              in
+              let* body = go ("m" :: env) (n / 2) in
+              return (P.Ir.Let (bindings, body)));
+          (1, let* body = go ("cc" :: env) (n / 2) in
+              return (P.Ir.app (P.Ir.var "spawn") [ P.Ir.lam [ "cc" ] body ]));
+        ]
+  in
+  go [] 10
+
+let arb_ir = QCheck.make gen_ir ~print:P.Ir.to_string
+
+let prop_ir_to_machine_agrees =
+  QCheck.Test.make ~name:"IR runs identically on pstack and (via to_term) machine"
+    ~count:300 arb_ir (fun ir ->
+      match Bridge.to_term ir with
+      | Error _ -> true (* outside the fragment: no verdict *)
+      | Ok term -> (
+          let pstack =
+            match P.Run.eval_ir ~fuel:200_000 (P.Prims.base_env ()) ir with
+            | P.Run.Value v -> `V (obs_pstack v)
+            | P.Run.Error _ -> `E
+            | P.Run.Out_of_fuel -> `F
+          in
+          let machine =
+            match M.Eval.eval ~fuel:60_000 term with
+            | M.Eval.Value v -> `V (obs_machine v)
+            | M.Eval.Stuck _ -> `E
+            | M.Eval.Out_of_fuel _ -> `F
+          in
+          match (pstack, machine) with
+          | `F, _ | _, `F -> true
+          | a, b -> a = b))
+
+(* of_term must be total on source terms (no labels): reuse the machine
+   test generator's shape inline. *)
+let gen_src_term =
+  let open QCheck.Gen in
+  let rec go env n =
+    if n <= 0 then
+      oneof
+        [
+          map (fun i -> T.Int i) small_int;
+          map (fun b -> T.Bool b) bool;
+          (if env = [] then return T.Nil else map (fun x -> T.Var x) (oneofl env));
+        ]
+    else
+      frequency
+        [
+          (2, map (fun i -> T.Int i) small_int);
+          (3, let* x = oneofl [ "a"; "b" ] in
+              let* body = go (x :: env) (n / 2) in
+              return (T.Lam (x, body)));
+          (3, let* f = go env (n / 2) in
+              let* a = go env (n / 2) in
+              return (T.App (f, a)));
+          (2, let* p = oneofl [ T.Add; T.Car; T.Cons; T.Not ] in
+              return (T.Prim p));
+          (1, let* f = oneofl [ "f" ] in
+              let* body = go (f :: "x" :: env) (n / 2) in
+              return (T.Fix (f, "x", body)));
+          (1, let* e = go env (n / 2) in
+              return (T.Spawn e));
+          (1, let* c = go env (n / 3) in
+              let* a = go env (n / 3) in
+              let* b = go env (n / 3) in
+              return (T.If (c, a, b)));
+        ]
+  in
+  go [] 12
+
+let prop_of_term_total =
+  QCheck.Test.make ~name:"of_term is total on source terms" ~count:500
+    (QCheck.make gen_src_term ~print:M.Pp.term_to_string)
+    (fun t ->
+      match Bridge.of_term t with
+      | (_ : P.Ir.t) -> true
+      | exception Invalid_argument _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "bridge"
+    [
+      ( "scheme-on-machine",
+        [
+          Alcotest.test_case "basics" `Quick test_scheme_on_machine_basics;
+          Alcotest.test_case "recursion" `Quick test_scheme_on_machine_recursion;
+          Alcotest.test_case "spawn programs" `Quick test_scheme_on_machine_spawn;
+          Alcotest.test_case "unsupported constructs" `Quick test_to_term_unsupported;
+          Alcotest.test_case "program folding" `Quick test_program_folding;
+        ] );
+      ("roundtrip", [ Alcotest.test_case "curated" `Quick test_roundtrip_curated ]);
+      ("random", qsuite [ prop_ir_to_machine_agrees; prop_of_term_total ]);
+    ]

@@ -1,0 +1,448 @@
+(* Tests for the direct-style OCaml embedding (effect handlers): Spawn,
+   Exit, Coroutine, Generator, Engine — including the paper's Section 4
+   validity rules in their typed, one-shot form. *)
+
+open Pcont
+
+(* ---------------- spawn / control / resume ---------------- *)
+
+let test_spawn_transparent () =
+  Alcotest.(check int) "normal return" 42 (Spawn.spawn (fun _c -> 42))
+
+let test_control_aborts () =
+  (* The pending (+ 1) is aborted; the body's value is the spawn's value. *)
+  let r = Spawn.spawn (fun c -> 1 + Spawn.control c (fun _k -> 10)) in
+  Alcotest.(check int) "aborted" 10 r
+
+let test_control_composes () =
+  let r = Spawn.spawn (fun c -> 1 + Spawn.control c (fun k -> 10 * Spawn.resume k 2)) in
+  Alcotest.(check int) "composed" 30 r
+
+let test_control_answer_types () =
+  (* A controller can be applied at different answer types: first at int,
+     then (after reinstatement) at string. *)
+  let r =
+    Spawn.spawn (fun c ->
+        let n = Spawn.control c (fun k -> Spawn.resume k 5) in
+        let s = Spawn.control c (fun k -> Spawn.resume k "x") in
+        n + String.length s)
+  in
+  Alcotest.(check int) "polymorphic controller" 6 r
+
+let test_dead_after_return () =
+  let leaked = ref None in
+  ignore (Spawn.spawn (fun c -> leaked := Some c; 0));
+  match Spawn.control (Option.get !leaked) (fun _k -> 0) with
+  | (_ : int) -> Alcotest.fail "expected Dead_controller"
+  | exception Spawn.Dead_controller -> ()
+
+let test_dead_after_abort () =
+  (* Inside the body, the root has been removed: a second use fails. *)
+  let r =
+    Spawn.spawn (fun c ->
+        Spawn.control c (fun _k ->
+            match Spawn.control c (fun _k2 -> 0) with
+            | (_ : int) -> -1
+            | exception Spawn.Dead_controller -> 99))
+  in
+  Alcotest.(check int) "second use invalid" 99 r
+
+let test_valid_after_resume () =
+  (* Resuming the process continuation reinstates the root, so the
+     controller works again — the paper's third Section 4 example, in its
+     one-shot typed form. *)
+  let r =
+    Spawn.spawn (fun c ->
+        let a = Spawn.control c (fun k -> Spawn.resume k 1) in
+        let b = Spawn.control c (fun k -> Spawn.resume k 2) in
+        (10 * a) + b)
+  in
+  Alcotest.(check int) "controller reusable after reinstatement" 12 r
+
+let test_one_shot () =
+  let r =
+    Spawn.spawn (fun c ->
+        1
+        + Spawn.control c (fun k ->
+              let first = Spawn.resume k 2 in
+              match Spawn.resume k 3 with
+              | _ -> -1
+              | exception Spawn.Expired_subcont -> 100 + first))
+  in
+  Alcotest.(check int) "second resume raises" 103 r
+
+let test_is_valid_and_abandon () =
+  let r =
+    Spawn.spawn (fun c ->
+        1
+        + Spawn.control c (fun k ->
+              Alcotest.(check bool) "valid before" true (Spawn.is_valid k);
+              Spawn.abandon k;
+              Alcotest.(check bool) "invalid after" false (Spawn.is_valid k);
+              Spawn.abandon k (* idempotent *);
+              7))
+  in
+  Alcotest.(check int) "abandoned" 7 r
+
+let test_nested_spawn_outer_exit () =
+  let r =
+    Spawn.spawn (fun outer ->
+        100 + Spawn.spawn (fun _inner -> 10 + Spawn.control outer (fun _k -> 1)))
+  in
+  Alcotest.(check int) "crossed inner root" 1 r
+
+let test_nested_spawn_inner_exit () =
+  let r =
+    Spawn.spawn (fun _outer ->
+        100 + Spawn.spawn (fun inner -> 10 + Spawn.control inner (fun _k -> 1)))
+  in
+  Alcotest.(check int) "inner delimits" 101 r
+
+let test_exception_passes_through () =
+  match Spawn.spawn (fun _c -> raise Exit) with
+  | (_ : int) -> Alcotest.fail "expected exception"
+  | exception Exit -> ()
+
+let test_exception_in_resumed_process () =
+  (* An exception raised after resumption propagates to the resumer. *)
+  let r =
+    Spawn.spawn (fun c ->
+        let x = Spawn.control c (fun k -> try Spawn.resume k true with Exit -> 5) in
+        if x then raise Exit else 0)
+  in
+  Alcotest.(check int) "caught at resume" 5 r
+
+(* ---------------- exits ---------------- *)
+
+let test_spawn_exit () =
+  Alcotest.(check int) "aborts" 0 (Exit.spawn_exit (fun e -> 1 + e.Exit.exit 0));
+  Alcotest.(check int) "normal" 5 (Exit.spawn_exit (fun _ -> 5));
+  Alcotest.(check int) "with_exit" 3
+    (Exit.with_exit (fun exit ->
+         exit 3;
+         99))
+
+let test_exit_nested () =
+  let r =
+    Exit.spawn_exit (fun outer ->
+        10 + Exit.spawn_exit (fun _inner -> 1 + outer.Exit.exit 7))
+  in
+  Alcotest.(check int) "outer exit crosses inner" 7 r
+
+let test_exit_dead () =
+  let leaked = ref None in
+  ignore (Exit.spawn_exit (fun e -> leaked := Some e; 0));
+  match (Option.get !leaked).Exit.exit 1 with
+  | (_ : int) -> Alcotest.fail "expected Dead_exit"
+  | exception Exit.Dead_exit -> ()
+
+let test_exit_unwinds_protect () =
+  (* Abandoning the captured continuation unwinds it, so Fun.protect
+     finalizers inside the aborted extent run. *)
+  let cleaned = ref false in
+  let r =
+    Exit.spawn_exit (fun e ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () -> 1 + e.Exit.exit 42))
+  in
+  Alcotest.(check int) "value" 42 r;
+  Alcotest.(check bool) "finalizer ran" true !cleaned
+
+(* ---------------- coroutines ---------------- *)
+
+let test_coroutine_basic () =
+  let co =
+    Coroutine.create (fun ~yield i ->
+        let j = yield (i + 1) in
+        let k = yield (j + 10) in
+        k + 100)
+  in
+  (match Coroutine.resume co 1 with
+  | Coroutine.Yielded 2 -> ()
+  | _ -> Alcotest.fail "first yield");
+  (match Coroutine.resume co 5 with
+  | Coroutine.Yielded 15 -> ()
+  | _ -> Alcotest.fail "second yield");
+  (match Coroutine.resume co 7 with
+  | Coroutine.Returned 107 -> ()
+  | _ -> Alcotest.fail "return");
+  Alcotest.(check bool) "finished" true (Coroutine.is_finished co);
+  match Coroutine.resume co 0 with
+  | _ -> Alcotest.fail "expected Finished"
+  | exception Coroutine.Finished -> ()
+
+let test_coroutine_no_yield () =
+  let co = Coroutine.create (fun ~yield:_ i -> i * 2) in
+  match Coroutine.resume co 21 with
+  | Coroutine.Returned 42 -> ()
+  | _ -> Alcotest.fail "should return immediately"
+
+let test_coroutine_ping_pong () =
+  (* Two coroutines passing a value back and forth via their driver. *)
+  let make name =
+    Coroutine.create (fun ~yield first ->
+        let v2 = yield (name ^ ":" ^ first) in
+        let v3 = yield (name ^ ":" ^ v2) in
+        name ^ ":" ^ v3)
+  in
+  let a = make "a" and b = make "b" in
+  let step co v =
+    match Coroutine.resume co v with
+    | Coroutine.Yielded s | Coroutine.Returned s -> s
+  in
+  let v = step a "0" in
+  let v = step b v in
+  let v = step a v in
+  let v = step b v in
+  Alcotest.(check string) "interleaved" "b:a:b:a:0" v
+
+(* ---------------- generators ---------------- *)
+
+let test_generator_finite () =
+  let g = Generator.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "1" (Some 1) (Generator.next g);
+  Alcotest.(check (option int)) "2" (Some 2) (Generator.next g);
+  Alcotest.(check (option int)) "3" (Some 3) (Generator.next g);
+  Alcotest.(check (option int)) "end" None (Generator.next g);
+  Alcotest.(check (option int)) "still end" None (Generator.next g)
+
+let test_generator_ops () =
+  Alcotest.(check (list int)) "to_list" [ 1; 2 ] (Generator.to_list (Generator.of_list [ 1; 2 ]));
+  Alcotest.(check (list int)) "take infinite" [ 0; 1; 2; 3 ]
+    (Generator.take 4 (Generator.ints ()));
+  Alcotest.(check (list int)) "map" [ 0; 2; 4 ]
+    (Generator.take 3 (Generator.map (fun x -> 2 * x) (Generator.ints ())));
+  Alcotest.(check (list int)) "filter" [ 0; 3; 6 ]
+    (Generator.take 3 (Generator.filter (fun x -> x mod 3 = 0) (Generator.ints ())));
+  Alcotest.(check int) "fold" 6 (Generator.fold ( + ) 0 (Generator.of_list [ 1; 2; 3 ]));
+  let total = ref 0 in
+  Generator.iter (fun x -> total := !total + x) (Generator.of_list [ 4; 5 ]);
+  Alcotest.(check int) "iter" 9 !total
+
+let test_generator_incremental_take () =
+  let g = Generator.ints ~from:10 () in
+  Alcotest.(check (list int)) "first" [ 10; 11 ] (Generator.take 2 g);
+  Alcotest.(check (list int)) "continues" [ 12; 13 ] (Generator.take 2 g)
+
+let test_generator_tree_walk () =
+  (* Same-fringe style use: stream a tree's leaves lazily. *)
+  let module T = struct
+    type t = Leaf of int | Node of t * t
+  end in
+  let rec walk ~yield = function
+    | T.Leaf n -> yield n
+    | T.Node (l, r) ->
+        walk ~yield l;
+        walk ~yield r
+  in
+  let tree = T.Node (T.Node (T.Leaf 1, T.Leaf 2), T.Leaf 3) in
+  let g = Generator.create (fun ~yield -> walk ~yield tree) in
+  Alcotest.(check (list int)) "fringe" [ 1; 2; 3 ] (Generator.to_list g)
+
+let test_generator_seq_interop () =
+  let g = Generator.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "to_seq" [ 1; 2; 3 ] (List.of_seq (Generator.to_seq g));
+  let g2 = Generator.of_seq (List.to_seq [ 4; 5 ]) in
+  Alcotest.(check (list int)) "of_seq" [ 4; 5 ] (Generator.to_list g2)
+
+let test_generator_append_zip () =
+  Alcotest.(check (list int)) "append" [ 1; 2; 3; 4 ]
+    (Generator.to_list (Generator.append (Generator.of_list [ 1; 2 ]) (Generator.of_list [ 3; 4 ])));
+  Alcotest.(check (list (pair int string))) "zip" [ (0, "a"); (1, "b") ]
+    (Generator.to_list (Generator.zip (Generator.ints ()) (Generator.of_list [ "a"; "b" ])));
+  Alcotest.(check (list int)) "take_while" [ 0; 1; 2 ]
+    (Generator.take_while (fun x -> x < 3) (Generator.ints ()))
+
+(* ---------------- engines ---------------- *)
+
+let counting_engine n =
+  Engine.make (fun ~tick ->
+      let total = ref 0 in
+      for i = 1 to n do
+        tick ();
+        total := !total + i
+      done;
+      !total)
+
+let test_engine_done () =
+  match Engine.run (counting_engine 5) ~fuel:100 with
+  | Engine.Done (15, left) -> Alcotest.(check int) "fuel left" 95 left
+  | _ -> Alcotest.fail "should finish"
+
+let test_engine_expire_and_resume () =
+  match Engine.run (counting_engine 100) ~fuel:10 with
+  | Engine.Done _ -> Alcotest.fail "should expire"
+  | Engine.Expired e -> (
+      match Engine.run e ~fuel:1000 with
+      | Engine.Done (5050, _) -> ()
+      | Engine.Done (v, _) -> Alcotest.failf "wrong value %d" v
+      | Engine.Expired _ -> Alcotest.fail "should finish on refuel")
+
+let test_engine_run_to_completion () =
+  let v, slices = Engine.run_to_completion ~fuel_per_slice:7 (counting_engine 50) in
+  Alcotest.(check int) "value" 1275 v;
+  Alcotest.(check bool) "multiple slices" true (slices > 1)
+
+let test_engine_round_robin () =
+  let mk tag n =
+    Engine.make (fun ~tick ->
+        for _ = 1 to n do
+          tick ()
+        done;
+        tag)
+  in
+  let order = Engine.round_robin [ mk "slow" 30; mk "fast" 3; mk "mid" 12 ] ~fuel:5 in
+  Alcotest.(check (list string)) "completion order" [ "fast"; "mid"; "slow" ] order
+
+let test_engine_one_shot () =
+  let e = counting_engine 3 in
+  ignore (Engine.run e ~fuel:100);
+  match Engine.run e ~fuel:100 with
+  | _ -> Alcotest.fail "expected Engine_used"
+  | exception Engine.Engine_used -> ()
+
+let test_engine_bad_fuel () =
+  match Engine.run (counting_engine 1) ~fuel:0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_engine_nested () =
+  let inner = counting_engine 10 in
+  let outer =
+    Engine.make (fun ~tick ->
+        tick ();
+        let v, _ = Engine.run_to_completion ~fuel_per_slice:3 inner in
+        tick ();
+        v)
+  in
+  match Engine.run outer ~fuel:50 with
+  | Engine.Done (55, _) -> ()
+  | _ -> Alcotest.fail "nested engines"
+
+let prop_engine_fuel_conservation =
+  QCheck.Test.make ~name:"engine: ticks consumed + fuel left = fuel given" ~count:200
+    QCheck.(pair (int_range 1 50) (int_range 1 80))
+    (fun (ticks, fuel) ->
+      let e =
+        Engine.make (fun ~tick ->
+            for _ = 1 to ticks do
+              tick ()
+            done;
+            ())
+      in
+      match Engine.run e ~fuel with
+      | Engine.Done ((), left) -> left = fuel - ticks && ticks <= fuel
+      | Engine.Expired _ -> ticks >= fuel)
+
+(* ---------------- prompts derived from spawn ---------------- *)
+
+module P = Prompt.Make (struct
+  type t = int
+end)
+
+let test_prompt_fall_through () =
+  Alcotest.(check int) "plain" 9 (P.prompt (fun () -> 9))
+
+let test_prompt_fcontrol_abort () =
+  (* fcontrol aborts the pending (+1) up to the prompt. *)
+  Alcotest.(check int) "abort" 7 (P.prompt (fun () -> 1 + P.fcontrol (fun _fk -> 7)))
+
+let test_prompt_fcontrol_compose () =
+  (* (resume fk 5) = 1 + 5, delivered to the re-established prompt. *)
+  Alcotest.(check int) "compose" 6
+    (P.prompt (fun () -> 1 + P.fcontrol (fun fk -> P.resume fk 5)))
+
+let test_prompt_shadowing () =
+  (* The paper's complaint: the INNER prompt shadows the outer one, so the
+     outer pending (+100) survives the capture. *)
+  Alcotest.(check int) "inner shadows" 107
+    (P.prompt (fun () ->
+         100 + P.prompt (fun () -> 1 + P.fcontrol (fun _fk -> 7))))
+
+let test_prompt_sequential () =
+  (* Once the inner prompt's extent ends, the next fcontrol sees the outer
+     prompt: it aborts the rest of the outer extent (including the pending
+     use of [a]) and delivers 20. *)
+  Alcotest.(check int) "sequential prompts" 20
+    (P.prompt (fun () ->
+         let a = P.prompt (fun () -> P.fcontrol (fun _ -> 10)) in
+         let b = P.fcontrol (fun _ -> 20) in
+         a + b + 1000))
+
+let test_prompt_resume_carries_no_prompt () =
+  (* The captured continuation is prompt-free: an fcontrol performed inside
+     the resumed extent captures to the prompt re-established around the
+     BODY, not to a prompt inside the continuation. *)
+  Alcotest.(check int) "composition is transparent" 42
+    (P.prompt (fun () -> 2 + P.fcontrol (fun fk -> P.resume fk 40)))
+
+let test_no_prompt () =
+  match P.fcontrol (fun _ -> 0) with
+  | _ -> Alcotest.fail "expected No_prompt"
+  | exception Prompt.No_prompt -> ()
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "spawn",
+        [
+          Alcotest.test_case "transparent" `Quick test_spawn_transparent;
+          Alcotest.test_case "control aborts" `Quick test_control_aborts;
+          Alcotest.test_case "control composes" `Quick test_control_composes;
+          Alcotest.test_case "polymorphic answer types" `Quick test_control_answer_types;
+          Alcotest.test_case "dead after return" `Quick test_dead_after_return;
+          Alcotest.test_case "dead after abort" `Quick test_dead_after_abort;
+          Alcotest.test_case "valid after resume" `Quick test_valid_after_resume;
+          Alcotest.test_case "one-shot" `Quick test_one_shot;
+          Alcotest.test_case "is_valid / abandon" `Quick test_is_valid_and_abandon;
+          Alcotest.test_case "outer exit crosses roots" `Quick test_nested_spawn_outer_exit;
+          Alcotest.test_case "inner exit delimits" `Quick test_nested_spawn_inner_exit;
+          Alcotest.test_case "exceptions pass through" `Quick test_exception_passes_through;
+          Alcotest.test_case "exception after resume" `Quick test_exception_in_resumed_process;
+        ] );
+      ( "exit",
+        [
+          Alcotest.test_case "spawn_exit" `Quick test_spawn_exit;
+          Alcotest.test_case "nested exits" `Quick test_exit_nested;
+          Alcotest.test_case "dead exit" `Quick test_exit_dead;
+          Alcotest.test_case "unwinds protect" `Quick test_exit_unwinds_protect;
+        ] );
+      ( "coroutine",
+        [
+          Alcotest.test_case "basic" `Quick test_coroutine_basic;
+          Alcotest.test_case "no yield" `Quick test_coroutine_no_yield;
+          Alcotest.test_case "ping pong" `Quick test_coroutine_ping_pong;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "finite" `Quick test_generator_finite;
+          Alcotest.test_case "combinators" `Quick test_generator_ops;
+          Alcotest.test_case "incremental take" `Quick test_generator_incremental_take;
+          Alcotest.test_case "tree fringe" `Quick test_generator_tree_walk;
+          Alcotest.test_case "Seq interop" `Quick test_generator_seq_interop;
+          Alcotest.test_case "append/zip/take_while" `Quick test_generator_append_zip;
+        ] );
+      ("engine-properties", [ QCheck_alcotest.to_alcotest prop_engine_fuel_conservation ]);
+      ( "prompt",
+        [
+          Alcotest.test_case "fall through" `Quick test_prompt_fall_through;
+          Alcotest.test_case "fcontrol aborts" `Quick test_prompt_fcontrol_abort;
+          Alcotest.test_case "fcontrol composes" `Quick test_prompt_fcontrol_compose;
+          Alcotest.test_case "shadowing" `Quick test_prompt_shadowing;
+          Alcotest.test_case "sequential prompts" `Quick test_prompt_sequential;
+          Alcotest.test_case "prompt-free continuation" `Quick
+            test_prompt_resume_carries_no_prompt;
+          Alcotest.test_case "no prompt" `Quick test_no_prompt;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "done" `Quick test_engine_done;
+          Alcotest.test_case "expire and resume" `Quick test_engine_expire_and_resume;
+          Alcotest.test_case "run_to_completion" `Quick test_engine_run_to_completion;
+          Alcotest.test_case "round robin" `Quick test_engine_round_robin;
+          Alcotest.test_case "one-shot" `Quick test_engine_one_shot;
+          Alcotest.test_case "bad fuel" `Quick test_engine_bad_fuel;
+          Alcotest.test_case "nested" `Quick test_engine_nested;
+        ] );
+    ]

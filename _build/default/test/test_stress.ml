@@ -1,0 +1,197 @@
+(* Stress tests: scale each implementation well past the sizes the unit
+   tests use — deep nesting of roots, wide forks, long-running derived
+   abstractions — to flush out stack-discipline and accounting bugs. *)
+
+module S = Pcont_sched.Sched
+module Ops = Pcont_sched.Ops
+module Interp = Pcont_syntax.Interp
+module Pstack = Pcont_pstack
+module M = Pcont_machine
+
+(* ---------------- native embedding ---------------- *)
+
+let test_native_deep_spawn_nesting () =
+  (* 5000 nested roots; the innermost exits through the outermost. *)
+  let rec nest outer n =
+    if n = 0 then Pcont.Spawn.control outer (fun _k -> 7)
+    else Pcont.Spawn.spawn (fun _c -> 1 + nest outer (n - 1))
+  in
+  let r = Pcont.Spawn.spawn (fun outer -> nest outer 5_000) in
+  Alcotest.(check int) "deep exit" 7 r
+
+let test_native_many_sequential_spawns () =
+  let total = ref 0 in
+  for i = 1 to 100_000 do
+    total := !total + Pcont.Spawn.spawn (fun _ -> i mod 3)
+  done;
+  (* 100000 = 33334 iterations contributing 1, 33333 contributing 2, rest 0 *)
+  Alcotest.(check int) "sum" 100_000 !total
+
+let test_native_long_generator () =
+  let g = Pcont.Generator.ints () in
+  let last = ref 0 in
+  for _ = 1 to 200_000 do
+    match Pcont.Generator.next g with Some v -> last := v | None -> assert false
+  done;
+  Alcotest.(check int) "200k yields" 199_999 !last
+
+let test_native_engine_many_slices () =
+  let e =
+    Pcont.Engine.make (fun ~tick ->
+        let acc = ref 0 in
+        for i = 1 to 50_000 do
+          tick ();
+          acc := !acc + i
+        done;
+        !acc)
+  in
+  let rec drive e n =
+    match Pcont.Engine.run e ~fuel:17 with
+    | Pcont.Engine.Done (v, _) -> (v, n)
+    | Pcont.Engine.Expired e' -> drive e' (n + 1)
+  in
+  let v, slices = drive e 1 in
+  Alcotest.(check int) "sum" (50_000 * 50_001 / 2) v;
+  Alcotest.(check bool) "thousands of slices" true (slices > 2_000)
+
+(* ---------------- native scheduler ---------------- *)
+
+let test_sched_wide_pcall () =
+  let r =
+    S.run (fun () ->
+        let branches = List.init 500 (fun i () -> S.yield (); i) in
+        List.fold_left ( + ) 0 (S.pcall branches))
+  in
+  Alcotest.(check int) "wide fork" (499 * 500 / 2) r
+
+let test_sched_deep_search () =
+  let tree = Ops.perfect ~depth:11 (fun i -> i) in
+  let matches = S.run (fun () -> Ops.search_all tree (fun x -> x mod 101 = 0)) in
+  Alcotest.(check int) "matches" 21 (List.length matches)
+
+let test_sched_many_futures () =
+  let r =
+    S.run (fun () ->
+        let fs = List.init 200 (fun i -> S.future (fun () -> S.yield (); i)) in
+        List.fold_left (fun acc f -> acc + S.touch f) 0 fs)
+  in
+  Alcotest.(check int) "200 futures" (199 * 200 / 2) r
+
+(* ---------------- process-stack machine ---------------- *)
+
+let conc = Interp.Concurrent Pstack.Concur.Round_robin
+
+let test_pstack_deep_recursion () =
+  (* 50k pending frames: the explicit stack must not overflow anything. *)
+  let t = Interp.create () in
+  match
+    Interp.eval_value ~fuel:10_000_000 t
+      "(define (count n) (if (zero? n) 0 (+ 1 (count (- n 1))))) (count 50000)"
+  with
+  | Pstack.Types.Int 50_000 -> ()
+  | v -> Alcotest.failf "got %s" (Pstack.Value.to_string v)
+
+let test_pstack_deep_spawn_nesting () =
+  let t = Interp.create () in
+  let depth = 1_000 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "(define (nest n outer) (if (zero? n) (outer 7) (+ 1 (spawn (lambda (c) (nest (- n 1) outer))))))";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "(spawn/exit (lambda (exit) (nest %d exit)))" depth);
+  match Interp.eval_value ~fuel:10_000_000 t (Buffer.contents buf) with
+  | Pstack.Types.Int 7 -> ()
+  | v -> Alcotest.failf "got %s" (Pstack.Value.to_string v)
+
+let test_pstack_wide_concurrent_fork () =
+  let t = Interp.create () in
+  match
+    Interp.eval_value ~mode:conc ~fuel:50_000_000 t
+      "(apply + (map1 touch (map1 (lambda (i) (future (* i i))) (iota 100))))"
+  with
+  | Pstack.Types.Int n -> Alcotest.(check int) "sum of squares" 328_350 n
+  | v -> Alcotest.failf "got %s" (Pstack.Value.to_string v)
+
+let test_pstack_big_concurrent_search () =
+  let t = Interp.create () in
+  let src =
+    {|
+(define (build d i)
+  (if (zero? d) '() (list i (build (- d 1) (* 2 i)) (build (- d 1) (+ 1 (* 2 i))))))
+(define (node t) (car t))
+(define (left t) (cadr t))
+(define (right t) (car (cddr t)))
+(define (empty? t) (null? t))
+(define parallel-search
+  (lambda (tree predicate?)
+    (spawn
+      (lambda (c)
+        (define search
+          (lambda (tree)
+            (unless (empty? tree)
+              (pcall (lambda (x y z) #f)
+                (when (predicate? (node tree))
+                  (c (lambda (k) (cons (node tree) (lambda () (k #f))))))
+                (search (left tree))
+                (search (right tree))))))
+        (search tree)
+        #f))))
+(define (search-all tree predicate?)
+  (letrec ([collect (lambda (r) (if r (cons (car r) (collect ((cdr r)))) '()))])
+    (collect (parallel-search tree predicate?))))
+(length (search-all (build 7 1) even?))
+|}
+  in
+  match Interp.eval_value ~mode:conc ~fuel:100_000_000 t src with
+  | Pstack.Types.Int n -> Alcotest.(check int) "half the 127 nodes" 63 n
+  | v -> Alcotest.failf "got %s" (Pstack.Value.to_string v)
+
+(* ---------------- semantics machine ---------------- *)
+
+let test_machine_large_product () =
+  let ns = List.init 300 (fun i -> 1 + (i mod 3)) in
+  match M.Eval.eval ~fuel:3_000_000 (M.Examples.product_of (0 :: ns)) with
+  | M.Eval.Value (M.Term.Int 0) -> ()
+  | _ -> Alcotest.fail "product with leading zero"
+
+let test_machine_deep_nested_spawns () =
+  match M.Eval.eval ~fuel:3_000_000 (M.Examples.nested_spawn_depth 200) with
+  | M.Eval.Value (M.Term.Int 7) -> ()
+  | _ -> Alcotest.fail "deep nested spawns"
+
+let test_zipper_deep_nested_spawns () =
+  match M.Zipper.eval ~fuel:9_000_000 (M.Examples.nested_spawn_depth 400) with
+  | M.Eval.Value (M.Term.Int 7) -> ()
+  | _ -> Alcotest.fail "zipper deep nested spawns"
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "native",
+        [
+          Alcotest.test_case "5000 nested roots" `Slow test_native_deep_spawn_nesting;
+          Alcotest.test_case "100k sequential spawns" `Slow test_native_many_sequential_spawns;
+          Alcotest.test_case "200k generator yields" `Slow test_native_long_generator;
+          Alcotest.test_case "engine with ~3000 slices" `Slow test_native_engine_many_slices;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "500-way pcall" `Slow test_sched_wide_pcall;
+          Alcotest.test_case "search in 2047-node tree" `Slow test_sched_deep_search;
+          Alcotest.test_case "200 futures" `Slow test_sched_many_futures;
+        ] );
+      ( "pstack",
+        [
+          Alcotest.test_case "50k pending frames" `Slow test_pstack_deep_recursion;
+          Alcotest.test_case "1000 nested roots" `Slow test_pstack_deep_spawn_nesting;
+          Alcotest.test_case "100 futures" `Slow test_pstack_wide_concurrent_fork;
+          Alcotest.test_case "127-node concurrent search" `Slow
+            test_pstack_big_concurrent_search;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "301-element product" `Slow test_machine_large_product;
+          Alcotest.test_case "200 nested spawns" `Slow test_machine_deep_nested_spawns;
+          Alcotest.test_case "zipper: 400 nested spawns" `Slow test_zipper_deep_nested_spawns;
+        ] );
+    ]
