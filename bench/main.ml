@@ -4,6 +4,8 @@
      dune exec bench/main.exe -- e1 e4   -- run selected experiments
      dune exec bench/main.exe -- quick   -- smaller sizes (CI)
      dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks only
+     dune exec bench/main.exe -- quick --json out.json
+                                         -- also dump rows as JSON to a file
 
    The paper (Hieb & Dybvig, PPoPP 1990) reports no measured tables; its
    quantitative claims are complexity claims (Section 7) and work-saving
@@ -19,6 +21,44 @@ module Ops = Pcont_sched.Ops
 module M = Pcont_machine
 
 let quick = ref false
+
+(* ------------------------------------------------------------------ *)
+(* JSON row dump (--json FILE)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_file : string option ref = ref None
+
+let json_rows : Buffer.t = Buffer.create 256
+
+(* Params values must already be JSON-encoded; use [pint]/[pstr]. *)
+let pint k v = (k, string_of_int v)
+
+let pstr k v = (k, Printf.sprintf "%S" v)
+
+let jrow ~name ~params ns =
+  match !json_file with
+  | None -> ()
+  | Some _ ->
+      if Buffer.length json_rows > 0 then Buffer.add_string json_rows ",\n";
+      let params_s =
+        params
+        |> List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v)
+        |> String.concat ", "
+      in
+      Buffer.add_string json_rows
+        (Printf.sprintf "  {\"name\": %S, \"params\": {%s}, \"ns_per_op\": %.3f}" name
+           params_s ns)
+
+let write_json () =
+  match !json_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      Buffer.output_buffer oc json_rows;
+      output_string oc "\n]\n";
+      close_out oc;
+      Printf.printf "\nwrote JSON rows to %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Timing helpers                                                      *)
@@ -102,6 +142,8 @@ let e1 () =
       in
       let lt, lf = run Pstack.Types.Linked in
       let ct, cf = run Pstack.Types.Copying in
+      jrow ~name:"e1.capture.linked" ~params:[ pint "frames" n; pint "k" k ] lt;
+      jrow ~name:"e1.capture.copying" ~params:[ pint "frames" n; pint "k" k ] ct;
       row "%8d %6d | %14.0f %14.0f | %16.1f %16.1f\n" n k lt ct lf cf)
     depths;
   print_endline "shape: linked columns flat in frames; copying columns linear in frames.";
@@ -129,7 +171,9 @@ let e1 () =
       let _, dt =
         eval_scheme ~strategy:Pstack.Types.Linked (program "(c (lambda (k) (k 0)))")
       in
-      row "%8d %8d | %14.0f\n" frames winders (ns_per (Float.max 0. (dt -. dt0)) k))
+      let ns = ns_per (Float.max 0. (dt -. dt0)) k in
+      jrow ~name:"e1.winders" ~params:[ pint "frames" frames; pint "winders" winders ] ns;
+      row "%8d %8d | %14.0f\n" frames winders ns)
     (if !quick then [ (100, 0); (100, 8) ]
      else [ (1000, 0); (1000, 4); (1000, 16); (1000, 64); (20000, 16) ]);
   print_endline "shape: cost tracks winders crossed, independent of plain frames."
@@ -163,6 +207,7 @@ let e2 () =
         C.get cfg.Pstack.Machine.counters "capture.segments"
         + C.get cfg.Pstack.Machine.counters "reinstate.segments"
       in
+      jrow ~name:"e2.capture" ~params:[ pint "roots" r; pint "k" k ] (ns_per dt k);
       row "%8d %6d | %14.0f | %16.1f\n" r k (ns_per dt k)
         (float_of_int segs /. float_of_int k))
     roots;
@@ -220,8 +265,13 @@ let e3 () =
         let _, dt = time_best (fun () -> for _ = 1 to reps do ignore (f ls) done) in
         dt /. float_of_int reps *. 1e6
       in
-      row "%12s | %12.1f %12.1f %12.1f\n" label (t_of product_exit) (t_of product_exn)
-        (t_of product_plain))
+      let te = t_of product_exit in
+      let tx = t_of product_exn in
+      let tp = t_of product_plain in
+      jrow ~name:"e3.spawn_exit" ~params:[ pstr "zero_at" label ] (te *. 1e3);
+      jrow ~name:"e3.exception" ~params:[ pstr "zero_at" label ] (tx *. 1e3);
+      jrow ~name:"e3.plain" ~params:[ pstr "zero_at" label ] (tp *. 1e3);
+      row "%12s | %12.1f %12.1f %12.1f\n" label te tx tp)
     positions;
   print_endline "shape: spawn_exit within a small constant factor of exceptions;";
   print_endline "       earlier zeroes cost less (the exit aborts pending work)."
@@ -266,6 +316,8 @@ let e4 () =
       in
       let seq_work, seq_t = time_best seq in
       let par_work, par_t = time_best par in
+      jrow ~name:"e4.seq" ~params:[ pint "witness" w ] (seq_t *. 1e9);
+      jrow ~name:"e4.par" ~params:[ pint "witness" w ] (par_t *. 1e9);
       row "%10d | %12d %12d | %12.0f %12.0f\n" w seq_work par_work (seq_t *. 1e6)
         (par_t *. 1e6))
     widths;
@@ -297,6 +349,8 @@ let e5 () =
       let matches, wt = time_best baseline in
       let matches', st = time_best search in
       assert (matches = matches');
+      jrow ~name:"e5.walk" ~params:[ pint "depth" d ] (wt *. 1e9);
+      jrow ~name:"e5.search" ~params:[ pint "depth" d ] (st *. 1e9);
       row "%7d %8d | %12.1f %12.1f | %14.1f\n" d matches (wt *. 1e6) (st *. 1e6)
         ((st -. wt) *. 1e6 /. float_of_int (max matches 1)))
     depths;
@@ -380,6 +434,11 @@ let e6 () =
     in
     ns_per dt n
   in
+  jrow ~name:"e6.spawn" ~params:[] spawn_time;
+  jrow ~name:"e6.control_resume" ~params:[] control_time;
+  jrow ~name:"e6.coroutine" ~params:[] co_time;
+  jrow ~name:"e6.generator" ~params:[] gen_time;
+  jrow ~name:"e6.engine" ~params:[] eng_time;
   row "  spawn (empty process)      : %8.0f ns\n" spawn_time;
   row "  control + resume           : %8.0f ns\n" control_time;
   row "  coroutine resume/yield pair: %8.0f ns\n" co_time;
@@ -431,8 +490,14 @@ let e7 () =
             in
             dt *. 1e3
           in
-          row "%8d %10s | %10.2f %12.2f %12.2f\n" n zlabel (run "(product-plain ls)")
-            (run "(product-cc ls)") (run "(product-se ls)"))
+          let tplain = run "(product-plain ls)" in
+          let tcc = run "(product-cc ls)" in
+          let tse = run "(product-se ls)" in
+          jrow ~name:"e7.plain" ~params:[ pint "n" n; pstr "zero" zlabel ] (tplain *. 1e6);
+          jrow ~name:"e7.callcc" ~params:[ pint "n" n; pstr "zero" zlabel ] (tcc *. 1e6);
+          jrow ~name:"e7.spawn_exit" ~params:[ pint "n" n; pstr "zero" zlabel ]
+            (tse *. 1e6);
+          row "%8d %10s | %10.2f %12.2f %12.2f\n" n zlabel tplain tcc tse)
         [ ("none", -1); ("middle", n / 2) ])
     sizes;
   print_endline "shape: spawn/exit comparable to call/cc; a middle zero halves";
@@ -464,6 +529,8 @@ let e8 () =
         in
         let naive = timed (M.Eval.eval ~fuel:5_000_000) in
         let zipper = timed (M.Zipper.eval ~fuel:15_000_000) in
+        jrow ~name:"e8.naive" ~params:[ pstr "program" name ] (naive *. 1e9);
+        jrow ~name:"e8.zipper" ~params:[ pstr "program" name ] (zipper *. 1e9);
         row "%-28s %10d %12.3f %12.3f %8.1fx\n" name steps (naive *. 1e3)
           (zipper *. 1e3) (naive /. zipper)
   in
@@ -485,8 +552,7 @@ let e8 () =
 
 let e9 () =
   header "E9  concurrent scheduler: fork overhead vs grain size";
-  Printf.printf "%8s %8s | %10s %12s %12s | %10s
-" "leaves" "grain" "forks"
+  Printf.printf "%8s %8s | %10s %12s %12s | %10s\n" "leaves" "grain" "forks"
     "seq ms" "conc ms" "us/fork";
   (* Sum 2^depth numbers with a pcall tree; below [grain] leaves the branch
      sums sequentially.  Small grain = many forks = scheduler-bound. *)
@@ -521,16 +587,16 @@ let e9 () =
       Pcont_util.Counters.reset cfg.Pstack.Machine.counters;
       let conc_t = run (Interp.Concurrent Pstack.Concur.Round_robin) in
       let forks = C.get cfg.Pstack.Machine.counters "concur.fork" in
-      row "%8d %8d | %10d %12.2f %12.2f | %10.2f
-" n grain forks (seq_t *. 1e3)
+      jrow ~name:"e9.seq" ~params:[ pint "n" n; pint "grain" grain ] (seq_t *. 1e9);
+      jrow ~name:"e9.conc" ~params:[ pint "n" n; pint "grain" grain ] (conc_t *. 1e9);
+      row "%8d %8d | %10d %12.2f %12.2f | %10.2f\n" n grain forks (seq_t *. 1e3)
         (conc_t *. 1e3)
         ((conc_t -. seq_t) *. 1e6 /. float_of_int (max forks 1)))
     (if !quick then [ 8; 64 ] else [ 2; 8; 32; 128; 512 ]);
   print_endline "shape: per-fork overhead roughly constant; coarse grains amortize it.";
 
-  Printf.printf "
-%8s | %12s  (quantum sweep, grain 8, same workload)
-" "quantum" "conc ms";
+  Printf.printf "\n%8s | %12s  (quantum sweep, grain 8, same workload)\n" "quantum"
+    "conc ms";
   List.iter
     (fun q ->
       let t = Interp.create () in
@@ -543,8 +609,8 @@ let e9 () =
                  ~mode:(Interp.Concurrent Pstack.Concur.Round_robin)
                  ~quantum:q ~fuel:2_000_000_000 t src))
       in
-      row "%8d | %12.2f
-" q (dt *. 1e3))
+      jrow ~name:"e9.quantum" ~params:[ pint "n" n; pint "quantum" q ] (dt *. 1e9);
+      row "%8d | %12.2f\n" q (dt *. 1e3))
     (if !quick then [ 1; 16 ] else [ 1; 4; 16; 64; 256 ]);
   print_endline "shape: larger quanta cut round-robin overhead until fairness stops mattering."
 
@@ -581,7 +647,9 @@ let micro () =
     (fun name ->
       let res = Hashtbl.find results name in
       match Analyze.OLS.estimates res with
-      | Some [ est ] -> row "  %-24s %10.1f ns\n" name est
+      | Some [ est ] ->
+          jrow ~name:("micro." ^ name) ~params:[] est;
+          row "  %-24s %10.1f ns\n" name est
       | Some ests ->
           row "  %-24s %s\n" name
             (String.concat ", " (List.map (Printf.sprintf "%.1f") ests))
@@ -606,16 +674,20 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse acc rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires a file argument";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let selected =
     match args with [] | [ "all" ] -> List.map fst experiments | picks -> picks
   in
@@ -628,4 +700,5 @@ let () =
       | None ->
           Printf.eprintf "unknown experiment %S (have: %s)\n" name
             (String.concat ", " (List.map fst experiments)))
-    selected
+    selected;
+  write_json ()

@@ -72,7 +72,7 @@ let invalid_controller l =
     l
 
 let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
-    ?(drain_futures = true) ?(on_event = fun (_ : event) -> ()) ?cfg env ir =
+    ?(drain_futures = true) ?(on_event = fun (_ : event) -> ()) ?cfg genv ir =
   let cfg = match cfg with Some c -> c | None -> Machine.config () in
   let counters = cfg.Machine.counters in
   let next_id = ref 0 in
@@ -81,10 +81,24 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
     !next_id
   in
   let root =
-    { nid = 0; parent = Ptop; body = Nleaf (Machine.initial ir env) }
+    {
+      nid = 0;
+      parent = Ptop;
+      body = Nleaf (Machine.initial (Resolve.toplevel genv ir));
+    }
   in
-  (* The forest (Section 8): the main tree plus one tree per future. *)
-  let roots = ref [ root ] in
+  (* The run queue: runnable leaves of the whole forest (Section 8's main
+     tree plus one tree per future), maintained incrementally in tree
+     order.  Entries go stale when a capture prunes them out of the live
+     tree; they are dropped by the [attached] filter at the start of each
+     round, so a round costs O(runnable), not O(forest). *)
+  let queue = ref [ root ] in
+  (* Newly runnable leaves produced by the step in progress, in tree
+     order; spliced into the queue at the stepped node's position. *)
+  let born = ref [] in
+  (* Future trees planted this round; appended after all existing trees. *)
+  let new_trees = ref [] in
+  let live_futures = ref 0 in
   let final = ref None in
   let failure = ref None in
   let fuel_left = ref fuel in
@@ -97,14 +111,25 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
   (* A node is attached iff following parent links reaches the live root
      through matching child slots.  Nodes pruned into a process continuation
      fail this test and are skipped by the scheduler. *)
-  let rec attached n =
+  let rec attached_walk n =
     match n.parent with
     | Ptop -> n == root
-    | Pfut _ -> List.memq n !roots
+    | Pfut _ -> ( match n.body with Ndone -> false | _ -> true)
     | Pchild (p, i) -> (
         match p.body with
-        | Nfork f -> i < Array.length f.children && f.children.(i) == n && attached p
+        | Nfork f -> i < Array.length f.children && f.children.(i) == n && attached_walk p
         | _ -> false)
+  in
+
+  (* Only captures ever detach a node from the live tree (grafts reuse
+     captured, already-detached trees), so until one has happened every
+     non-[Ndone] node is attached and the parent-chain walk can be skipped.  (A finished root reports detached
+     here where the walk would not, but callers always guard with
+     [is_leaf], which is false for [Ndone].) *)
+  let prunes = ref 0 in
+  let attached n =
+    if !prunes = 0 then match n.body with Ndone -> false | _ -> true
+    else attached_walk n
   in
 
   let rec collect_leaves acc n =
@@ -126,7 +151,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
     | Ptop -> final := Some v
     | Pfut cell ->
         cell.fvalue <- Some v;
-        roots := List.filter (fun r -> not (r == n)) !roots
+        decr live_futures
     | Pchild (p, slot) ->
         let f = fork_of p in
         f.results.(slot) <- Some v;
@@ -135,7 +160,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
           let vs = Array.to_list (Array.map Option.get f.results) in
           match vs with
           | op :: args ->
-              p.body <- Nleaf { control = Capply (op, args); pstack = f.trunk }
+              p.body <- Nleaf { control = Capply (op, args); pstack = f.trunk };
+              born := [ p ]
           | [] -> assert false
         end
 
@@ -162,7 +188,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
             parent = Pchild (n, i);
             body = Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
           })
-      exprs
+      exprs;
+    born := Array.to_list f.children
 
   (* Controller application whose root is not in the invoking branch's local
      stack: climb the tree for the nearest trunk containing the root, prune
@@ -197,6 +224,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         on_event (Ev_invalid l);
         failure := Some (invalid_controller l)
     | Some (p, f, above_incl, below) ->
+        incr prunes;
         Counters.incr counters "concur.capture";
         Counters.incr counters "sync.lock";
         let tree =
@@ -210,7 +238,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         Counters.add counters "concur.capture.control-points" (control_points tree);
         on_event (Ev_capture { label = l; control_points = control_points tree });
         let pk = Pktree { pkt_label = l; pkt_tree = tree } in
-        p.body <- Nleaf { control = Capply (body_fn, [ pk ]); pstack = below }
+        p.body <- Nleaf { control = Capply (body_fn, [ pk ]); pstack = below };
+        born := [ p ]
 
   (* Invoke a tree-shaped process continuation: graft the saved subtree onto
      the invoking branch.  The saved trunk is spliced on top of the invoking
@@ -251,7 +280,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
           }
         in
         n.body <- Nfork f;
-        Array.iteri (fun i child -> f.children.(i) <- rebuild (Pchild (n, i)) child) pf.pf_children
+        Array.iteri (fun i child -> f.children.(i) <- rebuild (Pchild (n, i)) child) pf.pf_children;
+        born := List.rev (collect_leaves [] n)
     | Phole _ | Pleaf _ | Pdone ->
         (* Captures always package a fork at the top. *)
         assert false
@@ -260,74 +290,156 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
   (* Step one branch for up to [quantum] transitions, or until it blocks on
      a scheduler-level event. *)
   let step_leaf n =
+    (* [failure] can only be set by this branch's own handlers, which all
+       terminate the loop, so it is checked once at entry rather than per
+       step.  Fork/future interceptions consume quantum but no fuel, as a
+       fresh leaf takes their place. *)
     let rec go st q =
-      if !failure <> None then ()
-      else if q = 0 || !fuel_left <= 0 then n.body <- Nleaf st
+      if q = 0 || !fuel_left <= 0 then n.body <- Nleaf st
       else
-        match st.control with
-        | Ceval (Ir.Pcall [], _) -> failure := Some "pcall: expects at least an operator expression"
-        | Ceval (Ir.Pcall exprs, env') -> do_fork n st exprs env'
-        | Ceval (Ir.Future e, env') ->
-            (* Plant an independent tree in the forest; the current branch
-               continues immediately with the (pending) future. *)
-            Counters.incr counters "concur.future";
-            let cell = { fvalue = None } in
-            on_event (Ev_future { node = n.nid });
-            let fnode =
-              {
-                nid = fresh_id ();
-                parent = Pfut cell;
-                body = Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
-              }
-            in
-            roots := !roots @ [ fnode ];
-            go { st with control = Creturn (Future cell) } (q - 1)
-        | _ -> (
+        match Machine.step_exn_conc cfg st with
+        | st' ->
             decr fuel_left;
-            match Machine.step cfg st with
-            | Machine.Next st' -> go st' (q - 1)
-            | Machine.Final v -> deliver n v
-            | Machine.Err msg -> failure := Some msg
-            | Machine.Esc_control (l, body_fn) -> do_capture n st l body_fn
-            | Machine.Esc_pktree (pkt, v) -> do_graft n st pkt v
-            | Machine.Esc_touch _ ->
-                (* Still pending: park the branch in the same state; other
-                   trees progress and the touch is retried next round. *)
-                Counters.incr counters "concur.touch-wait";
-                n.body <- Nleaf st)
+            go st' (q - 1)
+        | exception Machine.Stop s -> (
+            match s with
+            | Machine.Esc_fork (exprs, env') -> do_fork n st exprs env'
+            | Machine.Esc_future (e, env') ->
+                (* Plant an independent tree in the forest; the current
+                   branch continues immediately with the (pending)
+                   future. *)
+                Counters.incr counters "concur.future";
+                let cell = { fvalue = None } in
+                on_event (Ev_future { node = n.nid });
+                let fnode =
+                  {
+                    nid = fresh_id ();
+                    parent = Pfut cell;
+                    body =
+                      Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
+                  }
+                in
+                new_trees := fnode :: !new_trees;
+                incr live_futures;
+                go { st with control = Creturn (Future cell) } (q - 1)
+            | _ -> (
+                decr fuel_left;
+                match s with
+                | Machine.Final v -> deliver n v
+                | Machine.Err msg -> failure := Some msg
+                | Machine.Esc_control (l, body_fn) -> do_capture n st l body_fn
+                | Machine.Esc_pktree (pkt, v) -> do_graft n st pkt v
+                | Machine.Esc_touch _ ->
+                    (* Still pending: park the branch in the same state;
+                       other trees progress and the touch is retried next
+                       round. *)
+                    Counters.incr counters "concur.touch-wait";
+                    n.body <- Nleaf st
+                | Machine.Next _ | Machine.Esc_fork _ | Machine.Esc_future _ ->
+                    assert false))
     in
     match n.body with
-    | Nleaf st -> go st quantum
+    | Nleaf st -> if !failure = None then go st quantum
     | Nfork _ | Ndone -> ()
   in
 
+  let is_leaf n = match n.body with Nleaf _ -> true | _ -> false in
+
+  (* The nodes that take the stepped node's place in the queue: itself if
+     it is still a runnable leaf, then whatever the step made runnable
+     (fork children, a resumed parent, a grafted subtree's leaves).
+     Because a subtree's leaves are contiguous in tree order, splicing
+     them at the stepped node's position keeps the queue in the same
+     order a full forest walk would produce. *)
+  let successors n =
+    match !born with
+    | [] ->
+        (* No fork, capture, graft or delivery happened, so the node's
+           attachment is unchanged from the pre-step check; skip the
+           parent-chain walk. *)
+        if is_leaf n then [ n ] else []
+    | b -> if is_leaf n && attached n then n :: b else b
+  in
+
+  (* One scheduling round over the compacted queue of live leaves.  Cost
+     is O(runnable), not O(forest): stale entries (pruned by a capture,
+     or no longer leaves) are dropped up front, and each processed
+     position is replaced by its successors. *)
   let round () =
-    let leaves = List.rev (List.fold_left collect_leaves [] !roots) in
-    match sched with
+    new_trees := [];
+    (match sched with
     | Driven pick ->
-        (* Systematic exploration: one decision, one branch, one quantum. *)
-        let arr = Array.of_list leaves in
+        (* Systematic exploration: one decision, one branch, one quantum.
+           The pick contract needs the exact live count, so compact the
+           queue up front. *)
+        let live = List.filter (fun n -> is_leaf n && attached n) !queue in
+        let arr = Array.of_list live in
         let count = Array.length arr in
-        if count > 0 then begin
+        if count = 0 then queue := []
+        else begin
           let idx = pick count in
-          if idx < 0 || idx >= count then
-            failure := Some "scheduler: Driven pick returned an out-of-range index"
-          else
+          if idx < 0 || idx >= count then begin
+            failure := Some "scheduler: Driven pick returned an out-of-range index";
+            queue := live
+          end
+          else begin
             let n = arr.(idx) in
-            if !failure = None && !fuel_left > 0 && attached n then step_leaf n
+            born := [];
+            if !failure = None && !fuel_left > 0 && attached n then step_leaf n;
+            let before = Array.to_list (Array.sub arr 0 idx) in
+            let after = Array.to_list (Array.sub arr (idx + 1) (count - idx - 1)) in
+            queue := before @ successors n @ after
+          end
         end
-    | Round_robin | Randomized _ ->
-        let leaves =
-          match rng with
-          | None -> leaves
-          | Some g ->
-              let a = Array.of_list leaves in
-              Xorshift.shuffle g a;
-              Array.to_list a
+    | Round_robin ->
+        (* Single fused pass: compact lazily while stepping, replacing
+           each stepped position by its successors in place.  One queue
+           traversal and no intermediate arrays per round. *)
+        let rec go acc = function
+          | [] -> queue := List.rev acc
+          | n :: rest ->
+              if is_leaf n && attached n then
+                if !failure = None && !fuel_left > 0 then begin
+                  born := [];
+                  step_leaf n;
+                  (* [successors] inlined to avoid building the singleton
+                     list on the common nothing-born path. *)
+                  match !born with
+                  | [] -> if is_leaf n then go (n :: acc) rest else go acc rest
+                  | b ->
+                      let acc =
+                        if is_leaf n && attached n then List.rev_append b (n :: acc)
+                        else List.rev_append b acc
+                      in
+                      go acc rest
+                end
+                else go (n :: acc) rest
+              else go acc rest
         in
-        List.iter
-          (fun n -> if !failure = None && !fuel_left > 0 && attached n then step_leaf n)
-          leaves
+        go [] !queue
+    | Randomized _ ->
+        (* The shuffle must range over exactly the live leaves (the same
+           permutation a fresh forest walk would be dealt), so compact
+           first.  Only the processing order is shuffled; each node's
+           successors still land in its tree-order bucket. *)
+        let live = List.filter (fun n -> is_leaf n && attached n) !queue in
+        let arr = Array.of_list live in
+        let count = Array.length arr in
+        let buckets = Array.make (max count 1) [] in
+        let order = Array.init count (fun i -> i) in
+        (match rng with None -> () | Some g -> Xorshift.shuffle g order);
+        Array.iter
+          (fun i ->
+            let n = arr.(i) in
+            born := [];
+            if !failure = None && !fuel_left > 0 && attached n then begin
+              step_leaf n;
+              buckets.(i) <- successors n
+            end
+            else buckets.(i) <- [ n ])
+          order;
+        queue := List.concat (Array.to_list buckets));
+    if !new_trees <> [] then queue := !queue @ List.rev !new_trees
   in
 
   let rec drive () =
@@ -337,7 +449,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         (* Join-on-exit: finish the remaining independent trees so futures
            created by this program remain touchable afterwards (bounded by
            the remaining fuel). *)
-        if drain_futures && List.length !roots > 1 && !fuel_left > 0 then begin
+        if drain_futures && !live_futures > 0 && !fuel_left > 0 then begin
           round ();
           drive ()
         end

@@ -57,10 +57,15 @@ val run :
   ?drain_futures:bool ->
   ?on_event:(event -> unit) ->
   ?cfg:Machine.config ->
-  Types.env ->
+  Types.genv ->
   Ir.t ->
   outcome
-(** Evaluate a program under the concurrent scheduler.  [fuel] bounds the
+(** Resolve a program against the global table and evaluate it under the
+    concurrent scheduler.  The scheduler keeps an incrementally
+    maintained run queue of runnable leaves (lazily validated against
+    the live tree), so a round costs O(runnable branches) rather than a
+    walk of the whole process forest; the observable schedule of every
+    policy is the same as a full tree-order walk.  [fuel] bounds the
     total number of machine transitions across all branches (default
     10_000_000); [quantum] is the number of transitions a branch may take
     before the scheduler moves on (default 16).

@@ -8,6 +8,7 @@ let frame_name = function
   | Flet _ -> "Flet"
   | Fletrec _ -> "Fletrec"
   | Fset _ -> "Fset"
+  | Fsetg _ -> "Fsetg"
   | Ffuture _ -> "Ffuture"
   | Fwind _ -> "Fwind"
   | Fwinding _ -> "Fwinding"
@@ -27,7 +28,11 @@ let pp_pstack ppf segs =
 
 let pp_control ppf = function
   | Ceval (ir, _) ->
-      let s = Ir.to_string ir in
+      let s =
+        Ir.resolved_to_string ~value_to_string:Value.to_string
+          ~global_name:(fun g -> g.gname)
+          ir
+      in
       let s = if String.length s > 40 then String.sub s 0 37 ^ "..." else s in
       Format.fprintf ppf "eval %s" s
   | Creturn v -> Format.fprintf ppf "return %s" (Value.to_string v)

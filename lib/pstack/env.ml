@@ -1,51 +1,55 @@
 open Types
 
-let empty () = { vars = []; globals = Hashtbl.create 64 }
+let empty () : genv = Hashtbl.create 64
 
-let lookup env name =
-  let rec scan = function
-    | [] -> Hashtbl.find_opt env.globals name
-    | (n, cell) :: rest -> if String.equal n name then Some cell else scan rest
-  in
-  scan env.vars
+let intern (genv : genv) name =
+  match Hashtbl.find_opt genv name with
+  | Some g -> g
+  | None ->
+      let g = { gname = name; gval = Undef; gbound = false } in
+      Hashtbl.add genv name g;
+      g
 
-let extend env bindings =
-  let vars =
-    List.fold_left (fun acc (n, v) -> (n, ref v) :: acc) env.vars bindings
-  in
-  { env with vars }
+let define_global genv name v =
+  let g = intern genv name in
+  g.gval <- v;
+  g.gbound <- true
 
-let extend_refs env bindings =
-  let vars = List.fold_left (fun acc (n, c) -> (n, c) :: acc) env.vars bindings in
-  { env with vars }
+let lookup_global (genv : genv) name =
+  match Hashtbl.find_opt genv name with
+  | Some g when g.gbound -> Some g
+  | _ -> None
 
-let define_global env name v =
-  match Hashtbl.find_opt env.globals name with
-  | Some cell -> cell := v
-  | None -> Hashtbl.add env.globals name (ref v)
+let rec rib_at (env : env) d =
+  match env with
+  | rib :: rest -> if d = 0 then rib else rib_at rest (d - 1)
+  | [] -> invalid_arg "Env.rib_at: address beyond environment depth"
+
+let local env d s = (rib_at env d).(s)
+
+let set_local env d s v = (rib_at env d).(s) <- v
 
 let bind_params closure args =
-  let { params; rest; cenv; _ } = closure in
-  let nparams = List.length params in
+  let { nparams; has_rest; cenv; _ } = closure in
   let nargs = List.length args in
   if nargs < nparams then
     Error
       (Printf.sprintf "procedure expects %s%d arguments, got %d"
-         (if rest = None then "" else "at least ")
+         (if has_rest then "at least " else "")
          nparams nargs)
-  else if rest = None && nargs > nparams then
+  else if (not has_rest) && nargs > nparams then
     Error (Printf.sprintf "procedure expects %d arguments, got %d" nparams nargs)
-  else
-    let rec take ps vs acc =
-      match (ps, vs) with
-      | [], vs -> (List.rev acc, vs)
-      | p :: ps, v :: vs -> take ps vs ((p, v) :: acc)
-      | _ :: _, [] -> assert false
+  else begin
+    let rib = Array.make (nparams + if has_rest then 1 else 0) Undef in
+    let rec fill i args =
+      if i < nparams then
+        match args with
+        | v :: rest ->
+            Array.unsafe_set rib i v;
+            fill (i + 1) rest
+        | [] -> assert false
+      else if has_rest then rib.(nparams) <- Value.values_to_list args
     in
-    let bound, leftover = take params args [] in
-    let bound =
-      match rest with
-      | None -> bound
-      | Some r -> (r, Value.values_to_list leftover) :: bound
-    in
-    Ok (extend cenv bound)
+    fill 0 args;
+    Ok (rib :: cenv)
+  end

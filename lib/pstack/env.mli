@@ -1,21 +1,33 @@
-(** Environments: lexical frames over a mutable global table. *)
+(** Environments: chains of flat rib frames over a table of global cells.
 
-val empty : unit -> Types.env
-(** A fresh environment with an empty global table. *)
+    The lexical part of an environment is [Types.env = value array list]
+    — one array ("rib") per binding form, innermost first.  The
+    resolution pass ({!Resolve}) compiles every variable occurrence to a
+    (depth, slot) address into this chain, so runtime access never
+    compares a name.  Globals are mutable {!Types.gcell}s interned by
+    name in a {!Types.genv} table shared by resolution and [define]. *)
 
-val lookup : Types.env -> string -> Types.value ref option
-(** Lexical scope first, then globals. *)
+val empty : unit -> Types.genv
+(** A fresh, empty global table. *)
 
-val extend : Types.env -> (string * Types.value) list -> Types.env
-(** Bind each name to a fresh cell, shadowing outer bindings. *)
+val intern : Types.genv -> string -> Types.gcell
+(** The cell for [name], creating an unbound one if none exists.
+    Resolution and [define] intern into the same table, so a reference
+    compiled before the definition shares the cell bound later. *)
 
-val extend_refs : Types.env -> (string * Types.value ref) list -> Types.env
-(** Bind names to the given (shared) cells, as needed for [letrec]. *)
-
-val define_global : Types.env -> string -> Types.value -> unit
+val define_global : Types.genv -> string -> Types.value -> unit
 (** Top-level [define]: create or overwrite a global binding. *)
+
+val lookup_global : Types.genv -> string -> Types.gcell option
+(** The cell for [name] if it is currently bound. *)
+
+val local : Types.env -> int -> int -> Types.value
+(** [local env depth slot] reads a lexical address. *)
+
+val set_local : Types.env -> int -> int -> Types.value -> unit
 
 val bind_params :
   Types.closure -> Types.value list -> (Types.env, string) result
-(** Bind a closure's parameters to actual arguments, checking arity and
-    collecting any rest arguments into a list. *)
+(** Build the activation rib for a closure call: fixed parameters in
+    slots [0..nparams-1] and, for variadic procedures, the collected
+    rest list in the final slot.  Checks arity. *)

@@ -55,6 +55,35 @@ let let_ bindings body = Let (bindings, body)
 
 let seq es = Seq es
 
+(* Resolved IR: the output of the lexical-addressing pass (Resolve).
+   Every variable occurrence is compiled to either a lexical address —
+   rib depth and slot within the rib — or a pre-interned global cell, so
+   the machine never scans an environment by name.  The type is
+   parametric in the runtime value ['v] and global-cell ['g] types so it
+   can be defined here without depending on [Types] (which itself
+   depends on this module). *)
+type ('v, 'g) resolved =
+  | Rconst of 'v
+  | Rquoted of quoted
+  | Rlocal of int * int  (* rib depth, slot *)
+  | Rglobal of 'g
+  | Rlam of ('v, 'g) rlambda
+  | Rapp of ('v, 'g) resolved * ('v, 'g) resolved list
+  | Rif of ('v, 'g) resolved * ('v, 'g) resolved * ('v, 'g) resolved
+  | Rseq of ('v, 'g) resolved list
+  | Rlet of ('v, 'g) resolved list * ('v, 'g) resolved
+  | Rletrec of ('v, 'g) resolved list * ('v, 'g) resolved
+  | Rset_local of int * int * ('v, 'g) resolved
+  | Rset_global of 'g * ('v, 'g) resolved
+  | Rfuture of ('v, 'g) resolved
+  | Rpcall of ('v, 'g) resolved list
+
+and ('v, 'g) rlambda = {
+  rnparams : int;
+  rhas_rest : bool;
+  rbody : ('v, 'g) resolved;
+}
+
 let rec size = function
   | Const _ | Quoted _ | Var _ -> 1
   | Lam { body; _ } -> 1 + size body
@@ -138,3 +167,44 @@ and pp_bindings ppf bs =
     ppf bs
 
 let to_string e = Format.asprintf "%a" pp e
+
+let pp_resolved ~pp_value ~global_name ppf r =
+  let rec go ppf = function
+    | Rconst v -> pp_value ppf v
+    | Rquoted q -> Format.fprintf ppf "'%a" pp_quoted q
+    | Rlocal (d, s) -> Format.fprintf ppf "%%%d.%d" d s
+    | Rglobal g -> Format.fprintf ppf "%s" (global_name g)
+    | Rlam { rnparams; rhas_rest; rbody } ->
+        Format.fprintf ppf "@[<hov 1>(lambda %d%s@ %a)@]" rnparams
+          (if rhas_rest then "+rest" else "")
+          go rbody
+    | Rapp (f, args) -> Format.fprintf ppf "@[<hov 1>(%a%a)@]" go f tail args
+    | Rif (a, b, c) ->
+        Format.fprintf ppf "@[<hov 1>(if %a@ %a@ %a)@]" go a go b go c
+    | Rseq es -> Format.fprintf ppf "@[<hov 1>(begin%a)@]" tail es
+    | Rlet (inits, body) ->
+        Format.fprintf ppf "@[<hov 1>(let (%a)@ %a)@]" inits_pp inits go body
+    | Rletrec (inits, body) ->
+        Format.fprintf ppf "@[<hov 1>(letrec (%a)@ %a)@]" inits_pp inits go body
+    | Rset_local (d, s, e) ->
+        Format.fprintf ppf "@[<hov 1>(set! %%%d.%d@ %a)@]" d s go e
+    | Rset_global (g, e) ->
+        Format.fprintf ppf "@[<hov 1>(set! %s@ %a)@]" (global_name g) go e
+    | Rfuture e -> Format.fprintf ppf "@[<hov 1>(future@ %a)@]" go e
+    | Rpcall es -> Format.fprintf ppf "@[<hov 1>(pcall%a)@]" tail es
+  and tail ppf = function
+    | [] -> ()
+    | e :: rest ->
+        Format.fprintf ppf "@ %a" go e;
+        tail ppf rest
+  and inits_pp ppf es =
+    Format.pp_print_list ~pp_sep:Format.pp_print_space go ppf es
+  in
+  go ppf r
+
+let resolved_to_string ~value_to_string ~global_name r =
+  Format.asprintf "%a"
+    (pp_resolved
+       ~pp_value:(fun ppf v -> Format.pp_print_string ppf (value_to_string v))
+       ~global_name)
+    r

@@ -51,6 +51,38 @@ type t =
 
 and lambda = { params : string list; rest : string option; body : t }
 
+(** Resolved IR, the output of the lexical-addressing pass ({!Resolve}):
+    every variable occurrence is a lexical address [Rlocal (depth, slot)]
+    into the chain of rib frames, or a pre-interned global cell
+    [Rglobal].  Parametric in the runtime value type ['v] (carried by
+    pre-converted constants) and the global-cell type ['g], so that
+    [Types] can instantiate it without a module cycle. *)
+type ('v, 'g) resolved =
+  | Rconst of 'v  (** constant, pre-converted to a runtime value *)
+  | Rquoted of quoted
+      (** structured [quote]d literal: a {e fresh} mutable value is built
+          per evaluation, preserving [eq?] semantics *)
+  | Rlocal of int * int  (** rib depth, slot within the rib *)
+  | Rglobal of 'g
+  | Rlam of ('v, 'g) rlambda
+  | Rapp of ('v, 'g) resolved * ('v, 'g) resolved list
+  | Rif of ('v, 'g) resolved * ('v, 'g) resolved * ('v, 'g) resolved
+  | Rseq of ('v, 'g) resolved list
+  | Rlet of ('v, 'g) resolved list * ('v, 'g) resolved
+      (** binding initialisers in slot order; the body sees one new rib *)
+  | Rletrec of ('v, 'g) resolved list * ('v, 'g) resolved
+      (** initialisers evaluated inside the new rib, slots filled in order *)
+  | Rset_local of int * int * ('v, 'g) resolved
+  | Rset_global of 'g * ('v, 'g) resolved
+  | Rfuture of ('v, 'g) resolved
+  | Rpcall of ('v, 'g) resolved list
+
+and ('v, 'g) rlambda = {
+  rnparams : int;  (** number of fixed parameters *)
+  rhas_rest : bool;  (** whether a rest slot follows the fixed slots *)
+  rbody : ('v, 'g) resolved;
+}
+
 val int : int -> t
 
 val bool : bool -> t
@@ -81,3 +113,17 @@ val pp_quoted : Format.formatter -> quoted -> unit
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+val pp_resolved :
+  pp_value:(Format.formatter -> 'v -> unit) ->
+  global_name:('g -> string) ->
+  Format.formatter ->
+  ('v, 'g) resolved ->
+  unit
+(** Print resolved IR; locals appear as [%depth.slot], globals by name. *)
+
+val resolved_to_string :
+  value_to_string:('v -> string) ->
+  global_name:('g -> string) ->
+  ('v, 'g) resolved ->
+  string

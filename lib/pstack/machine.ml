@@ -9,7 +9,7 @@ let config ?(strategy = Linked) () =
 
 let initial_pstack = [ { root = Rbase; frames = []; winders = [] } ]
 
-let initial ir env = { control = Ceval (ir, env); pstack = initial_pstack }
+let initial ir = { control = Ceval (ir, []); pstack = initial_pstack }
 
 type stepped =
   | Next of Types.state
@@ -18,6 +18,15 @@ type stepped =
   | Esc_control of Types.label * Types.value
   | Esc_pktree of Types.pktree * Types.value
   | Esc_touch of Types.future_cell
+  | Esc_fork of Types.rir list * Types.env
+  | Esc_future of Types.rir * Types.env
+
+(* The hot path returns the successor state directly; everything that ends
+   or escapes the step loop is raised, so the driver pays for one handler
+   per run rather than one [Next] box per transition. *)
+exception Stop of stepped
+
+let err msg = raise (Stop (Err msg))
 
 let push_frame f = function
   | seg :: rest ->
@@ -33,14 +42,14 @@ let rec run_winders st thunks target =
   match thunks with
   | [] -> (
       match target with
-      | Wreturn v -> Next { st with control = Creturn v }
-      | Wapply (f, args) -> Next { st with control = Capply (f, args) }
+      | Wreturn v -> { st with control = Creturn v }
+      | Wapply (f, args) -> { st with control = Capply (f, args) }
       | Wenter (before, thunk, after) ->
           let pstack = push_frame (Fwind (before, after)) st.pstack in
-          Next { control = Capply (thunk, []); pstack })
+          { control = Capply (thunk, []); pstack })
   | t :: rest ->
       let pstack = push_frame (Fwinding (rest, target)) st.pstack in
-      Next { control = Capply (t, []); pstack }
+      { control = Capply (t, []); pstack }
 
 (* [after] thunks of winders inside captured segments, innermost first —
    the order in which an abort exits their dynamic extents. *)
@@ -82,28 +91,6 @@ let charge cfg op segs =
       Counters.add cfg.counters (op ^ ".frames") (count_frames segs);
       copy_segments segs
 
-let rec quoted_value : Ir.quoted -> value = function
-  | Ir.Qint n -> Int n
-  | Ir.Qbool b -> Bool b
-  | Ir.Qstr s -> Str s
-  | Ir.Qsym s -> Sym s
-  | Ir.Qchar c -> Char c
-  | Ir.Qnil -> Nil
-  | Ir.Qlist qs -> Value.values_to_list (List.map quoted_value qs)
-  | Ir.Qdot (qs, tail) ->
-      List.fold_right
-        (fun q acc -> Value.cons (quoted_value q) acc)
-        qs (quoted_value tail)
-
-let const_value : Ir.const -> value = function
-  | Ir.Cint n -> Int n
-  | Ir.Cbool b -> Bool b
-  | Ir.Cstr s -> Str s
-  | Ir.Csym s -> Sym s
-  | Ir.Cchar c -> Char c
-  | Ir.Cnil -> Nil
-  | Ir.Cunit -> Unit
-
 let prim_arity_ok p nargs =
   nargs >= p.pmin && match p.pmax with None -> true | Some m -> nargs <= m
 
@@ -125,15 +112,38 @@ let capture_to_prompt pstack =
   in
   go [] pstack
 
+(* Same message [Env.bind_params] produces for a fixed-arity mismatch. *)
+let arity_error c args =
+  err
+    (Printf.sprintf "procedure expects %d arguments, got %d" c.nparams
+       (List.length args))
+
 let apply cfg st f args =
   match f with
+  | Closure ({ nparams; has_rest = false; cbody; cenv } as c) ->
+      (* Fast path for the common exact-arity call: fill the rib in a
+         single pass over [args], with no separate length computation and
+         no [result] box. *)
+      let rib = Array.make nparams Undef in
+      let rec fill i = function
+        | [] ->
+            if i = nparams then { st with control = Ceval (cbody, rib :: cenv) }
+            else arity_error c args
+        | v :: rest ->
+            if i < nparams then begin
+              Array.unsafe_set rib i v;
+              fill (i + 1) rest
+            end
+            else arity_error c args
+      in
+      fill 0 args
   | Closure c -> (
       match Env.bind_params c args with
-      | Ok env -> Next { st with control = Ceval (c.cbody, env) }
-      | Error msg -> Err msg)
+      | Ok env -> { st with control = Ceval (c.cbody, env) }
+      | Error msg -> err msg)
   | Prim p -> (
       if not (prim_arity_ok p (List.length args)) then
-        Err
+        err
           (Printf.sprintf "%s: expects %s%d argument(s), got %d" p.pname
              (match p.pmax with
              | Some m when m = p.pmin -> ""
@@ -143,46 +153,42 @@ let apply cfg st f args =
         match p.pkind with
         | Pure fn -> (
             match fn args with
-            | Ok v -> Next { st with control = Creturn v }
-            | Error msg -> Err msg)
+            | Ok v -> { st with control = Creturn v }
+            | Error msg -> err msg)
         | Ctl op -> (
             match (op, args) with
             | Op_spawn, [ proc ] ->
                 let l = Id.fresh cfg.labels in
                 Counters.incr cfg.counters "spawn";
                 let pstack = { root = Rspawn l; frames = []; winders = [] } :: st.pstack in
-                Next { control = Capply (proc, [ Controller l ]); pstack }
+                { control = Capply (proc, [ Controller l ]); pstack }
             | Op_callcc, [ proc ] ->
                 let saved = charge cfg "capture" st.pstack in
                 Counters.incr cfg.counters "callcc";
-                Next
-                  {
-                    st with
-                    control = Capply (proc, [ Cont { ck_pstack = saved } ]);
-                  }
+                { st with control = Capply (proc, [ Cont { ck_pstack = saved } ]) }
             | Op_prompt, [ thunk ] ->
                 Counters.incr cfg.counters "prompt";
                 let pstack = { root = Rprompt; frames = []; winders = [] } :: st.pstack in
-                Next { control = Capply (thunk, []); pstack }
+                { control = Capply (thunk, []); pstack }
             | Op_fcontrol, [ proc ] ->
                 Counters.incr cfg.counters "fcontrol";
                 let frames, pstack = capture_to_prompt st.pstack in
                 Counters.add cfg.counters "capture.frames" (List.length frames);
-                Next { control = Capply (proc, [ Fcont frames ]); pstack }
+                { control = Capply (proc, [ Fcont frames ]); pstack }
             | Op_wind, [ before; thunk; after ] ->
                 run_winders st [ before ] (Wenter (before, thunk, after))
             | Op_touch, [ Future cell ] -> (
                 match cell.fvalue with
-                | Some v -> Next { st with control = Creturn v }
-                | None -> Esc_touch cell)
+                | Some v -> { st with control = Creturn v }
+                | None -> raise (Stop (Esc_touch cell)))
             | Op_touch, [ v ] ->
                 (* Multilisp: touching a non-future returns it. *)
-                Next { st with control = Creturn v }
+                { st with control = Creturn v }
             | Op_apply, [ proc; arglist ] -> (
                 match Value.list_to_values arglist with
-                | Some vs -> Next { st with control = Capply (proc, vs) }
-                | None -> Err "apply: last argument must be a proper list")
-            | _ -> Err (p.pname ^ ": bad control-operator arguments")))
+                | Some vs -> { st with control = Capply (proc, vs) }
+                | None -> err "apply: last argument must be a proper list")
+            | _ -> err (p.pname ^ ": bad control-operator arguments")))
   | Controller l -> (
       match args with
       | [ body ] -> (
@@ -196,8 +202,8 @@ let apply cfg st f args =
                  the controller's argument is applied. *)
               run_winders { st with pstack = rest } (afters_of captured)
                 (Wapply (body, [ pk ]))
-          | None -> Esc_control (l, body))
-      | _ -> Err "controller: expects exactly one argument")
+          | None -> raise (Stop (Esc_control (l, body))))
+      | _ -> err "controller: expects exactly one argument")
   | Pk pk -> (
       match args with
       | [ v ] ->
@@ -208,18 +214,18 @@ let apply cfg st f args =
           run_winders
             { control = Creturn v; pstack = segs @ st.pstack }
             (befores_of segs) (Wreturn v)
-      | _ -> Err "process continuation: expects exactly one argument")
+      | _ -> err "process continuation: expects exactly one argument")
   | Pktree pkt -> (
       match args with
-      | [ v ] -> Esc_pktree (pkt, v)
-      | _ -> Err "process continuation: expects exactly one argument")
+      | [ v ] -> raise (Stop (Esc_pktree (pkt, v)))
+      | _ -> err "process continuation: expects exactly one argument")
   | Cont c -> (
       match args with
       | [ v ] ->
           let segs = charge cfg "reinstate" c.ck_pstack in
           Counters.incr cfg.counters "cont-invoke";
-          Next { control = Creturn v; pstack = segs }
-      | _ -> Err "continuation: expects exactly one argument")
+          { control = Creturn v; pstack = segs }
+      | _ -> err "continuation: expects exactly one argument")
   | Fcont frames -> (
       match args with
       | [ v ] ->
@@ -236,134 +242,183 @@ let apply cfg st f args =
                 :: rest
             | [] -> assert false
           in
-          Next { control = Creturn v; pstack }
-      | _ -> Err "functional continuation: expects exactly one argument")
-  | v -> Err ("application of a non-procedure: " ^ Value.to_string v)
+          { control = Creturn v; pstack }
+      | _ -> err "functional continuation: expects exactly one argument")
+  | v -> err ("application of a non-procedure: " ^ Value.to_string v)
 
-(* Deliver a returned value to the topmost frame, or pop a segment. *)
-let return_value cfg st v =
+(* Deliver a returned value to the topmost frame, or pop a segment.
+   Each branch builds its successor's segment directly — popping the
+   delivered-to frame and pushing any replacement in one record — so the
+   common frame transition costs one segment and one state allocation,
+   with no intermediate [Creturn] state.  The replacement frames are
+   never [Fwind], so [winders] carries over except in the two winder
+   branches, which handle it explicitly. *)
+let return_value st v =
   match st.pstack with
   | [] -> assert false
   | { root; frames = []; _ } :: rest -> (
       match root with
       | Rbase ->
-          if rest = [] then Final v
-          else Err "internal error: base segment above other segments"
+          if rest = [] then raise (Stop (Final v))
+          else err "internal error: base segment above other segments"
       | Rspawn _ ->
           (* Normal return from a spawned process removes its root. *)
-          Next { control = Creturn v; pstack = rest }
+          { control = Creturn v; pstack = rest }
       | Rprompt ->
           (* A value returning to a prompt falls through to the prompt
              application's continuation. *)
-          Next { control = Creturn v; pstack = rest })
+          { control = Creturn v; pstack = rest })
   | ({ frames = f :: fs; _ } as seg) :: rest -> (
-      let winders =
-        match f with Fwind _ -> List.tl seg.winders | _ -> seg.winders
-      in
-      let pstack = { seg with frames = fs; winders } :: rest in
-      let st = { control = Creturn v; pstack } in
-      ignore cfg;
       match f with
+      (* Unary and binary applications, specialized: the generic case
+         conses [v] on and reverses, costing k+2 fresh cells for a k-ary
+         call where these need one or two. *)
+      | Fapp ([ op ], [], _) ->
+          { control = Capply (op, [ v ]); pstack = { seg with frames = fs } :: rest }
+      | Fapp ([ a1; op ], [], _) ->
+          { control = Capply (op, [ a1; v ]);
+            pstack = { seg with frames = fs } :: rest }
       | Fapp (vals, [], _) ->
           let all = List.rev (v :: vals) in
-          Next { st with control = Capply (List.hd all, List.tl all) }
+          { control = Capply (List.hd all, List.tl all);
+            pstack = { seg with frames = fs } :: rest }
       | Fapp (vals, e :: es, env) ->
-          let pstack = push_frame (Fapp (v :: vals, es, env)) pstack in
-          Next { control = Ceval (e, env); pstack }
+          { control = Ceval (e, env);
+            pstack = { seg with frames = Fapp (v :: vals, es, env) :: fs } :: rest }
       | Fpcall (vals, [], _) ->
           let all = List.rev (v :: vals) in
-          Next { st with control = Capply (List.hd all, List.tl all) }
+          { control = Capply (List.hd all, List.tl all);
+            pstack = { seg with frames = fs } :: rest }
       | Fpcall (vals, e :: es, env) ->
-          let pstack = push_frame (Fpcall (v :: vals, es, env)) pstack in
-          Next { control = Ceval (e, env); pstack }
+          { control = Ceval (e, env);
+            pstack = { seg with frames = Fpcall (v :: vals, es, env) :: fs } :: rest }
       | Fif (thn, els, env) ->
-          Next { st with control = Ceval ((if Value.is_truthy v then thn else els), env) }
-      | Fseq ([], _) -> Next { st with control = Creturn v }
-      | Fseq ([ e ], env) -> Next { st with control = Ceval (e, env) }
+          { control = Ceval ((if Value.is_truthy v then thn else els), env);
+            pstack = { seg with frames = fs } :: rest }
+      | Fseq ([], _) ->
+          { control = Creturn v; pstack = { seg with frames = fs } :: rest }
+      | Fseq ([ e ], env) ->
+          { control = Ceval (e, env); pstack = { seg with frames = fs } :: rest }
       | Fseq (e :: es, env) ->
-          let pstack = push_frame (Fseq (es, env)) pstack in
-          Next { control = Ceval (e, env); pstack }
-      | Flet (x, done_, [], body, env) ->
-          let env = Env.extend env (List.rev ((x, v) :: done_)) in
-          Next { st with control = Ceval (body, env) }
-      | Flet (x, done_, (y, e) :: bs, body, env) ->
-          let pstack = push_frame (Flet (y, (x, v) :: done_, bs, body, env)) pstack in
-          Next { control = Ceval (e, env); pstack }
-      | Fletrec (cell, [], body, env) ->
-          cell := v;
-          Next { st with control = Ceval (body, env) }
-      | Fletrec (cell, (cell', e) :: bs, body, env) ->
-          cell := v;
-          let pstack = push_frame (Fletrec (cell', bs, body, env)) pstack in
-          Next { control = Ceval (e, env); pstack }
-      | Fset cell ->
-          cell := v;
-          Next { st with control = Creturn Unit }
+          { control = Ceval (e, env);
+            pstack = { seg with frames = Fseq (es, env) :: fs } :: rest }
+      | Flet (done_, [], body, env) ->
+          let rib = Array.of_list (List.rev (v :: done_)) in
+          { control = Ceval (body, rib :: env);
+            pstack = { seg with frames = fs } :: rest }
+      | Flet (done_, e :: es, body, env) ->
+          { control = Ceval (e, env);
+            pstack = { seg with frames = Flet (v :: done_, es, body, env) :: fs } :: rest }
+      | Fletrec (rib, i, [], body, env) ->
+          rib.(i) <- v;
+          { control = Ceval (body, env); pstack = { seg with frames = fs } :: rest }
+      | Fletrec (rib, i, e :: es, body, env) ->
+          rib.(i) <- v;
+          { control = Ceval (e, env);
+            pstack = { seg with frames = Fletrec (rib, i + 1, es, body, env) :: fs } :: rest }
+      | Fset (rib, slot) ->
+          rib.(slot) <- v;
+          { control = Creturn Unit; pstack = { seg with frames = fs } :: rest }
+      | Fsetg g ->
+          g.gval <- v;
+          { control = Creturn Unit; pstack = { seg with frames = fs } :: rest }
       | Ffuture fc ->
           fc.fvalue <- Some v;
-          Next { st with control = Creturn (Future fc) }
+          { control = Creturn (Future fc); pstack = { seg with frames = fs } :: rest }
       | Fwind (_, after) ->
           (* normal return exits the wind: run the after, then deliver v *)
-          run_winders st [ after ] (Wreturn v)
+          let pstack =
+            { seg with frames = fs; winders = List.tl seg.winders } :: rest
+          in
+          run_winders { control = Creturn v; pstack } [ after ] (Wreturn v)
       | Fwinding (pending, target) ->
           (* a winder thunk finished; its value is discarded *)
-          run_winders st pending target)
+          run_winders
+            { control = Creturn v; pstack = { seg with frames = fs } :: rest }
+            pending target)
 
-let step cfg st =
+(* Read a lexical address.  Inlined here rather than via Env so the
+   hot path is a tight loop over the rib chain. *)
+let rec rib_at env d =
+  match env with
+  | rib :: rest -> if d = 0 then rib else rib_at rest (d - 1)
+  | [] -> assert false
+
+(* [conc] selects who owns pcall/future: the sequential fallback evaluates
+   them in-line; the concurrent scheduler takes them as escapes, so its
+   driver loop needs no per-step control inspection of its own. *)
+let step_gen ~conc cfg st =
   match st.control with
-  | Creturn v -> return_value cfg st v
+  | Creturn v -> return_value st v
   | Capply (f, args) -> apply cfg st f args
   | Ceval (ir, env) -> (
       match ir with
-      | Ir.Const c -> Next { st with control = Creturn (const_value c) }
-      | Ir.Quoted q -> Next { st with control = Creturn (quoted_value q) }
-      | Ir.Var x -> (
-          match Env.lookup env x with
-          | Some cell -> Next { st with control = Creturn !cell }
-          | None -> Err ("unbound variable: " ^ x))
-      | Ir.Lam { params; rest; body } ->
-          Next { st with control = Creturn (Closure { params; rest; cbody = body; cenv = env }) }
-      | Ir.App (f, args) ->
+      | Ir.Rconst v -> { st with control = Creturn v }
+      | Ir.Rquoted q -> { st with control = Creturn (Resolve.quoted_value q) }
+      | Ir.Rlocal (d, s) ->
+          { st with control = Creturn (Array.unsafe_get (rib_at env d) s) }
+      | Ir.Rglobal g ->
+          if g.gbound then { st with control = Creturn g.gval }
+          else err ("unbound variable: " ^ g.gname)
+      | Ir.Rlam { rnparams; rhas_rest; rbody } ->
+          {
+            st with
+            control =
+              Creturn
+                (Closure
+                   { nparams = rnparams; has_rest = rhas_rest; cbody = rbody; cenv = env });
+          }
+      | Ir.Rapp (f, args) ->
           let pstack = push_frame (Fapp ([], args, env)) st.pstack in
-          Next { control = Ceval (f, env); pstack }
-      | Ir.If (c, t, e) ->
+          { control = Ceval (f, env); pstack }
+      | Ir.Rif (c, t, e) ->
           let pstack = push_frame (Fif (t, e, env)) st.pstack in
-          Next { control = Ceval (c, env); pstack }
-      | Ir.Seq [] -> Next { st with control = Creturn Unit }
-      | Ir.Seq [ e ] -> Next { st with control = Ceval (e, env) }
-      | Ir.Seq (e :: es) ->
+          { control = Ceval (c, env); pstack }
+      | Ir.Rseq [] -> { st with control = Creturn Unit }
+      | Ir.Rseq [ e ] -> { st with control = Ceval (e, env) }
+      | Ir.Rseq (e :: es) ->
           let pstack = push_frame (Fseq (es, env)) st.pstack in
-          Next { control = Ceval (e, env); pstack }
-      | Ir.Let ([], body) -> Next { st with control = Ceval (body, env) }
-      | Ir.Let ((x, e) :: bs, body) ->
-          let pstack = push_frame (Flet (x, [], bs, body, env)) st.pstack in
-          Next { control = Ceval (e, env); pstack }
-      | Ir.Letrec (bs, body) -> (
-          let cells = List.map (fun (x, e) -> (x, ref Undef, e)) bs in
-          let env' =
-            Env.extend_refs env (List.map (fun (x, c, _) -> (x, c)) cells)
-          in
-          match cells with
-          | [] -> Next { st with control = Ceval (body, env') }
-          | (_, c0, e0) :: rest ->
-              let remaining = List.map (fun (_, c, e) -> (c, e)) rest in
-              let pstack = push_frame (Fletrec (c0, remaining, body, env')) st.pstack in
-              Next { control = Ceval (e0, env'); pstack })
-      | Ir.Set (x, e) -> (
-          match Env.lookup env x with
-          | Some cell ->
-              let pstack = push_frame (Fset cell) st.pstack in
-              Next { control = Ceval (e, env); pstack }
-          | None -> Err ("set!: unbound variable: " ^ x))
-      | Ir.Future e ->
-          (* Sequential fallback: evaluate eagerly; the future is resolved
-             by the time it is returned.  The concurrent scheduler
-             intercepts Future before stepping and forks a new tree. *)
-          let pstack = push_frame (Ffuture { fvalue = None }) st.pstack in
-          Next { control = Ceval (e, env); pstack }
-      | Ir.Pcall [] -> Err "pcall: expects at least an operator expression"
-      | Ir.Pcall (e :: es) ->
-          (* Sequential fallback: evaluate left to right in this branch.
-             The concurrent scheduler intercepts Pcall before stepping. *)
-          let pstack = push_frame (Fpcall ([], es, env)) st.pstack in
-          Next { control = Ceval (e, env); pstack })
+          { control = Ceval (e, env); pstack }
+      | Ir.Rlet ([], body) -> { st with control = Ceval (body, env) }
+      | Ir.Rlet (e :: es, body) ->
+          let pstack = push_frame (Flet ([], es, body, env)) st.pstack in
+          { control = Ceval (e, env); pstack }
+      | Ir.Rletrec ([], body) -> { st with control = Ceval (body, env) }
+      | Ir.Rletrec ((e0 :: es as inits), body) ->
+          let rib = Array.make (List.length inits) Undef in
+          let env' = rib :: env in
+          let pstack = push_frame (Fletrec (rib, 0, es, body, env')) st.pstack in
+          { control = Ceval (e0, env'); pstack }
+      | Ir.Rset_local (d, s, e) ->
+          let pstack = push_frame (Fset (rib_at env d, s)) st.pstack in
+          { control = Ceval (e, env); pstack }
+      | Ir.Rset_global (g, e) ->
+          (* The unbound check happens before the right-hand side runs,
+             matching the old by-name lookup at this point. *)
+          if not g.gbound then err ("set!: unbound variable: " ^ g.gname)
+          else
+            let pstack = push_frame (Fsetg g) st.pstack in
+            { control = Ceval (e, env); pstack }
+      | Ir.Rfuture e ->
+          if conc then raise (Stop (Esc_future (e, env)))
+          else
+            (* Sequential fallback: evaluate eagerly; the future is
+               resolved by the time it is returned. *)
+            let pstack = push_frame (Ffuture { fvalue = None }) st.pstack in
+            { control = Ceval (e, env); pstack }
+      | Ir.Rpcall [] -> err "pcall: expects at least an operator expression"
+      | Ir.Rpcall exprs ->
+          if conc then raise (Stop (Esc_fork (exprs, env)))
+          else
+            (* Sequential fallback: evaluate left to right in this branch. *)
+            let pstack =
+              push_frame (Fpcall ([], List.tl exprs, env)) st.pstack
+            in
+            { control = Ceval (List.hd exprs, env); pstack })
+
+let step_exn cfg st = step_gen ~conc:false cfg st
+
+let step_exn_conc cfg st = step_gen ~conc:true cfg st
+
+let step cfg st =
+  match step_exn cfg st with st' -> Next st' | exception Stop s -> s

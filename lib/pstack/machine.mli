@@ -36,7 +36,9 @@ val config : ?strategy:Types.strategy -> unit -> config
 val initial_pstack : Types.segment list
 (** A single empty base segment. *)
 
-val initial : Ir.t -> Types.env -> Types.state
+val initial : Types.rir -> Types.state
+(** Initial state for a resolved top-level form; top-level forms close
+    over no ribs, so the lexical environment starts empty. *)
 
 type stepped =
   | Next of Types.state
@@ -54,12 +56,35 @@ type stepped =
   | Esc_touch of Types.future_cell
       (** [touch] of a still-pending future: the concurrent scheduler
           retries the branch after other trees have progressed *)
+  | Esc_fork of Types.rir list * Types.env
+      (** [pcall] under {!step_exn_conc}: the scheduler forks one child
+          per expression (operator included; the list is non-empty) *)
+  | Esc_future of Types.rir * Types.env
+      (** [future] under {!step_exn_conc}: the scheduler plants a new
+          tree and continues the branch with a pending future *)
+
+exception Stop of stepped
+(** Raised by {!step_exn} for every outcome other than a plain successor
+    state.  The payload is never [Next]. *)
+
+val step_exn : config -> Types.state -> Types.state
+(** One transition on the hot path: returns the successor state directly
+    and raises {!Stop} on termination, error or escape, so a driver loop
+    pays for one exception handler per run instead of one [stepped]
+    allocation per transition.  [pcall]/[future] evaluate via their
+    sequential fallbacks; never raises [Esc_fork]/[Esc_future]. *)
+
+val step_exn_conc : config -> Types.state -> Types.state
+(** Like {!step_exn}, but [pcall] and [future] raise [Esc_fork] and
+    [Esc_future] for the concurrent scheduler instead of taking the
+    sequential fallback. *)
 
 val step : config -> Types.state -> stepped
+(** Allocation-boxed wrapper around {!step_exn}; never raises [Stop]. *)
 
-val apply : config -> Types.state -> Types.value -> Types.value list -> stepped
+val apply : config -> Types.state -> Types.value -> Types.value list -> Types.state
 (** Apply a procedure value to arguments in the given state's process
-    stack.  Exposed for the drivers. *)
+    stack.  Exposed for the drivers; raises {!Stop} like {!step_exn}. *)
 
 val find_spawn_label : Types.label -> Types.segment list -> bool
 (** Does the process stack contain a segment rooted at [Rspawn l]? *)

@@ -359,6 +359,6 @@ let find name =
 let names () = List.sort String.compare (List.map fst prim_list)
 
 let base_env () =
-  let env = Env.empty () in
-  List.iter (fun (name, p) -> Env.define_global env name (Prim p)) prim_list;
-  env
+  let genv = Env.empty () in
+  List.iter (fun (name, p) -> Env.define_global genv name (Prim p)) prim_list;
+  genv

@@ -13,8 +13,8 @@
     [display]/[write]/[newline] append to a per-call buffer drained with
     {!take_output}, so tests can assert on program output. *)
 
-val base_env : unit -> Types.env
-(** A fresh global environment with every primitive bound. *)
+val base_env : unit -> Types.genv
+(** A fresh global table with every primitive bound. *)
 
 val take_output : unit -> string
 (** Return and clear everything printed since the last call. *)

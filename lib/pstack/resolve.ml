@@ -1,0 +1,103 @@
+open Types
+
+(* Lexical addressing: compile Ir.t to the resolved IR of Types.rir.
+   Compile-time scopes mirror the runtime rib chain exactly: one
+   (name, slot) list per rib, innermost first.  Within a rib the list is
+   ordered so that a head-first scan reproduces the shadowing of the old
+   assoc-list environments — the last binding of a duplicated name wins,
+   and a fixed parameter shadows a rest parameter of the same name. *)
+
+let const_value : Ir.const -> value = function
+  | Ir.Cint n -> Int n
+  | Ir.Cbool b -> Bool b
+  | Ir.Cstr s -> Str s
+  | Ir.Csym s -> Sym s
+  | Ir.Cchar c -> Char c
+  | Ir.Cnil -> Nil
+  | Ir.Cunit -> Unit
+
+let rec quoted_value : Ir.quoted -> value = function
+  | Ir.Qint n -> Int n
+  | Ir.Qbool b -> Bool b
+  | Ir.Qstr s -> Str s
+  | Ir.Qsym s -> Sym s
+  | Ir.Qchar c -> Char c
+  | Ir.Qnil -> Nil
+  | Ir.Qlist qs -> Value.values_to_list (List.map quoted_value qs)
+  | Ir.Qdot (qs, tail) ->
+      List.fold_right
+        (fun q acc -> Value.cons (quoted_value q) acc)
+        qs (quoted_value tail)
+
+(* Slot i goes to name i; consing in order puts later bindings first, so
+   the head-first scan below finds the winning (last) duplicate. *)
+let scope_of_names ?rest names =
+  let n = List.length names in
+  let base = match rest with None -> [] | Some r -> [ (r, n) ] in
+  let rec go i acc = function
+    | [] -> acc
+    | x :: xs -> go (i + 1) ((x, i) :: acc) xs
+  in
+  go 0 base names
+
+let lookup_scopes scopes name =
+  let rec scan_rib = function
+    | [] -> None
+    | (x, slot) :: rest ->
+        if String.equal x name then Some slot else scan_rib rest
+  in
+  let rec go depth = function
+    | [] -> None
+    | rib :: outer -> (
+        match scan_rib rib with
+        | Some slot -> Some (depth, slot)
+        | None -> go (depth + 1) outer)
+  in
+  go 0 scopes
+
+let rec resolve genv scopes (ir : Ir.t) : rir =
+  match ir with
+  | Ir.Const c -> Ir.Rconst (const_value c)
+  | Ir.Quoted ((Ir.Qlist _ | Ir.Qdot _) as q) ->
+      (* Mutable structure: must be rebuilt fresh per evaluation. *)
+      Ir.Rquoted q
+  | Ir.Quoted q -> Ir.Rconst (quoted_value q)
+  | Ir.Var x -> (
+      match lookup_scopes scopes x with
+      | Some (d, s) -> Ir.Rlocal (d, s)
+      | None -> Ir.Rglobal (Env.intern genv x))
+  | Ir.Lam { params; rest; body } ->
+      let rib = scope_of_names ?rest params in
+      Ir.Rlam
+        {
+          rnparams = List.length params;
+          rhas_rest = rest <> None;
+          rbody = resolve genv (rib :: scopes) body;
+        }
+  | Ir.App (f, args) ->
+      Ir.Rapp (resolve genv scopes f, List.map (resolve genv scopes) args)
+  | Ir.If (c, t, e) ->
+      Ir.Rif (resolve genv scopes c, resolve genv scopes t, resolve genv scopes e)
+  | Ir.Seq es -> Ir.Rseq (List.map (resolve genv scopes) es)
+  | Ir.Let ([], body) ->
+      (* No rib at runtime, so no scope at compile time. *)
+      Ir.Rlet ([], resolve genv scopes body)
+  | Ir.Let (bs, body) ->
+      let inits = List.map (fun (_, e) -> resolve genv scopes e) bs in
+      let rib = scope_of_names (List.map fst bs) in
+      Ir.Rlet (inits, resolve genv (rib :: scopes) body)
+  | Ir.Letrec ([], body) -> Ir.Rletrec ([], resolve genv scopes body)
+  | Ir.Letrec (bs, body) ->
+      let rib = scope_of_names (List.map fst bs) in
+      let scopes' = rib :: scopes in
+      Ir.Rletrec
+        ( List.map (fun (_, e) -> resolve genv scopes' e) bs,
+          resolve genv scopes' body )
+  | Ir.Set (x, e) -> (
+      match lookup_scopes scopes x with
+      | Some (d, s) -> Ir.Rset_local (d, s, resolve genv scopes e)
+      | None -> Ir.Rset_global (Env.intern genv x, resolve genv scopes e))
+  | Ir.Future e -> Ir.Rfuture (resolve genv scopes e)
+  | Ir.Pcall es -> Ir.Rpcall (List.map (resolve genv scopes) es)
+
+let toplevel genv ir = resolve genv [] ir

@@ -16,11 +16,15 @@ let invalid_controller l =
     l
 
 let run ?(fuel = default_fuel) cfg state =
+  (* The exception handler lives outside the loop: the hot path is a tail
+     call per transition with no [stepped] box. *)
   let rec loop fuel st =
-    if fuel <= 0 then Out_of_fuel
-    else
-      match Machine.step cfg st with
-      | Machine.Next st' -> loop (fuel - 1) st'
+    if fuel <= 0 then Out_of_fuel else loop (fuel - 1) (Machine.step_exn cfg st)
+  in
+  match loop fuel state with
+  | outcome -> outcome
+  | exception Machine.Stop s -> (
+      match s with
       | Machine.Final v -> Value v
       | Machine.Err msg -> Error msg
       | Machine.Esc_control (l, _) -> Error (invalid_controller l)
@@ -30,12 +34,13 @@ let run ?(fuel = default_fuel) cfg state =
              outside the concurrent scheduler"
       | Machine.Esc_touch _ ->
           Error "touch: unresolved future outside the concurrent scheduler"
-  in
-  loop fuel state
+      | Machine.Next _ | Machine.Esc_fork _ | Machine.Esc_future _ ->
+          (* step_exn takes the sequential pcall/future fallbacks *)
+          assert false)
 
-let eval_ir ?fuel ?cfg env ir =
+let eval_ir ?fuel ?cfg genv ir =
   let cfg = match cfg with Some c -> c | None -> Machine.config () in
-  run ?fuel cfg (Machine.initial ir env)
+  run ?fuel cfg (Machine.initial (Resolve.toplevel genv ir))
 
 let eval_value ?fuel ?cfg env ir =
   match eval_ir ?fuel ?cfg env ir with

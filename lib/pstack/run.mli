@@ -19,9 +19,10 @@ val outcome_to_string : outcome -> string
 val run : ?fuel:int -> Machine.config -> Types.state -> outcome
 (** Default fuel: 10_000_000 machine transitions. *)
 
-val eval_ir : ?fuel:int -> ?cfg:Machine.config -> Types.env -> Ir.t -> outcome
-(** Evaluate an IR program in the given environment on a fresh process
-    stack.  A fresh configuration (Linked strategy) is made if none given. *)
+val eval_ir : ?fuel:int -> ?cfg:Machine.config -> Types.genv -> Ir.t -> outcome
+(** Resolve an IR program against the global table ({!Resolve.toplevel})
+    and evaluate it on a fresh process stack.  A fresh configuration
+    (Linked strategy) is made if none given. *)
 
-val eval_value : ?fuel:int -> ?cfg:Machine.config -> Types.env -> Ir.t -> Types.value
+val eval_value : ?fuel:int -> ?cfg:Machine.config -> Types.genv -> Ir.t -> Types.value
 (** Like {!eval_ir} but raises [Failure] unless a value is produced. *)

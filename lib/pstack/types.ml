@@ -55,9 +55,24 @@ and pair = { mutable car : value; mutable cdr : value }
 
 and future_cell = { mutable fvalue : value option }
 
-and env = { vars : (string * value ref) list; globals : (string, value ref) Hashtbl.t }
+(* The runtime environment is a chain of flat "rib" frames: one value
+   array per binding form (lambda application, let, letrec).  The
+   resolution pass (Resolve) compiles every variable occurrence to a
+   lexical address — rib depth and slot — so access is two array
+   indexings, never a string comparison.  Globals live in mutable cells
+   interned in a per-interpreter table; unresolved references intern an
+   unbound cell so errors are still reported by name at use time. *)
+and env = value array list
 
-and closure = { params : string list; rest : string option; cbody : Ir.t; cenv : env }
+and gcell = { gname : string; mutable gval : value; mutable gbound : bool }
+
+and genv = (string, gcell) Hashtbl.t
+
+and rir = (value, gcell) Ir.resolved
+
+and rlambda = (value, gcell) Ir.rlambda
+
+and closure = { nparams : int; has_rest : bool; cbody : rir; cenv : env }
 
 and prim = { pname : string; pmin : int; pmax : int option; pkind : prim_kind }
 
@@ -72,17 +87,22 @@ and ctl = Op_spawn | Op_callcc | Op_prompt | Op_fcontrol | Op_apply | Op_touch |
 and root = Rbase | Rspawn of label | Rprompt
 
 and frame =
-  | Fapp of value list * Ir.t list * env
+  | Fapp of value list * rir list * env
       (* evaluated values in reverse (operator first), remaining operands *)
-  | Fpcall of value list * Ir.t list * env
+  | Fpcall of value list * rir list * env
       (* sequential evaluation of a pcall: same protocol as Fapp *)
-  | Fif of Ir.t * Ir.t * env
-  | Fseq of Ir.t list * env
-  | Flet of string * (string * value) list * (string * Ir.t) list * Ir.t * env
-      (* binder being evaluated, done binders (reversed), remaining, body *)
-  | Fletrec of value ref * (value ref * Ir.t) list * Ir.t * env
-      (* cell being initialized, remaining cells, body; env already extended *)
-  | Fset of value ref
+  | Fif of rir * rir * env
+  | Fseq of rir list * env
+  | Flet of value list * rir list * rir * env
+      (* evaluated initialisers (reversed), remaining initialisers, body,
+         the let form's own environment; the rib is built when the last
+         initialiser returns *)
+  | Fletrec of value array * int * rir list * rir * env
+      (* the rib being filled, slot of the initialiser being evaluated,
+         remaining initialisers, body; env already extended with the rib *)
+  | Fset of value array * int
+      (* destination rib and slot of a [set!] on a local *)
+  | Fsetg of gcell  (* destination cell of a [set!] on a global *)
   | Ffuture of future_cell
       (* sequential evaluation of (future e): fill the cell on return *)
   | Fwind of value * value
@@ -109,7 +129,7 @@ and segment = {
 }
 
 and control =
-  | Ceval of Ir.t * env
+  | Ceval of rir * env
   | Creturn of value
   | Capply of value * value list
 

@@ -113,8 +113,17 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
   let root =
     { nid = 0; parent = Ptop; body = Nleaf (make_step (fun () -> inj_a (main ()))) }
   in
-  (* The forest: the main tree plus one independent tree per future. *)
-  let roots = ref [ root ] in
+  (* The run queue: runnable leaves of the whole forest (the main tree
+     plus one independent tree per future), in tree order.  Maintained
+     incrementally: nodes are enqueued when they become leaves and
+     lazily validated against [attached] at the start of each round, so
+     a round is O(runnable fibers) rather than a walk of the forest. *)
+  let queue = ref [ root ] in
+  (* Newly runnable leaves produced by the step in progress, in tree
+     order; spliced into the queue at the stepped node's position. *)
+  let born = ref [] in
+  (* Future trees planted this round; appended after all existing trees. *)
+  let new_trees = ref [] in
   let final = ref None in
   let failure = ref None in
   let rng =
@@ -123,14 +132,26 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
     | Randomized seed -> Some (Xorshift.create seed)
   in
 
-  let rec attached n =
+  let rec attached_walk n =
     match n.parent with
     | Ptop -> n == root
-    | Pfuture _ -> List.memq n !roots
+    | Pfuture _ -> ( match n.body with Ndone -> false | _ -> true)
     | Pchild (p, i) -> (
         match p.body with
-        | Nwait w -> i < Array.length w.children && w.children.(i) == n && attached p
+        | Nwait w ->
+            i < Array.length w.children && w.children.(i) == n && attached_walk p
         | _ -> false)
+  in
+  (* Only captures ever detach a node from the live forest (grafts reuse
+     captured, already-detached trees), so until one has happened every
+     non-[Ndone] node is attached and the parent-chain walk can be
+     skipped.  (A finished root reports detached here where the walk
+     would not, but callers always guard with [is_leaf], which is false
+     for [Ndone].) *)
+  let prunes = ref 0 in
+  let attached n =
+    if !prunes = 0 then match n.body with Ndone -> false | _ -> true
+    else attached_walk n
   in
 
   let rec collect_leaves acc n =
@@ -147,9 +168,7 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
     n.body <- Ndone;
     match n.parent with
     | Ptop -> final := Some v
-    | Pfuture cell ->
-        cell := Some v;
-        roots := List.filter (fun r -> not (r == n)) !roots
+    | Pfuture cell -> cell := Some v
     | Pchild (p, slot) -> (
         match p.body with
         | Nwait w ->
@@ -157,7 +176,8 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
             w.pending <- w.pending - 1;
             if w.pending = 0 then begin
               let vs = Array.map Option.get w.results in
-              p.body <- Nleaf (resume_step w.resume (w.join vs))
+              p.body <- Nleaf (resume_step w.resume (w.join vs));
+              born := [ p ]
             end
         | _ -> assert false)
   in
@@ -181,9 +201,8 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
         w.children.(i) <-
           { nid = fresh_id (); parent = Pchild (n, i); body = Nleaf (make_step body) })
       bodies;
-    if count = 0 then begin
-      n.body <- Nleaf (resume_step k (join [||]))
-    end
+    if count = 0 then n.body <- Nleaf (resume_step k (join [||]))
+    else born := Array.to_list w.children
   in
 
   (* Prune the subtree delimited by the nearest root labeled [label] above
@@ -220,6 +239,7 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
            Dead_controller, mirroring the direct-style embedding. *)
         n.body <- Nleaf (raise_step k Dead_controller)
     | Some (p, w) ->
+        incr prunes;
         let tree = ptree_of w.children.(0) in
         let upk = { upk_label = label; upk_tree = tree; upk_taken = false } in
         let body = make_step (fun () -> body_fn upk) in
@@ -236,7 +256,8 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
         let child =
           { nid = fresh_id (); parent = Pchild (p, 0); body = Nleaf body }
         in
-        p.body <- Nwait { w' with children = [| child |] }
+        p.body <- Nwait { w' with children = [| child |] };
+        born := [ child ]
   in
 
   (* Graft a captured subtree onto the invoking fiber: the fiber waits (as
@@ -283,7 +304,8 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
       in
       let child_holder = { w with children = [| root (* placeholder *) |] } in
       n.body <- Nwait child_holder;
-      child_holder.children.(0) <- rebuild (Pchild (n, 0)) upk.upk_tree
+      child_holder.children.(0) <- rebuild (Pchild (n, 0)) upk.upk_tree;
+      born := List.rev (collect_leaves [] n)
     end
   in
 
@@ -308,42 +330,113 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
                     body = Nleaf (make_step body);
                   }
                 in
-                roots := !roots @ [ fnode ];
+                (* Prepended here, reversed at round end: future trees
+                   keep their creation order at the back of the forest
+                   without an O(n) append per registration. *)
+                new_trees := fnode :: !new_trees;
                 n.body <- Nleaf (resume_step k u_unit)
             | Rcontrol (label, body_fn) -> do_capture n k label body_fn
             | Rgraft (upk, v) -> do_graft n k upk v))
     | exception e -> failure := Some e
   in
 
+  let is_leaf n = match n.body with Nleaf _ -> true | _ -> false in
+
+  (* The nodes that take the stepped node's place in the queue: itself if
+     it is still a runnable leaf, then whatever the step made runnable
+     (pcall children, a resumed parent, a grafted subtree's leaves).
+     A subtree's leaves are contiguous in tree order, so splicing them at
+     the stepped node's position keeps the queue in exactly the order a
+     full forest walk would produce next round. *)
+  let successors n =
+    match !born with
+    | [] ->
+        (* No spawn, capture, graft or delivery happened, so the node's
+           attachment is unchanged from the pre-step check; skip the
+           parent-chain walk. *)
+        if is_leaf n then [ n ] else []
+    | b -> if is_leaf n && attached n then n :: b else b
+  in
+
+  (* One scheduling round over the compacted queue of live leaves; stale
+     entries (pruned into a process continuation, or no longer leaves)
+     are dropped by the filter, so the round is O(runnable). *)
   let round () =
-    let leaves = List.rev (List.fold_left collect_leaves [] !roots) in
-    match policy with
+    new_trees := [];
+    (match policy with
     | Driven pick ->
-        let arr = Array.of_list leaves in
+        (* The pick contract needs the exact live count, so compact the
+           queue up front. *)
+        let live = List.filter (fun n -> is_leaf n && attached n) !queue in
+        let arr = Array.of_list live in
         let count = Array.length arr in
-        if count > 0 then begin
+        if count = 0 then queue := []
+        else begin
           let idx = pick count in
-          if idx < 0 || idx >= count then
-            failure := Some (Invalid_argument "Sched: Driven pick out of range")
-          else
+          if idx < 0 || idx >= count then begin
+            failure := Some (Invalid_argument "Sched: Driven pick out of range");
+            queue := live
+          end
+          else begin
             let n = arr.(idx) in
-            if !final = None && !failure = None && attached n then
-              match n.body with Nleaf s -> step_leaf n s | Nwait _ | Ndone -> ()
+            born := [];
+            (if !final = None && !failure = None && attached n then
+               match n.body with Nleaf s -> step_leaf n s | Nwait _ | Ndone -> ());
+            let before = Array.to_list (Array.sub arr 0 idx) in
+            let after = Array.to_list (Array.sub arr (idx + 1) (count - idx - 1)) in
+            queue := before @ successors n @ after
+          end
         end
-    | Tree_order | Randomized _ ->
-        let leaves =
-          match rng with
-          | None -> leaves
-          | Some g ->
-              let arr = Array.of_list leaves in
-              Xorshift.shuffle g arr;
-              Array.to_list arr
+    | Tree_order ->
+        (* Single fused pass: compact lazily while stepping, replacing
+           each stepped position by its successors in place.  One queue
+           traversal and no intermediate arrays per round. *)
+        let rec go acc = function
+          | [] -> queue := List.rev acc
+          | n :: rest -> (
+              match n.body with
+              | Nleaf s when attached n ->
+                  if !final = None && !failure = None then begin
+                    born := [];
+                    step_leaf n s;
+                    (* [successors] inlined to avoid building the singleton
+                       list on the common nothing-born path. *)
+                    match !born with
+                    | [] -> if is_leaf n then go (n :: acc) rest else go acc rest
+                    | b ->
+                        let acc =
+                          if is_leaf n && attached n then List.rev_append b (n :: acc)
+                          else List.rev_append b acc
+                        in
+                        go acc rest
+                  end
+                  else go (n :: acc) rest
+              | _ -> go acc rest)
         in
-        List.iter
-          (fun n ->
-            if !final = None && !failure = None && attached n then
-              match n.body with Nleaf s -> step_leaf n s | Nwait _ | Ndone -> ())
-          leaves
+        go [] !queue
+    | Randomized _ ->
+        (* The shuffle must range over exactly the live leaves (the same
+           permutation a fresh forest walk would be dealt), so compact
+           first.  Only the processing order is shuffled; each node's
+           successors still land in its tree-order bucket. *)
+        let live = List.filter (fun n -> is_leaf n && attached n) !queue in
+        let arr = Array.of_list live in
+        let count = Array.length arr in
+        let buckets = Array.make (max count 1) [] in
+        let order = Array.init count (fun i -> i) in
+        (match rng with None -> () | Some g -> Xorshift.shuffle g order);
+        Array.iter
+          (fun i ->
+            let n = arr.(i) in
+            born := [];
+            match n.body with
+            | Nleaf s when !final = None && !failure = None && attached n ->
+                step_leaf n s;
+                buckets.(i) <- successors n
+            | _ -> buckets.(i) <- [ n ])
+          order;
+        queue := List.concat (Array.to_list buckets));
+    if !new_trees <> [] then queue := !queue @ List.rev !new_trees
   in
 
   let rec drive () =

@@ -3,7 +3,7 @@ module Pstack = Pcont_pstack
 type mode = Sequential | Concurrent of Pstack.Concur.sched
 
 type t = {
-  ienv : Pstack.Types.env;
+  ienv : Pstack.Types.genv;
   icfg : Pstack.Machine.config;
   imacros : Macro.table;
 }

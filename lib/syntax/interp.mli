@@ -17,7 +17,9 @@ val create : ?prelude:bool -> ?strategy:Pcont_pstack.Types.strategy -> unit -> t
 (** A fresh interpreter.  [prelude] (default true) loads the Scheme-level
     prelude, including the paper's [spawn/exit] and [first-true]. *)
 
-val env : t -> Pcont_pstack.Types.env
+val env : t -> Pcont_pstack.Types.genv
+(** The interpreter's global table; each top-level form is resolved
+    against it as it accumulates [define]s. *)
 
 val config : t -> Pcont_pstack.Machine.config
 

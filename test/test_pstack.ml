@@ -70,26 +70,38 @@ let test_printing () =
 (* ---------------- environments ---------------- *)
 
 let test_env_shadowing () =
-  let e = env () in
-  let e1 = Env.extend e [ ("x", Types.Int 1) ] in
-  let e2 = Env.extend e1 [ ("x", Types.Int 2) ] in
-  Alcotest.check value "inner" (Types.Int 2) !(Option.get (Env.lookup e2 "x"));
-  Alcotest.check value "outer" (Types.Int 1) !(Option.get (Env.lookup e1 "x"))
+  (* Rib chains: depth 0 is the innermost rib. *)
+  let e1 = [ [| Types.Int 1 |] ] in
+  let e2 = [| Types.Int 2 |] :: e1 in
+  Alcotest.check value "inner" (Types.Int 2) (Env.local e2 0 0);
+  Alcotest.check value "outer" (Types.Int 1) (Env.local e2 1 0);
+  Env.set_local e2 1 0 (Types.Int 9);
+  Alcotest.check value "set through chain" (Types.Int 9) (Env.local e1 0 0)
 
 let test_env_globals () =
   let e = env () in
   Env.define_global e "g" (Types.Int 7);
-  Alcotest.check value "global" (Types.Int 7) !(Option.get (Env.lookup e "g"));
+  Alcotest.check value "global" (Types.Int 7)
+    (Option.get (Env.lookup_global e "g")).Types.gval;
   Env.define_global e "g" (Types.Int 8);
-  Alcotest.check value "redefine" (Types.Int 8) !(Option.get (Env.lookup e "g"));
-  Alcotest.(check bool) "missing" true (Env.lookup e "missing" = None)
+  Alcotest.check value "redefine" (Types.Int 8)
+    (Option.get (Env.lookup_global e "g")).Types.gval;
+  Alcotest.(check bool) "missing" true (Env.lookup_global e "missing" = None);
+  (* A cell interned before its definition is the cell define later fills:
+     forward references among top-level forms keep working. *)
+  let c = Env.intern e "h" in
+  Alcotest.(check bool) "interned unbound" false c.Types.gbound;
+  Alcotest.(check bool) "unbound not visible" true (Env.lookup_global e "h" = None);
+  Env.define_global e "h" (Types.Int 9);
+  Alcotest.(check bool) "same cell bound" true c.Types.gbound;
+  Alcotest.check value "same cell value" (Types.Int 9) c.Types.gval
 
 let test_bind_params () =
   let clo =
-    { Types.params = [ "a"; "b" ]; rest = None; cbody = Ir.int 0; cenv = env () }
+    { Types.nparams = 2; has_rest = false; cbody = Ir.Rconst (Types.Int 0); cenv = [] }
   in
   (match Env.bind_params clo [ Types.Int 1; Types.Int 2 ] with
-  | Ok e -> Alcotest.check value "bound" (Types.Int 2) !(Option.get (Env.lookup e "b"))
+  | Ok e -> Alcotest.check value "bound" (Types.Int 2) (Env.local e 0 1)
   | Error m -> Alcotest.fail m);
   (match Env.bind_params clo [ Types.Int 1 ] with
   | Error _ -> ()
@@ -97,11 +109,11 @@ let test_bind_params () =
   (match Env.bind_params clo [ Types.Int 1; Types.Int 2; Types.Int 3 ] with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "arity over");
-  let vclo = { clo with rest = Some "r" } in
+  let vclo = { clo with Types.has_rest = true } in
   match Env.bind_params vclo [ Types.Int 1; Types.Int 2; Types.Int 3 ] with
   | Ok e ->
       Alcotest.(check bool) "rest collected" true
-        (Value.list_to_values !(Option.get (Env.lookup e "r")) = Some [ Types.Int 3 ])
+        (Value.list_to_values (Env.local e 0 2) = Some [ Types.Int 3 ])
   | Error m -> Alcotest.fail m
 
 (* ---------------- evaluation of core forms ---------------- *)
@@ -553,7 +565,7 @@ let test_nested_capture_value () =
 (* ---------------- debug pretty-printing ---------------- *)
 
 let test_debug_pp () =
-  let st = Machine.initial (v "+" @@@ [ i 1; i 2 ]) (env ()) in
+  let st = Machine.initial (Resolve.toplevel (env ()) (v "+" @@@ [ i 1; i 2 ])) in
   let s = Debug.state_summary st in
   Alcotest.(check bool) "mentions eval" true (contains ~sub:"eval" s);
   Alcotest.(check bool) "mentions base" true (contains ~sub:"base" s);
@@ -572,7 +584,7 @@ let test_debug_pp () =
     (Format.asprintf "%a" Debug.pp_root Types.Rprompt)
 
 let test_debug_ptree () =
-  let leaf_state = Machine.initial (i 1) (env ()) in
+  let leaf_state = Machine.initial (Resolve.toplevel (env ()) (i 1)) in
   let t =
     Types.Pfork
       {
