@@ -615,6 +615,59 @@ let e9 () =
   print_endline "shape: larger quanta cut round-robin overhead until fairness stops mattering."
 
 (* ------------------------------------------------------------------ *)
+(* E10: blocked waiters — parked vs spinning (native scheduler)        *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  header "E10  blocked fibers: N waiters on one future, spinning vs parked";
+  (* One worker future yields [work] times before completing; N fibers
+     wait for it.  A spinning waiter (poll + yield, the pre-parked-waiter
+     implementation of touch) is re-stepped every round, so total cost
+     grows with waiters x work.  A parked waiter (touch) leaves the run
+     queue until the delivery wakes it: rounds iterate only the runnable
+     worker, so cost is O(work + waiters). *)
+  Printf.printf "%8s %8s | %12s %12s | %10s\n" "waiters" "work" "spin ms"
+    "park ms" "spin/park";
+  let work = if !quick then 200 else 1000 in
+  let spin f =
+    let rec go () =
+      match Sched.poll f with
+      | Some v -> v
+      | None ->
+          Sched.yield ();
+          go ()
+    in
+    go ()
+  in
+  let run_with wait n =
+    Sched.run (fun () ->
+        let f =
+          Sched.future (fun () ->
+              for _ = 1 to work do
+                Sched.yield ()
+              done;
+              42)
+        in
+        let vs = Sched.pcall (List.init n (fun _ () -> wait f)) in
+        List.fold_left ( + ) 0 vs)
+  in
+  List.iter
+    (fun n ->
+      let check v = if v <> 42 * n then failwith "bad sum" in
+      let (), spin_t = time_best (fun () -> check (run_with spin n)) in
+      let (), park_t = time_best (fun () -> check (run_with Sched.touch n)) in
+      jrow ~name:"e10.spin" ~params:[ pint "waiters" n; pint "work" work ]
+        (spin_t *. 1e9);
+      jrow ~name:"e10.park" ~params:[ pint "waiters" n; pint "work" work ]
+        (park_t *. 1e9);
+      row "%8d %8d | %12.3f %12.3f | %9.1fx\n" n work (spin_t *. 1e3)
+        (park_t *. 1e3) (spin_t /. park_t))
+    (if !quick then [ 1; 16; 64 ] else [ 1; 10; 100; 1000 ]);
+  print_endline "shape: spin cost grows with waiters x work (every blocked fiber is";
+  print_endline "       re-stepped every round); parked cost is O(work + waiters) —";
+  print_endline "       per-round cost is independent of the number of blocked fibers."
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel measurements of the native primitives               *)
 (* ------------------------------------------------------------------ *)
 
@@ -669,6 +722,7 @@ let experiments =
     ("e7", e7);
     ("e8", e8);
     ("e9", e9);
+    ("e10", e10);
     ("micro", micro);
   ]
 

@@ -10,7 +10,13 @@ type sched =
          [pick n] receives the number of runnable branches and returns the
          index of the one to step — systematic schedule exploration *)
 
-type outcome = Value of Types.value | Error of string | Out_of_fuel
+type outcome =
+  | Value of Types.value
+  | Error of string
+  | Out_of_fuel
+  | Deadlock of string
+      (* every remaining branch is parked on an unresolved future: the
+         run queue is empty, so no branch can ever resolve one *)
 
 (* Scheduler trace events, for the REPL's --trace and for tests. *)
 type event =
@@ -20,6 +26,9 @@ type event =
   | Ev_future of { node : int }
   | Ev_branch_done of { node : int }
   | Ev_invalid of Types.label
+  | Ev_park of { node : int }  (* branch parked on a pending future *)
+  | Ev_wake of { node : int }  (* parked branch re-enqueued by a delivery *)
+  | Ev_deadlock of { parked : int }
 
 let event_to_string = function
   | Ev_fork { node; branches } -> Printf.sprintf "fork    node=%d branches=%d" node branches
@@ -29,11 +38,15 @@ let event_to_string = function
   | Ev_future { node } -> Printf.sprintf "future  tree=%d" node
   | Ev_branch_done { node } -> Printf.sprintf "done    node=%d" node
   | Ev_invalid label -> Printf.sprintf "invalid controller root=%d" label
+  | Ev_park { node } -> Printf.sprintf "park    node=%d on=future" node
+  | Ev_wake { node } -> Printf.sprintf "wake    node=%d on=future" node
+  | Ev_deadlock { parked } -> Printf.sprintf "deadlock parked=%d" parked
 
 let outcome_to_string = function
   | Value v -> "VALUE " ^ Value.to_string v
   | Error msg -> "ERROR " ^ msg
   | Out_of_fuel -> "OUT-OF-FUEL"
+  | Deadlock msg -> "DEADLOCK " ^ msg
 
 (* The live process tree.  A node is a leaf (a branch with its own local
    stack), a fork created by pcall, or done (its value delivered to the
@@ -43,7 +56,7 @@ type node = { nid : int; mutable parent : parent; mutable body : body }
 
 and parent = Ptop | Pfut of future_cell | Pchild of node * int
 
-and body = Nleaf of state | Nfork of nfork | Ndone
+and body = Nleaf of state | Nfork of nfork | Nparked of parked | Ndone
 
 and nfork = {
   trunk : segment list;
@@ -51,6 +64,13 @@ and nfork = {
   results : value option array;
   mutable pending : int;
 }
+
+(* A branch parked on a pending touch.  The branch keeps its machine
+   state (re-enqueueing it re-applies the touch, which now finds the
+   cell resolved); [pk_live] is cleared when the branch is woken or when
+   a capture prunes it into a process continuation, so a stale wake
+   thunk left on the cell does nothing. *)
+and parked = { pk_node : node; pk_st : state; mutable pk_live : bool }
 
 let control_points ptree =
   let count_roots segs =
@@ -102,6 +122,10 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
   let final = ref None in
   let failure = ref None in
   let fuel_left = ref fuel in
+  (* Every parked record ever created this run (live or invalidated),
+     for the deadlock diagnosis; [n_parked] counts the live ones. *)
+  let all_parked = ref [] in
+  let n_parked = ref 0 in
   let rng =
     match sched with
     | Round_robin | Driven _ -> None
@@ -135,7 +159,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
   let rec collect_leaves acc n =
     match n.body with
     | Nleaf _ -> n :: acc
-    | Ndone -> acc
+    | Nparked _ | Ndone -> acc
     | Nfork f -> Array.fold_left collect_leaves acc f.children
   in
 
@@ -151,7 +175,15 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
     | Ptop -> final := Some v
     | Pfut cell ->
         cell.fvalue <- Some v;
-        decr live_futures
+        decr live_futures;
+        (* Wake the branches parked on this cell, in park (FIFO) order:
+           [fwaiters] is newest-first and the thunks prepend to [born],
+           so iterating in place leaves the oldest waiter first. *)
+        (match cell.fwaiters with
+        | [] -> ()
+        | ws ->
+            cell.fwaiters <- [];
+            List.iter (fun wake -> wake ()) ws)
     | Pchild (p, slot) ->
         let f = fork_of p in
         f.results.(slot) <- Some v;
@@ -201,6 +233,15 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
       else
         match m.body with
         | Nleaf s -> Pleaf s
+        | Nparked p ->
+            (* Pruning a parked waiter: invalidate its wake thunk (the
+               cell may resolve while the subtree is captured) and
+               capture it as an ordinary suspended leaf; on graft the
+               rebuilt branch re-applies its pending touch, which either
+               finds the cell resolved or parks again. *)
+            p.pk_live <- false;
+            decr n_parked;
+            Pleaf p.pk_st
         | Ndone -> Pdone
         | Nfork f ->
             Pfork
@@ -309,7 +350,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                    branch continues immediately with the (pending)
                    future. *)
                 Counters.incr counters "concur.future";
-                let cell = { fvalue = None } in
+                let cell = { fvalue = None; fwaiters = [] } in
                 on_event (Ev_future { node = n.nid });
                 let fnode =
                   {
@@ -322,6 +363,31 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                 new_trees := fnode :: !new_trees;
                 incr live_futures;
                 go { st with control = Creturn (Future cell) } (q - 1)
+            | Machine.Esc_touch cell ->
+                (* Still pending: park the branch on the cell's waitset
+                   and take it out of the run queue.  Parking consumes no
+                   fuel — a blocked branch takes no machine transitions —
+                   and the branch keeps its state, so the wake-up re-step
+                   re-applies the touch against the now-resolved cell.
+                   (Before parked waiters this retried — and was charged —
+                   every round: a spinning fuel leak.) *)
+                Counters.incr counters "concur.park";
+                on_event (Ev_park { node = n.nid });
+                let p = { pk_node = n; pk_st = st; pk_live = true } in
+                n.body <- Nparked p;
+                incr n_parked;
+                all_parked := p :: !all_parked;
+                cell.fwaiters <-
+                  (fun () ->
+                    if p.pk_live then begin
+                      p.pk_live <- false;
+                      decr n_parked;
+                      Counters.incr counters "concur.wake";
+                      on_event (Ev_wake { node = p.pk_node.nid });
+                      p.pk_node.body <- Nleaf p.pk_st;
+                      born := p.pk_node :: !born
+                    end)
+                  :: cell.fwaiters
             | _ -> (
                 decr fuel_left;
                 match s with
@@ -329,18 +395,13 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                 | Machine.Err msg -> failure := Some msg
                 | Machine.Esc_control (l, body_fn) -> do_capture n st l body_fn
                 | Machine.Esc_pktree (pkt, v) -> do_graft n st pkt v
+                | Machine.Next _ | Machine.Esc_fork _ | Machine.Esc_future _
                 | Machine.Esc_touch _ ->
-                    (* Still pending: park the branch in the same state;
-                       other trees progress and the touch is retried next
-                       round. *)
-                    Counters.incr counters "concur.touch-wait";
-                    n.body <- Nleaf st
-                | Machine.Next _ | Machine.Esc_fork _ | Machine.Esc_future _ ->
                     assert false))
     in
     match n.body with
     | Nleaf st -> if !failure = None then go st quantum
-    | Nfork _ | Ndone -> ()
+    | Nfork _ | Nparked _ | Ndone -> ()
   in
 
   let is_leaf n = match n.body with Nleaf _ -> true | _ -> false in
@@ -432,14 +493,37 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
           (fun i ->
             let n = arr.(i) in
             born := [];
-            if !failure = None && !fuel_left > 0 && attached n then begin
-              step_leaf n;
-              buckets.(i) <- successors n
-            end
-            else buckets.(i) <- [ n ])
+            if is_leaf n && attached n then
+              if !failure = None && !fuel_left > 0 then begin
+                step_leaf n;
+                buckets.(i) <- successors n
+              end
+              else buckets.(i) <- [ n ]
+            else
+              (* Detached or resolved since the compaction at the top of
+                 the round (a sibling's step pruned or completed it):
+                 drop it, exactly as the Round_robin pass does. *)
+              buckets.(i) <- [])
           order;
         queue := List.concat (Array.to_list buckets));
     if !new_trees <> [] then queue := !queue @ List.rev !new_trees
+  in
+
+  (* Quiescence = deadlock: the queue only ever loses a node without a
+     delivery when the node parks, so an empty queue with no final value
+     and no failure means every remaining branch is parked on a future
+     that no runnable branch can resolve. *)
+  let deadlock_msg () =
+    let live = List.filter (fun p -> p.pk_live) !all_parked in
+    match live with
+    | [] -> "no runnable branches"
+    | _ ->
+        let ids =
+          List.map (fun p -> p.pk_node.nid) live |> List.sort_uniq compare
+        in
+        Printf.sprintf "%d branch(es) parked on unresolved futures (node %s)"
+          (List.length live)
+          (String.concat ", " (List.map string_of_int ids))
   in
 
   let rec drive () =
@@ -448,14 +532,21 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
     | Some v, None ->
         (* Join-on-exit: finish the remaining independent trees so futures
            created by this program remain touchable afterwards (bounded by
-           the remaining fuel). *)
-        if drain_futures && !live_futures > 0 && !fuel_left > 0 then begin
+           the remaining fuel).  Stop at quiescence: a future tree parked
+           forever (e.g. on a cell nothing will resolve) empties the
+           queue, and spinning on it would never terminate. *)
+        if drain_futures && !live_futures > 0 && !fuel_left > 0 && !queue <> []
+        then begin
           round ();
           drive ()
         end
         else Value v
     | None, None ->
         if !fuel_left <= 0 then Out_of_fuel
+        else if !queue = [] then begin
+          on_event (Ev_deadlock { parked = !n_parked });
+          Deadlock (deadlock_msg ())
+        end
         else begin
           round ();
           drive ()

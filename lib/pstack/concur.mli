@@ -35,7 +35,14 @@ type sched =
           the number of runnable branches and chooses which.  Combine with
           [~quantum:1] for the finest interleavings. *)
 
-type outcome = Value of Types.value | Error of string | Out_of_fuel
+type outcome =
+  | Value of Types.value
+  | Error of string
+  | Out_of_fuel
+  | Deadlock of string
+      (** the run queue drained while branches remained parked on
+          unresolved futures: no runnable branch can ever resolve them.
+          (Before parked waiters this spun to {!Out_of_fuel}.) *)
 
 val outcome_to_string : outcome -> string
 
@@ -47,6 +54,11 @@ type event =
   | Ev_future of { node : int }
   | Ev_branch_done of { node : int }
   | Ev_invalid of Types.label
+  | Ev_park of { node : int }
+      (** a branch touched a pending future and parked on its cell *)
+  | Ev_wake of { node : int }
+      (** a delivery re-enqueued a branch parked on the delivered cell *)
+  | Ev_deadlock of { parked : int }
 
 val event_to_string : event -> string
 
@@ -76,7 +88,18 @@ val run :
     (default true) the scheduler keeps running remaining future trees after
     the main tree finishes, so futures stay touchable across top-level
     forms; with it off they are discarded, and touching one later is an
-    error. *)
+    error.
+
+    A branch that touches a pending future {e parks} on the future's
+    cell: it leaves the run queue (consuming no fuel while blocked) and
+    is re-enqueued by the delivery of the cell's value, so a round costs
+    O(runnable), not O(runnable + blocked).  When the queue drains while
+    parked branches remain, the run terminates with {!Deadlock} instead
+    of burning the remaining fuel.  A capture that prunes parked
+    branches into a process continuation invalidates their wake thunks
+    and captures them as ordinary suspended leaves: grafting the
+    continuation re-applies their pending touches, which find the cell
+    resolved or park again. *)
 
 val control_points : Types.ptree -> int
 (** Labels plus forks in a captured subtree — the quantity the paper's

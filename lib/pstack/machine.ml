@@ -404,7 +404,7 @@ let step_gen ~conc cfg st =
           else
             (* Sequential fallback: evaluate eagerly; the future is
                resolved by the time it is returned. *)
-            let pstack = push_frame (Ffuture { fvalue = None }) st.pstack in
+            let pstack = push_frame (Ffuture { fvalue = None; fwaiters = [] }) st.pstack in
             { control = Ceval (e, env); pstack }
       | Ir.Rpcall [] -> err "pcall: expects at least an operator expression"
       | Ir.Rpcall exprs ->

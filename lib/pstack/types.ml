@@ -53,7 +53,13 @@ type value =
 
 and pair = { mutable car : value; mutable cdr : value }
 
-and future_cell = { mutable fvalue : value option }
+and future_cell = {
+  mutable fvalue : value option;
+  mutable fwaiters : (unit -> unit) list;
+      (* wake thunks registered (newest first) by the concurrent
+         scheduler for branches parked on a pending touch; run once,
+         when the cell's value is delivered *)
+}
 
 (* The runtime environment is a chain of flat "rib" frames: one value
    array per binding form (lambda application, let, letrec).  The

@@ -1,34 +1,70 @@
 exception Closed
 
-type 'a t = { buf : 'a Queue.t; capacity : int; mutable closed : bool }
+type 'a t = {
+  buf : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  senders : Sched.Waitset.t;  (* parked on a full channel *)
+  receivers : Sched.Waitset.t;  (* parked on an empty channel *)
+}
 
 let create ?(capacity = 16) () =
   if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
-  { buf = Queue.create (); capacity; closed = false }
+  {
+    buf = Queue.create ();
+    capacity;
+    closed = false;
+    senders = Sched.Waitset.create "channel.send";
+    receivers = Sched.Waitset.create "channel.recv";
+  }
 
+(* Blocked operations park on the channel's waitsets and re-check on
+   wake-up (the scheduler is cooperative, so there is no check-then-park
+   race).  A sender parked on a full channel observes a close that
+   happens under it: close wakes the senders, and the re-check raises
+   Closed. *)
 let rec send ch v =
   if ch.closed then raise Closed
   else if Queue.length ch.buf >= ch.capacity then begin
-    Sched.yield ();
+    Sched.block ch.senders;
     send ch v
   end
-  else Queue.add v ch.buf
+  else begin
+    Queue.add v ch.buf;
+    Sched.wake ch.receivers
+  end
 
-let try_recv ch = Queue.take_opt ch.buf
+let try_recv ch =
+  match Queue.take_opt ch.buf with
+  | Some v ->
+      (* Even a non-blocking take frees a slot: wake parked senders or
+         they would miss it and sit parked forever. *)
+      Sched.wake ch.senders;
+      Some v
+  | None -> None
 
 let rec recv_opt ch =
   match Queue.take_opt ch.buf with
-  | Some v -> Some v
+  | Some v ->
+      Sched.wake ch.senders;
+      Some v
   | None ->
       if ch.closed then None
       else begin
-        Sched.yield ();
+        Sched.block ch.receivers;
         recv_opt ch
       end
 
 let recv ch = match recv_opt ch with Some v -> v | None -> raise Closed
 
-let close ch = ch.closed <- true
+let close ch =
+  if not ch.closed then begin
+    ch.closed <- true;
+    (* Parked senders re-check and raise Closed; parked receivers
+       re-check, drain what is buffered, then observe end-of-stream. *)
+    Sched.wake ch.senders;
+    Sched.wake ch.receivers
+  end
 
 let is_closed ch = ch.closed
 
@@ -45,6 +81,12 @@ let of_producer ?capacity produce =
   let ch = create ?capacity () in
   let _ : unit Sched.future =
     Sched.future (fun () ->
-        Fun.protect ~finally:(fun () -> close ch) (fun () -> produce ~send:(send ch)))
+        (* The channel must close on any exit — otherwise consumers
+           blocked on it deadlock — and a producer failure must not
+           escape the fiber (it would abort the whole run); consumers
+           just see the stream end after the values sent so far. *)
+        match produce ~send:(send ch) with
+        | () -> close ch
+        | exception _ -> close ch)
   in
   ch

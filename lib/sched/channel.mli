@@ -2,9 +2,17 @@
 
     The paper's concurrency is fork-and-return; pipelines of communicating
     branches are the natural idiom layered on top of it, and a channel is
-    ordinary user-level code: blocking is cooperative ({!Sched.yield} in a
-    retry loop), so a branch blocked on a channel can be captured into a
-    process continuation and grafted elsewhere like any other branch. *)
+    ordinary user-level code built on {!Sched.block}/{!Sched.wake}: a
+    blocked sender or receiver parks on the channel's waitset (leaving
+    the run queue — blocked fibers cost the scheduler nothing) and is
+    woken exactly when the channel's state changes.  A branch blocked on
+    a channel can still be captured into a process continuation and
+    grafted elsewhere like any other branch: the capture invalidates its
+    waitset entry and the grafted fiber re-checks the channel.
+
+    A program in which every fiber is blocked on a channel no longer
+    spins: {!Sched.run} raises {!Sched.Deadlock} naming the channel
+    waitsets (["channel.send"] / ["channel.recv"]). *)
 
 type 'a t
 
@@ -17,20 +25,30 @@ val create : ?capacity:int -> unit -> 'a t
     positive). *)
 
 val send : 'a t -> 'a -> unit
-(** Enqueue, yielding while the channel is full. *)
+(** Enqueue; parks while the channel is full.
+
+    @raise Closed if the channel is closed — including when {!close}
+    happens {e while the sender is parked} on a full channel: close
+    wakes parked senders and their re-check raises, so no sender is
+    left blocked forever (and no value is silently enqueued onto a
+    closed channel). *)
 
 val recv : 'a t -> 'a
-(** Dequeue, yielding while the channel is empty. *)
+(** Dequeue; parks while the channel is empty.
+    @raise Closed once the channel is closed and drained. *)
 
 val recv_opt : 'a t -> 'a option
 (** Like {!recv} but returns [None] instead of raising once the channel is
     closed and drained — the idiomatic consumer loop condition. *)
 
 val try_recv : 'a t -> 'a option
-(** Non-blocking dequeue. *)
+(** Non-blocking dequeue (still wakes parked senders when it frees a
+    slot). *)
 
 val close : 'a t -> unit
-(** No further sends; pending elements can still be received. *)
+(** No further sends; pending elements can still be received.  Wakes
+    every parked sender (which raises {!Closed}) and receiver (which
+    drains the buffer, then observes end-of-stream).  Idempotent. *)
 
 val is_closed : 'a t -> bool
 
@@ -40,5 +58,8 @@ val iter : ('a -> unit) -> 'a t -> unit
 (** Consume elements until the channel closes. *)
 
 val of_producer : ?capacity:int -> (send:('a -> unit) -> unit) -> 'a t
-(** Start a {!Sched.future} running the producer (the channel is closed
-    when it returns) and return the channel. *)
+(** Start a {!Sched.future} running the producer and return the channel.
+    The channel is closed when the producer returns {e or raises}: a
+    producer failure is confined to its fiber (it does not abort the
+    whole run) and consumers simply see the stream end after the values
+    sent so far. *)

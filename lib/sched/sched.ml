@@ -9,6 +9,8 @@ exception Expired_pk
 
 exception Not_in_scheduler
 
+exception Deadlock of string
+
 type policy =
   | Tree_order
   | Randomized of int64
@@ -30,10 +32,15 @@ type request =
   | Rcontrol of int * (upk -> Univ.t)  (* root label, controller argument *)
   | Rgraft of upk * Univ.t
   | Rpcall of (unit -> Univ.t) list * (Univ.t array -> Univ.t)
-  | Rfuture of (unit -> Univ.t) * Univ.t option ref
+  | Rfuture of (unit -> Univ.t) * Univ.t option ref * waitset
       (* an INDEPENDENT process tree (Section 8's forest): its result is
          stored in the cell; control operations cannot cross into it *)
   | Ryield
+  | Rblock of waitset
+      (* park the fiber on the waitset until a matching Rwake (or the
+         delivery of the owning future); parked fibers leave the run
+         queue entirely, so rounds cost O(runnable), not O(blocked) *)
+  | Rwake of waitset  (* make every fiber parked on the waitset runnable *)
 
 (* A captured subtree.  [PHole] marks the fiber that invoked the
    controller; it receives the process continuation's argument on graft. *)
@@ -58,23 +65,19 @@ and pwait = {
    controller body evaluated after a capture. *)
 and wkind = Wroot of int | Wfork | Wbody
 
-type _ Effect.t += Sched : request -> Univ.t Effect.t
-
-let inj_unit, _ = Univ.embed ()
-
-let u_unit = inj_unit ()
-
-let label_counter = ref 0
-
 (* ------------------------------------------------------------------ *)
 (* The live process tree.                                              *)
 (* ------------------------------------------------------------------ *)
 
-type node = { nid : int; mutable parent : parent; mutable body : body }
+and node = { nid : int; mutable parent : parent; mutable body : body }
 
-and parent = Ptop | Pfuture of Univ.t option ref | Pchild of node * int
+and parent = Ptop | Pfuture of Univ.t option ref * waitset | Pchild of node * int
 
-and body = Nleaf of fiber_step | Nwait of nwait | Ndone
+and body =
+  | Nleaf of fiber_step
+  | Nwait of nwait
+  | Nparked of wentry  (* blocked on a waitset; not runnable, not stepped *)
+  | Ndone
 
 and nwait = {
   wk : wkind;
@@ -84,6 +87,28 @@ and nwait = {
   resume : fiber_k;
   join : Univ.t array -> Univ.t;
 }
+
+(* A waitset owns the fibers parked on one blocking resource (a future
+   cell, a channel's senders, a channel's receivers).  Entries are
+   invalidated — never removed eagerly — when a capture prunes the
+   parked node into a process continuation; the wake sweep skips dead
+   entries. *)
+and waitset = { ws_name : string; mutable ws_parked : wentry list }
+
+and wentry = {
+  we_ws : waitset;
+  we_node : node;
+  we_k : fiber_k;
+  mutable we_live : bool;
+}
+
+type _ Effect.t += Sched : request -> Univ.t Effect.t
+
+let inj_unit, _ = Univ.embed ()
+
+let u_unit = inj_unit ()
+
+let label_counter = ref 0
 
 let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
   let inj_a, prj_a = Univ.embed () in
@@ -126,6 +151,10 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
   let new_trees = ref [] in
   let final = ref None in
   let failure = ref None in
+  (* Every entry ever parked this run (live or invalidated), for the
+     deadlock diagnosis; [n_parked] counts the live ones. *)
+  let all_parked = ref [] in
+  let n_parked = ref 0 in
   let rng =
     match policy with
     | Tree_order | Driven _ -> None
@@ -157,18 +186,39 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
   let rec collect_leaves acc n =
     match n.body with
     | Nleaf _ -> n :: acc
-    | Ndone -> acc
+    | Nparked _ | Ndone -> acc
     | Nwait w -> Array.fold_left collect_leaves acc w.children
   in
 
   let resume_step k v : fiber_step = fun () -> continue k v in
   let raise_step k exn : fiber_step = fun () -> discontinue k exn in
 
+  (* Re-enqueue every live fiber parked on [ws], in park (FIFO) order.
+     [ws_parked] is newest-first and [born] is built by prepending, so
+     iterating in place leaves the oldest waiter first in the queue. *)
+  let wake_ws ws =
+    match ws.ws_parked with
+    | [] -> ()
+    | entries ->
+        ws.ws_parked <- [];
+        List.iter
+          (fun e ->
+            if e.we_live then begin
+              e.we_live <- false;
+              decr n_parked;
+              e.we_node.body <- Nleaf (resume_step e.we_k u_unit);
+              born := e.we_node :: !born
+            end)
+          entries
+  in
+
   let deliver n v =
     n.body <- Ndone;
     match n.parent with
     | Ptop -> final := Some v
-    | Pfuture cell -> cell := Some v
+    | Pfuture (cell, ws) ->
+        cell := Some v;
+        wake_ws ws
     | Pchild (p, slot) -> (
         match p.body with
         | Nwait w ->
@@ -214,6 +264,15 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
       else
         match m.body with
         | Nleaf s -> PLeaf s
+        | Nparked e ->
+            (* Pruning a parked waiter: invalidate its waitset entry (the
+               resource may be woken while the subtree is captured) and
+               capture it as a runnable leaf, so that on graft it resumes
+               and re-checks its blocking condition — parking is always a
+               re-check loop, so a spurious wake-up is harmless. *)
+            e.we_live <- false;
+            decr n_parked;
+            PLeaf (resume_step e.we_k u_unit)
         | Ndone -> PDone
         | Nwait w ->
             PWait
@@ -322,11 +381,20 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
             | Rspawn (label, body) ->
                 make_wait n k (Wroot label) [ body ] (fun vs -> vs.(0))
             | Rpcall (thunks, join) -> make_wait n k Wfork thunks join
-            | Rfuture (body, cell) ->
+            | Rblock ws ->
+                let e = { we_ws = ws; we_node = n; we_k = k; we_live = true } in
+                ws.ws_parked <- e :: ws.ws_parked;
+                all_parked := e :: !all_parked;
+                incr n_parked;
+                n.body <- Nparked e
+            | Rwake ws ->
+                wake_ws ws;
+                n.body <- Nleaf (resume_step k u_unit)
+            | Rfuture (body, cell, ws) ->
                 let fnode =
                   {
                     nid = fresh_id ();
-                    parent = Pfuture cell;
+                    parent = Pfuture (cell, ws);
                     body = Nleaf (make_step body);
                   }
                 in
@@ -381,7 +449,9 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
             let n = arr.(idx) in
             born := [];
             (if !final = None && !failure = None && attached n then
-               match n.body with Nleaf s -> step_leaf n s | Nwait _ | Ndone -> ());
+               match n.body with
+               | Nleaf s -> step_leaf n s
+               | Nwait _ | Nparked _ | Ndone -> ());
             let before = Array.to_list (Array.sub arr 0 idx) in
             let after = Array.to_list (Array.sub arr (idx + 1) (count - idx - 1)) in
             queue := before @ successors n @ after
@@ -430,13 +500,45 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
             let n = arr.(i) in
             born := [];
             match n.body with
-            | Nleaf s when !final = None && !failure = None && attached n ->
-                step_leaf n s;
-                buckets.(i) <- successors n
-            | _ -> buckets.(i) <- [ n ])
+            | Nleaf s when attached n ->
+                if !final = None && !failure = None then begin
+                  step_leaf n s;
+                  buckets.(i) <- successors n
+                end
+                else buckets.(i) <- [ n ]
+            | _ ->
+                (* Detached or resolved since the compaction at the top of
+                   the round (a sibling's step pruned or completed it):
+                   drop it, exactly as the Tree_order pass does. *)
+                buckets.(i) <- [])
           order;
         queue := List.concat (Array.to_list buckets));
     if !new_trees <> [] then queue := !queue @ List.rev !new_trees
+  in
+
+  (* Quiescence = deadlock: the queue only ever loses a node without a
+     delivery when the node parks, so an empty queue with no final value
+     and no failure means every remaining fiber is parked on a resource
+     nobody left can signal. *)
+  let deadlock_msg () =
+    let live = List.filter (fun e -> e.we_live) !all_parked in
+    match live with
+    | [] -> "deadlock: no runnable fibers"
+    | _ ->
+        let tally = Hashtbl.create 7 in
+        List.iter
+          (fun e ->
+            let name = e.we_ws.ws_name in
+            let c = try Hashtbl.find tally name with Not_found -> 0 in
+            Hashtbl.replace tally name (c + 1))
+          live;
+        let parts =
+          Hashtbl.fold (fun name c acc -> (name, c) :: acc) tally []
+          |> List.sort compare
+          |> List.map (fun (name, c) -> Printf.sprintf "%d on %s" c name)
+        in
+        Printf.sprintf "deadlock: %d fiber(s) parked: %s" (List.length live)
+          (String.concat ", " parts)
   in
 
   let rec drive () =
@@ -445,8 +547,11 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
         match prj_a v with Some a -> a | None -> assert false)
     | None, Some e -> raise e
     | None, None ->
-        round ();
-        drive ()
+        if !queue = [] then raise (Deadlock (deadlock_msg ()))
+        else begin
+          round ();
+          drive ()
+        end
   in
   drive ()
 
@@ -507,28 +612,56 @@ let pcall2 (type a b) (ta : unit -> a) (tb : unit -> b) : a * b =
 let yield () = ignore (perform_sched Ryield)
 
 (* ------------------------------------------------------------------ *)
+(* Parked waiters.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Waitset = struct
+  type t = waitset
+
+  let create name = { ws_name = name; ws_parked = [] }
+
+  let name ws = ws.ws_name
+
+  let parked ws = List.length (List.filter (fun e -> e.we_live) ws.ws_parked)
+end
+
+let block ws = ignore (perform_sched (Rblock ws))
+
+let wake ws =
+  (* Performing the effect costs a suspension, so skip it when nothing is
+     parked — the common uncontended case stays effect-free. *)
+  if ws.ws_parked <> [] then ignore (perform_sched (Rwake ws))
+
+(* ------------------------------------------------------------------ *)
 (* Futures: independent trees in the forest (Section 8).               *)
 (* ------------------------------------------------------------------ *)
 
-type 'a future = { f_cell : Univ.t option ref; f_prj : Univ.t -> 'a option }
+type 'a future = {
+  f_cell : Univ.t option ref;
+  f_prj : Univ.t -> 'a option;
+  f_ws : waitset;
+}
 
 let future (type a) (thunk : unit -> a) : a future =
   let inj, prj = Univ.embed () in
   let cell = ref None in
-  ignore (perform_sched (Rfuture ((fun () -> inj (thunk ())), cell)));
-  { f_cell = cell; f_prj = prj }
+  let ws = Waitset.create "future" in
+  ignore (perform_sched (Rfuture ((fun () -> inj (thunk ())), cell, ws)));
+  { f_cell = cell; f_prj = prj; f_ws = ws }
 
 let poll fut =
   match !(fut.f_cell) with
   | None -> None
   | Some u -> Some (get_exn fut.f_prj u)
 
-(* Touch polls cooperatively.  A blocked toucher is an ordinary yielding
-   fiber, so capturing it into a process continuation (and grafting it
-   elsewhere, even into another tree of the forest) just works. *)
+(* Touch parks on the future's waitset; the scheduler wakes the parked
+   fibers when the future's tree delivers its value.  A parked toucher is
+   still capturable: pruning it into a process continuation invalidates
+   its waitset entry and re-captures it as a runnable leaf, so on graft
+   it resumes here and re-checks the cell. *)
 let rec touch fut =
   match poll fut with
   | Some v -> v
   | None ->
-      yield ();
+      block fut.f_ws;
       touch fut

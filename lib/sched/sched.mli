@@ -33,6 +33,13 @@ exception Expired_pk
 exception Not_in_scheduler
 (** A scheduler operation was performed outside {!run}. *)
 
+exception Deadlock of string
+(** Raised by {!run} when the run queue is empty while fibers remain
+    parked on waitsets (see {!block}): every remaining fiber is blocked
+    on a resource that no runnable fiber can signal.  The message names
+    the blocked resources, e.g.
+    ["deadlock: 2 fiber(s) parked: 1 on channel.recv, 1 on future"]. *)
+
 type policy =
   | Tree_order  (** deterministic: branches run in process-tree order *)
   | Randomized of int64  (** seeded shuffle of branch order each round *)
@@ -77,6 +84,48 @@ val yield : unit -> unit
 (** Let other branches run; also the points at which a fiber can be
     suspended into a captured subtree. *)
 
+(** {1 Parked waiters}
+
+    A blocked operation must not busy-poll: a fiber that cannot make
+    progress parks on the {e waitset} of the resource it is waiting for
+    and leaves the run queue entirely, so scheduling rounds cost
+    O(runnable fibers), not O(runnable + blocked).  The waker side calls
+    {!wake} after changing the resource's state; woken fibers re-check
+    their condition (parking is always a re-check loop, so spurious
+    wake-ups are harmless).  {!touch} and the {!Channel} operations are
+    built on this; user-level blocking abstractions can use it too.
+
+    A parked fiber is still part of the process tree: capturing it into
+    a process continuation invalidates its waitset entry and re-captures
+    it as a runnable leaf, so grafting the continuation resumes it and
+    it re-checks its condition wherever it lands.
+
+    When the run queue drains while parked fibers remain, {!run} raises
+    {!Deadlock} naming the blocked resources. *)
+
+module Waitset : sig
+  type t
+
+  val create : string -> t
+  (** A fresh, empty waitset.  The name identifies the resource class in
+      {!Deadlock} diagnoses (e.g. ["future"], ["channel.send"]). *)
+
+  val name : t -> string
+
+  val parked : t -> int
+  (** Fibers currently parked (live entries only). *)
+end
+
+val block : Waitset.t -> unit
+(** Park the calling fiber on the waitset until a {!wake} (or, for a
+    future's waitset, the delivery of its value).  Always re-check the
+    blocking condition after [block] returns. *)
+
+val wake : Waitset.t -> unit
+(** Make every fiber parked on the waitset runnable.  A no-op when the
+    waitset is empty (and effect-free, so safe on the uncontended fast
+    path). *)
+
 (** {1 Futures: independent concurrency (Section 8)}
 
     The paper closes by noting that tree-structured and independent
@@ -95,7 +144,9 @@ val future : (unit -> 'a) -> 'a future
     finishes first, unfinished futures are discarded. *)
 
 val touch : 'a future -> 'a
-(** Wait (cooperatively) for the future's value. *)
+(** Wait for the future's value, parked on the future's waitset (no
+    busy-polling); the scheduler wakes the toucher when the future's
+    tree delivers. *)
 
 val poll : 'a future -> 'a option
 (** The value if already available. *)

@@ -34,7 +34,8 @@ let eval_ir ?(mode = Sequential) ?fuel ?quantum ?on_event t ir =
       with
       | Pstack.Concur.Value v -> Ok v
       | Pstack.Concur.Error msg -> Stdlib.Error msg
-      | Pstack.Concur.Out_of_fuel -> Stdlib.Error "out of fuel")
+      | Pstack.Concur.Out_of_fuel -> Stdlib.Error "out of fuel"
+      | Pstack.Concur.Deadlock msg -> Stdlib.Error ("deadlock: " ^ msg))
 
 let eval_top ?mode ?fuel ?quantum ?on_event t top =
   match top with

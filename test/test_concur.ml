@@ -438,6 +438,115 @@ let test_explore_racy_set () =
   in
   Alcotest.(check (list string)) "both orders observed" [ "1"; "2" ] outcomes
 
+(* ---------------- parked waiters and deadlock detection ---------------- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let deadlock_cycle = "(letrec ([f (future (touch f))]) (touch f))"
+
+let test_deadlock_future_cycle () =
+  (* Under Round_robin the letrec rib is filled before the future's tree
+     first reads it, so both the main branch and the future's own branch
+     park on f's unresolved cell: the queue drains and the run reports a
+     deadlock instead of burning all its fuel. *)
+  let m = ev_err deadlock_cycle in
+  Alcotest.(check bool) (Printf.sprintf "diagnosis (%S)" m) true
+    (contains ~needle:"deadlock" m && contains ~needle:"parked" m)
+
+let test_deadlock_outcome_and_events () =
+  (* The raw scheduler outcome and the park/deadlock trace events. *)
+  let ir =
+    match Pcont_syntax.Expand.parse_program deadlock_cycle with
+    | Ok [ Pcont_syntax.Expand.Expr ir ] -> ir
+    | _ -> Alcotest.fail "parse"
+  in
+  let events = ref [] in
+  let on_event ev = events := ev :: !events in
+  (match Concur.run ~fuel:100_000 ~on_event (Pstack.Prims.base_env ()) ir with
+  | Concur.Deadlock msg ->
+      Alcotest.(check bool) "names the parked branches" true
+        (contains ~needle:"parked" msg)
+  | o -> Alcotest.failf "expected Deadlock, got %s" (Concur.outcome_to_string o));
+  let evs = List.rev !events in
+  let count p = List.length (List.filter p evs) in
+  Alcotest.(check int) "two parks" 2
+    (count (function Concur.Ev_park _ -> true | _ -> false));
+  Alcotest.(check int) "no wakes" 0
+    (count (function Concur.Ev_wake _ -> true | _ -> false));
+  Alcotest.(check bool) "deadlock event with both parked" true
+    (List.exists
+       (function Concur.Ev_deadlock { parked = 2 } -> true | _ -> false)
+       evs);
+  List.iter (fun ev -> ignore (Concur.event_to_string ev)) evs
+
+let test_park_wake_counters () =
+  let t = Interp.create () in
+  let c = (Interp.config t).Machine.counters in
+  (match
+     Interp.eval_value ~mode:conc t
+       "(define (spin i) (if (= i 50) 7 (spin (+ i 1))))
+        (touch (future (spin 0)))"
+   with
+  | Pstack.Types.Int 7 -> ()
+  | v -> Alcotest.failf "got %s" (Pstack.Value.to_string v));
+  Alcotest.(check int) "parked once" 1 (C.get c "concur.park");
+  Alcotest.(check int) "woken once" 1 (C.get c "concur.wake")
+
+(* Smallest fuel under which the whole program completes with a value. *)
+let min_fuel ~quantum src =
+  let ok fuel =
+    let t = Interp.create () in
+    match List.rev (Interp.eval_string ~mode:conc ~fuel ~quantum t src) with
+    | Interp.Value _ :: _ -> true
+    | _ -> false
+  in
+  let rec search lo hi =
+    (* lo fails, hi succeeds *)
+    if hi - lo <= 1 then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if ok mid then search lo mid else search mid hi
+  in
+  if ok 1 then 1
+  else begin
+    Alcotest.(check bool) "upper bound completes" true (ok 100_000);
+    search 1 100_000
+  end
+
+let test_blocked_touch_consumes_no_fuel () =
+  (* Regression for the Esc_touch fuel leak: a parked touch takes no
+     machine transitions, so the fuel needed to finish must not depend on
+     how long the toucher stays blocked.  Quantum 1 maximises the number
+     of scheduling rounds the toucher sits parked through; before parked
+     waiters each of those rounds charged the blocked branch one fuel,
+     making the quantum-1 minimum strictly larger. *)
+  let src =
+    "(define (spin i) (if (= i 100) 7 (spin (+ i 1))))
+     (touch (future (spin 0)))"
+  in
+  let f_long = min_fuel ~quantum:64 src in
+  let f_short = min_fuel ~quantum:1 src in
+  Alcotest.(check int) "fuel consumed while blocked is 0 (schedule-independent)"
+    f_long f_short
+
+let test_explore_deadlock_terminates () =
+  (* Every interleaving of the racy future cycle terminates: either the
+     future's branch reads the letrec slot before it is initialised
+     (touching the non-future placeholder resolves the future) and the
+     program completes, or both branches park on the unresolved cell and
+     the scheduler diagnoses a deadlock.  No schedule may spin to fuel
+     exhaustion. *)
+  let outcomes = explore_schedules ~depth:6 deadlock_cycle in
+  Alcotest.(check bool)
+    (Printf.sprintf "some schedule deadlocks (%s)" (String.concat " | " outcomes))
+    true
+    (List.exists (fun o -> contains ~needle:"deadlock" o) outcomes);
+  Alcotest.(check bool) "no schedule exhausts fuel" true
+    (List.for_all (fun o -> not (contains ~needle:"fuel" o)) outcomes)
+
 (* ---------------- property: schedule independence ---------------- *)
 
 (* Pure programs (no set!, no controller races): every schedule — the
@@ -506,7 +615,8 @@ let prop_schedule_independent =
             match Concur.run ~fuel:400_000 ~sched env ir with
             | Concur.Value v -> `V (Pstack.Value.to_string v)
             | Concur.Error m -> `E m
-            | Concur.Out_of_fuel -> `F)
+            | Concur.Out_of_fuel -> `F
+            | Concur.Deadlock m -> `D m)
       in
       let outcomes =
         [
@@ -588,6 +698,17 @@ let () =
           Alcotest.test_case "parallel-or race: valid winners" `Quick
             test_explore_parallel_or_race;
           Alcotest.test_case "racy set!: both outcomes seen" `Quick test_explore_racy_set;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "future cycle diagnosed" `Quick test_deadlock_future_cycle;
+          Alcotest.test_case "outcome + park/deadlock events" `Quick
+            test_deadlock_outcome_and_events;
+          Alcotest.test_case "park/wake counters" `Quick test_park_wake_counters;
+          Alcotest.test_case "blocked touch consumes no fuel" `Quick
+            test_blocked_touch_consumes_no_fuel;
+          Alcotest.test_case "exploration terminates" `Quick
+            test_explore_deadlock_terminates;
         ] );
       ("properties", qsuite [ prop_schedule_independent ]);
     ]

@@ -577,6 +577,202 @@ let test_future_many () =
   in
   Alcotest.(check int) "sum of squares" 285 r
 
+(* ---------------- parked waiters and deadlock detection ---------------- *)
+
+let check_deadlock name needles thunk =
+  match S.run thunk with
+  | (_ : int) -> Alcotest.failf "%s: expected Deadlock" name
+  | exception S.Deadlock msg ->
+      List.iter
+        (fun needle ->
+          let mem =
+            let nl = String.length needle and ml = String.length msg in
+            let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S mentions %S" name msg needle)
+            true mem)
+        needles
+
+let test_deadlock_recv_never_sent () =
+  check_deadlock "recv" [ "channel.recv" ] (fun () ->
+      let ch : int Ch.t = Ch.create () in
+      Ch.recv ch)
+
+let test_deadlock_send_no_receiver () =
+  check_deadlock "send" [ "channel.send" ] (fun () ->
+      let ch = Ch.create ~capacity:1 () in
+      Ch.send ch 1;
+      Ch.send ch 2;
+      0)
+
+let test_deadlock_touch_orphaned_future () =
+  (* The future's tree blocks on a channel nobody sends to; the main
+     fiber blocks on the future: both resources are named. *)
+  check_deadlock "orphaned future" [ "future"; "channel.recv" ] (fun () ->
+      let ch : int Ch.t = Ch.create () in
+      let f = S.future (fun () -> Ch.recv ch) in
+      S.touch f)
+
+let test_waitset_block_wake () =
+  (* The primitive user-level protocol: park on a waitset, re-check on
+     wake-up. *)
+  let r =
+    S.run (fun () ->
+        let ws = S.Waitset.create "test.gate" in
+        let flag = ref false in
+        S.pcall2
+          (fun () ->
+            while not !flag do
+              S.block ws
+            done;
+            7)
+          (fun () ->
+            S.yield ();
+            flag := true;
+            S.wake ws;
+            0))
+  in
+  Alcotest.(check bool) "gate released" true (r = (7, 0))
+
+let test_close_wakes_parked_sender () =
+  (* A sender parked on a full channel observes a close that happens
+     under it: close wakes it and the re-check raises Closed (pinned
+     semantics — no lost wakeup, no silent enqueue onto a closed
+     channel). *)
+  let r =
+    S.run (fun () ->
+        let ch = Ch.create ~capacity:1 () in
+        S.pcall2
+          (fun () ->
+            Ch.send ch 1;
+            (* full, nobody receiving: parks *)
+            try
+              Ch.send ch 2;
+              0
+            with Ch.Closed -> 1)
+          (fun () ->
+            S.yield ();
+            Ch.close ch;
+            0))
+  in
+  Alcotest.(check bool) "sender raised Closed" true (r = (1, 0))
+
+let test_close_wakes_parked_receiver () =
+  let r =
+    S.run (fun () ->
+        let ch : int Ch.t = Ch.create () in
+        S.pcall2
+          (fun () -> match Ch.recv_opt ch with None -> 1 | Some _ -> 0)
+          (fun () ->
+            S.yield ();
+            Ch.close ch;
+            0))
+  in
+  Alcotest.(check bool) "receiver got end-of-stream" true (r = (1, 0))
+
+let test_of_producer_exception_closes () =
+  (* A producer that dies mid-stream must still close the channel (or
+     consumers deadlock), and its exception must not abort the run. *)
+  let r =
+    S.run (fun () ->
+        let ch =
+          Ch.of_producer (fun ~send ->
+              send 1;
+              send 2;
+              failwith "producer crashed")
+        in
+        let acc = ref [] in
+        Ch.iter (fun x -> acc := x :: !acc) ch;
+        List.rev !acc)
+  in
+  Alcotest.(check (list int)) "prefix then clean close" [ 1; 2 ] r
+
+let test_parked_waiter_graft_resumes () =
+  (* A receiver parked on an empty channel is pruned into a process
+     continuation and grafted back by resume; the graft revives it as a
+     runnable leaf that re-checks (and re-parks on) the channel, so a
+     later send completes it. *)
+  let r =
+    S.run (fun () ->
+        let ch : int Ch.t = Ch.create () in
+        S.pcall2
+          (fun () ->
+            S.spawn (fun c ->
+                let vs =
+                  S.pcall
+                    [
+                      (fun () -> Ch.recv ch);
+                      (fun () ->
+                        S.yield ();
+                        S.control c (fun k -> S.resume k 99));
+                    ]
+                in
+                match vs with [ a; b ] -> (100 * b) + a | _ -> assert false))
+          (fun () ->
+            (* let the receiver park and the capture + graft happen first *)
+            S.yield ();
+            S.yield ();
+            S.yield ();
+            Ch.send ch 5;
+            0))
+  in
+  Alcotest.(check bool) "graft revived the parked receiver" true (r = (9905, 0))
+
+(* Like [explore], but a run may legitimately end in Deadlock: record it
+   as a distinguished outcome.  Every decision word must terminate — a
+   blocked program parks instead of spinning, so exploration cannot hang. *)
+let explore_deadlock ?(alphabet = 2) ?(depth = 10) (program : unit -> int) =
+  let outcomes = Hashtbl.create 8 in
+  let rec words d =
+    if d = 0 then [ [] ]
+    else List.concat_map (fun w -> List.init alphabet (fun c -> c :: w)) (words (d - 1))
+  in
+  List.iter
+    (fun word ->
+      let remaining = ref word in
+      let pick n =
+        if n <= 1 then 0
+        else
+          match !remaining with
+          | [] -> 0
+          | c :: rest ->
+              remaining := rest;
+              c mod n
+      in
+      let o =
+        match S.run ~policy:(S.Driven pick) program with
+        | v -> string_of_int v
+        | exception S.Deadlock _ -> "deadlock"
+      in
+      Hashtbl.replace outcomes o ())
+    (words depth);
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) outcomes [])
+
+let test_driven_channel_handoff () =
+  (* Every interleaving of a two-fiber handoff either completes (correct
+     program) or reports Deadlock (receiver expects two values, one is
+     sent) — never spins forever. *)
+  let handoff () =
+    let ch = Ch.create ~capacity:1 () in
+    match S.pcall [ (fun () -> Ch.send ch 7; 0); (fun () -> Ch.recv ch) ] with
+    | [ _; v ] -> v
+    | _ -> assert false
+  in
+  Alcotest.(check (list string)) "handoff always completes" [ "7" ]
+    (explore_deadlock handoff);
+  let stuck () =
+    let ch = Ch.create ~capacity:1 () in
+    match
+      S.pcall [ (fun () -> Ch.send ch 7; 0); (fun () -> Ch.recv ch + Ch.recv ch) ]
+    with
+    | [ _; v ] -> v
+    | _ -> assert false
+  in
+  Alcotest.(check (list string)) "missing send always diagnosed" [ "deadlock" ]
+    (explore_deadlock stuck)
+
 let () =
   Alcotest.run "sched"
     [
@@ -645,5 +841,23 @@ let () =
           Alcotest.test_case "pure: single outcome" `Quick test_driven_pure_single_outcome;
           Alcotest.test_case "exit always wins" `Quick test_driven_exit_always_wins;
           Alcotest.test_case "race detected" `Quick test_driven_race_detected;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "recv, never sent" `Quick test_deadlock_recv_never_sent;
+          Alcotest.test_case "send, no receiver" `Quick test_deadlock_send_no_receiver;
+          Alcotest.test_case "touch of orphaned future" `Quick
+            test_deadlock_touch_orphaned_future;
+          Alcotest.test_case "waitset block/wake" `Quick test_waitset_block_wake;
+          Alcotest.test_case "close wakes parked sender" `Quick
+            test_close_wakes_parked_sender;
+          Alcotest.test_case "close wakes parked receiver" `Quick
+            test_close_wakes_parked_receiver;
+          Alcotest.test_case "of_producer exception closes" `Quick
+            test_of_producer_exception_closes;
+          Alcotest.test_case "graft revives parked waiter" `Quick
+            test_parked_waiter_graft_resumes;
+          Alcotest.test_case "driven channel handoff" `Quick
+            test_driven_channel_handoff;
         ] );
     ]
