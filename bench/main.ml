@@ -14,6 +14,7 @@
    measured results. *)
 
 module C = Pcont_util.Counters
+module Obs = Pcont_obs.Obs
 module Interp = Pcont_syntax.Interp
 module Pstack = Pcont_pstack
 module Sched = Pcont_sched.Sched
@@ -30,24 +31,34 @@ let json_file : string option ref = ref None
 
 let json_rows : Buffer.t = Buffer.create 256
 
-(* Params values must already be JSON-encoded; use [pint]/[pstr]. *)
+(* Params values must already be JSON-encoded; use [pint]/[pstr].
+   Strings go through [Obs.Json.quote]: OCaml's [%S] writes non-JSON
+   escapes (decimal [\126], [\'] ...), so quotes, backslashes and
+   control characters in a value used to produce an unparseable file. *)
 let pint k v = (k, string_of_int v)
 
-let pstr k v = (k, Printf.sprintf "%S" v)
+let pstr k v = (k, Obs.Json.quote v)
 
-let jrow ~name ~params ns =
+let jrow ?(metrics = []) ~name ~params ns =
   match !json_file with
   | None -> ()
   | Some _ ->
       if Buffer.length json_rows > 0 then Buffer.add_string json_rows ",\n";
-      let params_s =
-        params
-        |> List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v)
+      let fields kvs =
+        kvs
+        |> List.map (fun (k, v) -> Printf.sprintf "%s: %s" (Obs.Json.quote k) v)
         |> String.concat ", "
       in
+      let metrics_s =
+        match metrics with
+        | [] -> ""
+        | _ ->
+            Printf.sprintf ", \"metrics\": {%s}"
+              (fields (List.map (fun (k, v) -> (k, string_of_int v)) metrics))
+      in
       Buffer.add_string json_rows
-        (Printf.sprintf "  {\"name\": %S, \"params\": {%s}, \"ns_per_op\": %.3f}" name
-           params_s ns)
+        (Printf.sprintf "  {\"name\": %s, \"params\": {%s}, \"ns_per_op\": %.3f%s}"
+           (Obs.Json.quote name) (fields params) ns metrics_s)
 
 let write_json () =
   match !json_file with
@@ -138,12 +149,18 @@ let e1 () =
           C.get cfg.Pstack.Machine.counters "capture.frames"
           + C.get cfg.Pstack.Machine.counters "reinstate.frames"
         in
-        (ns_per (Float.max 0. (dt -. dt0)) k, float_of_int frames /. float_of_int k)
+        (ns_per (Float.max 0. (dt -. dt0)) k, frames)
       in
-      let lt, lf = run Pstack.Types.Linked in
-      let ct, cf = run Pstack.Types.Copying in
-      jrow ~name:"e1.capture.linked" ~params:[ pint "frames" n; pint "k" k ] lt;
-      jrow ~name:"e1.capture.copying" ~params:[ pint "frames" n; pint "k" k ] ct;
+      let lt, lframes = run Pstack.Types.Linked in
+      let ct, cframes = run Pstack.Types.Copying in
+      let lf = float_of_int lframes /. float_of_int k
+      and cf = float_of_int cframes /. float_of_int k in
+      jrow ~name:"e1.capture.linked"
+        ~params:[ pint "frames" n; pint "k" k ]
+        ~metrics:[ ("frames.moved", lframes) ] lt;
+      jrow ~name:"e1.capture.copying"
+        ~params:[ pint "frames" n; pint "k" k ]
+        ~metrics:[ ("frames.moved", cframes) ] ct;
       row "%8d %6d | %14.0f %14.0f | %16.1f %16.1f\n" n k lt ct lf cf)
     depths;
   print_endline "shape: linked columns flat in frames; copying columns linear in frames.";
@@ -207,7 +224,14 @@ let e2 () =
         C.get cfg.Pstack.Machine.counters "capture.segments"
         + C.get cfg.Pstack.Machine.counters "reinstate.segments"
       in
-      jrow ~name:"e2.capture" ~params:[ pint "roots" r; pint "k" k ] (ns_per dt k);
+      jrow ~name:"e2.capture"
+        ~params:[ pint "roots" r; pint "k" k ]
+        ~metrics:
+          [
+            ("segments.moved", segs);
+            ("controller.applications", C.get cfg.Pstack.Machine.counters "controller");
+          ]
+        (ns_per dt k);
       row "%8d %6d | %14.0f | %16.1f\n" r k (ns_per dt k)
         (float_of_int segs /. float_of_int k))
     roots;
@@ -588,7 +612,10 @@ let e9 () =
       let conc_t = run (Interp.Concurrent Pstack.Concur.Round_robin) in
       let forks = C.get cfg.Pstack.Machine.counters "concur.fork" in
       jrow ~name:"e9.seq" ~params:[ pint "n" n; pint "grain" grain ] (seq_t *. 1e9);
-      jrow ~name:"e9.conc" ~params:[ pint "n" n; pint "grain" grain ] (conc_t *. 1e9);
+      jrow ~name:"e9.conc"
+        ~params:[ pint "n" n; pint "grain" grain ]
+        ~metrics:[ ("concur.fork", forks) ]
+        (conc_t *. 1e9);
       row "%8d %8d | %10d %12.2f %12.2f | %10.2f\n" n grain forks (seq_t *. 1e3)
         (conc_t *. 1e3)
         ((conc_t -. seq_t) *. 1e6 /. float_of_int (max forks 1)))

@@ -6,15 +6,18 @@
    tree-of-stacks scheduler.  With no program it starts a REPL.
 
    Diagnostics: --stats prints the machine's instrumentation counters
-   (captures, segments/frames moved, forks, locks); --trace streams
-   scheduler events (forks, captures with their control-point counts,
-   grafts, futures); --strategy copying switches to the stack-copying
-   continuation representation of experiment E1. *)
+   (captures, segments/frames moved, forks, locks) and the scheduler's
+   histograms; --trace streams scheduler events to stderr; --trace-out
+   writes the event stream to a file as human text, JSONL or Chrome
+   trace-event JSON (--trace-format); --summary prints a per-process
+   table of slices, fuel, parks and captures; --strategy copying switches
+   to the stack-copying continuation representation of experiment E1. *)
 
 module Interp = Pcont_syntax.Interp
 module Pstack = Pcont_pstack
 module Bridge = Pcont_bridge.Bridge
 module M = Pcont_machine
+module Obs = Pcont_obs.Obs
 
 (* Run a whole program on the Section 6 rewriting machine (--backend
    machine|zipper): the program is folded into one closed term and
@@ -48,13 +51,29 @@ let print_result show_defines r =
   let out = Interp.take_output () in
   if out <> "" then print_string out
 
-let print_stats t =
+let print_stats t obs =
   let counters = (Interp.config t).Pstack.Machine.counters in
-  match Pcont_util.Counters.to_list counters with
+  (match Pcont_util.Counters.to_list counters with
   | [] -> prerr_endline ";; no machine events recorded"
   | stats ->
       prerr_endline ";; machine statistics:";
-      List.iter (fun (name, v) -> Printf.eprintf ";;   %-36s %d\n" name v) stats
+      List.iter (fun (name, v) -> Printf.eprintf ";;   %-36s %d\n" name v) stats);
+  match obs with
+  | None -> ()
+  | Some o -> (
+      let mx = Obs.metrics o in
+      match
+        List.filter (fun (_, h) -> Obs.Metrics.hist_count h > 0) (Obs.Metrics.hists mx)
+      with
+      | [] -> ()
+      | hists ->
+          prerr_endline ";; scheduler histograms:";
+          List.iter
+            (fun (name, h) ->
+              Printf.eprintf ";;   %-36s n=%d mean=%.1f max=%d\n" name
+                (Obs.Metrics.hist_count h) (Obs.Metrics.hist_mean h)
+                (Obs.Metrics.hist_max h))
+            hists)
 
 let repl t mode eval_form =
   Printf.printf "psi — Scheme with process continuations (Hieb & Dybvig, PPoPP 1990)\n";
@@ -70,9 +89,45 @@ let repl t mode eval_form =
   in
   loop ()
 
-let run file expr concurrent seed no_prelude fuel quantum strategy stats trace backend =
+let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
+    trace_out trace_format summary backend =
+  (match backend with
+  | "pstack" | "machine" | "zipper" -> ()
+  | other ->
+      Printf.eprintf "psi: unknown backend %S (expected pstack, machine or zipper)\n" other;
+      exit 2);
+  (* The scheduler and continuation-representation flags only mean
+     something on the pstack backend; reject rather than silently ignore
+     them (a trace that was never going to be written is a bug hidden). *)
+  if backend <> "pstack" then begin
+    let reject flag present =
+      if present then begin
+        Printf.eprintf "psi: %s is not supported with --backend %s\n" flag backend;
+        exit 2
+      end
+    in
+    reject "--concurrent" concurrent;
+    reject "--seed" (seed <> None);
+    reject "--quantum" (quantum <> None);
+    reject "--trace" trace;
+    reject "--trace-out" (trace_out <> None);
+    reject "--trace-format" (trace_format <> None);
+    reject "--summary" summary;
+    reject "--stats" stats;
+    reject "--strategy copying" (strategy = "copying")
+  end;
+  (match trace_format with
+  | Some _ when trace_out = None ->
+      Printf.eprintf "psi: --trace-format requires --trace-out\n";
+      exit 2
+  | Some ("human" | "jsonl" | "chrome") | None -> ()
+  | Some other ->
+      Printf.eprintf "psi: unknown trace format %S (expected human, jsonl or chrome)\n"
+        other;
+      exit 2);
+  let trace_format = Option.value trace_format ~default:"jsonl" in
   let mode =
-    if concurrent || seed <> None || trace then
+    if concurrent || seed <> None || trace || trace_out <> None || summary then
       Interp.Concurrent
         (match seed with
         | None -> Pcont_pstack.Concur.Round_robin
@@ -87,20 +142,52 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace b
         Printf.eprintf "psi: unknown strategy %S (expected linked or copying)\n" other;
         exit 2
   in
-  let on_event =
-    if trace then Some (fun ev -> Printf.eprintf ";; %s\n" (Pstack.Concur.event_to_string ev))
+  let t = Interp.create ~prelude:(not no_prelude) ~strategy () in
+  (* One observability handle feeds every consumer — the --trace stream,
+     the --trace-out sink, the --summary table, the histograms shown by
+     --stats.  Its metrics share the interpreter's counter table, so
+     machine counters and scheduler metrics land in one report. *)
+  let obs =
+    if (trace || trace_out <> None || summary || stats) && backend = "pstack" then
+      Some
+        (Obs.create
+           ~metrics:
+             (Obs.Metrics.create
+                ~counters:(Interp.config t).Pstack.Machine.counters ())
+           ())
     else None
   in
-  (match backend with
-  | "pstack" -> ()
-  | "machine" | "zipper" -> ()
-  | other ->
-      Printf.eprintf "psi: unknown backend %S (expected pstack, machine or zipper)\n" other;
-      exit 2);
-  let t = Interp.create ~prelude:(not no_prelude) ~strategy () in
-  let eval_form t src = Interp.eval_string ~mode ?fuel ?quantum ?on_event t src in
+  let summary_tbl = if summary then Some (Obs.Summary.create ()) else None in
+  let cleanups = ref [] in
+  (match obs with
+  | None -> ()
+  | Some o ->
+      if trace then
+        Obs.attach o (Obs.Sink.human ~prefix:";; " (Obs.Sink.of_channel stderr));
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          cleanups := (fun () -> close_out oc) :: !cleanups;
+          let write = Obs.Sink.of_channel oc in
+          Obs.attach o
+            (match trace_format with
+            | "human" -> Obs.Sink.human write
+            | "chrome" -> Obs.Sink.chrome write
+            | _ -> Obs.Sink.jsonl write));
+      match summary_tbl with
+      | None -> ()
+      | Some s -> Obs.attach o (Obs.Summary.sink s));
+  let eval_form t src = Interp.eval_string ~mode ?fuel ?quantum ?obs t src in
   let finish code =
-    if stats then print_stats t;
+    (match obs with None -> () | Some o -> Obs.close o);
+    List.iter (fun f -> f ()) !cleanups;
+    (match summary_tbl with
+    | None -> ()
+    | Some s ->
+        prerr_endline ";; per-process summary:";
+        Format.eprintf "%a@." Obs.Summary.pp s);
+    if stats then print_stats t obs;
     code
   in
   let run_source src =
@@ -174,13 +261,42 @@ let strategy =
 let stats =
   Arg.(
     value & flag
-    & info [ "stats" ] ~doc:"Print machine instrumentation counters to stderr on exit.")
+    & info [ "stats" ]
+        ~doc:
+          "Print machine instrumentation counters and scheduler histograms to \
+           stderr on exit.")
 
 let trace =
   Arg.(
     value & flag
     & info [ "trace" ]
-        ~doc:"Stream scheduler events (forks, captures, grafts, futures) to stderr; implies --concurrent.")
+        ~doc:
+          "Stream scheduler events (spawns, run slices, parks, captures, grafts) \
+           to stderr; implies --concurrent.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the scheduler event stream to $(docv); implies --concurrent.")
+
+let trace_format =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-format" ] ~docv:"F"
+        ~doc:
+          "Format for --trace-out: $(b,human), $(b,jsonl) (default), or $(b,chrome) \
+           (trace-event JSON for chrome://tracing or Perfetto).")
+
+let summary =
+  Arg.(
+    value & flag
+    & info [ "summary" ]
+        ~doc:
+          "Print a per-process summary (slices, fuel, parks, captures, channel \
+           traffic) to stderr on exit; implies --concurrent.")
 
 let backend =
   Arg.(
@@ -197,6 +313,6 @@ let cmd =
     (Cmd.info "psi" ~version:"1.0.0" ~doc)
     Term.(
       const run $ file $ expr $ concurrent $ seed $ no_prelude $ fuel $ quantum
-      $ strategy $ stats $ trace $ backend)
+      $ strategy $ stats $ trace $ trace_out $ trace_format $ summary $ backend)
 
 let () = exit (Cmd.eval' cmd)

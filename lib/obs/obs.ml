@@ -1,0 +1,632 @@
+module Counters = Pcont_util.Counters
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Event = struct
+  type t =
+    | Spawn of { pid : int; parent : int; kind : string }
+    | Exit of { pid : int }
+    | Slice_begin of { pid : int }
+    | Slice_end of { pid : int; fuel : int }
+    | Park of { pid : int; resource : string }
+    | Wake of { pid : int; resource : string }
+    | Capture of { pid : int; label : int; control_points : int; size : int }
+    | Reinstate of { pid : int; label : int; size : int }
+    | Send of { pid : int; chan : int }
+    | Recv of { pid : int; chan : int }
+    | Invalid_controller of { pid : int; label : int }
+    | Deadlock of { parked : int }
+
+  let name = function
+    | Spawn _ -> "spawn"
+    | Exit _ -> "exit"
+    | Slice_begin _ -> "slice-begin"
+    | Slice_end _ -> "slice-end"
+    | Park _ -> "park"
+    | Wake _ -> "wake"
+    | Capture _ -> "capture"
+    | Reinstate _ -> "reinstate"
+    | Send _ -> "send"
+    | Recv _ -> "recv"
+    | Invalid_controller _ -> "invalid-controller"
+    | Deadlock _ -> "deadlock"
+
+  let pid = function
+    | Spawn { pid; _ }
+    | Exit { pid }
+    | Slice_begin { pid }
+    | Slice_end { pid; _ }
+    | Park { pid; _ }
+    | Wake { pid; _ }
+    | Capture { pid; _ }
+    | Reinstate { pid; _ }
+    | Send { pid; _ }
+    | Recv { pid; _ }
+    | Invalid_controller { pid; _ } ->
+        pid
+    | Deadlock _ -> -1
+
+  let to_human = function
+    | Spawn { pid; parent; kind } ->
+        Printf.sprintf "spawn   pid=%d parent=%d kind=%s" pid parent kind
+    | Exit { pid } -> Printf.sprintf "exit    pid=%d" pid
+    | Slice_begin { pid } -> Printf.sprintf "run     pid=%d" pid
+    | Slice_end { pid; fuel } -> Printf.sprintf "ran     pid=%d fuel=%d" pid fuel
+    | Park { pid; resource } -> Printf.sprintf "park    pid=%d on=%s" pid resource
+    | Wake { pid; resource } -> Printf.sprintf "wake    pid=%d on=%s" pid resource
+    | Capture { pid; label; control_points; size } ->
+        Printf.sprintf "capture pid=%d root=%d control-points=%d size=%d" pid label
+          control_points size
+    | Reinstate { pid; label; size } ->
+        Printf.sprintf "graft   pid=%d root=%d size=%d" pid label size
+    | Send { pid; chan } -> Printf.sprintf "send    pid=%d chan=%d" pid chan
+    | Recv { pid; chan } -> Printf.sprintf "recv    pid=%d chan=%d" pid chan
+    | Invalid_controller { pid; label } ->
+        Printf.sprintf "invalid pid=%d root=%d" pid label
+    | Deadlock { parked } -> Printf.sprintf "deadlock parked=%d" parked
+end
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let quote s = "\"" ^ escape s ^ "\""
+
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> incr pos
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ lit)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' ->
+              incr pos;
+              Buffer.contents buf
+          | '\\' ->
+              incr pos;
+              if !pos >= n then fail "truncated escape"
+              else begin
+                (match s.[!pos] with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '/' -> Buffer.add_char buf '/'
+                | 'n' -> Buffer.add_char buf '\n'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 'b' -> Buffer.add_char buf '\b'
+                | 'f' -> Buffer.add_char buf '\012'
+                | 'u' ->
+                    if !pos + 4 >= n then fail "truncated \\u escape";
+                    let hex = String.sub s (!pos + 1) 4 in
+                    (match int_of_string_opt ("0x" ^ hex) with
+                    | None -> fail "bad \\u escape"
+                    | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+                    | Some _ ->
+                        (* Preserve the escape textually; the validator only
+                           needs well-formedness, not Unicode decoding. *)
+                        Buffer.add_string buf ("\\u" ^ hex));
+                    pos := !pos + 4
+                | c -> fail (Printf.sprintf "bad escape \\%c" c));
+                incr pos;
+                go ()
+              end
+          | c when Char.code c < 0x20 -> fail "control character in string"
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && numchar s.[!pos] do
+        incr pos
+      done;
+      if !pos = start then fail "expected a JSON value"
+      else
+        match float_of_string_opt (String.sub s start (!pos - start)) with
+        | Some f -> Num f
+        | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected , or } in object"
+            in
+            members []
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            Arr []
+          end
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elems (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected , or ] in array"
+            in
+            elems []
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing input after value";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters + fixed-bucket histograms                         *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type hist = {
+    bounds : int array;  (* strictly increasing inclusive upper bounds *)
+    counts : int array;  (* length bounds + 1; the last is the overflow *)
+    mutable n : int;
+    mutable sum : int;
+    mutable max : int;
+  }
+
+  (* 1, 2, 4, ..., 2^20: wide enough for fuel-per-quantum, queue depths
+     and capture sizes while keeping observation a short scan. *)
+  let default_bounds = Array.init 21 (fun i -> 1 lsl i)
+
+  type t = { counters : Counters.t; hists : (string, hist) Hashtbl.t }
+
+  let create ?counters () =
+    {
+      counters = (match counters with Some c -> c | None -> Counters.create ());
+      hists = Hashtbl.create 16;
+    }
+
+  let counters t = t.counters
+
+  let incr t name = Counters.incr t.counters name
+
+  let add t name n = Counters.add t.counters name n
+
+  let hist_of t name =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            bounds = default_bounds;
+            counts = Array.make (Array.length default_bounds + 1) 0;
+            n = 0;
+            sum = 0;
+            max = 0;
+          }
+        in
+        Hashtbl.add t.hists name h;
+        h
+
+  let observe t name v =
+    let v = if v < 0 then 0 else v in
+    let h = hist_of t name in
+    let nb = Array.length h.bounds in
+    let rec bucket i = if i >= nb || v <= h.bounds.(i) then i else bucket (i + 1) in
+    let i = bucket 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum + v;
+    if v > h.max then h.max <- v
+
+  let find t name = Hashtbl.find_opt t.hists name
+
+  let hists t =
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let hist_count h = h.n
+
+  let hist_sum h = h.sum
+
+  let hist_max h = h.max
+
+  let hist_mean h = if h.n = 0 then 0. else float_of_int h.sum /. float_of_int h.n
+
+  let hist_buckets h =
+    let nb = Array.length h.bounds in
+    let acc = ref [] in
+    for i = nb downto 0 do
+      if h.counts.(i) > 0 then
+        let label =
+          if i = nb then Printf.sprintf ">%d" h.bounds.(nb - 1)
+          else Printf.sprintf "<=%d" h.bounds.(i)
+        in
+        acc := (label, h.counts.(i)) :: !acc
+    done;
+    !acc
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>%a" Counters.pp t.counters;
+    List.iter
+      (fun (name, h) ->
+        if h.n > 0 then begin
+          Format.fprintf ppf "@,%s: n=%d sum=%d max=%d mean=%.1f" name h.n h.sum
+            h.max (hist_mean h);
+          List.iter
+            (fun (label, c) -> Format.fprintf ppf "@,  %-10s %d" label c)
+            (hist_buckets h)
+        end)
+      (hists t);
+    Format.fprintf ppf "@]"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Handles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type sink = {
+  sink_event : seq:int -> ts:int -> Event.t -> unit;
+  sink_close : unit -> unit;
+}
+
+type t = {
+  mutable oseq : int;
+  mutable oclock : int;
+  mutable sinks : sink list;
+  omx : Metrics.t;
+}
+
+let create ?metrics () =
+  {
+    oseq = 0;
+    oclock = 0;
+    sinks = [];
+    omx = (match metrics with Some m -> m | None -> Metrics.create ());
+  }
+
+let metrics t = t.omx
+
+let attach t s = t.sinks <- t.sinks @ [ s ]
+
+let has_sink t = t.sinks <> []
+
+let emit t ev =
+  let seq = t.oseq in
+  t.oseq <- seq + 1;
+  match t.sinks with
+  | [] -> ()
+  | sinks -> List.iter (fun s -> s.sink_event ~seq ~ts:t.oclock ev) sinks
+
+let advance t d = if d > 0 then t.oclock <- t.oclock + d
+
+let now t = t.oclock
+
+let seq t = t.oseq
+
+let observe t name v = Metrics.observe t.omx name v
+
+let incr t name = Metrics.incr t.omx name
+
+let close t =
+  let sinks = t.sinks in
+  t.sinks <- [];
+  List.iter (fun s -> s.sink_close ()) sinks
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Sink = struct
+  let of_channel oc s = output_string oc s
+
+  let human ?(prefix = "") write =
+    {
+      sink_event =
+        (fun ~seq:_ ~ts ev ->
+          write (Printf.sprintf "%s[%6d] %s\n" prefix ts (Event.to_human ev)));
+      sink_close = (fun () -> ());
+    }
+
+  (* Field order is fixed per constructor so identical event streams
+     serialize to byte-identical output. *)
+  let jsonl write =
+    let fi k v = Printf.sprintf ",\"%s\":%d" k v in
+    let fs k v = Printf.sprintf ",\"%s\":%s" k (Json.quote v) in
+    {
+      sink_event =
+        (fun ~seq ~ts ev ->
+          let payload =
+            match ev with
+            | Event.Spawn { pid; parent; kind } ->
+                fi "pid" pid ^ fi "parent" parent ^ fs "kind" kind
+            | Event.Exit { pid } -> fi "pid" pid
+            | Event.Slice_begin { pid } -> fi "pid" pid
+            | Event.Slice_end { pid; fuel } -> fi "pid" pid ^ fi "fuel" fuel
+            | Event.Park { pid; resource } -> fi "pid" pid ^ fs "resource" resource
+            | Event.Wake { pid; resource } -> fi "pid" pid ^ fs "resource" resource
+            | Event.Capture { pid; label; control_points; size } ->
+                fi "pid" pid ^ fi "label" label
+                ^ fi "control_points" control_points
+                ^ fi "size" size
+            | Event.Reinstate { pid; label; size } ->
+                fi "pid" pid ^ fi "label" label ^ fi "size" size
+            | Event.Send { pid; chan } -> fi "pid" pid ^ fi "chan" chan
+            | Event.Recv { pid; chan } -> fi "pid" pid ^ fi "chan" chan
+            | Event.Invalid_controller { pid; label } -> fi "pid" pid ^ fi "label" label
+            | Event.Deadlock { parked } -> fi "parked" parked
+          in
+          write
+            (Printf.sprintf "{\"seq\":%d,\"ts\":%d,\"ev\":%s%s}\n" seq ts
+               (Json.quote (Event.name ev))
+               payload));
+      sink_close = (fun () -> ());
+    }
+
+  (* Chrome trace-event format (JSON array flavour).  One OS-level
+     "process" (pid 1); each scheduler node is a thread/track (tid =
+     node id) named on first sight via a thread_name metadata record.
+     Run slices are B/E duration events; everything else an instant. *)
+  let chrome write =
+    let first = ref true in
+    let item s =
+      if !first then begin
+        first := false;
+        write "[\n  "
+      end
+      else write ",\n  ";
+      write s
+    in
+    let named = Hashtbl.create 16 in
+    let ensure_name pid label =
+      if not (Hashtbl.mem named pid) then begin
+        Hashtbl.add named pid ();
+        item
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%s}}"
+             pid (Json.quote label))
+      end
+    in
+    let instant ~ts pid name args =
+      ensure_name pid (Printf.sprintf "p%d" pid);
+      item
+        (Printf.sprintf
+           "{\"name\":%s,\"cat\":\"pcont\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
+           (Json.quote name) ts pid args)
+    in
+    {
+      sink_event =
+        (fun ~seq:_ ~ts ev ->
+          match ev with
+          | Event.Spawn { pid; parent; kind } ->
+              ensure_name pid (Printf.sprintf "%s %d" kind pid);
+              instant ~ts pid "spawn"
+                (Printf.sprintf ",\"args\":{\"parent\":%d,\"kind\":%s}" parent
+                   (Json.quote kind))
+          | Event.Exit { pid } -> instant ~ts pid "exit" ""
+          | Event.Slice_begin { pid } ->
+              ensure_name pid (Printf.sprintf "p%d" pid);
+              item
+                (Printf.sprintf
+                   "{\"name\":\"run\",\"cat\":\"pcont\",\"ph\":\"B\",\"ts\":%d,\"pid\":1,\"tid\":%d}"
+                   ts pid)
+          | Event.Slice_end { pid; fuel } ->
+              item
+                (Printf.sprintf
+                   "{\"name\":\"run\",\"cat\":\"pcont\",\"ph\":\"E\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"fuel\":%d}}"
+                   ts pid fuel)
+          | Event.Park { pid; resource } ->
+              instant ~ts pid "park"
+                (Printf.sprintf ",\"args\":{\"resource\":%s}" (Json.quote resource))
+          | Event.Wake { pid; resource } ->
+              instant ~ts pid "wake"
+                (Printf.sprintf ",\"args\":{\"resource\":%s}" (Json.quote resource))
+          | Event.Capture { pid; label; control_points; size } ->
+              instant ~ts pid "capture"
+                (Printf.sprintf
+                   ",\"args\":{\"label\":%d,\"control_points\":%d,\"size\":%d}" label
+                   control_points size)
+          | Event.Reinstate { pid; label; size } ->
+              instant ~ts pid "reinstate"
+                (Printf.sprintf ",\"args\":{\"label\":%d,\"size\":%d}" label size)
+          | Event.Send { pid; chan } ->
+              instant ~ts pid "send" (Printf.sprintf ",\"args\":{\"chan\":%d}" chan)
+          | Event.Recv { pid; chan } ->
+              instant ~ts pid "recv" (Printf.sprintf ",\"args\":{\"chan\":%d}" chan)
+          | Event.Invalid_controller { pid; label } ->
+              instant ~ts pid "invalid-controller"
+                (Printf.sprintf ",\"args\":{\"label\":%d}" label)
+          | Event.Deadlock { parked } ->
+              instant ~ts 0 "deadlock"
+                (Printf.sprintf ",\"args\":{\"parked\":%d}" parked));
+      sink_close = (fun () -> if !first then write "[]\n" else write "\n]\n");
+    }
+
+  let memory f = { sink_event = (fun ~seq ~ts ev -> f (seq, ts, ev)); sink_close = ignore }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-process summary                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Summary = struct
+  type row = {
+    mutable r_slices : int;
+    mutable r_fuel : int;
+    mutable r_parks : int;
+    mutable r_wakes : int;
+    mutable r_captures : int;
+    mutable r_reinstates : int;
+    mutable r_sends : int;
+    mutable r_recvs : int;
+  }
+
+  type t = (int, row) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let row t pid =
+    match Hashtbl.find_opt t pid with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            r_slices = 0;
+            r_fuel = 0;
+            r_parks = 0;
+            r_wakes = 0;
+            r_captures = 0;
+            r_reinstates = 0;
+            r_sends = 0;
+            r_recvs = 0;
+          }
+        in
+        Hashtbl.add t pid r;
+        r
+
+  let sink t =
+    {
+      sink_event =
+        (fun ~seq:_ ~ts:_ ev ->
+          match ev with
+          | Event.Spawn { pid; _ } -> ignore (row t pid)
+          | Event.Slice_end { pid; fuel } ->
+              let r = row t pid in
+              r.r_slices <- r.r_slices + 1;
+              r.r_fuel <- r.r_fuel + fuel
+          | Event.Park { pid; _ } ->
+              let r = row t pid in
+              r.r_parks <- r.r_parks + 1
+          | Event.Wake { pid; _ } ->
+              let r = row t pid in
+              r.r_wakes <- r.r_wakes + 1
+          | Event.Capture { pid; _ } ->
+              let r = row t pid in
+              r.r_captures <- r.r_captures + 1
+          | Event.Reinstate { pid; _ } ->
+              let r = row t pid in
+              r.r_reinstates <- r.r_reinstates + 1
+          | Event.Send { pid; _ } ->
+              let r = row t pid in
+              r.r_sends <- r.r_sends + 1
+          | Event.Recv { pid; _ } ->
+              let r = row t pid in
+              r.r_recvs <- r.r_recvs + 1
+          | Event.Exit _ | Event.Slice_begin _ | Event.Invalid_controller _
+          | Event.Deadlock _ ->
+              ());
+      sink_close = (fun () -> ());
+    }
+
+  let rows t =
+    Hashtbl.fold (fun pid r acc -> (pid, r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>%8s %8s %10s %7s %7s %9s %7s %7s %7s" "pid" "slices"
+      "fuel" "parks" "wakes" "captures" "grafts" "sends" "recvs";
+    List.iter
+      (fun (pid, r) ->
+        Format.fprintf ppf "@,%8d %8d %10d %7d %7d %9d %7d %7d %7d" pid r.r_slices
+          r.r_fuel r.r_parks r.r_wakes r.r_captures r.r_reinstates r.r_sends
+          r.r_recvs)
+      (rows t);
+    Format.fprintf ppf "@]"
+end

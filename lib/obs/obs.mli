@@ -1,0 +1,266 @@
+(** Unified tracing and metrics for both schedulers.
+
+    The paper's headline claim is about {e where time goes} — controller
+    and process-continuation operations are linear in control points, not
+    continuation size — and this library turns the process tree's
+    lifecycle into analyzable data: a typed, timestamped,
+    sequence-numbered event stream ({!Event}) covering
+    spawn/exit, run slices, park/wake, capture/reinstate, channel
+    send/recv and deadlock, plus counters and fixed-bucket histograms
+    ({!Metrics}).
+
+    Both schedulers ([Pcont_pstack.Concur.run] and [Pcont_sched.Sched.run])
+    accept an optional [?obs] handle.  With no handle installed the
+    instrumentation is a single pattern match per site — no event is
+    allocated, no clock is advanced.  With a handle installed, every
+    event carries:
+
+    - a {e sequence number}: dense, starting at 0, incremented per event;
+    - a {e virtual timestamp}: the cumulative scheduler work (machine
+      transitions for the pstack scheduler, run slices for the native
+      one), advanced deterministically by the scheduler.
+
+    Neither consults the wall clock, so two runs with the same seed
+    produce byte-identical traces — traces are diffable and goldens
+    stay stable.
+
+    Events are fanned out to pluggable {!section-sinks}: human-readable
+    text (the [psi --trace] stream), JSONL, and Chrome trace-event JSON
+    loadable in [chrome://tracing] or Perfetto, where each process
+    renders as a track with run slices and park gaps. *)
+
+(** {1 Events} *)
+
+module Event : sig
+  (** The process-lifecycle event taxonomy, shared by both schedulers.
+      [pid] is the scheduler's node id for the process/branch/fiber the
+      event concerns; pids are unique within one run. *)
+  type t =
+    | Spawn of { pid : int; parent : int; kind : string }
+        (** a new process-tree node became runnable.  [kind] names how it
+            was created: ["root"], ["branch"] (pcall/fork child),
+            ["process"] (spawned root body), ["future"] (independent
+            tree), ["controller"] (a controller body installed by a
+            capture), ["graft"] (a leaf rebuilt by reinstatement).
+            [parent] is [-1] for the root of a run. *)
+    | Exit of { pid : int }  (** the node delivered its final value *)
+    | Slice_begin of { pid : int }  (** the scheduler started running the node *)
+    | Slice_end of { pid : int; fuel : int }
+        (** the slice ended; [fuel] is the machine transitions charged
+            (always 1 for the native scheduler, which does not meter
+            fiber work) *)
+    | Park of { pid : int; resource : string }
+        (** the node blocked on the named resource (["future"],
+            ["channel.send"], …) and left the run queue *)
+    | Wake of { pid : int; resource : string }
+        (** a delivery or {!Pcont_sched.Sched.wake} made the parked node
+            runnable again *)
+    | Capture of { pid : int; label : int; control_points : int; size : int }
+        (** node [pid] applied the controller rooted at [label]; the
+            captured subtree has [control_points] control points (labels
+            and forks — the quantity the paper's complexity claim is
+            stated in) and [size] segments (pstack) or tree nodes
+            (native) *)
+    | Reinstate of { pid : int; label : int; size : int }
+        (** node [pid] invoked a process continuation, grafting the
+            captured subtree back into the live tree *)
+    | Send of { pid : int; chan : int }  (** a value was enqueued on a channel *)
+    | Recv of { pid : int; chan : int }  (** a value was dequeued from a channel *)
+    | Invalid_controller of { pid : int; label : int }
+        (** a controller was applied with no matching root in the
+            current continuation *)
+    | Deadlock of { parked : int }
+        (** the run queue drained with [parked] live parked nodes *)
+
+  val name : t -> string
+  (** Stable kebab-case tag (["spawn"], ["slice-end"], …), used as the
+      ["ev"] field of the JSONL encoding. *)
+
+  val pid : t -> int
+  (** The node the event concerns; [-1] for {!Deadlock}. *)
+
+  val to_human : t -> string
+  (** One-line human rendering (no newline). *)
+end
+
+(** {1 JSON utilities}
+
+    A minimal JSON layer shared by the sinks, the benchmark harness's
+    [--json] writer, and the trace self-checks.  No external dependency. *)
+
+module Json : sig
+  val escape : string -> string
+  (** JSON string-escape the bytes of [s] (no surrounding quotes):
+      quotes, backslashes and control characters become valid JSON
+      escapes. *)
+
+  val quote : string -> string
+  (** [escape] with surrounding double quotes. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** A small strict JSON parser, used by the tests and the trace-export
+      smoke checks to validate sink output. *)
+
+  val member : string -> t -> t option
+  (** [member k (Obj kvs)] is the value bound to [k], if any. *)
+end
+
+(** {1 Metrics}
+
+    Counters plus fixed-bucket histograms.  Built on (and usually
+    sharing) a {!Pcont_util.Counters.t}, so machine counters and
+    scheduler metrics land in one table. *)
+
+module Metrics : sig
+  type t
+
+  type hist
+  (** A fixed-bucket histogram over non-negative ints with
+      power-of-two bucket bounds 1, 2, 4, …, 2{^20} plus an overflow
+      bucket. *)
+
+  val create : ?counters:Pcont_util.Counters.t -> unit -> t
+  (** Fresh metrics; [counters] (default: a fresh table) receives the
+      counter half, so callers can share an existing table. *)
+
+  val counters : t -> Pcont_util.Counters.t
+
+  val incr : t -> string -> unit
+
+  val add : t -> string -> int -> unit
+
+  val observe : t -> string -> int -> unit
+  (** Record one observation in the named histogram, creating it on
+      first use.  Values are clamped below at 0. *)
+
+  val find : t -> string -> hist option
+
+  val hists : t -> (string * hist) list
+  (** All histograms, sorted by name. *)
+
+  val hist_count : hist -> int
+
+  val hist_sum : hist -> int
+
+  val hist_max : hist -> int
+
+  val hist_mean : hist -> float
+  (** 0. when empty. *)
+
+  val hist_buckets : hist -> (string * int) list
+  (** Non-empty buckets as [("<=N", count)] pairs, overflow last as
+      [(">N", count)]. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Counters, then histograms (empty histograms omitted). *)
+end
+
+(** {1 Handles} *)
+
+type t
+(** A trace handle: sequence counter, virtual clock, metrics, sinks. *)
+
+type sink = {
+  sink_event : seq:int -> ts:int -> Event.t -> unit;
+  sink_close : unit -> unit;
+}
+
+val create : ?metrics:Metrics.t -> unit -> t
+(** A fresh handle with no sinks and a clock at 0. *)
+
+val metrics : t -> Metrics.t
+
+val attach : t -> sink -> unit
+(** Add a sink; events fan out to sinks in attach order. *)
+
+val has_sink : t -> bool
+
+val emit : t -> Event.t -> unit
+(** Stamp the event with the next sequence number and the current
+    virtual time and hand it to every sink.  Call sites in the
+    schedulers guard with a match on the [?obs] option, so a run
+    without a handle never allocates an event. *)
+
+val advance : t -> int -> unit
+(** Advance the virtual clock by [d] (ignored when [d <= 0]).  Only the
+    schedulers call this, with deterministic quantities (fuel charged,
+    slices run). *)
+
+val now : t -> int
+
+val seq : t -> int
+(** Events emitted so far. *)
+
+val observe : t -> string -> int -> unit
+(** Shorthand for [Metrics.observe (metrics t)]. *)
+
+val incr : t -> string -> unit
+(** Shorthand for [Metrics.incr (metrics t)]. *)
+
+val close : t -> unit
+(** Close every sink (flushing any trailer, e.g. the Chrome JSON array's
+    closing bracket) and detach them.  Idempotent. *)
+
+(** {1:sinks Sinks} *)
+
+module Sink : sig
+  val of_channel : out_channel -> string -> unit
+  (** A writer appending to the channel. *)
+
+  val human : ?prefix:string -> (string -> unit) -> sink
+  (** One line per event: [<prefix>[<ts>] <event>].  [psi --trace] uses
+      [~prefix:";; "] to stderr, preserving the historical stream. *)
+
+  val jsonl : (string -> unit) -> sink
+  (** One JSON object per line:
+      [{"seq":4,"ts":17,"ev":"park","pid":3,"resource":"future"}].
+      Field order is fixed, so equal event streams produce byte-equal
+      output. *)
+
+  val chrome : (string -> unit) -> sink
+  (** Chrome trace-event JSON (array form), loadable in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.  Every
+      process becomes a named track ([tid] = pid): run slices are
+      ["B"]/["E"] duration pairs, everything else an instant event;
+      park gaps show as the space between slices.  The sink emits the
+      closing bracket on {!close}. *)
+
+  val memory : (int * int * Event.t -> unit) -> sink
+  (** Feed [(seq, ts, event)] triples to a callback (tests). *)
+end
+
+(** {1 Per-process summary} *)
+
+module Summary : sig
+  type row = {
+    mutable r_slices : int;
+    mutable r_fuel : int;
+    mutable r_parks : int;
+    mutable r_wakes : int;
+    mutable r_captures : int;
+    mutable r_reinstates : int;
+    mutable r_sends : int;
+    mutable r_recvs : int;
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val sink : t -> sink
+  (** A sink aggregating per-process totals into [t]. *)
+
+  val rows : t -> (int * row) list
+  (** Totals per pid, sorted by pid. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** The [psi --summary] table: one row per process. *)
+end

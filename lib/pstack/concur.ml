@@ -1,6 +1,8 @@
 open Types
 module Counters = Pcont_util.Counters
 module Xorshift = Pcont_util.Xorshift
+module Obs = Pcont_obs.Obs
+module E = Pcont_obs.Obs.Event
 
 type sched =
   | Round_robin
@@ -17,30 +19,6 @@ type outcome =
   | Deadlock of string
       (* every remaining branch is parked on an unresolved future: the
          run queue is empty, so no branch can ever resolve one *)
-
-(* Scheduler trace events, for the REPL's --trace and for tests. *)
-type event =
-  | Ev_fork of { node : int; branches : int }
-  | Ev_capture of { label : Types.label; control_points : int }
-  | Ev_graft of { label : Types.label }
-  | Ev_future of { node : int }
-  | Ev_branch_done of { node : int }
-  | Ev_invalid of Types.label
-  | Ev_park of { node : int }  (* branch parked on a pending future *)
-  | Ev_wake of { node : int }  (* parked branch re-enqueued by a delivery *)
-  | Ev_deadlock of { parked : int }
-
-let event_to_string = function
-  | Ev_fork { node; branches } -> Printf.sprintf "fork    node=%d branches=%d" node branches
-  | Ev_capture { label; control_points } ->
-      Printf.sprintf "capture root=%d control-points=%d" label control_points
-  | Ev_graft { label } -> Printf.sprintf "graft   root=%d" label
-  | Ev_future { node } -> Printf.sprintf "future  tree=%d" node
-  | Ev_branch_done { node } -> Printf.sprintf "done    node=%d" node
-  | Ev_invalid label -> Printf.sprintf "invalid controller root=%d" label
-  | Ev_park { node } -> Printf.sprintf "park    node=%d on=future" node
-  | Ev_wake { node } -> Printf.sprintf "wake    node=%d on=future" node
-  | Ev_deadlock { parked } -> Printf.sprintf "deadlock parked=%d" parked
 
 let outcome_to_string = function
   | Value v -> "VALUE " ^ Value.to_string v
@@ -69,8 +47,14 @@ and nfork = {
    state (re-enqueueing it re-applies the touch, which now finds the
    cell resolved); [pk_live] is cleared when the branch is woken or when
    a capture prunes it into a process continuation, so a stale wake
-   thunk left on the cell does nothing. *)
-and parked = { pk_node : node; pk_st : state; mutable pk_live : bool }
+   thunk left on the cell does nothing.  [pk_round] is the scheduling
+   round the branch parked in, for the park-latency histogram. *)
+and parked = {
+  pk_node : node;
+  pk_st : state;
+  mutable pk_live : bool;
+  pk_round : int;
+}
 
 let control_points ptree =
   let count_roots segs =
@@ -85,6 +69,19 @@ let control_points ptree =
   in
   go ptree
 
+(* Total segments in a captured subtree — the "size" reported by capture
+   and reinstate events (what a copying implementation would touch). *)
+let tree_segments ptree =
+  let rec go = function
+    | Pleaf st -> List.length st.pstack
+    | Phole segs -> List.length segs
+    | Pdone -> 0
+    | Pfork pf ->
+        List.length pf.pf_trunk
+        + Array.fold_left (fun n t -> n + go t) 0 pf.pf_children
+  in
+  go ptree
+
 let invalid_controller l =
   Printf.sprintf
     "invalid controller application: no process root labeled %d in the \
@@ -92,14 +89,22 @@ let invalid_controller l =
     l
 
 let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
-    ?(drain_futures = true) ?(on_event = fun (_ : event) -> ()) ?cfg genv ir =
+    ?(drain_futures = true) ?obs ?cfg genv ir =
   let cfg = match cfg with Some c -> c | None -> Machine.config () in
   let counters = cfg.Machine.counters in
+  (* Route the machine's per-operation size distributions into the
+     handle's histograms for the duration of this run. *)
+  let saved_metrics = cfg.Machine.metrics in
+  (match obs with
+  | None -> ()
+  | Some o -> cfg.Machine.metrics <- Some (Obs.metrics o));
   let next_id = ref 0 in
   let fresh_id () =
     incr next_id;
     !next_id
   in
+  (* The current scheduling round, for the park-latency histogram. *)
+  let rounds = ref 0 in
   let root =
     {
       nid = 0;
@@ -107,6 +112,9 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
       body = Nleaf (Machine.initial (Resolve.toplevel genv ir));
     }
   in
+  (match obs with
+  | None -> ()
+  | Some o -> Obs.emit o (E.Spawn { pid = 0; parent = -1; kind = "root" }));
   (* The run queue: runnable leaves of the whole forest (Section 8's main
      tree plus one tree per future), maintained incrementally in tree
      order.  Entries go stale when a capture prunes them out of the live
@@ -169,7 +177,9 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
      child completes, the fork resumes as a leaf applying the first value to
      the rest in the trunk. *)
   let deliver n v =
-    on_event (Ev_branch_done { node = n.nid });
+    (match obs with
+    | None -> ()
+    | Some o -> Obs.emit o (E.Exit { pid = n.nid }));
     n.body <- Ndone;
     match n.parent with
     | Ptop -> final := Some v
@@ -202,7 +212,6 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
   and do_fork n st exprs env' =
     Counters.incr counters "concur.fork";
     let k = List.length exprs in
-    on_event (Ev_fork { node = n.nid; branches = k });
     let f =
       {
         trunk = st.pstack;
@@ -221,6 +230,12 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
             body = Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
           })
       exprs;
+    (match obs with
+    | None -> ()
+    | Some o ->
+        Array.iter
+          (fun c -> Obs.emit o (E.Spawn { pid = c.nid; parent = n.nid; kind = "branch" }))
+          f.children);
     born := Array.to_list f.children
 
   (* Controller application whose root is not in the invoking branch's local
@@ -262,7 +277,9 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
     in
     match climb n with
     | None ->
-        on_event (Ev_invalid l);
+        (match obs with
+        | None -> ()
+        | Some o -> Obs.emit o (E.Invalid_controller { pid = n.nid; label = l }));
         failure := Some (invalid_controller l)
     | Some (p, f, above_incl, below) ->
         incr prunes;
@@ -276,8 +293,16 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
               pf_results = Array.copy f.results;
             }
         in
-        Counters.add counters "concur.capture.control-points" (control_points tree);
-        on_event (Ev_capture { label = l; control_points = control_points tree });
+        let cp = control_points tree in
+        Counters.add counters "concur.capture.control-points" cp;
+        (match obs with
+        | None -> ()
+        | Some o ->
+            let size = tree_segments tree in
+            Obs.observe o "concur.capture.control-points" cp;
+            Obs.observe o "concur.capture.segments" size;
+            Obs.emit o
+              (E.Capture { pid = n.nid; label = l; control_points = cp; size }));
         let pk = Pktree { pkt_label = l; pkt_tree = tree } in
         p.body <- Nleaf { control = Capply (body_fn, [ pk ]); pstack = below };
         born := [ p ]
@@ -288,7 +313,12 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
      continuation's argument is returned at the saved hole. *)
   and do_graft n st pkt v =
     Counters.incr counters "concur.graft";
-    on_event (Ev_graft { label = pkt.pkt_label });
+    (match obs with
+    | None -> ()
+    | Some o ->
+        Obs.emit o
+          (E.Reinstate
+             { pid = n.nid; label = pkt.pkt_label; size = tree_segments pkt.pkt_tree }));
     let rec rebuild parent pt =
       let m = { nid = fresh_id (); parent; body = Ndone } in
       (match pt with
@@ -322,7 +352,17 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         in
         n.body <- Nfork f;
         Array.iteri (fun i child -> f.children.(i) <- rebuild (Pchild (n, i)) child) pf.pf_children;
-        born := List.rev (collect_leaves [] n)
+        born := List.rev (collect_leaves [] n);
+        (match obs with
+        | None -> ()
+        | Some o ->
+            List.iter
+              (fun m ->
+                let parent =
+                  match m.parent with Pchild (p, _) -> p.nid | Ptop | Pfut _ -> -1
+                in
+                Obs.emit o (E.Spawn { pid = m.nid; parent; kind = "graft" }))
+              !born)
     | Phole _ | Pleaf _ | Pdone ->
         (* Captures always package a fork at the top. *)
         assert false
@@ -351,7 +391,6 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                    future. *)
                 Counters.incr counters "concur.future";
                 let cell = { fvalue = None; fwaiters = [] } in
-                on_event (Ev_future { node = n.nid });
                 let fnode =
                   {
                     nid = fresh_id ();
@@ -360,6 +399,11 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                       Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
                   }
                 in
+                (match obs with
+                | None -> ()
+                | Some o ->
+                    Obs.emit o
+                      (E.Spawn { pid = fnode.nid; parent = n.nid; kind = "future" }));
                 new_trees := fnode :: !new_trees;
                 incr live_futures;
                 go { st with control = Creturn (Future cell) } (q - 1)
@@ -372,8 +416,13 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                    (Before parked waiters this retried — and was charged —
                    every round: a spinning fuel leak.) *)
                 Counters.incr counters "concur.park";
-                on_event (Ev_park { node = n.nid });
-                let p = { pk_node = n; pk_st = st; pk_live = true } in
+                (match obs with
+                | None -> ()
+                | Some o ->
+                    Obs.emit o (E.Park { pid = n.nid; resource = "future" }));
+                let p =
+                  { pk_node = n; pk_st = st; pk_live = true; pk_round = !rounds }
+                in
                 n.body <- Nparked p;
                 incr n_parked;
                 all_parked := p :: !all_parked;
@@ -383,7 +432,12 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                       p.pk_live <- false;
                       decr n_parked;
                       Counters.incr counters "concur.wake";
-                      on_event (Ev_wake { node = p.pk_node.nid });
+                      (match obs with
+                      | None -> ()
+                      | Some o ->
+                          Obs.observe o "concur.park.rounds" (!rounds - p.pk_round);
+                          Obs.emit o
+                            (E.Wake { pid = p.pk_node.nid; resource = "future" }));
                       p.pk_node.body <- Nleaf p.pk_st;
                       born := p.pk_node :: !born
                     end)
@@ -400,7 +454,25 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                     assert false))
     in
     match n.body with
-    | Nleaf st -> if !failure = None then go st quantum
+    | Nleaf st ->
+        if !failure = None then begin
+          match obs with
+          | None -> go st quantum
+          | Some o ->
+              (* A run slice: everything the branch does before the
+                 scheduler moves on.  The virtual clock advances by the
+                 fuel charged (at least 1, so zero-fuel interception
+                 slices still have visible extent), which keeps
+                 timestamps deterministic and makes Chrome-trace slice
+                 widths proportional to machine work. *)
+              Obs.emit o (E.Slice_begin { pid = n.nid });
+              let fuel0 = !fuel_left in
+              go st quantum;
+              let used = fuel0 - !fuel_left in
+              Obs.advance o (if used > 0 then used else 1);
+              Obs.observe o "concur.slice.fuel" used;
+              Obs.emit o (E.Slice_end { pid = n.nid; fuel = used })
+        end
     | Nfork _ | Nparked _ | Ndone -> ()
   in
 
@@ -427,6 +499,13 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
      or no longer leaves) are dropped up front, and each processed
      position is replaced by its successors. *)
   let round () =
+    incr rounds;
+    (match obs with
+    | None -> ()
+    | Some o ->
+        (* Queue length may include entries gone stale since the last
+           compaction; it is the work the round is about to look at. *)
+        Obs.observe o "concur.runq.depth" (List.length !queue));
     new_trees := [];
     (match sched with
     | Driven pick ->
@@ -544,7 +623,9 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
     | None, None ->
         if !fuel_left <= 0 then Out_of_fuel
         else if !queue = [] then begin
-          on_event (Ev_deadlock { parked = !n_parked });
+          (match obs with
+          | None -> ()
+          | Some o -> Obs.emit o (E.Deadlock { parked = !n_parked }));
           Deadlock (deadlock_msg ())
         end
         else begin
@@ -552,4 +633,4 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
           drive ()
         end
   in
-  drive ()
+  Fun.protect ~finally:(fun () -> cfg.Machine.metrics <- saved_metrics) drive

@@ -46,28 +46,12 @@ type outcome =
 
 val outcome_to_string : outcome -> string
 
-(** Scheduler trace events (see [run]'s [on_event]). *)
-type event =
-  | Ev_fork of { node : int; branches : int }
-  | Ev_capture of { label : Types.label; control_points : int }
-  | Ev_graft of { label : Types.label }
-  | Ev_future of { node : int }
-  | Ev_branch_done of { node : int }
-  | Ev_invalid of Types.label
-  | Ev_park of { node : int }
-      (** a branch touched a pending future and parked on its cell *)
-  | Ev_wake of { node : int }
-      (** a delivery re-enqueued a branch parked on the delivered cell *)
-  | Ev_deadlock of { parked : int }
-
-val event_to_string : event -> string
-
 val run :
   ?fuel:int ->
   ?quantum:int ->
   ?sched:sched ->
   ?drain_futures:bool ->
-  ?on_event:(event -> unit) ->
+  ?obs:Pcont_obs.Obs.t ->
   ?cfg:Machine.config ->
   Types.genv ->
   Ir.t ->
@@ -99,7 +83,19 @@ val run :
     branches into a process continuation invalidates their wake thunks
     and captures them as ordinary suspended leaves: grafting the
     continuation re-applies their pending touches, which find the cell
-    resolved or park again. *)
+    resolved or park again.
+
+    [obs] attaches an observability handle (see {!Pcont_obs.Obs}): the
+    scheduler emits the full process-lifecycle event stream —
+    spawn/exit, run slices with fuel charged, park/wake,
+    capture/reinstate with control-point counts and segment totals,
+    deadlock — and records the [concur.*] histograms (fuel per slice,
+    run-queue depth, capture size, park latency in rounds).  Events are
+    stamped with a deterministic virtual clock (cumulative fuel), so a
+    fixed seed yields a byte-stable trace.  With no handle the
+    instrumentation reduces to one pattern match per site: no events
+    are allocated and results, counters and schedules are bit-for-bit
+    those of an uninstrumented run. *)
 
 val control_points : Types.ptree -> int
 (** Labels plus forks in a captured subtree — the quantity the paper's

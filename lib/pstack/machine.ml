@@ -2,10 +2,18 @@ open Types
 module Counters = Pcont_util.Counters
 module Id = Pcont_util.Id
 
-type config = { strategy : strategy; counters : Counters.t; labels : Id.t }
+type config = {
+  strategy : strategy;
+  counters : Counters.t;
+  labels : Id.t;
+  mutable metrics : Pcont_obs.Obs.Metrics.t option;
+      (* histogram half of the observability metrics; the drivers set it
+         while a trace handle is attached, so the no-handle path stays a
+         single pattern match *)
+}
 
 let config ?(strategy = Linked) () =
-  { strategy; counters = Counters.create (); labels = Id.create () }
+  { strategy; counters = Counters.create (); labels = Id.create (); metrics = None }
 
 let initial_pstack = [ { root = Rbase; frames = []; winders = [] } ]
 
@@ -84,7 +92,11 @@ let copy_segments segs =
    ("capture" or "reinstate"), and return the representation to store:
    under [Copying] the frames are physically copied. *)
 let charge cfg op segs =
-  Counters.add cfg.counters (op ^ ".segments") (List.length segs);
+  let nsegs = List.length segs in
+  Counters.add cfg.counters (op ^ ".segments") nsegs;
+  (match cfg.metrics with
+  | None -> ()
+  | Some m -> Pcont_obs.Obs.Metrics.observe m ("machine." ^ op ^ ".segments") nsegs);
   match cfg.strategy with
   | Linked -> segs
   | Copying ->

@@ -29,6 +29,10 @@ type config = {
   strategy : Types.strategy;
   counters : Pcont_util.Counters.t;
   labels : Pcont_util.Id.t;  (** fresh-label source for [spawn] *)
+  mutable metrics : Pcont_obs.Obs.Metrics.t option;
+      (** histogram half of the observability metrics ([machine.*]
+          size distributions); the drivers install it while a trace
+          handle is attached and the machine leaves it alone otherwise *)
 }
 
 val config : ?strategy:Types.strategy -> unit -> config

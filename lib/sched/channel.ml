@@ -1,6 +1,10 @@
+module Obs = Pcont_obs.Obs
+module E = Pcont_obs.Obs.Event
+
 exception Closed
 
 type 'a t = {
+  id : int;  (* per-run id tagging the channel's trace events *)
   buf : 'a Queue.t;
   capacity : int;
   mutable closed : bool;
@@ -11,6 +15,7 @@ type 'a t = {
 let create ?(capacity = 16) () =
   if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
   {
+    id = Sched.fresh_chan_id ();
     buf = Queue.create ();
     capacity;
     closed = false;
@@ -31,12 +36,18 @@ let rec send ch v =
   end
   else begin
     Queue.add v ch.buf;
+    (match Sched.obs () with
+    | None -> ()
+    | Some o -> Obs.emit o (E.Send { pid = Sched.self_pid (); chan = ch.id }));
     Sched.wake ch.receivers
   end
 
 let try_recv ch =
   match Queue.take_opt ch.buf with
   | Some v ->
+      (match Sched.obs () with
+      | None -> ()
+      | Some o -> Obs.emit o (E.Recv { pid = Sched.self_pid (); chan = ch.id }));
       (* Even a non-blocking take frees a slot: wake parked senders or
          they would miss it and sit parked forever. *)
       Sched.wake ch.senders;
@@ -46,6 +57,9 @@ let try_recv ch =
 let rec recv_opt ch =
   match Queue.take_opt ch.buf with
   | Some v ->
+      (match Sched.obs () with
+      | None -> ()
+      | Some o -> Obs.emit o (E.Recv { pid = Sched.self_pid (); chan = ch.id }));
       Sched.wake ch.senders;
       Some v
   | None ->

@@ -12,7 +12,13 @@
 
     A program in which every fiber is blocked on a channel no longer
     spins: {!Sched.run} raises {!Sched.Deadlock} naming the channel
-    waitsets (["channel.send"] / ["channel.recv"]). *)
+    waitsets (["channel.send"] / ["channel.recv"]).
+
+    When {!Sched.run} was given an observability handle, every enqueue
+    and dequeue emits a [send]/[recv] event tagged with the acting
+    fiber's pid and the channel's per-run id (see {!Pcont_obs.Obs});
+    blocked senders and receivers show up as park/wake pairs on the
+    channel's waitsets. *)
 
 type 'a t
 

@@ -2,6 +2,8 @@ open Effect
 open Effect.Deep
 module Univ = Pcont_util.Univ
 module Xorshift = Pcont_util.Xorshift
+module Obs = Pcont_obs.Obs
+module E = Pcont_obs.Obs.Event
 
 exception Dead_controller
 
@@ -100,6 +102,7 @@ and wentry = {
   we_node : node;
   we_k : fiber_k;
   mutable we_live : bool;
+  we_round : int;  (* scheduling round at park, for the latency histogram *)
 }
 
 type _ Effect.t += Sched : request -> Univ.t Effect.t
@@ -110,7 +113,61 @@ let u_unit = inj_unit ()
 
 let label_counter = ref 0
 
-let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
+(* ------------------------------------------------------------------ *)
+(* Observability context.                                              *)
+(*                                                                     *)
+(* The scheduler is cooperative and single-threaded, so the handle of  *)
+(* the innermost running [run] can live in globals that [run] saves    *)
+(* and restores.  User-level code running inside a fiber (channels,    *)
+(* user blocking abstractions) reads them to tag its events with the   *)
+(* stepping fiber's id.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cur_obs : Obs.t option ref = ref None
+
+let cur_pid = ref 0
+
+(* Channel (and other user-resource) ids: allocated per run so traces
+   of identical runs are identical. *)
+let chan_ids = ref 0
+
+let obs () = !cur_obs
+
+let self_pid () = !cur_pid
+
+let fresh_chan_id () =
+  incr chan_ids;
+  !chan_ids
+
+(* Control points (labels and forks) and node count of a captured
+   subtree — the quantities the paper's complexity claim is stated in. *)
+let rec ptree_control_points = function
+  | PLeaf _ | PHole _ | PDone -> 0
+  | PWait w ->
+      (match w.pw_kind with Wroot _ -> 2 | Wfork | Wbody -> 1)
+      + Array.fold_left (fun n t -> n + ptree_control_points t) 0 w.pw_children
+
+let rec ptree_size = function
+  | PLeaf _ | PHole _ | PDone -> 1
+  | PWait w -> 1 + Array.fold_left (fun n t -> n + ptree_size t) 0 w.pw_children
+
+let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
+  let obs = obs_arg in
+  (* Install the observability context; restored on every exit path so
+     nested runs and exceptions leave the outer context intact.  Labels
+     and channel ids restart per run, which keeps traces of identical
+     runs byte-identical. *)
+  let saved_obs = !cur_obs and saved_pid = !cur_pid in
+  let saved_chans = !chan_ids and saved_labels = !label_counter in
+  cur_obs := obs;
+  chan_ids := 0;
+  label_counter := 0;
+  let restore () =
+    cur_obs := saved_obs;
+    cur_pid := saved_pid;
+    chan_ids := saved_chans;
+    label_counter := saved_labels
+  in
   let inj_a, prj_a = Univ.embed () in
   let pending_request : (request * fiber_k) option ref = ref None in
   let make_step (body : unit -> Univ.t) : fiber_step =
@@ -138,6 +195,9 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
   let root =
     { nid = 0; parent = Ptop; body = Nleaf (make_step (fun () -> inj_a (main ()))) }
   in
+  (match obs with
+  | None -> ()
+  | Some o -> Obs.emit o (E.Spawn { pid = 0; parent = -1; kind = "root" }));
   (* The run queue: runnable leaves of the whole forest (the main tree
      plus one independent tree per future), in tree order.  Maintained
      incrementally: nodes are enqueued when they become leaves and
@@ -155,6 +215,7 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
      deadlock diagnosis; [n_parked] counts the live ones. *)
   let all_parked = ref [] in
   let n_parked = ref 0 in
+  let rounds = ref 0 in
   let rng =
     match policy with
     | Tree_order | Driven _ -> None
@@ -207,13 +268,22 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
               e.we_live <- false;
               decr n_parked;
               e.we_node.body <- Nleaf (resume_step e.we_k u_unit);
-              born := e.we_node :: !born
+              born := e.we_node :: !born;
+              match obs with
+              | None -> ()
+              | Some o ->
+                  Obs.observe o "sched.park.rounds" (!rounds - e.we_round);
+                  Obs.emit o
+                    (E.Wake { pid = e.we_node.nid; resource = e.we_ws.ws_name })
             end)
           entries
   in
 
   let deliver n v =
     n.body <- Ndone;
+    (match obs with
+    | None -> ()
+    | Some o -> Obs.emit o (E.Exit { pid = n.nid }));
     match n.parent with
     | Ptop -> final := Some v
     | Pfuture (cell, ws) ->
@@ -246,10 +316,19 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
       }
     in
     n.body <- Nwait w;
+    let kind =
+      match wk with Wroot _ -> "process" | Wfork -> "branch" | Wbody -> "controller"
+    in
     List.iteri
       (fun i body ->
-        w.children.(i) <-
-          { nid = fresh_id (); parent = Pchild (n, i); body = Nleaf (make_step body) })
+        let child =
+          { nid = fresh_id (); parent = Pchild (n, i); body = Nleaf (make_step body) }
+        in
+        w.children.(i) <- child;
+        match obs with
+        | None -> ()
+        | Some o ->
+            Obs.emit o (E.Spawn { pid = child.nid; parent = n.nid; kind }))
       bodies;
     if count = 0 then n.body <- Nleaf (resume_step k (join [||]))
     else born := Array.to_list w.children
@@ -296,10 +375,21 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
     | None ->
         (* Raise inside the invoking fiber so user code can observe
            Dead_controller, mirroring the direct-style embedding. *)
+        (match obs with
+        | None -> ()
+        | Some o -> Obs.emit o (E.Invalid_controller { pid = n.nid; label }));
         n.body <- Nleaf (raise_step k Dead_controller)
     | Some (p, w) ->
         incr prunes;
         let tree = ptree_of w.children.(0) in
+        (match obs with
+        | None -> ()
+        | Some o ->
+            let cp = ptree_control_points tree in
+            let size = ptree_size tree in
+            Obs.observe o "sched.capture.control-points" cp;
+            Obs.observe o "sched.capture.size" size;
+            Obs.emit o (E.Capture { pid = n.nid; label; control_points = cp; size }));
         let upk = { upk_label = label; upk_tree = tree; upk_taken = false } in
         let body = make_step (fun () -> body_fn upk) in
         let w' =
@@ -316,6 +406,11 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
           { nid = fresh_id (); parent = Pchild (p, 0); body = Nleaf body }
         in
         p.body <- Nwait { w' with children = [| child |] };
+        (match obs with
+        | None -> ()
+        | Some o ->
+            Obs.emit o
+              (E.Spawn { pid = child.nid; parent = p.nid; kind = "controller" }));
         born := [ child ]
   in
 
@@ -326,6 +421,12 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
     if upk.upk_taken then n.body <- Nleaf (raise_step k Expired_pk)
     else begin
       upk.upk_taken <- true;
+      (match obs with
+      | None -> ()
+      | Some o ->
+          Obs.emit o
+            (E.Reinstate
+               { pid = n.nid; label = upk.upk_label; size = ptree_size upk.upk_tree }));
       let rec rebuild parent pt =
         let m = { nid = fresh_id (); parent; body = Ndone } in
         (match pt with
@@ -364,13 +465,39 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
       let child_holder = { w with children = [| root (* placeholder *) |] } in
       n.body <- Nwait child_holder;
       child_holder.children.(0) <- rebuild (Pchild (n, 0)) upk.upk_tree;
-      born := List.rev (collect_leaves [] n)
+      born := List.rev (collect_leaves [] n);
+      match obs with
+      | None -> ()
+      | Some o ->
+          List.iter
+            (fun m ->
+              let parent =
+                match m.parent with
+                | Pchild (p, _) -> p.nid
+                | Ptop | Pfuture _ -> n.nid
+              in
+              Obs.emit o (E.Spawn { pid = m.nid; parent; kind = "graft" }))
+            !born
     end
   in
 
   let step_leaf n step =
     pending_request := None;
-    match step () with
+    cur_pid := n.nid;
+    (match obs with
+    | None -> ()
+    | Some o -> Obs.emit o (E.Slice_begin { pid = n.nid }));
+    let finish_slice () =
+      match obs with
+      | None -> ()
+      | Some o ->
+          (* The native scheduler does not meter fiber work: a slice runs
+             the fiber to its next request and is charged one unit. *)
+          Obs.advance o 1;
+          Obs.observe o "sched.slice.fuel" 1;
+          Obs.emit o (E.Slice_end { pid = n.nid; fuel = 1 })
+    in
+    (match step () with
     | Sdone v -> deliver n v
     | Ssuspended -> (
         match !pending_request with
@@ -382,11 +509,18 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
                 make_wait n k (Wroot label) [ body ] (fun vs -> vs.(0))
             | Rpcall (thunks, join) -> make_wait n k Wfork thunks join
             | Rblock ws ->
-                let e = { we_ws = ws; we_node = n; we_k = k; we_live = true } in
+                let e =
+                  { we_ws = ws; we_node = n; we_k = k; we_live = true;
+                    we_round = !rounds }
+                in
                 ws.ws_parked <- e :: ws.ws_parked;
                 all_parked := e :: !all_parked;
                 incr n_parked;
-                n.body <- Nparked e
+                n.body <- Nparked e;
+                (match obs with
+                | None -> ()
+                | Some o ->
+                    Obs.emit o (E.Park { pid = n.nid; resource = ws.ws_name }))
             | Rwake ws ->
                 wake_ws ws;
                 n.body <- Nleaf (resume_step k u_unit)
@@ -402,10 +536,16 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
                    keep their creation order at the back of the forest
                    without an O(n) append per registration. *)
                 new_trees := fnode :: !new_trees;
-                n.body <- Nleaf (resume_step k u_unit)
+                n.body <- Nleaf (resume_step k u_unit);
+                (match obs with
+                | None -> ()
+                | Some o ->
+                    Obs.emit o
+                      (E.Spawn { pid = fnode.nid; parent = n.nid; kind = "future" }))
             | Rcontrol (label, body_fn) -> do_capture n k label body_fn
             | Rgraft (upk, v) -> do_graft n k upk v))
-    | exception e -> failure := Some e
+    | exception e -> failure := Some e);
+    finish_slice ()
   in
 
   let is_leaf n = match n.body with Nleaf _ -> true | _ -> false in
@@ -430,6 +570,10 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
      entries (pruned into a process continuation, or no longer leaves)
      are dropped by the filter, so the round is O(runnable). *)
   let round () =
+    incr rounds;
+    (match obs with
+    | None -> ()
+    | Some o -> Obs.observe o "sched.runq.depth" (List.length !queue));
     new_trees := [];
     (match policy with
     | Driven pick ->
@@ -547,13 +691,18 @@ let run ?(policy = Tree_order) (type a) (main : unit -> a) : a =
         match prj_a v with Some a -> a | None -> assert false)
     | None, Some e -> raise e
     | None, None ->
-        if !queue = [] then raise (Deadlock (deadlock_msg ()))
+        if !queue = [] then begin
+          (match obs with
+          | None -> ()
+          | Some o -> Obs.emit o (E.Deadlock { parked = !n_parked }));
+          raise (Deadlock (deadlock_msg ()))
+        end
         else begin
           round ();
           drive ()
         end
   in
-  drive ()
+  Fun.protect ~finally:restore drive
 
 (* ------------------------------------------------------------------ *)
 (* Typed front end.                                                    *)

@@ -52,9 +52,23 @@ type 'r controller
 
 type ('a, 'r) pk
 
-val run : ?policy:policy -> (unit -> 'a) -> 'a
+val run : ?policy:policy -> ?obs:Pcont_obs.Obs.t -> (unit -> 'a) -> 'a
 (** Run a computation under the scheduler.  Exceptions escaping any fiber
-    abort the whole computation and re-raise here. *)
+    abort the whole computation and re-raise here.
+
+    [obs] attaches an observability handle (see {!Pcont_obs.Obs}): the
+    scheduler emits the process-lifecycle event stream — spawn/exit,
+    run slices (each slice runs a fiber to its next suspension and is
+    charged one fuel unit), park/wake, capture/reinstate with
+    control-point counts and subtree sizes, deadlock — and records the
+    [sched.*] histograms (slice fuel, run-queue depth, capture size,
+    park latency in rounds).  Timestamps are a deterministic virtual
+    clock (cumulative slices), so a fixed policy yields a byte-stable
+    trace.  Controller labels and channel ids are allocated per run
+    (saved and restored around nested runs) for the same reason.  With
+    no handle the instrumentation reduces to one pattern match per
+    site: no events are allocated and behavior is bit-for-bit that of
+    an uninstrumented run. *)
 
 val spawn : ('r controller -> 'r) -> 'r
 (** Create a process with a fresh root; see {!Pcont.Spawn.spawn}. *)
@@ -125,6 +139,26 @@ val wake : Waitset.t -> unit
 (** Make every fiber parked on the waitset runnable.  A no-op when the
     waitset is empty (and effect-free, so safe on the uncontended fast
     path). *)
+
+(** {1 Observability hooks for user-level abstractions}
+
+    The scheduler is cooperative and single-threaded, so the innermost
+    running {!run} exposes its observability context through globals.
+    Blocking abstractions built on {!block}/{!wake} (e.g. {!Channel})
+    use these to tag their own events with the stepping fiber's id.
+    All three are meaningful only while a [run] is in progress. *)
+
+val obs : unit -> Pcont_obs.Obs.t option
+(** The handle passed to the innermost running {!run}, if any.  Guard
+    event construction on the [Some] case to keep the no-handle path
+    allocation-free. *)
+
+val self_pid : unit -> int
+(** The node id of the fiber currently being stepped. *)
+
+val fresh_chan_id : unit -> int
+(** Allocate a resource id (used by {!Channel}).  Ids restart at 1 in
+    each {!run} so traces of identical runs are identical. *)
 
 (** {1 Futures: independent concurrency (Section 8)}
 

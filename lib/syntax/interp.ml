@@ -21,51 +21,55 @@ let config t = t.icfg
 
 let macros t = t.imacros
 
-let eval_ir ?(mode = Sequential) ?fuel ?quantum ?on_event t ir =
+let eval_ir ?(mode = Sequential) ?fuel ?quantum ?obs t ir =
   match mode with
   | Sequential -> (
+      (* No scheduler, so no event stream — but the machine's size
+         histograms are still worth recording while a handle is given. *)
+      t.icfg.Pstack.Machine.metrics <-
+        Option.map Pcont_obs.Obs.metrics obs;
       match Pstack.Run.eval_ir ?fuel ~cfg:t.icfg t.ienv ir with
       | Pstack.Run.Value v -> Ok v
       | Pstack.Run.Error msg -> Stdlib.Error msg
       | Pstack.Run.Out_of_fuel -> Stdlib.Error "out of fuel")
   | Concurrent sched -> (
       match
-        Pstack.Concur.run ?fuel ?quantum ?on_event ~sched ~cfg:t.icfg t.ienv ir
+        Pstack.Concur.run ?fuel ?quantum ?obs ~sched ~cfg:t.icfg t.ienv ir
       with
       | Pstack.Concur.Value v -> Ok v
       | Pstack.Concur.Error msg -> Stdlib.Error msg
       | Pstack.Concur.Out_of_fuel -> Stdlib.Error "out of fuel"
       | Pstack.Concur.Deadlock msg -> Stdlib.Error ("deadlock: " ^ msg))
 
-let eval_top ?mode ?fuel ?quantum ?on_event t top =
+let eval_top ?mode ?fuel ?quantum ?obs t top =
   match top with
   | Expand.Expr ir -> (
-      match eval_ir ?mode ?fuel ?quantum ?on_event t ir with
+      match eval_ir ?mode ?fuel ?quantum ?obs t ir with
       | Ok v -> Value v
       | Stdlib.Error msg -> Error msg)
   | Expand.Defsyntax name -> Defined name
   | Expand.Define (x, ir) -> (
-      match eval_ir ?mode ?fuel ?quantum ?on_event t ir with
+      match eval_ir ?mode ?fuel ?quantum ?obs t ir with
       | Ok v ->
           Pstack.Env.define_global t.ienv x v;
           Defined x
       | Stdlib.Error msg -> Error msg)
 
-let eval_string ?mode ?fuel ?quantum ?on_event t src =
+let eval_string ?mode ?fuel ?quantum ?obs t src =
   match Expand.parse_program ~macros:t.imacros src with
   | Stdlib.Error msg -> [ Error msg ]
   | Ok tops ->
       let rec go acc = function
         | [] -> List.rev acc
         | top :: rest -> (
-            match eval_top ?mode ?fuel ?quantum ?on_event t top with
+            match eval_top ?mode ?fuel ?quantum ?obs t top with
             | Error _ as e -> List.rev (e :: acc)
             | r -> go (r :: acc) rest)
       in
       go [] tops
 
-let eval_value ?mode ?fuel ?quantum ?on_event t src =
-  match eval_string ?mode ?fuel ?quantum ?on_event t src with
+let eval_value ?mode ?fuel ?quantum ?obs t src =
+  match eval_string ?mode ?fuel ?quantum ?obs t src with
   | [] -> failwith "empty program"
   | results -> (
       match List.rev results with

@@ -37,7 +37,7 @@ val eval_top :
   ?mode:mode ->
   ?fuel:int ->
   ?quantum:int ->
-  ?on_event:(Pcont_pstack.Concur.event -> unit) ->
+  ?obs:Pcont_obs.Obs.t ->
   t ->
   Expand.top ->
   result
@@ -46,7 +46,7 @@ val eval_string :
   ?mode:mode ->
   ?fuel:int ->
   ?quantum:int ->
-  ?on_event:(Pcont_pstack.Concur.event -> unit) ->
+  ?obs:Pcont_obs.Obs.t ->
   t ->
   string ->
   result list
@@ -57,7 +57,7 @@ val eval_value :
   ?mode:mode ->
   ?fuel:int ->
   ?quantum:int ->
-  ?on_event:(Pcont_pstack.Concur.event -> unit) ->
+  ?obs:Pcont_obs.Obs.t ->
   t ->
   string ->
   Pcont_pstack.Types.value

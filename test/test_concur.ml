@@ -7,6 +7,15 @@ module Pstack = Pcont_pstack
 module Concur = Pcont_pstack.Concur
 module Machine = Pcont_pstack.Machine
 module C = Pcont_util.Counters
+module Obs = Pcont_obs.Obs
+module E = Pcont_obs.Obs.Event
+
+(* An obs handle whose events accumulate (newest first) in the returned ref. *)
+let collecting () =
+  let events = ref [] in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.memory (fun (_, _, ev) -> events := ev :: !events));
+  (o, events)
 
 let conc = Interp.Concurrent Concur.Round_robin
 
@@ -322,10 +331,9 @@ let test_display_across_branches () =
 
 let test_trace_events () =
   let t = Interp.create () in
-  let events = ref [] in
-  let on_event ev = events := ev :: !events in
+  let obs, events = collecting () in
   (match
-     Interp.eval_top ~mode:conc ~on_event t
+     Interp.eval_top ~mode:conc ~obs t
        (match Pcont_syntax.Expand.parse_program
                 "(spawn/exit (lambda (exit) (pcall + 1 (exit 9))))"
         with
@@ -336,21 +344,23 @@ let test_trace_events () =
   | r -> Alcotest.failf "got %s" (Interp.result_to_string r));
   let evs = List.rev !events in
   let has p = List.exists p evs in
-  Alcotest.(check bool) "saw fork" true
-    (has (function Concur.Ev_fork { branches = 3; _ } -> true | _ -> false));
+  let count p = List.length (List.filter p evs) in
+  Alcotest.(check int) "saw the fork's three branch spawns" 3
+    (count (function E.Spawn { kind = "branch"; _ } -> true | _ -> false));
   Alcotest.(check bool) "saw capture with control points" true
-    (has (function Concur.Ev_capture { control_points; _ } -> control_points >= 1 | _ -> false));
+    (has (function E.Capture { control_points; _ } -> control_points >= 1 | _ -> false));
   Alcotest.(check bool) "saw completions" true
-    (has (function Concur.Ev_branch_done _ -> true | _ -> false));
+    (has (function E.Exit _ -> true | _ -> false));
+  Alcotest.(check bool) "saw run slices with fuel charged" true
+    (has (function E.Slice_end { fuel; _ } -> fuel > 0 | _ -> false));
   (* event strings are printable *)
-  List.iter (fun ev -> ignore (Concur.event_to_string ev)) evs
+  List.iter (fun ev -> ignore (E.to_human ev)) evs
 
 let test_trace_graft_event () =
   let t = Interp.create () in
-  let grafts = ref 0 in
-  let on_event = function Concur.Ev_graft _ -> incr grafts | _ -> () in
+  let obs, events = collecting () in
   (match
-     Interp.eval_top ~mode:conc ~on_event t
+     Interp.eval_top ~mode:conc ~obs t
        (match Pcont_syntax.Expand.parse_program
                 "(spawn (lambda (c) (pcall + 1 (c (lambda (k) (* (k 2) (k 5)))))))"
         with
@@ -359,7 +369,11 @@ let test_trace_graft_event () =
    with
   | Interp.Value (Pstack.Types.Int 18) -> ()
   | r -> Alcotest.failf "got %s" (Interp.result_to_string r));
-  Alcotest.(check int) "two grafts (multi-shot)" 2 !grafts
+  let grafts =
+    List.length
+      (List.filter (function E.Reinstate _ -> true | _ -> false) !events)
+  in
+  Alcotest.(check int) "two grafts (multi-shot)" 2 grafts
 
 (* ---------------- systematic schedule exploration ---------------- *)
 
@@ -463,9 +477,8 @@ let test_deadlock_outcome_and_events () =
     | Ok [ Pcont_syntax.Expand.Expr ir ] -> ir
     | _ -> Alcotest.fail "parse"
   in
-  let events = ref [] in
-  let on_event ev = events := ev :: !events in
-  (match Concur.run ~fuel:100_000 ~on_event (Pstack.Prims.base_env ()) ir with
+  let obs, events = collecting () in
+  (match Concur.run ~fuel:100_000 ~obs (Pstack.Prims.base_env ()) ir with
   | Concur.Deadlock msg ->
       Alcotest.(check bool) "names the parked branches" true
         (contains ~needle:"parked" msg)
@@ -473,14 +486,14 @@ let test_deadlock_outcome_and_events () =
   let evs = List.rev !events in
   let count p = List.length (List.filter p evs) in
   Alcotest.(check int) "two parks" 2
-    (count (function Concur.Ev_park _ -> true | _ -> false));
+    (count (function E.Park _ -> true | _ -> false));
   Alcotest.(check int) "no wakes" 0
-    (count (function Concur.Ev_wake _ -> true | _ -> false));
+    (count (function E.Wake _ -> true | _ -> false));
   Alcotest.(check bool) "deadlock event with both parked" true
     (List.exists
-       (function Concur.Ev_deadlock { parked = 2 } -> true | _ -> false)
+       (function E.Deadlock { parked = 2 } -> true | _ -> false)
        evs);
-  List.iter (fun ev -> ignore (Concur.event_to_string ev)) evs
+  List.iter (fun ev -> ignore (E.to_human ev)) evs
 
 let test_park_wake_counters () =
   let t = Interp.create () in
