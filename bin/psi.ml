@@ -89,8 +89,19 @@ let repl t mode eval_form =
   in
   loop ()
 
+let print_analysis events =
+  let events = Array.of_list (List.rev events) in
+  prerr_endline ";; causal report:";
+  Array.iteri
+    (fun i run ->
+      if i > 0 then Format.eprintf "@.";
+      Format.eprintf "%a"
+        Pcont_obs.Analysis.Report.pp
+        (Pcont_obs.Analysis.Report.of_run (Pcont_obs.Trace.reconstruct run)))
+    (Pcont_obs.Trace.runs events)
+
 let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
-    trace_out trace_format summary backend =
+    trace_out trace_format summary analyze backend =
   (match backend with
   | "pstack" | "machine" | "zipper" -> ()
   | other ->
@@ -113,6 +124,7 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
     reject "--trace-out" (trace_out <> None);
     reject "--trace-format" (trace_format <> None);
     reject "--summary" summary;
+    reject "--analyze" analyze;
     reject "--stats" stats;
     reject "--strategy copying" (strategy = "copying")
   end;
@@ -127,7 +139,8 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
       exit 2);
   let trace_format = Option.value trace_format ~default:"jsonl" in
   let mode =
-    if concurrent || seed <> None || trace || trace_out <> None || summary then
+    if concurrent || seed <> None || trace || trace_out <> None || summary || analyze
+    then
       Interp.Concurrent
         (match seed with
         | None -> Pcont_pstack.Concur.Round_robin
@@ -148,7 +161,8 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
      --stats.  Its metrics share the interpreter's counter table, so
      machine counters and scheduler metrics land in one report. *)
   let obs =
-    if (trace || trace_out <> None || summary || stats) && backend = "pstack" then
+    if (trace || trace_out <> None || summary || analyze || stats) && backend = "pstack"
+    then
       Some
         (Obs.create
            ~metrics:
@@ -158,12 +172,19 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
     else None
   in
   let summary_tbl = if summary then Some (Obs.Summary.create ()) else None in
+  let analyze_buf = if analyze then Some (ref []) else None in
   let cleanups = ref [] in
   (match obs with
   | None -> ()
   | Some o ->
       if trace then
         Obs.attach o (Obs.Sink.human ~prefix:";; " (Obs.Sink.of_channel stderr));
+      (match analyze_buf with
+      | None -> ()
+      | Some buf ->
+          Obs.attach o
+            (Obs.Sink.memory (fun (seq, ts, ev) ->
+                 buf := { Pcont_obs.Trace.seq; ts; ev } :: !buf)));
       (match trace_out with
       | None -> ()
       | Some path ->
@@ -187,6 +208,7 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
     | Some s ->
         prerr_endline ";; per-process summary:";
         Format.eprintf "%a@." Obs.Summary.pp s);
+    (match analyze_buf with None -> () | Some buf -> print_analysis !buf);
     if stats then print_stats t obs;
     code
   in
@@ -298,6 +320,16 @@ let summary =
           "Print a per-process summary (slices, fuel, parks, captures, channel \
            traffic) to stderr on exit; implies --concurrent.")
 
+let analyze =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Print a causal report (critical path, per-process utilization, \
+           blocked-time attribution) to stderr on exit, computed from the run's \
+           event stream; implies --concurrent.  See also $(b,ptrace report) for \
+           analyzing an exported trace file.")
+
 let backend =
   Arg.(
     value & opt string "pstack"
@@ -313,6 +345,7 @@ let cmd =
     (Cmd.info "psi" ~version:"1.0.0" ~doc)
     Term.(
       const run $ file $ expr $ concurrent $ seed $ no_prelude $ fuel $ quantum
-      $ strategy $ stats $ trace $ trace_out $ trace_format $ summary $ backend)
+      $ strategy $ stats $ trace $ trace_out $ trace_format $ summary $ analyze
+      $ backend)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,157 @@
+(* ptrace — analyze exported scheduler traces.
+
+   Subcommands over the JSONL event stream written by psi --trace-out or
+   any Obs.Sink.jsonl consumer:
+
+     ptrace check  TRACE        lint the trace against the event-stream
+                                invariants (exit 1 on any violation)
+     ptrace report TRACE        causal profile per run: critical path,
+                                utilization, fairness, blocked time
+     ptrace diff   LEFT RIGHT   first causal divergence between two
+                                traces (exit 1 when they diverge)
+     ptrace gen                 run a built-in mirrored workload on the
+                                pstack or native scheduler and write its
+                                trace, for cross-scheduler comparisons
+
+   All subcommands take --json for machine-readable output; report and
+   diff output is byte-deterministic for a given input. *)
+
+module Obs = Pcont_obs.Obs
+module Trace = Pcont_obs.Trace
+module Analysis = Pcont_obs.Analysis
+module Interp = Pcont_syntax.Interp
+module Concur = Pcont_pstack.Concur
+module Sched = Pcont_sched.Sched
+
+let load_or_die path =
+  match Trace.load path with
+  | Ok events -> events
+  | Error m ->
+      Printf.eprintf "ptrace: %s: %s\n" path m;
+      exit 2
+
+let run_check path json =
+  let events = load_or_die path in
+  let violations = Analysis.Check.run events in
+  if json then
+    print_endline (Obs.Json.to_string (Analysis.Check.to_json violations))
+  else Format.printf "%a" Analysis.Check.pp violations;
+  if violations = [] then 0 else 1
+
+let run_report path json =
+  let events = load_or_die path in
+  let reports = Analysis.Report.of_trace events in
+  if json then
+    print_endline
+      (Obs.Json.to_string (Obs.Json.Arr (List.map Analysis.Report.to_json reports)))
+  else
+    List.iteri
+      (fun i r ->
+        if i > 0 then print_newline ();
+        if List.length reports > 1 then Format.printf "=== run %d ===@." i;
+        Format.printf "%a" Analysis.Report.pp r)
+      reports;
+  0
+
+let run_diff left right json =
+  let l = load_or_die left and r = load_or_die right in
+  let d = Analysis.Diff.diff l r in
+  if json then print_endline (Obs.Json.to_string (Analysis.Diff.to_json d))
+  else Format.printf "@[<v>%a@]" Analysis.Diff.pp d;
+  match d with None -> 0 | Some _ -> 1
+
+(* The gen workload is written twice — once in Scheme for the pstack
+   scheduler, once against the native API — mirroring the same process
+   tree (a future plus a 3-way pcall touching it), so the two traces'
+   causal skeletons line up and `ptrace diff` can compare schedulers. *)
+let gen_src_pstack =
+  "(let ([f (future (* 3 (+ 2 2)))])\n\
+  \  (pcall + (+ 1 2) (touch f) (* 2 (touch f))))"
+
+let gen_native () =
+  let f = Sched.future (fun () -> 3 * (2 + 2)) in
+  let xs =
+    (* Four branches, not three: the pstack pcall forks its operator
+       expression too, and the skeletons must match child for child. *)
+    Sched.pcall
+      [
+        (fun () -> 0);
+        (fun () -> 1 + 2);
+        (fun () -> Sched.touch f);
+        (fun () -> 2 * Sched.touch f);
+      ]
+  in
+  List.fold_left ( + ) 0 xs
+
+let run_gen scheduler seed out =
+  let buf = Buffer.create 4096 in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+  (match scheduler with
+  | "pstack" ->
+      let t = Interp.create () in
+      let mode = Interp.Concurrent (Concur.Randomized (Int64.of_int seed)) in
+      ignore (Interp.eval_value ~mode ~obs:o t gen_src_pstack)
+  | "native" ->
+      ignore (Sched.run ~policy:(Sched.Randomized (Int64.of_int seed)) ~obs:o gen_native)
+  | other ->
+      Printf.eprintf "ptrace: unknown scheduler %S (expected pstack or native)\n" other;
+      exit 2);
+  Obs.close o;
+  (match out with
+  | None -> print_string (Buffer.contents buf)
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf)));
+  0
+
+open Cmdliner
+
+let json =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+
+let trace_arg p name =
+  Arg.(required & pos p (some file) None & info [] ~docv:name ~doc:"JSONL trace file.")
+
+let check_cmd =
+  let doc = "lint a trace against the event-stream invariants" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const run_check $ trace_arg 0 "TRACE" $ json)
+
+let report_cmd =
+  let doc = "causal profile: critical path, utilization, blocked time" in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const run_report $ trace_arg 0 "TRACE" $ json)
+
+let diff_cmd =
+  let doc = "first causal divergence between two traces" in
+  Cmd.v
+    (Cmd.info "diff" ~doc)
+    Term.(const run_diff $ trace_arg 0 "LEFT" $ trace_arg 1 "RIGHT" $ json)
+
+let gen_cmd =
+  let doc = "trace a built-in workload on one of the schedulers" in
+  let scheduler =
+    Arg.(
+      value & opt string "pstack"
+      & info [ "scheduler" ] ~docv:"S" ~doc:"$(b,pstack) or $(b,native).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Interleaving seed.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) (default stdout).")
+  in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run_gen $ scheduler $ seed $ out)
+
+let cmd =
+  let doc = "analyze scheduler traces: check invariants, profile, diff" in
+  Cmd.group (Cmd.info "ptrace" ~version:"1.0.0" ~doc)
+    [ check_cmd; report_cmd; diff_cmd; gen_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,701 @@
+module Json = Obs.Json
+module Event = Obs.Event
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Check = struct
+  type violation = { v_seq : int; v_rule : string; v_msg : string }
+
+  let rules =
+    [
+      ("seq-dense", "sequence numbers are 0,1,2,... in file order");
+      ("ts-monotone", "timestamps never decrease");
+      ("slice-balance", "slice begin/end pairs balance, one open at a time");
+      ("slice-time", "a slice's extent equals max(fuel,1)");
+      ("spawn-unique", "each pid is spawned once and referenced only after");
+      ("exit-once", "a pid exits once and emits nothing after death");
+      ("park-pairing", "parks and wakes alternate with matching resources");
+      ("capture-consistency", "captures prune live ancestors; reinstates match");
+      ("deadlock-count", "deadlock parked count matches live parked processes");
+    ]
+
+  type status = Live | Exited | Pruned
+
+  type pstate = {
+    ps_parent : int;
+    mutable ps_children : int list;
+    mutable ps_status : status;
+    mutable ps_parked : string option;
+  }
+
+  let run (events : Trace.stamped array) =
+    let out = ref [] in
+    let violate seq rule msg = out := { v_seq = seq; v_rule = rule; v_msg = msg } :: !out in
+    let prev_ts = ref min_int in
+    (* per-run state, reset at each root spawn *)
+    let nodes : (int, pstate) Hashtbl.t = Hashtbl.create 64 in
+    let labels : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+    let open_slice = ref None in
+    let n_parked = ref 0 in
+    let reset_run seq =
+      (match !open_slice with
+      | Some (pid, _) ->
+          violate seq "slice-balance"
+            (Printf.sprintf "slice of pid %d still open at run boundary" pid)
+      | None -> ());
+      open_slice := None;
+      Hashtbl.reset nodes;
+      Hashtbl.reset labels;
+      n_parked := 0
+    in
+    let find pid = Hashtbl.find_opt nodes pid in
+    let rec is_ancestor anc pid =
+      (* strict: anc is a proper ancestor of pid *)
+      match find pid with
+      | None -> false
+      | Some ps -> ps.ps_parent = anc || (ps.ps_parent >= 0 && is_ancestor anc ps.ps_parent)
+    in
+    let rec prune_descendants pid =
+      match find pid with
+      | None -> ()
+      | Some ps ->
+          List.iter
+            (fun c ->
+              match find c with
+              | Some cs when cs.ps_status = Live ->
+                  (match cs.ps_parked with
+                  | Some _ ->
+                      cs.ps_parked <- None;
+                      decr n_parked
+                  | None -> ());
+                  cs.ps_status <- Pruned;
+                  prune_descendants c
+              | _ -> ())
+            ps.ps_children
+    in
+    (* A dead (exited or pruned) pid may still close the slice it had
+       open when it died; anything else is a violation. *)
+    let check_alive seq pid what =
+      match find pid with
+      | None ->
+          violate seq "spawn-unique"
+            (Printf.sprintf "%s references pid %d, never spawned in this run" what pid);
+          false
+      | Some ps -> (
+          match ps.ps_status with
+          | Live -> true
+          | Exited ->
+              violate seq "exit-once" (Printf.sprintf "%s by exited pid %d" what pid);
+              false
+          | Pruned ->
+              violate seq "exit-once" (Printf.sprintf "%s by pruned pid %d" what pid);
+              false)
+    in
+    let check_not_parked seq pid what =
+      match find pid with
+      | Some { ps_parked = Some r; _ } ->
+          violate seq "park-pairing"
+            (Printf.sprintf "%s by pid %d while parked on %s" what pid r)
+      | _ -> ()
+    in
+    Array.iteri
+      (fun i s ->
+        let seq = s.Trace.seq in
+        if seq <> i then
+          violate seq "seq-dense"
+            (Printf.sprintf "event %d carries seq %d" i seq);
+        if s.Trace.ts < !prev_ts then
+          violate seq "ts-monotone"
+            (Printf.sprintf "ts %d after ts %d" s.Trace.ts !prev_ts);
+        prev_ts := max !prev_ts s.Trace.ts;
+        match s.Trace.ev with
+        | Event.Spawn { pid; parent; kind } ->
+            if parent = -1 then reset_run seq;
+            (match find pid with
+            | Some _ ->
+                violate seq "spawn-unique"
+                  (Printf.sprintf "pid %d spawned twice in one run" pid)
+            | None ->
+                if parent <> -1 then (
+                  match find parent with
+                  | None ->
+                      violate seq "spawn-unique"
+                        (Printf.sprintf "pid %d spawned by unknown parent %d" pid parent)
+                  | Some ps ->
+                      (match ps.ps_status with
+                      | Live -> ()
+                      | Exited | Pruned ->
+                          violate seq "spawn-unique"
+                            (Printf.sprintf "pid %d spawned by dead parent %d (%s)" pid
+                               parent kind));
+                      ps.ps_children <- ps.ps_children @ [ pid ]);
+                Hashtbl.add nodes pid
+                  { ps_parent = parent; ps_children = []; ps_status = Live;
+                    ps_parked = None })
+        | Event.Exit { pid } ->
+            if check_alive seq pid "exit" then begin
+              check_not_parked seq pid "exit";
+              (Option.get (find pid)).ps_status <- Exited
+            end
+        | Event.Slice_begin { pid } ->
+            (match !open_slice with
+            | Some (opid, _) ->
+                violate seq "slice-balance"
+                  (Printf.sprintf "slice begin for pid %d while pid %d's slice is open"
+                     pid opid)
+            | None -> ());
+            if check_alive seq pid "slice begin" then
+              check_not_parked seq pid "slice begin";
+            open_slice := Some (pid, s.Trace.ts)
+        | Event.Slice_end { pid; fuel } -> (
+            match !open_slice with
+            | None ->
+                violate seq "slice-balance"
+                  (Printf.sprintf "slice end for pid %d with no slice open" pid)
+            | Some (opid, ots) ->
+                if opid <> pid then
+                  violate seq "slice-balance"
+                    (Printf.sprintf "slice end for pid %d closes pid %d's slice" pid opid)
+                else begin
+                  let extent = s.Trace.ts - ots in
+                  let want = max fuel 1 in
+                  if extent <> want then
+                    violate seq "slice-time"
+                      (Printf.sprintf
+                         "slice of pid %d spans %d virtual time for fuel %d (want %d)"
+                         pid extent fuel want)
+                end;
+                open_slice := None)
+        | Event.Park { pid; resource } ->
+            if check_alive seq pid "park" then begin
+              let ps = Option.get (find pid) in
+              match ps.ps_parked with
+              | Some r ->
+                  violate seq "park-pairing"
+                    (Printf.sprintf "pid %d parked on %s while already parked on %s" pid
+                       resource r)
+              | None ->
+                  ps.ps_parked <- Some resource;
+                  incr n_parked
+            end
+        | Event.Wake { pid; resource } ->
+            if check_alive seq pid "wake" then begin
+              let ps = Option.get (find pid) in
+              match ps.ps_parked with
+              | None ->
+                  violate seq "park-pairing"
+                    (Printf.sprintf "wake for pid %d, which is not parked (double wake?)"
+                       pid)
+              | Some r ->
+                  if r <> resource then
+                    violate seq "park-pairing"
+                      (Printf.sprintf "pid %d parked on %s but woken on %s" pid r resource);
+                  ps.ps_parked <- None;
+                  decr n_parked
+            end
+        | Event.Capture { pid; label; root_pid; size; _ } ->
+            if check_alive seq pid "capture" then begin
+              check_not_parked seq pid "capture";
+              (match find root_pid with
+              | None ->
+                  violate seq "capture-consistency"
+                    (Printf.sprintf "capture at unknown root pid %d" root_pid)
+              | Some rs ->
+                  if rs.ps_status <> Live then
+                    violate seq "capture-consistency"
+                      (Printf.sprintf "capture at dead root pid %d" root_pid)
+                  else if not (is_ancestor root_pid pid) then
+                    violate seq "capture-consistency"
+                      (Printf.sprintf "capture root pid %d is not an ancestor of pid %d"
+                         root_pid pid));
+              prune_descendants root_pid;
+              let sizes =
+                match Hashtbl.find_opt labels label with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add labels label r;
+                    r
+              in
+              sizes := size :: !sizes
+            end
+        | Event.Reinstate { pid; label; size } ->
+            if check_alive seq pid "reinstate" then begin
+              check_not_parked seq pid "reinstate";
+              match Hashtbl.find_opt labels label with
+              | None ->
+                  violate seq "capture-consistency"
+                    (Printf.sprintf "reinstate of label %d, never captured in this run"
+                       label)
+              | Some sizes ->
+                  if not (List.mem size !sizes) then
+                    violate seq "capture-consistency"
+                      (Printf.sprintf
+                         "reinstate of label %d with size %d, no matching capture" label
+                         size)
+            end
+        | Event.Send { pid; _ } ->
+            if check_alive seq pid "send" then check_not_parked seq pid "send"
+        | Event.Recv { pid; _ } ->
+            if check_alive seq pid "recv" then check_not_parked seq pid "recv"
+        | Event.Invalid_controller { pid; _ } -> ignore (check_alive seq pid "controller")
+        | Event.Deadlock { parked } ->
+            if parked <> !n_parked then
+              violate seq "deadlock-count"
+                (Printf.sprintf "deadlock reports %d parked, trace shows %d" parked
+                   !n_parked))
+      events;
+    (match !open_slice with
+    | Some (pid, _) ->
+        violate (-1) "slice-balance"
+          (Printf.sprintf "slice of pid %d still open at end of trace" pid)
+    | None -> ());
+    List.rev !out
+
+  let to_json vs =
+    Json.Arr
+      (List.map
+         (fun v ->
+           Json.Obj
+             [
+               ("seq", Json.Num (float_of_int v.v_seq));
+               ("rule", Json.Str v.v_rule);
+               ("msg", Json.Str v.v_msg);
+             ])
+         vs)
+
+  let pp ppf vs =
+    match vs with
+    | [] -> Format.fprintf ppf "ok: no invariant violations@."
+    | vs ->
+        List.iter
+          (fun v ->
+            Format.fprintf ppf "violation [%s] seq=%d: %s@." v.v_rule v.v_seq v.v_msg)
+          vs;
+        Format.fprintf ppf "%d violation(s)@." (List.length vs)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Causal report                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Report = struct
+  type proc = {
+    p_pid : int;
+    p_kind : string;
+    p_slices : int;
+    p_fuel : int;
+    p_run : int;
+    p_blocked : int;
+    p_util : float;
+  }
+
+  type hop = { h_pid : int; h_enter : int; h_leave : int; h_via : string }
+
+  type t = {
+    r_events : int;
+    r_span : int;
+    r_procs : proc list;
+    r_kinds : (string * int) list;
+    r_fairness : float;
+    r_blocked : (string * int) list;
+    r_captures : int;
+    r_cp_per_capture : float;
+    r_size_per_capture : float;
+    r_reinstates : int;
+    r_critical : hop list;
+    r_critical_time : int;
+    r_deadlock : int option;
+  }
+
+  (* How a pid became runnable: the latest of its spawn, its wakes, its
+     children's exits (a fork parent resumes when its last child
+     delivers), the captures rooted at it (the controller body runs in
+     the root's place) and its own previous slice ends (preemption)
+     decides which earlier slice the critical path jumps to. *)
+  type enabler =
+    | En_spawn of string
+    | En_wake of string
+    | En_join
+    | En_capture
+    | En_end
+
+  let critical_path (run : Trace.run) =
+    let events = run.Trace.r_events in
+    let slices = run.Trace.r_slices in
+    let nslices = Array.length slices in
+    if nslices = 0 then []
+    else begin
+      (* Per-pid enabling events, in index order. *)
+      let enablers : (int, (int * enabler) list ref) Hashtbl.t = Hashtbl.create 64 in
+      let parents : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let push pid i e =
+        match Hashtbl.find_opt enablers pid with
+        | Some r -> r := (i, e) :: !r
+        | None -> Hashtbl.add enablers pid (ref [ (i, e) ])
+      in
+      Array.iteri
+        (fun i s ->
+          match s.Trace.ev with
+          | Event.Spawn { pid; parent; kind } ->
+              Hashtbl.replace parents pid parent;
+              push pid i (En_spawn kind)
+          | Event.Wake { pid; resource } -> push pid i (En_wake resource)
+          | Event.Exit { pid } -> (
+              match Hashtbl.find_opt parents pid with
+              | Some p when p >= 0 -> push p i En_join
+              | _ -> ())
+          | Event.Capture { root_pid; _ } -> push root_pid i En_capture
+          | Event.Slice_end { pid; _ } -> push pid i En_end
+          | _ -> ())
+        events;
+      let enablers =
+        let t = Hashtbl.create (Hashtbl.length enablers) in
+        Hashtbl.iter (fun pid r -> Hashtbl.add t pid (Array.of_list (List.rev !r))) enablers;
+        t
+      in
+      (* Greatest enabling event of [pid] strictly before index [i]. *)
+      let latest_before pid i =
+        match Hashtbl.find_opt enablers pid with
+        | None -> None
+        | Some arr ->
+            let lo = ref 0 and hi = ref (Array.length arr) in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if fst arr.(mid) < i then lo := mid + 1 else hi := mid
+            done;
+            if !lo = 0 then None else Some arr.(!lo - 1)
+      in
+      let hops = ref [] in
+      let rec walk sidx =
+        let sl = slices.(sidx) in
+        let enter = sl.Trace.sl_begin_ts and leave = sl.Trace.sl_end_ts in
+        let continue via = hops := (sl.Trace.sl_pid, enter, leave, via) :: !hops in
+        let hop via i =
+          continue via;
+          let prev = run.Trace.r_actor.(i) in
+          if prev >= 0 && prev < sidx then walk prev
+        in
+        match latest_before sl.Trace.sl_pid sl.Trace.sl_begin with
+        | None -> continue "start"
+        | Some (i, En_end) -> hop "preempt" i
+        | Some (i, En_spawn kind) -> hop ("spawn:" ^ kind) i
+        | Some (i, En_wake resource) -> hop ("wake:" ^ resource) i
+        | Some (i, En_join) -> hop "join" i
+        | Some (i, En_capture) -> hop "capture" i
+      in
+      walk (nslices - 1);
+      List.map
+        (fun (h_pid, h_enter, h_leave, h_via) -> { h_pid; h_enter; h_leave; h_via })
+        !hops
+    end
+
+  let jain xs =
+    match xs with
+    | [] -> 1.
+    | xs ->
+        let n = float_of_int (List.length xs) in
+        let sum = List.fold_left (fun a x -> a +. x) 0. xs in
+        let sq = List.fold_left (fun a x -> a +. (x *. x)) 0. xs in
+        if sq = 0. then 1. else sum *. sum /. (n *. sq)
+
+  let of_run (run : Trace.run) =
+    let span = run.Trace.r_span in
+    let procs =
+      Array.to_list run.Trace.r_nodes
+      |> List.map (fun n ->
+             let blocked =
+               List.fold_left (fun a (_, d) -> a + d) 0 n.Trace.n_blocked
+             in
+             {
+               p_pid = n.Trace.n_pid;
+               p_kind = n.Trace.n_kind;
+               p_slices = n.Trace.n_slices;
+               p_fuel = n.Trace.n_fuel;
+               p_run = n.Trace.n_run;
+               p_blocked = blocked;
+               p_util =
+                 (if span = 0 then 0.
+                  else float_of_int n.Trace.n_run /. float_of_int span);
+             })
+    in
+    let kinds =
+      let tbl = Hashtbl.create 8 in
+      Array.iter
+        (fun n ->
+          let k = n.Trace.n_kind in
+          Hashtbl.replace tbl k
+            (1 + match Hashtbl.find_opt tbl k with Some c -> c | None -> 0))
+        run.Trace.r_nodes;
+      Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let captures = ref 0 and cps = ref 0 and sizes = ref 0 and reinstates = ref 0 in
+    Array.iter
+      (fun s ->
+        match s.Trace.ev with
+        | Event.Capture { control_points; size; _ } ->
+            incr captures;
+            cps := !cps + control_points;
+            sizes := !sizes + size
+        | Event.Reinstate _ -> incr reinstates
+        | _ -> ())
+      run.Trace.r_events;
+    let mean total n = if n = 0 then 0. else float_of_int total /. float_of_int n in
+    let critical = critical_path run in
+    {
+      r_events = Array.length run.Trace.r_events;
+      r_span = span;
+      r_procs = procs;
+      r_kinds = kinds;
+      r_fairness =
+        jain
+          (List.filter_map
+             (fun p -> if p.p_slices > 0 then Some (float_of_int p.p_run) else None)
+             procs);
+      r_blocked = Trace.blocked_total run;
+      r_captures = !captures;
+      r_cp_per_capture = mean !cps !captures;
+      r_size_per_capture = mean !sizes !captures;
+      r_reinstates = !reinstates;
+      r_critical = critical;
+      r_critical_time =
+        List.fold_left (fun a h -> a + (h.h_leave - h.h_enter)) 0 critical;
+      r_deadlock = run.Trace.r_deadlock;
+    }
+
+  let of_trace events = Trace.runs events |> Array.to_list |> List.map Trace.reconstruct
+                        |> List.map of_run
+
+  let to_json r =
+    let num n = Json.Num (float_of_int n) in
+    Json.Obj
+      [
+        ("events", num r.r_events);
+        ("span", num r.r_span);
+        ("processes", num (List.length r.r_procs));
+        ("kinds", Json.Obj (List.map (fun (k, c) -> (k, num c)) r.r_kinds));
+        ("fairness", Json.Num r.r_fairness);
+        ( "utilization",
+          Json.Arr
+            (List.map
+               (fun p ->
+                 Json.Obj
+                   [
+                     ("pid", num p.p_pid);
+                     ("kind", Json.Str p.p_kind);
+                     ("slices", num p.p_slices);
+                     ("fuel", num p.p_fuel);
+                     ("run", num p.p_run);
+                     ("blocked", num p.p_blocked);
+                     ("util", Json.Num p.p_util);
+                   ])
+               r.r_procs) );
+        ("blocked", Json.Obj (List.map (fun (k, d) -> (k, num d)) r.r_blocked));
+        ( "captures",
+          Json.Obj
+            [
+              ("count", num r.r_captures);
+              ("control_points_mean", Json.Num r.r_cp_per_capture);
+              ("size_mean", Json.Num r.r_size_per_capture);
+              ("reinstates", num r.r_reinstates);
+            ] );
+        ( "critical_path",
+          Json.Obj
+            [
+              ("time", num r.r_critical_time);
+              ("hops", num (List.length r.r_critical));
+              ( "path",
+                Json.Arr
+                  (List.map
+                     (fun h ->
+                       Json.Obj
+                         [
+                           ("pid", num h.h_pid);
+                           ("enter", num h.h_enter);
+                           ("leave", num h.h_leave);
+                           ("via", Json.Str h.h_via);
+                         ])
+                     r.r_critical) );
+            ] );
+        ( "deadlock",
+          match r.r_deadlock with None -> Json.Null | Some p -> num p );
+      ]
+
+  let pp ppf r =
+    let pct part whole =
+      if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+    in
+    Format.fprintf ppf "@[<v>run: %d events, span %d, %d processes (" r.r_events
+      r.r_span (List.length r.r_procs);
+    List.iteri
+      (fun i (k, c) -> Format.fprintf ppf "%s%s %d" (if i > 0 then ", " else "") k c)
+      r.r_kinds;
+    Format.fprintf ppf ")@,fairness (Jain): %.3f" r.r_fairness;
+    (match r.r_deadlock with
+    | None -> ()
+    | Some p -> Format.fprintf ppf "@,deadlock: %d process(es) left parked" p);
+    Format.fprintf ppf "@,@,%8s %-10s %7s %9s %8s %8s %6s" "pid" "kind" "slices"
+      "fuel" "run" "blocked" "util%";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "@,%8d %-10s %7d %9d %8d %8d %6.1f" p.p_pid p.p_kind
+          p.p_slices p.p_fuel p.p_run p.p_blocked (100. *. p.p_util))
+      r.r_procs;
+    (match r.r_blocked with
+    | [] -> ()
+    | blocked ->
+        Format.fprintf ppf "@,@,blocked time by resource:";
+        List.iter
+          (fun (res, d) ->
+            Format.fprintf ppf "@,  %-14s %8d (%.1f%% of span)" res d (pct d r.r_span))
+          blocked);
+    if r.r_captures > 0 then
+      Format.fprintf ppf
+        "@,@,captures: %d (control points/capture %.1f, size/capture %.1f), \
+         reinstates %d"
+        r.r_captures r.r_cp_per_capture r.r_size_per_capture r.r_reinstates;
+    Format.fprintf ppf "@,@,critical path: %d/%d of span on path (%.1f%%), %d hop(s)"
+      r.r_critical_time r.r_span
+      (pct r.r_critical_time r.r_span)
+      (List.length r.r_critical);
+    let hops = r.r_critical in
+    let nh = List.length hops in
+    List.iteri
+      (fun i h ->
+        if i < 12 || i >= nh - 4 then
+          Format.fprintf ppf "@,  [ts %6d..%6d] pid %-5d %s" h.h_enter h.h_leave
+            h.h_pid h.h_via
+        else if i = 12 then Format.fprintf ppf "@,  ... (%d more hops)" (nh - 16))
+      hops;
+    Format.fprintf ppf "@]@."
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace diff                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Diff = struct
+  type divergence = {
+    d_run : int;
+    d_cpid : int;
+    d_index : int;
+    d_left : string option;
+    d_right : string option;
+  }
+
+  (* The causal skeleton of one run: for each canonical pid (spawn
+     order), its own sequence of scheduler-independent facts, plus a
+     global stream (cpid -1) for deadlock. *)
+  let skeleton (events : Trace.stamped array) =
+    let canon : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let streams : (int, string list ref) Hashtbl.t = Hashtbl.create 64 in
+    let next = ref 0 in
+    let cpid pid =
+      match Hashtbl.find_opt canon pid with Some c -> c | None -> -2
+    in
+    let push c item =
+      match Hashtbl.find_opt streams c with
+      | Some r -> r := item :: !r
+      | None -> Hashtbl.add streams c (ref [ item ])
+    in
+    Array.iter
+      (fun s ->
+        match s.Trace.ev with
+        | Event.Spawn { pid; parent; kind } ->
+            let c = !next in
+            incr next;
+            Hashtbl.replace canon pid c;
+            push c
+              (Printf.sprintf "spawn kind=%s parent=%d" kind
+                 (if parent = -1 then -1 else cpid parent))
+        | Event.Exit { pid } -> push (cpid pid) "exit"
+        | Event.Capture { pid; label; _ } ->
+            push (cpid pid) (Printf.sprintf "capture label=%d" label)
+        | Event.Reinstate { pid; label; _ } ->
+            push (cpid pid) (Printf.sprintf "reinstate label=%d" label)
+        | Event.Send { pid; chan } -> push (cpid pid) (Printf.sprintf "send chan=%d" chan)
+        | Event.Recv { pid; chan } -> push (cpid pid) (Printf.sprintf "recv chan=%d" chan)
+        | Event.Invalid_controller { pid; label } ->
+            push (cpid pid) (Printf.sprintf "invalid-controller label=%d" label)
+        | Event.Deadlock { parked } -> push (-1) (Printf.sprintf "deadlock parked=%d" parked)
+        | Event.Slice_begin _ | Event.Slice_end _ | Event.Park _ | Event.Wake _ -> ())
+      events;
+    let stream c =
+      match Hashtbl.find_opt streams c with
+      | Some r -> Array.of_list (List.rev !r)
+      | None -> [||]
+    in
+    (!next, stream)
+
+  let diff_run d_run left right =
+    let nl, sl = skeleton left in
+    let nr, sr = skeleton right in
+    let diverged = ref None in
+    let cmp_stream c =
+      if !diverged = None then begin
+        let a = sl c and b = sr c in
+        let la = Array.length a and lb = Array.length b in
+        let i = ref 0 in
+        while
+          !diverged = None && (!i < la || !i < lb)
+        do
+          let get arr l = if !i < l then Some arr.(!i) else None in
+          let x = get a la and y = get b lb in
+          if x <> y then
+            diverged :=
+              Some { d_run; d_cpid = c; d_index = !i; d_left = x; d_right = y };
+          incr i
+        done
+      end
+    in
+    cmp_stream (-1);
+    for c = 0 to max nl nr - 1 do
+      cmp_stream c
+    done;
+    !diverged
+
+  let diff left right =
+    let lruns = Trace.runs left and rruns = Trace.runs right in
+    let nl = Array.length lruns and nr = Array.length rruns in
+    let diverged = ref None in
+    for r = 0 to max nl nr - 1 do
+      if !diverged = None then
+        if r >= nl then
+          diverged :=
+            Some
+              { d_run = r; d_cpid = -1; d_index = 0; d_left = None;
+                d_right = Some "run" }
+        else if r >= nr then
+          diverged :=
+            Some
+              { d_run = r; d_cpid = -1; d_index = 0; d_left = Some "run";
+                d_right = None }
+        else diverged := diff_run r lruns.(r) rruns.(r)
+    done;
+    !diverged
+
+  let to_json = function
+    | None -> Json.Obj [ ("aligned", Json.Bool true) ]
+    | Some d ->
+        let side = function None -> Json.Null | Some s -> Json.Str s in
+        Json.Obj
+          [
+            ("aligned", Json.Bool false);
+            ("run", Json.Num (float_of_int d.d_run));
+            ("pid", Json.Num (float_of_int d.d_cpid));
+            ("index", Json.Num (float_of_int d.d_index));
+            ("left", side d.d_left);
+            ("right", side d.d_right);
+          ]
+
+  let pp ppf = function
+    | None -> Format.fprintf ppf "aligned: no causal divergence@."
+    | Some d ->
+        let side = function None -> "<absent>" | Some s -> s in
+        Format.fprintf ppf
+          "diverged at run %d, canonical pid %d, event %d:@,  left:  %s@,  right: %s@."
+          d.d_run d.d_cpid d.d_index (side d.d_left) (side d.d_right)
+end

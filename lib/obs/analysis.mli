@@ -1,0 +1,128 @@
+(** Trace analysis: invariant checking, causal reports, diffing.
+
+    The three halves of the [ptrace] CLI.  {!Check} lints a trace
+    against the event-stream contract both schedulers promise (a
+    post-hoc lost-wakeup/race detector that works on any exported
+    trace); {!Report} turns one run into a causal profile — critical
+    path, utilization, fairness, blocked-time attribution; {!Diff}
+    aligns two traces and reports their first causal divergence. *)
+
+(** {1 Invariant checking} *)
+
+module Check : sig
+  type violation = { v_seq : int; v_rule : string; v_msg : string }
+  (** [v_seq] is the seq stamp of the offending event ([-1] for
+      end-of-trace checks), [v_rule] one of {!rules}. *)
+
+  val rules : (string * string) list
+  (** Rule id → one-line description:
+      - [seq-dense]: sequence numbers are [0, 1, 2, …] in file order;
+      - [ts-monotone]: timestamps never decrease;
+      - [slice-balance]: at most one slice open at a time; every begin
+        has a matching end with the same pid; no slice left open at a
+        run boundary;
+      - [slice-time]: a slice's extent equals [max fuel 1] — the clock
+        advances exactly at slice ends;
+      - [spawn-unique]: a pid is spawned once per run, its parent is
+        known ([-1] only for the root), and every event references a
+        spawned pid;
+      - [exit-once]: a pid exits at most once, and an exited or pruned
+        pid emits nothing afterwards but the end of its open slice;
+      - [park-pairing]: parks and wakes alternate per pid with matching
+        resources — no double park, no double wake (a wake for a
+        never-parked or pruned pid is a lost-wakeup witness), no slice
+        while parked;
+      - [capture-consistency]: a capture's [root_pid] is a live
+        ancestor of the capturing pid, and every reinstate names a
+        label captured earlier in the run with the same subtree size;
+      - [deadlock-count]: a deadlock event's parked count equals the
+        number of live parked processes at that point. *)
+
+  val run : Trace.stamped array -> violation list
+  (** All violations in stamp order.  The checker resets its per-run
+      state (pids, parks, labels) at each root spawn; [seq-dense] and
+      [ts-monotone] span the whole trace. *)
+
+  val to_json : violation list -> Obs.Json.t
+
+  val pp : Format.formatter -> violation list -> unit
+end
+
+(** {1 Causal report} *)
+
+module Report : sig
+  type proc = {
+    p_pid : int;
+    p_kind : string;
+    p_slices : int;
+    p_fuel : int;
+    p_run : int;  (** virtual time on-CPU *)
+    p_blocked : int;  (** virtual time parked *)
+    p_util : float;  (** [p_run /. span] (0 when the span is empty) *)
+  }
+
+  type hop = {
+    h_pid : int;
+    h_enter : int;  (** slice begin ts *)
+    h_leave : int;  (** slice end ts *)
+    h_via : string;
+        (** how the pid became runnable for this slice: ["start"] (run
+            entry), ["spawn:<kind>"], ["wake:<resource>"] or
+            ["preempt"] (was runnable all along) *)
+  }
+
+  type t = {
+    r_events : int;
+    r_span : int;
+    r_procs : proc list;  (** by pid *)
+    r_kinds : (string * int) list;  (** spawn-kind census, by kind *)
+    r_fairness : float;
+        (** Jain's index [(Σx)² / (n·Σx²)] over the on-CPU time of
+            processes that ran at least one slice: 1 = perfectly fair *)
+    r_blocked : (string * int) list;  (** blocked time per resource *)
+    r_captures : int;
+    r_cp_per_capture : float;  (** mean control points per capture *)
+    r_size_per_capture : float;
+    r_reinstates : int;
+    r_critical : hop list;  (** in time order *)
+    r_critical_time : int;  (** Σ hop extents; ≤ span, the gap is queueing *)
+    r_deadlock : int option;
+  }
+
+  val of_run : Trace.run -> t
+
+  val of_trace : Trace.stamped array -> t list
+  (** One report per run. *)
+
+  val to_json : t -> Obs.Json.t
+  (** Deterministic: equal reports serialize to equal bytes. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Trace diff} *)
+
+module Diff : sig
+  type divergence = {
+    d_run : int;  (** run index *)
+    d_cpid : int;  (** canonical pid (spawn order within the run) *)
+    d_index : int;  (** index within that pid's causal stream *)
+    d_left : string option;  (** human rendering; [None] = stream ended *)
+    d_right : string option;
+  }
+
+  val diff : Trace.stamped array -> Trace.stamped array -> divergence option
+  (** Compare the causal skeletons of two traces, run by run.  Each
+      run's events are projected to scheduler-independent facts — spawn
+      structure, exits, capture/reinstate labels, channel operations,
+      invalid controllers, deadlock — dropping timestamps, run slices
+      and park/wake (pure scheduling), and capture sizes/control points
+      (representation-specific).  Pids are renamed to spawn order, and
+      each canonical pid's own event sequence (program order) is
+      compared, so benign interleaving differences between schedulers
+      do not diverge.  [None] means causally aligned. *)
+
+  val to_json : divergence option -> Obs.Json.t
+
+  val pp : Format.formatter -> divergence option -> unit
+end

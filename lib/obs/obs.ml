@@ -1,74 +1,6 @@
 module Counters = Pcont_util.Counters
 
 (* ------------------------------------------------------------------ *)
-(* Events                                                              *)
-(* ------------------------------------------------------------------ *)
-
-module Event = struct
-  type t =
-    | Spawn of { pid : int; parent : int; kind : string }
-    | Exit of { pid : int }
-    | Slice_begin of { pid : int }
-    | Slice_end of { pid : int; fuel : int }
-    | Park of { pid : int; resource : string }
-    | Wake of { pid : int; resource : string }
-    | Capture of { pid : int; label : int; control_points : int; size : int }
-    | Reinstate of { pid : int; label : int; size : int }
-    | Send of { pid : int; chan : int }
-    | Recv of { pid : int; chan : int }
-    | Invalid_controller of { pid : int; label : int }
-    | Deadlock of { parked : int }
-
-  let name = function
-    | Spawn _ -> "spawn"
-    | Exit _ -> "exit"
-    | Slice_begin _ -> "slice-begin"
-    | Slice_end _ -> "slice-end"
-    | Park _ -> "park"
-    | Wake _ -> "wake"
-    | Capture _ -> "capture"
-    | Reinstate _ -> "reinstate"
-    | Send _ -> "send"
-    | Recv _ -> "recv"
-    | Invalid_controller _ -> "invalid-controller"
-    | Deadlock _ -> "deadlock"
-
-  let pid = function
-    | Spawn { pid; _ }
-    | Exit { pid }
-    | Slice_begin { pid }
-    | Slice_end { pid; _ }
-    | Park { pid; _ }
-    | Wake { pid; _ }
-    | Capture { pid; _ }
-    | Reinstate { pid; _ }
-    | Send { pid; _ }
-    | Recv { pid; _ }
-    | Invalid_controller { pid; _ } ->
-        pid
-    | Deadlock _ -> -1
-
-  let to_human = function
-    | Spawn { pid; parent; kind } ->
-        Printf.sprintf "spawn   pid=%d parent=%d kind=%s" pid parent kind
-    | Exit { pid } -> Printf.sprintf "exit    pid=%d" pid
-    | Slice_begin { pid } -> Printf.sprintf "run     pid=%d" pid
-    | Slice_end { pid; fuel } -> Printf.sprintf "ran     pid=%d fuel=%d" pid fuel
-    | Park { pid; resource } -> Printf.sprintf "park    pid=%d on=%s" pid resource
-    | Wake { pid; resource } -> Printf.sprintf "wake    pid=%d on=%s" pid resource
-    | Capture { pid; label; control_points; size } ->
-        Printf.sprintf "capture pid=%d root=%d control-points=%d size=%d" pid label
-          control_points size
-    | Reinstate { pid; label; size } ->
-        Printf.sprintf "graft   pid=%d root=%d size=%d" pid label size
-    | Send { pid; chan } -> Printf.sprintf "send    pid=%d chan=%d" pid chan
-    | Recv { pid; chan } -> Printf.sprintf "recv    pid=%d chan=%d" pid chan
-    | Invalid_controller { pid; label } ->
-        Printf.sprintf "invalid pid=%d root=%d" pid label
-    | Deadlock { parked } -> Printf.sprintf "deadlock parked=%d" parked
-end
-
-(* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -100,6 +32,44 @@ module Json = struct
     | Str of string
     | Arr of t list
     | Obj of (string * t) list
+
+  (* One serializer for every producer (sinks, bench rows, reports), so
+     output always round-trips through [parse].  Integral floats print
+     with no fractional part: the event stream's fields are all ints and
+     must re-ingest exactly. *)
+  let to_string v =
+    let buf = Buffer.create 256 in
+    let num f =
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num f -> num f
+      | Str s -> Buffer.add_string buf (quote s)
+      | Arr vs ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i v ->
+              if i > 0 then Buffer.add_char buf ',';
+              go v)
+            vs;
+          Buffer.add_char buf ']'
+      | Obj kvs ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf (quote k);
+              Buffer.add_char buf ':';
+              go v)
+            kvs;
+          Buffer.add_char buf '}'
+    in
+    go v;
+    Buffer.contents buf
 
   exception Bad of string
 
@@ -256,6 +226,110 @@ module Json = struct
   let member k = function
     | Obj kvs -> List.assoc_opt k kvs
     | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Event = struct
+  type t =
+    | Spawn of { pid : int; parent : int; kind : string }
+    | Exit of { pid : int }
+    | Slice_begin of { pid : int }
+    | Slice_end of { pid : int; fuel : int }
+    | Park of { pid : int; resource : string }
+    | Wake of { pid : int; resource : string }
+    | Capture of {
+        pid : int;
+        label : int;
+        root_pid : int;
+        control_points : int;
+        size : int;
+      }
+    | Reinstate of { pid : int; label : int; size : int }
+    | Send of { pid : int; chan : int }
+    | Recv of { pid : int; chan : int }
+    | Invalid_controller of { pid : int; label : int }
+    | Deadlock of { parked : int }
+
+  let name = function
+    | Spawn _ -> "spawn"
+    | Exit _ -> "exit"
+    | Slice_begin _ -> "slice-begin"
+    | Slice_end _ -> "slice-end"
+    | Park _ -> "park"
+    | Wake _ -> "wake"
+    | Capture _ -> "capture"
+    | Reinstate _ -> "reinstate"
+    | Send _ -> "send"
+    | Recv _ -> "recv"
+    | Invalid_controller _ -> "invalid-controller"
+    | Deadlock _ -> "deadlock"
+
+  let pid = function
+    | Spawn { pid; _ }
+    | Exit { pid }
+    | Slice_begin { pid }
+    | Slice_end { pid; _ }
+    | Park { pid; _ }
+    | Wake { pid; _ }
+    | Capture { pid; _ }
+    | Reinstate { pid; _ }
+    | Send { pid; _ }
+    | Recv { pid; _ }
+    | Invalid_controller { pid; _ } ->
+        pid
+    | Deadlock _ -> -1
+
+  let to_human = function
+    | Spawn { pid; parent; kind } ->
+        Printf.sprintf "spawn   pid=%d parent=%d kind=%s" pid parent kind
+    | Exit { pid } -> Printf.sprintf "exit    pid=%d" pid
+    | Slice_begin { pid } -> Printf.sprintf "run     pid=%d" pid
+    | Slice_end { pid; fuel } -> Printf.sprintf "ran     pid=%d fuel=%d" pid fuel
+    | Park { pid; resource } -> Printf.sprintf "park    pid=%d on=%s" pid resource
+    | Wake { pid; resource } -> Printf.sprintf "wake    pid=%d on=%s" pid resource
+    | Capture { pid; label; root_pid; control_points; size } ->
+        Printf.sprintf "capture pid=%d root=%d at=%d control-points=%d size=%d" pid
+          label root_pid control_points size
+    | Reinstate { pid; label; size } ->
+        Printf.sprintf "graft   pid=%d root=%d size=%d" pid label size
+    | Send { pid; chan } -> Printf.sprintf "send    pid=%d chan=%d" pid chan
+    | Recv { pid; chan } -> Printf.sprintf "recv    pid=%d chan=%d" pid chan
+    | Invalid_controller { pid; label } ->
+        Printf.sprintf "invalid pid=%d root=%d" pid label
+    | Deadlock { parked } -> Printf.sprintf "deadlock parked=%d" parked
+
+  (* Field order is fixed per constructor so identical event streams
+     serialize to byte-identical output. *)
+  let to_json ~seq ~ts ev =
+    let i k v = (k, Json.Num (float_of_int v)) in
+    let s k v = (k, Json.Str v) in
+    let payload =
+      match ev with
+      | Spawn { pid; parent; kind } -> [ i "pid" pid; i "parent" parent; s "kind" kind ]
+      | Exit { pid } -> [ i "pid" pid ]
+      | Slice_begin { pid } -> [ i "pid" pid ]
+      | Slice_end { pid; fuel } -> [ i "pid" pid; i "fuel" fuel ]
+      | Park { pid; resource } -> [ i "pid" pid; s "resource" resource ]
+      | Wake { pid; resource } -> [ i "pid" pid; s "resource" resource ]
+      | Capture { pid; label; root_pid; control_points; size } ->
+          [
+            i "pid" pid;
+            i "label" label;
+            i "root_pid" root_pid;
+            i "control_points" control_points;
+            i "size" size;
+          ]
+      | Reinstate { pid; label; size } ->
+          [ i "pid" pid; i "label" label; i "size" size ]
+      | Send { pid; chan } -> [ i "pid" pid; i "chan" chan ]
+      | Recv { pid; chan } -> [ i "pid" pid; i "chan" chan ]
+      | Invalid_controller { pid; label } -> [ i "pid" pid; i "label" label ]
+      | Deadlock { parked } -> [ i "parked" parked ]
+    in
+    Json.Obj (i "seq" seq :: i "ts" ts :: s "ev" (name ev) :: payload)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -425,38 +499,10 @@ module Sink = struct
       sink_close = (fun () -> ());
     }
 
-  (* Field order is fixed per constructor so identical event streams
-     serialize to byte-identical output. *)
   let jsonl write =
-    let fi k v = Printf.sprintf ",\"%s\":%d" k v in
-    let fs k v = Printf.sprintf ",\"%s\":%s" k (Json.quote v) in
     {
       sink_event =
-        (fun ~seq ~ts ev ->
-          let payload =
-            match ev with
-            | Event.Spawn { pid; parent; kind } ->
-                fi "pid" pid ^ fi "parent" parent ^ fs "kind" kind
-            | Event.Exit { pid } -> fi "pid" pid
-            | Event.Slice_begin { pid } -> fi "pid" pid
-            | Event.Slice_end { pid; fuel } -> fi "pid" pid ^ fi "fuel" fuel
-            | Event.Park { pid; resource } -> fi "pid" pid ^ fs "resource" resource
-            | Event.Wake { pid; resource } -> fi "pid" pid ^ fs "resource" resource
-            | Event.Capture { pid; label; control_points; size } ->
-                fi "pid" pid ^ fi "label" label
-                ^ fi "control_points" control_points
-                ^ fi "size" size
-            | Event.Reinstate { pid; label; size } ->
-                fi "pid" pid ^ fi "label" label ^ fi "size" size
-            | Event.Send { pid; chan } -> fi "pid" pid ^ fi "chan" chan
-            | Event.Recv { pid; chan } -> fi "pid" pid ^ fi "chan" chan
-            | Event.Invalid_controller { pid; label } -> fi "pid" pid ^ fi "label" label
-            | Event.Deadlock { parked } -> fi "parked" parked
-          in
-          write
-            (Printf.sprintf "{\"seq\":%d,\"ts\":%d,\"ev\":%s%s}\n" seq ts
-               (Json.quote (Event.name ev))
-               payload));
+        (fun ~seq ~ts ev -> write (Json.to_string (Event.to_json ~seq ~ts ev) ^ "\n"));
       sink_close = (fun () -> ());
     }
 
@@ -466,30 +512,42 @@ module Sink = struct
      Run slices are B/E duration events; everything else an instant. *)
   let chrome write =
     let first = ref true in
-    let item s =
+    let item j =
       if !first then begin
         first := false;
         write "[\n  "
       end
       else write ",\n  ";
-      write s
+      write (Json.to_string j)
     in
+    let num v = Json.Num (float_of_int v) in
     let named = Hashtbl.create 16 in
     let ensure_name pid label =
       if not (Hashtbl.mem named pid) then begin
         Hashtbl.add named pid ();
         item
-          (Printf.sprintf
-             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%s}}"
-             pid (Json.quote label))
+          (Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", num 1);
+               ("tid", num pid);
+               ("args", Json.Obj [ ("name", Json.Str label) ]);
+             ])
       end
+    in
+    let record ~ph ~ts pid name args =
+      Json.Obj
+        (("name", Json.Str name)
+         :: ("cat", Json.Str "pcont")
+         :: ("ph", Json.Str ph)
+         :: (if ph = "i" then [ ("s", Json.Str "t") ] else [])
+        @ [ ("ts", num ts); ("pid", num 1); ("tid", num pid) ]
+        @ (match args with [] -> [] | _ -> [ ("args", Json.Obj args) ]))
     in
     let instant ~ts pid name args =
       ensure_name pid (Printf.sprintf "p%d" pid);
-      item
-        (Printf.sprintf
-           "{\"name\":%s,\"cat\":\"pcont\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":1,\"tid\":%d%s}"
-           (Json.quote name) ts pid args)
+      item (record ~ph:"i" ~ts pid name args)
     in
     {
       sink_event =
@@ -498,44 +556,33 @@ module Sink = struct
           | Event.Spawn { pid; parent; kind } ->
               ensure_name pid (Printf.sprintf "%s %d" kind pid);
               instant ~ts pid "spawn"
-                (Printf.sprintf ",\"args\":{\"parent\":%d,\"kind\":%s}" parent
-                   (Json.quote kind))
-          | Event.Exit { pid } -> instant ~ts pid "exit" ""
+                [ ("parent", num parent); ("kind", Json.Str kind) ]
+          | Event.Exit { pid } -> instant ~ts pid "exit" []
           | Event.Slice_begin { pid } ->
               ensure_name pid (Printf.sprintf "p%d" pid);
-              item
-                (Printf.sprintf
-                   "{\"name\":\"run\",\"cat\":\"pcont\",\"ph\":\"B\",\"ts\":%d,\"pid\":1,\"tid\":%d}"
-                   ts pid)
+              item (record ~ph:"B" ~ts pid "run" [])
           | Event.Slice_end { pid; fuel } ->
-              item
-                (Printf.sprintf
-                   "{\"name\":\"run\",\"cat\":\"pcont\",\"ph\":\"E\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"fuel\":%d}}"
-                   ts pid fuel)
+              item (record ~ph:"E" ~ts pid "run" [ ("fuel", num fuel) ])
           | Event.Park { pid; resource } ->
-              instant ~ts pid "park"
-                (Printf.sprintf ",\"args\":{\"resource\":%s}" (Json.quote resource))
+              instant ~ts pid "park" [ ("resource", Json.Str resource) ]
           | Event.Wake { pid; resource } ->
-              instant ~ts pid "wake"
-                (Printf.sprintf ",\"args\":{\"resource\":%s}" (Json.quote resource))
-          | Event.Capture { pid; label; control_points; size } ->
+              instant ~ts pid "wake" [ ("resource", Json.Str resource) ]
+          | Event.Capture { pid; label; root_pid; control_points; size } ->
               instant ~ts pid "capture"
-                (Printf.sprintf
-                   ",\"args\":{\"label\":%d,\"control_points\":%d,\"size\":%d}" label
-                   control_points size)
+                [
+                  ("label", num label);
+                  ("root_pid", num root_pid);
+                  ("control_points", num control_points);
+                  ("size", num size);
+                ]
           | Event.Reinstate { pid; label; size } ->
-              instant ~ts pid "reinstate"
-                (Printf.sprintf ",\"args\":{\"label\":%d,\"size\":%d}" label size)
-          | Event.Send { pid; chan } ->
-              instant ~ts pid "send" (Printf.sprintf ",\"args\":{\"chan\":%d}" chan)
-          | Event.Recv { pid; chan } ->
-              instant ~ts pid "recv" (Printf.sprintf ",\"args\":{\"chan\":%d}" chan)
+              instant ~ts pid "reinstate" [ ("label", num label); ("size", num size) ]
+          | Event.Send { pid; chan } -> instant ~ts pid "send" [ ("chan", num chan) ]
+          | Event.Recv { pid; chan } -> instant ~ts pid "recv" [ ("chan", num chan) ]
           | Event.Invalid_controller { pid; label } ->
-              instant ~ts pid "invalid-controller"
-                (Printf.sprintf ",\"args\":{\"label\":%d}" label)
+              instant ~ts pid "invalid-controller" [ ("label", num label) ]
           | Event.Deadlock { parked } ->
-              instant ~ts 0 "deadlock"
-                (Printf.sprintf ",\"args\":{\"parked\":%d}" parked));
+              instant ~ts 0 "deadlock" [ ("parked", num parked) ]);
       sink_close = (fun () -> if !first then write "[]\n" else write "\n]\n");
     }
 
@@ -548,6 +595,7 @@ end
 
 module Summary = struct
   type row = {
+    mutable r_kind : string;
     mutable r_slices : int;
     mutable r_fuel : int;
     mutable r_parks : int;
@@ -556,18 +604,23 @@ module Summary = struct
     mutable r_reinstates : int;
     mutable r_sends : int;
     mutable r_recvs : int;
+    mutable r_exits : int;
   }
 
-  type t = (int, row) Hashtbl.t
+  type t = {
+    s_rows : (int, row) Hashtbl.t;
+    mutable s_deadlock : int option;  (* parked count of the last deadlock *)
+  }
 
-  let create () : t = Hashtbl.create 16
+  let create () : t = { s_rows = Hashtbl.create 16; s_deadlock = None }
 
   let row t pid =
-    match Hashtbl.find_opt t pid with
+    match Hashtbl.find_opt t.s_rows pid with
     | Some r -> r
     | None ->
         let r =
           {
+            r_kind = "?";
             r_slices = 0;
             r_fuel = 0;
             r_parks = 0;
@@ -576,9 +629,10 @@ module Summary = struct
             r_reinstates = 0;
             r_sends = 0;
             r_recvs = 0;
+            r_exits = 0;
           }
         in
-        Hashtbl.add t pid r;
+        Hashtbl.add t.s_rows pid r;
         r
 
   let sink t =
@@ -586,7 +640,12 @@ module Summary = struct
       sink_event =
         (fun ~seq:_ ~ts:_ ev ->
           match ev with
-          | Event.Spawn { pid; _ } -> ignore (row t pid)
+          | Event.Spawn { pid; kind; _ } ->
+              let r = row t pid in
+              r.r_kind <- kind
+          | Event.Exit { pid } ->
+              let r = row t pid in
+              r.r_exits <- r.r_exits + 1
           | Event.Slice_end { pid; fuel } ->
               let r = row t pid in
               r.r_slices <- r.r_slices + 1;
@@ -609,24 +668,29 @@ module Summary = struct
           | Event.Recv { pid; _ } ->
               let r = row t pid in
               r.r_recvs <- r.r_recvs + 1
-          | Event.Exit _ | Event.Slice_begin _ | Event.Invalid_controller _
-          | Event.Deadlock _ ->
-              ());
+          | Event.Deadlock { parked } -> t.s_deadlock <- Some parked
+          | Event.Slice_begin _ | Event.Invalid_controller _ -> ());
       sink_close = (fun () -> ());
     }
 
   let rows t =
-    Hashtbl.fold (fun pid r acc -> (pid, r) :: acc) t []
+    Hashtbl.fold (fun pid r acc -> (pid, r) :: acc) t.s_rows []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+  let deadlock t = t.s_deadlock
+
   let pp ppf t =
-    Format.fprintf ppf "@[<v>%8s %8s %10s %7s %7s %9s %7s %7s %7s" "pid" "slices"
-      "fuel" "parks" "wakes" "captures" "grafts" "sends" "recvs";
+    Format.fprintf ppf "@[<v>%8s %-10s %8s %10s %7s %7s %9s %7s %7s %7s %5s" "pid"
+      "kind" "slices" "fuel" "parks" "wakes" "captures" "grafts" "sends" "recvs"
+      "exits";
     List.iter
       (fun (pid, r) ->
-        Format.fprintf ppf "@,%8d %8d %10d %7d %7d %9d %7d %7d %7d" pid r.r_slices
-          r.r_fuel r.r_parks r.r_wakes r.r_captures r.r_reinstates r.r_sends
-          r.r_recvs)
+        Format.fprintf ppf "@,%8d %-10s %8d %10d %7d %7d %9d %7d %7d %7d %5d" pid
+          r.r_kind r.r_slices r.r_fuel r.r_parks r.r_wakes r.r_captures
+          r.r_reinstates r.r_sends r.r_recvs r.r_exits)
       (rows t);
+    (match t.s_deadlock with
+    | None -> ()
+    | Some parked -> Format.fprintf ppf "@,deadlock: %d process(es) left parked" parked);
     Format.fprintf ppf "@]"
 end

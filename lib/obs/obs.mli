@@ -27,61 +27,12 @@
     Events are fanned out to pluggable {!section-sinks}: human-readable
     text (the [psi --trace] stream), JSONL, and Chrome trace-event JSON
     loadable in [chrome://tracing] or Perfetto, where each process
-    renders as a track with run slices and park gaps. *)
+    renders as a track with run slices and park gaps.
 
-(** {1 Events} *)
-
-module Event : sig
-  (** The process-lifecycle event taxonomy, shared by both schedulers.
-      [pid] is the scheduler's node id for the process/branch/fiber the
-      event concerns; pids are unique within one run. *)
-  type t =
-    | Spawn of { pid : int; parent : int; kind : string }
-        (** a new process-tree node became runnable.  [kind] names how it
-            was created: ["root"], ["branch"] (pcall/fork child),
-            ["process"] (spawned root body), ["future"] (independent
-            tree), ["controller"] (a controller body installed by a
-            capture), ["graft"] (a leaf rebuilt by reinstatement).
-            [parent] is [-1] for the root of a run. *)
-    | Exit of { pid : int }  (** the node delivered its final value *)
-    | Slice_begin of { pid : int }  (** the scheduler started running the node *)
-    | Slice_end of { pid : int; fuel : int }
-        (** the slice ended; [fuel] is the machine transitions charged
-            (always 1 for the native scheduler, which does not meter
-            fiber work) *)
-    | Park of { pid : int; resource : string }
-        (** the node blocked on the named resource (["future"],
-            ["channel.send"], …) and left the run queue *)
-    | Wake of { pid : int; resource : string }
-        (** a delivery or {!Pcont_sched.Sched.wake} made the parked node
-            runnable again *)
-    | Capture of { pid : int; label : int; control_points : int; size : int }
-        (** node [pid] applied the controller rooted at [label]; the
-            captured subtree has [control_points] control points (labels
-            and forks — the quantity the paper's complexity claim is
-            stated in) and [size] segments (pstack) or tree nodes
-            (native) *)
-    | Reinstate of { pid : int; label : int; size : int }
-        (** node [pid] invoked a process continuation, grafting the
-            captured subtree back into the live tree *)
-    | Send of { pid : int; chan : int }  (** a value was enqueued on a channel *)
-    | Recv of { pid : int; chan : int }  (** a value was dequeued from a channel *)
-    | Invalid_controller of { pid : int; label : int }
-        (** a controller was applied with no matching root in the
-            current continuation *)
-    | Deadlock of { parked : int }
-        (** the run queue drained with [parked] live parked nodes *)
-
-  val name : t -> string
-  (** Stable kebab-case tag (["spawn"], ["slice-end"], …), used as the
-      ["ev"] field of the JSONL encoding. *)
-
-  val pid : t -> int
-  (** The node the event concerns; [-1] for {!Deadlock}. *)
-
-  val to_human : t -> string
-  (** One-line human rendering (no newline). *)
-end
+    Exported JSONL traces are not write-only: [Pcont_obs.Trace]
+    re-ingests them into typed events and [Pcont_obs.Analysis] checks
+    their invariants, computes causal reports and diffs two traces (the
+    [ptrace] CLI). *)
 
 (** {1 JSON utilities}
 
@@ -105,12 +56,90 @@ module Json : sig
     | Arr of t list
     | Obj of (string * t) list
 
+  val to_string : t -> string
+  (** Compact serialization (no whitespace).  Integral numbers print
+      without a fractional part, so trace fields round-trip exactly;
+      [parse (to_string v)] succeeds for every finite value.  Object
+      fields keep their list order, so equal values serialize to equal
+      bytes — the sinks rely on this for byte-identical traces. *)
+
   val parse : string -> (t, string) result
-  (** A small strict JSON parser, used by the tests and the trace-export
-      smoke checks to validate sink output. *)
+  (** A small strict JSON parser, used by the tests, the trace-export
+      smoke checks and {!Trace} re-ingestion to validate sink output. *)
 
   val member : string -> t -> t option
-  (** [member k (Obj kvs)] is the value bound to [k], if any. *)
+  (** [member k (Obj kvs)] is the value bound to [k], if any (the first
+      binding when keys are duplicated). *)
+end
+
+(** {1 Events} *)
+
+module Event : sig
+  (** The process-lifecycle event taxonomy, shared by both schedulers.
+      [pid] is the scheduler's node id for the process/branch/fiber the
+      event concerns; pids are unique within one run. *)
+  type t =
+    | Spawn of { pid : int; parent : int; kind : string }
+        (** a new process-tree node exists.  [kind] names how it
+            was created: ["root"], ["branch"] (pcall/fork child),
+            ["process"] (spawned root body), ["future"] (independent
+            tree), ["controller"] (a controller body installed by a
+            capture), ["graft"] (a node rebuilt by reinstatement —
+            every rebuilt node is announced, parents before children).
+            [parent] is [-1] for the root of a run. *)
+    | Exit of { pid : int }  (** the node delivered its final value *)
+    | Slice_begin of { pid : int }  (** the scheduler started running the node *)
+    | Slice_end of { pid : int; fuel : int }
+        (** the slice ended; [fuel] is the machine transitions charged
+            (always 1 for the native scheduler, which does not meter
+            fiber work) *)
+    | Park of { pid : int; resource : string }
+        (** the node blocked on the named resource (["future"],
+            ["channel.send"], …) and left the run queue *)
+    | Wake of { pid : int; resource : string }
+        (** a delivery or {!Pcont_sched.Sched.wake} made the parked node
+            runnable again *)
+    | Capture of {
+        pid : int;
+        label : int;
+        root_pid : int;
+        control_points : int;
+        size : int;
+      }
+        (** node [pid] applied the controller rooted at [label];
+            [root_pid] is the node whose continuation held the labeled
+            root — its live descendants are pruned into the process
+            continuation, and the controller body runs in its place.
+            The captured subtree has [control_points] control points
+            (labels and forks — the quantity the paper's complexity
+            claim is stated in) and [size] segments (pstack) or tree
+            nodes (native) *)
+    | Reinstate of { pid : int; label : int; size : int }
+        (** node [pid] invoked a process continuation, grafting the
+            captured subtree back into the live tree *)
+    | Send of { pid : int; chan : int }  (** a value was enqueued on a channel *)
+    | Recv of { pid : int; chan : int }  (** a value was dequeued from a channel *)
+    | Invalid_controller of { pid : int; label : int }
+        (** a controller was applied with no matching root in the
+            current continuation *)
+    | Deadlock of { parked : int }
+        (** the run queue drained with [parked] live parked nodes *)
+
+  val name : t -> string
+  (** Stable kebab-case tag (["spawn"], ["slice-end"], …), used as the
+      ["ev"] field of the JSONL encoding. *)
+
+  val pid : t -> int
+  (** The node the event concerns; [-1] for {!Deadlock}. *)
+
+  val to_human : t -> string
+  (** One-line human rendering (no newline). *)
+
+  val to_json : seq:int -> ts:int -> t -> Json.t
+  (** The JSONL object for one stamped event: [seq], [ts] and [ev]
+      first, then the payload fields in a fixed per-constructor order.
+      [Sink.jsonl] writes [Json.to_string] of this value;
+      [Pcont_obs.Trace.event_of_json] inverts it. *)
 end
 
 (** {1 Metrics}
@@ -220,10 +249,11 @@ module Sink : sig
       [~prefix:";; "] to stderr, preserving the historical stream. *)
 
   val jsonl : (string -> unit) -> sink
-  (** One JSON object per line:
+  (** One JSON object per line
+      ([Json.to_string (Event.to_json ...)]):
       [{"seq":4,"ts":17,"ev":"park","pid":3,"resource":"future"}].
       Field order is fixed, so equal event streams produce byte-equal
-      output. *)
+      output.  [Pcont_obs.Trace.parse_string] reads this format back. *)
 
   val chrome : (string -> unit) -> sink
   (** Chrome trace-event JSON (array form), loadable in
@@ -234,13 +264,15 @@ module Sink : sig
       closing bracket on {!close}. *)
 
   val memory : (int * int * Event.t -> unit) -> sink
-  (** Feed [(seq, ts, event)] triples to a callback (tests). *)
+  (** Feed [(seq, ts, event)] triples to a callback (tests,
+      [psi --analyze]). *)
 end
 
 (** {1 Per-process summary} *)
 
 module Summary : sig
   type row = {
+    mutable r_kind : string;  (** spawn kind, ["?"] if never spawned *)
     mutable r_slices : int;
     mutable r_fuel : int;
     mutable r_parks : int;
@@ -249,6 +281,7 @@ module Summary : sig
     mutable r_reinstates : int;
     mutable r_sends : int;
     mutable r_recvs : int;
+    mutable r_exits : int;  (** 0 or 1 in a well-formed trace *)
   }
 
   type t
@@ -256,11 +289,17 @@ module Summary : sig
   val create : unit -> t
 
   val sink : t -> sink
-  (** A sink aggregating per-process totals into [t]. *)
+  (** A sink aggregating per-process totals into [t].  Spawn and exit
+      events create rows too, so a process that spawns and exits
+      without ever slicing still shows up. *)
 
   val rows : t -> (int * row) list
   (** Totals per pid, sorted by pid. *)
 
+  val deadlock : t -> int option
+  (** The parked count of the last deadlock event, if one occurred. *)
+
   val pp : Format.formatter -> t -> unit
-  (** The [psi --summary] table: one row per process. *)
+  (** The [psi --summary] table: one row per process, plus a trailing
+      deadlock line when one occurred. *)
 end

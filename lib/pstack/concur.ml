@@ -302,7 +302,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
             Obs.observe o "concur.capture.control-points" cp;
             Obs.observe o "concur.capture.segments" size;
             Obs.emit o
-              (E.Capture { pid = n.nid; label = l; control_points = cp; size }));
+              (E.Capture
+                 { pid = n.nid; label = l; root_pid = p.nid; control_points = cp; size }));
         let pk = Pktree { pkt_label = l; pkt_tree = tree } in
         p.body <- Nleaf { control = Capply (body_fn, [ pk ]); pstack = below };
         born := [ p ]
@@ -356,13 +357,16 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         (match obs with
         | None -> ()
         | Some o ->
-            List.iter
-              (fun m ->
-                let parent =
-                  match m.parent with Pchild (p, _) -> p.nid | Ptop | Pfut _ -> -1
-                in
-                Obs.emit o (E.Spawn { pid = m.nid; parent; kind = "graft" }))
-              !born)
+            (* Announce every rebuilt node (forks included), parents
+               before children, so trace consumers never see a pid whose
+               spawn was skipped. *)
+            let rec announce parent m =
+              Obs.emit o (E.Spawn { pid = m.nid; parent; kind = "graft" });
+              match m.body with
+              | Nfork f -> Array.iter (announce m.nid) f.children
+              | Nleaf _ | Nparked _ | Ndone -> ()
+            in
+            Array.iter (announce n.nid) f.children)
     | Phole _ | Pleaf _ | Pdone ->
         (* Captures always package a fork at the top. *)
         assert false

@@ -389,7 +389,9 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
             let size = ptree_size tree in
             Obs.observe o "sched.capture.control-points" cp;
             Obs.observe o "sched.capture.size" size;
-            Obs.emit o (E.Capture { pid = n.nid; label; control_points = cp; size }));
+            Obs.emit o
+              (E.Capture
+                 { pid = n.nid; label; root_pid = p.nid; control_points = cp; size }));
         let upk = { upk_label = label; upk_tree = tree; upk_taken = false } in
         let body = make_step (fun () -> body_fn upk) in
         let w' =
@@ -469,15 +471,16 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
       match obs with
       | None -> ()
       | Some o ->
-          List.iter
-            (fun m ->
-              let parent =
-                match m.parent with
-                | Pchild (p, _) -> p.nid
-                | Ptop | Pfuture _ -> n.nid
-              in
-              Obs.emit o (E.Spawn { pid = m.nid; parent; kind = "graft" }))
-            !born
+          (* Announce every rebuilt node (waits included), parents before
+             children, so trace consumers never see a pid whose spawn was
+             skipped. *)
+          let rec announce parent m =
+            Obs.emit o (E.Spawn { pid = m.nid; parent; kind = "graft" });
+            match m.body with
+            | Nwait w -> Array.iter (announce m.nid) w.children
+            | Nleaf _ | Nparked _ | Ndone -> ()
+          in
+          announce n.nid child_holder.children.(0)
     end
   in
 

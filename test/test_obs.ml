@@ -62,6 +62,71 @@ let test_json_parse () =
       | Error _ -> ())
     [ "{"; "[1,]"; "\"\\q\""; "[1] trailing"; "\"\x01\""; "nul" ]
 
+let test_json_parse_edges () =
+  (* Deep nesting: the parser must take 512 levels of arrays without
+     blowing the stack or mis-counting brackets. *)
+  let deep n =
+    String.concat "" (List.init n (fun _ -> "["))
+    ^ "0"
+    ^ String.concat "" (List.init n (fun _ -> "]"))
+  in
+  (match Json.parse (deep 512) with
+  | Ok v ->
+      let rec depth = function Json.Arr [ x ] -> 1 + depth x | _ -> 0 in
+      Alcotest.(check int) "depth preserved" 512 (depth v)
+  | Error m -> Alcotest.failf "deep nesting rejected: %s" m);
+  (* Escape sequences, including \uXXXX for ASCII code points. *)
+  (match Json.parse {|"A\t\"\\\/b"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "escapes decode" "A\t\"\\/b" s
+  | Ok _ -> Alcotest.fail "escaped string parsed to non-string"
+  | Error m -> Alcotest.failf "escapes rejected: %s" m);
+  (match Json.parse "\"\\u0041\\u00e9\"" with
+  | Ok (Json.Str s) ->
+      (* ASCII \u escapes decode; non-ASCII ones are kept textually. *)
+      Alcotest.(check string) "unicode escapes" "A\\u00e9" s
+  | Ok _ -> Alcotest.fail "\\u string parsed to non-string"
+  | Error m -> Alcotest.failf "\\u escapes rejected: %s" m);
+  (* Truncated input of every flavour is an error, not a crash. *)
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted truncated JSON %S" bad
+      | Error _ -> ())
+    [ "{\"a\":"; "[1, 2"; "\"unterminated"; "\"esc\\"; "\"u\\u00"; "tru"; "-"; "" ];
+  (* Duplicate keys: member returns the first binding. *)
+  match Json.parse {|{"k": 1, "k": 2}|} with
+  | Ok v -> (
+      match Json.member "k" v with
+      | Some (Json.Num n) -> Alcotest.(check (float 0.)) "first binding wins" 1. n
+      | _ -> Alcotest.fail "member k")
+  | Error m -> Alcotest.failf "duplicate keys rejected: %s" m
+
+let test_json_to_string () =
+  let v =
+    Json.Obj
+      [
+        ("i", Json.Num 42.);
+        ("f", Json.Num 2.5);
+        ("neg", Json.Num (-17.));
+        ("s", Json.Str "a\"b\nc");
+        ("arr", Json.Arr [ Json.Bool true; Json.Null ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  let s = Json.to_string v in
+  (* Compact, and integral numbers print with no fractional part. *)
+  Alcotest.(check string) "serialization"
+    {|{"i":42,"f":2.5,"neg":-17,"s":"a\"b\nc","arr":[true,null],"empty":{}}|} s;
+  (* Round-trip: parse (to_string v) = v, including field order. *)
+  (match Json.parse s with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error m -> Alcotest.failf "to_string output does not parse: %s" m);
+  (* Large-but-integral stays exact; non-integral keeps precision. *)
+  Alcotest.(check string) "big int" "123456789012" (Json.to_string (Json.Num 123456789012.));
+  match Json.parse (Json.to_string (Json.Num 0.1)) with
+  | Ok (Json.Num f) -> Alcotest.(check (float 1e-15)) "precision kept" 0.1 f
+  | _ -> Alcotest.fail "0.1 round-trip"
+
 (* ---------------- metrics ---------------- *)
 
 let test_metrics_histogram () =
@@ -80,6 +145,23 @@ let test_metrics_histogram () =
         (List.filter (fun (l, _) -> l.[0] = '<') buckets);
       Alcotest.(check bool) "overflow bucket" true
         (List.mem_assoc ">1048576" buckets)
+
+let test_metrics_overflow_bucket () =
+  (* Values past the last bound land in the overflow bucket, which must
+     render as ">N" (not "<=N") both in hist_buckets and in pp output. *)
+  let m = Obs.Metrics.create () in
+  List.iter (Obs.Metrics.observe m "big") [ 2_000_000; 5_000_000 ];
+  (match Obs.Metrics.find m "big" with
+  | None -> Alcotest.fail "histogram not created"
+  | Some h ->
+      Alcotest.(check (list (pair string int)))
+        "only the overflow bucket"
+        [ (">1048576", 2) ]
+        (Obs.Metrics.hist_buckets h));
+  let rendered = Format.asprintf "%a" Obs.Metrics.pp m in
+  Alcotest.(check bool) "pp shows >N row" true (contains ~needle:">1048576" rendered);
+  Alcotest.(check bool) "pp shows stats" true
+    (contains ~needle:"n=2 sum=7000000 max=5000000" rendered)
 
 let test_metrics_share_counters () =
   let c = C.create () in
@@ -310,10 +392,13 @@ let () =
           Alcotest.test_case "escape" `Quick test_json_escape;
           Alcotest.test_case "quote parses" `Quick test_json_quote_parses;
           Alcotest.test_case "parser" `Quick test_json_parse;
+          Alcotest.test_case "parser edge cases" `Quick test_json_parse_edges;
+          Alcotest.test_case "to_string" `Quick test_json_to_string;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "overflow bucket" `Quick test_metrics_overflow_bucket;
           Alcotest.test_case "shared counters" `Quick test_metrics_share_counters;
         ] );
       ( "determinism",
