@@ -38,7 +38,7 @@ let pint k v = (k, Obs.Json.Num (float_of_int v))
 
 let pstr k v = (k, Obs.Json.Str v)
 
-let jrow ?(metrics = []) ~name ~params ns =
+let jrow ?(metrics = []) ?words ~name ~params ns =
   match !json_file with
   | None -> ()
   | Some _ ->
@@ -49,6 +49,12 @@ let jrow ?(metrics = []) ~name ~params ns =
            :: ("params", Obs.Json.Obj params)
            :: ("ns_per_op", Obs.Json.Num ns)
            ::
+           ((* minor-heap words allocated per operation ([Gc.minor_words]
+               delta over one run / ops), when the experiment measures it *)
+            match words with
+            | None -> []
+            | Some w -> [ ("words_per_op", Obs.Json.Num w) ])
+           @
            (match metrics with
            | [] -> []
            | ms ->
@@ -93,6 +99,21 @@ let time_best ?(n = 3) f =
   done;
   (Option.get !result, !best)
 
+(* [time_best] that also reports the minor-heap words allocated by the
+   first run (allocation is deterministic, so one sample suffices). *)
+let time_best_alloc ?(n = 3) f =
+  let w0 = Gc.minor_words () in
+  let r0, t0 = time_once f in
+  let words = Gc.minor_words () -. w0 in
+  let best = ref t0 in
+  let result = ref r0 in
+  for _ = 2 to n do
+    let r, t = time_once f in
+    result := r;
+    if t < !best then best := t
+  done;
+  (!result, !best, words)
+
 let ns_per t ops = t *. 1e9 /. float_of_int ops
 
 let header title = Printf.printf "\n==== %s ====\n" title
@@ -111,13 +132,14 @@ let repeat_defs =
   (if (zero? n) (thunk) (+ 1 (deep (- n 1) thunk))))
 |}
 
-let eval_scheme ?mode ~strategy src =
-  let t = Interp.create ~strategy () in
+let eval_scheme ?mode ?fastpath ?n ~strategy src =
+  let t = Interp.create ~strategy ?fastpath () in
   ignore (Interp.eval_string t repeat_defs);
-  let (), dt =
-    time_best (fun () -> ignore (Interp.eval_value ?mode ~fuel:2_000_000_000 t src))
+  let (), dt, words =
+    time_best_alloc ?n (fun () ->
+        ignore (Interp.eval_value ?mode ~fuel:2_000_000_000 t src))
   in
-  (Interp.config t, dt)
+  (Interp.config t, dt, words)
 
 (* ------------------------------------------------------------------ *)
 (* E1: controller capture cost vs continuation size                    *)
@@ -144,24 +166,25 @@ let e1 () =
           "(spawn (lambda (c) (deep %d (lambda () (repeat %d (lambda () 0))))))" n k
       in
       let run strategy =
-        let _, dt0 = eval_scheme ~strategy baseline in
-        let cfg, dt = eval_scheme ~strategy src in
+        let _, dt0, w0 = eval_scheme ~strategy baseline in
+        let cfg, dt, w = eval_scheme ~strategy src in
         let frames =
           C.get cfg.Pstack.Machine.counters "capture.frames"
           + C.get cfg.Pstack.Machine.counters "reinstate.frames"
         in
-        (ns_per (Float.max 0. (dt -. dt0)) k, frames)
+        (ns_per (Float.max 0. (dt -. dt0)) k, frames,
+         Float.max 0. (w -. w0) /. float_of_int k)
       in
-      let lt, lframes = run Pstack.Types.Linked in
-      let ct, cframes = run Pstack.Types.Copying in
+      let lt, lframes, lw = run Pstack.Types.Linked in
+      let ct, cframes, cw = run Pstack.Types.Copying in
       let lf = float_of_int lframes /. float_of_int k
       and cf = float_of_int cframes /. float_of_int k in
       jrow ~name:"e1.capture.linked"
         ~params:[ pint "frames" n; pint "k" k ]
-        ~metrics:[ ("frames.moved", lframes) ] lt;
+        ~metrics:[ ("frames.moved", lframes) ] ~words:lw lt;
       jrow ~name:"e1.capture.copying"
         ~params:[ pint "frames" n; pint "k" k ]
-        ~metrics:[ ("frames.moved", cframes) ] ct;
+        ~metrics:[ ("frames.moved", cframes) ] ~words:cw ct;
       row "%8d %6d | %14.0f %14.0f | %16.1f %16.1f\n" n k lt ct lf cf)
     depths;
   print_endline "shape: linked columns flat in frames; copying columns linear in frames.";
@@ -185,8 +208,8 @@ let e1 () =
                  (repeat %d (lambda () %s))))))))"
           frames winders k inner
       in
-      let _, dt0 = eval_scheme ~strategy:Pstack.Types.Linked (program "0") in
-      let _, dt =
+      let _, dt0, _ = eval_scheme ~strategy:Pstack.Types.Linked (program "0") in
+      let _, dt, _ =
         eval_scheme ~strategy:Pstack.Types.Linked (program "(c (lambda (k) (k 0)))")
       in
       let ns = ns_per (Float.max 0. (dt -. dt0)) k in
@@ -220,7 +243,7 @@ let e2 () =
   List.iter
     (fun r ->
       let src = nested_roots_src r k in
-      let cfg, dt = eval_scheme ~strategy:Pstack.Types.Linked src in
+      let cfg, dt, w = eval_scheme ~strategy:Pstack.Types.Linked src in
       let segs =
         C.get cfg.Pstack.Machine.counters "capture.segments"
         + C.get cfg.Pstack.Machine.counters "reinstate.segments"
@@ -232,6 +255,7 @@ let e2 () =
             ("segments.moved", segs);
             ("controller.applications", C.get cfg.Pstack.Machine.counters "controller");
           ]
+        ~words:(w /. float_of_int k)
         (ns_per dt k);
       row "%8d %6d | %14.0f | %16.1f\n" r k (ns_per dt k)
         (float_of_int segs /. float_of_int k))
@@ -747,6 +771,90 @@ let e11 () =
   print_endline "       with traces far larger than any experiment in this suite."
 
 (* ------------------------------------------------------------------ *)
+(* E12: capture fast path — one-shot move + segment pool vs always-copy *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  header "E12  capture fast path: one-shot move + segment pool vs baseline";
+  (* Two capture-heavy one-shot workloads, each run twice on the same
+     sources: with the fast path (segment pool + one-shot move, the
+     default) and with [~fastpath:false] (every capture pins and every
+     spawn allocates — the pre-fast-path behavior).  Reported per
+     capture: wall time, minor-heap words ([Gc.minor_words] delta), and
+     the fast path's own counters (pool hits and moved captures).
+
+     - gen:   generator pipelines — K/100 spawns of 100 yields each
+              ((c (lambda (k) (k 0)))); the one-shot move skips pinning
+              and copy-on-write on every yield, and each generator's
+              spawn segment cycles through the pool.
+     - prune: parallel-or-style pruning — K spawns that each build a few
+              frames and then abort ((c (lambda (k) 0)) never applies k),
+              discarding the pending work; the pool recycles the erased
+              spawn segments. *)
+  Printf.printf "%7s %9s | %10s %10s | %11s %11s | %9s %9s\n" "work" "captures"
+    "fast ns" "base ns" "fast w/cap" "base w/cap" "pool.hit" "moved";
+  let ks = if !quick then [ 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let workloads =
+    [
+      ( "gen",
+        fun k ->
+          (* a pipeline of k/100 generators, 100 yields each: the yields
+             exercise the one-shot move, the generator spawns cycle
+             their segments through the pool *)
+          Printf.sprintf
+            "(repeat %d (lambda () (spawn (lambda (c) (repeat 100 (lambda () (c (lambda (k) (k 0)))))))))"
+            (k / 100) );
+      ( "prune",
+        fun k ->
+          Printf.sprintf
+            "(repeat %d (lambda () (spawn (lambda (c) (deep 8 (lambda () (c (lambda (k) 0))))))))"
+            k );
+    ]
+  in
+  List.iter
+    (fun (wname, src_of) ->
+      List.iter
+        (fun k ->
+          let src = src_of k in
+          let run fastpath =
+            (* Normalize heap state between measurements: the fast/base
+               comparison is ns-level, and major-heap growth from earlier
+               rows otherwise bleeds into later ones. *)
+            Gc.compact ();
+            let cfg, dt, words =
+              eval_scheme ~strategy:Pstack.Types.Linked ~fastpath ~n:9 src
+            in
+            let get name = C.get cfg.Pstack.Machine.counters name in
+            ( ns_per dt k,
+              words /. float_of_int k,
+              [
+                ("machine.pool.hit", get "machine.pool.hit");
+                ("machine.pool.miss", get "machine.pool.miss");
+                ("machine.capture.moved", get "machine.capture.moved");
+              ] )
+          in
+          let fns, fw, fm = run true in
+          let bns, bw, _ = run false in
+          jrow
+            ~name:(Printf.sprintf "e12.%s.fast" wname)
+            ~params:[ pint "captures" k ]
+            ~metrics:fm ~words:fw fns;
+          jrow
+            ~name:(Printf.sprintf "e12.%s.base" wname)
+            ~params:[ pint "captures" k ]
+            ~words:bw bns;
+          row "%7s %9d | %10.0f %10.0f | %11.1f %11.1f | %9d %9d\n" wname k fns
+            bns fw bw (List.assoc "machine.pool.hit" fm)
+            (List.assoc "machine.capture.moved" fm))
+        ks)
+    workloads;
+  print_endline "shape: fast rows allocate fewer words per capture than base rows;";
+  print_endline "       capture.moved tracks the captures 1:1 and pool.hit tracks the";
+  print_endline "       spawns (gen) or the aborted captures (prune).";
+  print_endline "claim: one-shot captures skip pinning and copy-on-write entirely, and";
+  print_endline "       the pool recycles spawn segments that die without escaping."
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel measurements of the native primitives               *)
 (* ------------------------------------------------------------------ *)
 
@@ -803,6 +911,7 @@ let experiments =
     ("e9", e9);
     ("e10", e10);
     ("e11", e11);
+    ("e12", e12);
     ("micro", micro);
   ]
 

@@ -286,7 +286,12 @@ let stats =
     & info [ "stats" ]
         ~doc:
           "Print machine instrumentation counters and scheduler histograms to \
-           stderr on exit.")
+           stderr on exit.  Alongside the control-operation counters \
+           (capture.segments, reinstate.segments, ...), the capture fast path \
+           reports $(b,machine.pool.hit) / $(b,machine.pool.miss) (segment \
+           allocations served from / missed by the segment pool) and \
+           $(b,machine.capture.moved) (captures whose segments were moved by \
+           the one-shot path instead of pinned for copy-on-write).")
 
 let trace =
   Arg.(

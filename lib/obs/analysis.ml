@@ -110,30 +110,39 @@ module Check = struct
           violate seq "ts-monotone"
             (Printf.sprintf "ts %d after ts %d" s.Trace.ts !prev_ts);
         prev_ts := max !prev_ts s.Trace.ts;
+        (* One spawned node, whether announced individually or inside a
+           batch: the same spawn-unique obligations apply to each. *)
+        let spawn_node seq pid parent kind =
+          match find pid with
+          | Some _ ->
+              violate seq "spawn-unique"
+                (Printf.sprintf "pid %d spawned twice in one run" pid)
+          | None ->
+              if parent <> -1 then (
+                match find parent with
+                | None ->
+                    violate seq "spawn-unique"
+                      (Printf.sprintf "pid %d spawned by unknown parent %d" pid parent)
+                | Some ps ->
+                    (match ps.ps_status with
+                    | Live -> ()
+                    | Exited | Pruned ->
+                        violate seq "spawn-unique"
+                          (Printf.sprintf "pid %d spawned by dead parent %d (%s)" pid
+                             parent kind));
+                    ps.ps_children <- ps.ps_children @ [ pid ]);
+              Hashtbl.add nodes pid
+                { ps_parent = parent; ps_children = []; ps_status = Live;
+                  ps_parked = None }
+        in
         match s.Trace.ev with
         | Event.Spawn { pid; parent; kind } ->
             if parent = -1 then reset_run seq;
-            (match find pid with
-            | Some _ ->
-                violate seq "spawn-unique"
-                  (Printf.sprintf "pid %d spawned twice in one run" pid)
-            | None ->
-                if parent <> -1 then (
-                  match find parent with
-                  | None ->
-                      violate seq "spawn-unique"
-                        (Printf.sprintf "pid %d spawned by unknown parent %d" pid parent)
-                  | Some ps ->
-                      (match ps.ps_status with
-                      | Live -> ()
-                      | Exited | Pruned ->
-                          violate seq "spawn-unique"
-                            (Printf.sprintf "pid %d spawned by dead parent %d (%s)" pid
-                               parent kind));
-                      ps.ps_children <- ps.ps_children @ [ pid ]);
-                Hashtbl.add nodes pid
-                  { ps_parent = parent; ps_children = []; ps_status = Live;
-                    ps_parked = None })
+            spawn_node seq pid parent kind
+        | Event.Spawn_batch { kind; nodes = batch; _ } ->
+            (* pre-order: parents must already be known (or earlier in the
+               batch), so the per-node checks run in listed order *)
+            Array.iter (fun (pid, parent) -> spawn_node seq pid parent kind) batch
         | Event.Exit { pid } ->
             if check_alive seq pid "exit" then begin
               check_not_parked seq pid "exit";
@@ -342,6 +351,12 @@ module Report = struct
           | Event.Spawn { pid; parent; kind } ->
               Hashtbl.replace parents pid parent;
               push pid i (En_spawn kind)
+          | Event.Spawn_batch { kind; nodes; _ } ->
+              Array.iter
+                (fun (pid, parent) ->
+                  Hashtbl.replace parents pid parent;
+                  push pid i (En_spawn kind))
+                nodes
           | Event.Wake { pid; resource } -> push pid i (En_wake resource)
           | Event.Exit { pid } -> (
               match Hashtbl.find_opt parents pid with
@@ -611,6 +626,19 @@ module Diff = struct
             push c
               (Printf.sprintf "spawn kind=%s parent=%d" kind
                  (if parent = -1 then -1 else cpid parent))
+        | Event.Spawn_batch { kind; nodes; _ } ->
+            (* expand exactly as the equivalent individual spawns would:
+               same canonical-pid assignment order, same facts — so a
+               batched trace and its unbatched twin have equal skeletons *)
+            Array.iter
+              (fun (pid, parent) ->
+                let c = !next in
+                incr next;
+                Hashtbl.replace canon pid c;
+                push c
+                  (Printf.sprintf "spawn kind=%s parent=%d" kind
+                     (if parent = -1 then -1 else cpid parent)))
+              nodes
         | Event.Exit { pid } -> push (cpid pid) "exit"
         | Event.Capture { pid; label; _ } ->
             push (cpid pid) (Printf.sprintf "capture label=%d" label)

@@ -235,6 +235,12 @@ end
 module Event = struct
   type t =
     | Spawn of { pid : int; parent : int; kind : string }
+    | Spawn_batch of { pid : int; kind : string; nodes : (int * int) array }
+        (* one event for a whole regrafted subtree: [nodes] lists the
+           rebuilt nodes as (pid, parent) pairs in pre-order (parents
+           before children), exactly the order the per-node announcements
+           used to be emitted in.  [pid] is the announcing (grafting)
+           node. *)
     | Exit of { pid : int }
     | Slice_begin of { pid : int }
     | Slice_end of { pid : int; fuel : int }
@@ -255,6 +261,7 @@ module Event = struct
 
   let name = function
     | Spawn _ -> "spawn"
+    | Spawn_batch _ -> "spawn-batch"
     | Exit _ -> "exit"
     | Slice_begin _ -> "slice-begin"
     | Slice_end _ -> "slice-end"
@@ -269,6 +276,7 @@ module Event = struct
 
   let pid = function
     | Spawn { pid; _ }
+    | Spawn_batch { pid; _ }
     | Exit { pid }
     | Slice_begin { pid }
     | Slice_end { pid; _ }
@@ -285,6 +293,11 @@ module Event = struct
   let to_human = function
     | Spawn { pid; parent; kind } ->
         Printf.sprintf "spawn   pid=%d parent=%d kind=%s" pid parent kind
+    | Spawn_batch { pid; kind; nodes } ->
+        Printf.sprintf "spawn*  pid=%d kind=%s nodes=[%s]" pid kind
+          (String.concat ";"
+             (Array.to_list
+                (Array.map (fun (p, par) -> Printf.sprintf "%d<-%d" p par) nodes)))
     | Exit { pid } -> Printf.sprintf "exit    pid=%d" pid
     | Slice_begin { pid } -> Printf.sprintf "run     pid=%d" pid
     | Slice_end { pid; fuel } -> Printf.sprintf "ran     pid=%d fuel=%d" pid fuel
@@ -309,6 +322,19 @@ module Event = struct
     let payload =
       match ev with
       | Spawn { pid; parent; kind } -> [ i "pid" pid; i "parent" parent; s "kind" kind ]
+      | Spawn_batch { pid; kind; nodes } ->
+          [
+            i "pid" pid;
+            s "kind" kind;
+            ( "nodes",
+              Json.Arr
+                (Array.to_list
+                   (Array.map
+                      (fun (p, parent) ->
+                        Json.Arr
+                          [ Json.Num (float_of_int p); Json.Num (float_of_int parent) ])
+                      nodes)) );
+          ]
       | Exit { pid } -> [ i "pid" pid ]
       | Slice_begin { pid } -> [ i "pid" pid ]
       | Slice_end { pid; fuel } -> [ i "pid" pid; i "fuel" fuel ]
@@ -557,6 +583,14 @@ module Sink = struct
               ensure_name pid (Printf.sprintf "%s %d" kind pid);
               instant ~ts pid "spawn"
                 [ ("parent", num parent); ("kind", Json.Str kind) ]
+          | Event.Spawn_batch { pid; kind; nodes } ->
+              (* name every rebuilt node's track, then one instant on the
+                 announcing node summarising the batch *)
+              Array.iter
+                (fun (p, _) -> ensure_name p (Printf.sprintf "%s %d" kind p))
+                nodes;
+              instant ~ts pid "spawn-batch"
+                [ ("kind", Json.Str kind); ("count", num (Array.length nodes)) ]
           | Event.Exit { pid } -> instant ~ts pid "exit" []
           | Event.Slice_begin { pid } ->
               ensure_name pid (Printf.sprintf "p%d" pid);
@@ -643,6 +677,12 @@ module Summary = struct
           | Event.Spawn { pid; kind; _ } ->
               let r = row t pid in
               r.r_kind <- kind
+          | Event.Spawn_batch { kind; nodes; _ } ->
+              Array.iter
+                (fun (p, _) ->
+                  let r = row t p in
+                  r.r_kind <- kind)
+                nodes
           | Event.Exit { pid } ->
               let r = row t pid in
               r.r_exits <- r.r_exits + 1

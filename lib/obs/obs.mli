@@ -87,6 +87,14 @@ module Event : sig
             capture), ["graft"] (a node rebuilt by reinstatement —
             every rebuilt node is announced, parents before children).
             [parent] is [-1] for the root of a run. *)
+    | Spawn_batch of { pid : int; kind : string; nodes : (int * int) array }
+        (** one event for a whole regrafted subtree: [nodes] lists the
+            rebuilt nodes as [(pid, parent)] pairs in pre-order (parents
+            before children), exactly the order the equivalent individual
+            {!Spawn} events would appear in; [pid] is the announcing
+            (grafting) node.  Emitted by both schedulers when a
+            reinstatement rebuilds a subtree, replacing O(n) ["graft"]
+            spawns with one event. *)
     | Exit of { pid : int }  (** the node delivered its final value *)
     | Slice_begin of { pid : int }  (** the scheduler started running the node *)
     | Slice_end of { pid : int; fuel : int }

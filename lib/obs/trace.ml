@@ -28,6 +28,25 @@ let event_of_json j =
         let* parent = int_field j "parent" in
         let* kind = str_field j "kind" in
         Ok (Event.Spawn { pid; parent; kind })
+    | "spawn-batch" ->
+        let* pid = int_field j "pid" in
+        let* kind = str_field j "kind" in
+        let* nodes =
+          match Json.member "nodes" j with
+          | Some (Json.Arr entries) ->
+              let rec go acc = function
+                | [] -> Ok (Array.of_list (List.rev acc))
+                | Json.Arr [ Json.Num p; Json.Num par ] :: rest
+                  when Float.is_integer p && Float.is_integer par ->
+                    go ((int_of_float p, int_of_float par) :: acc) rest
+                | _ ->
+                    Error "field \"nodes\" entries must be [pid,parent] int pairs"
+              in
+              go [] entries
+          | Some _ -> Error "field \"nodes\" is not an array"
+          | None -> Error "missing field \"nodes\""
+        in
+        Ok (Event.Spawn_batch { pid; kind; nodes })
     | "exit" ->
         let* pid = int_field j "pid" in
         Ok (Event.Exit { pid })
@@ -219,40 +238,45 @@ let reconstruct events =
             | _ -> ())
           n.n_children
   in
+  let add_node ~ts pid parent kind =
+    if not (Hashtbl.mem tbl pid) then begin
+      let n =
+        {
+          n_pid = pid;
+          n_parent = parent;
+          n_kind = kind;
+          n_spawn_ts = ts;
+          n_children = [];
+          n_exit_ts = None;
+          n_pruned_ts = None;
+          n_slices = 0;
+          n_run = 0;
+          n_fuel = 0;
+          n_parks = 0;
+          n_wakes = 0;
+          n_captures = 0;
+          n_reinstates = 0;
+          n_sends = 0;
+          n_recvs = 0;
+          n_blocked = [];
+        }
+      in
+      Hashtbl.add tbl pid n;
+      match find parent with
+      | Some p -> p.n_children <- p.n_children @ [ pid ]
+      | None -> ()
+    end
+  in
   Array.iteri
     (fun i s ->
       (match !open_slice with
       | Some (_, _, _, idx) -> actor.(i) <- idx
       | None -> ());
       match s.ev with
-      | Event.Spawn { pid; parent; kind } ->
-          if not (Hashtbl.mem tbl pid) then begin
-            let n =
-              {
-                n_pid = pid;
-                n_parent = parent;
-                n_kind = kind;
-                n_spawn_ts = s.ts;
-                n_children = [];
-                n_exit_ts = None;
-                n_pruned_ts = None;
-                n_slices = 0;
-                n_run = 0;
-                n_fuel = 0;
-                n_parks = 0;
-                n_wakes = 0;
-                n_captures = 0;
-                n_reinstates = 0;
-                n_sends = 0;
-                n_recvs = 0;
-                n_blocked = [];
-              }
-            in
-            Hashtbl.add tbl pid n;
-            match find parent with
-            | Some p -> p.n_children <- p.n_children @ [ pid ]
-            | None -> ()
-          end
+      | Event.Spawn { pid; parent; kind } -> add_node ~ts:s.ts pid parent kind
+      | Event.Spawn_batch { kind; nodes; _ } ->
+          (* pre-order, so each parent is registered before its children *)
+          Array.iter (fun (pid, parent) -> add_node ~ts:s.ts pid parent kind) nodes
       | Event.Exit { pid } -> (
           match find pid with
           | Some n -> if n.n_exit_ts = None then n.n_exit_ts <- Some s.ts

@@ -243,11 +243,19 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
      the subtree of stacks it delimits, and apply the controller's argument
      to the packaged process continuation in the remaining trunk. *)
   and do_capture n st l body_fn =
+    (* Every stack that ends up aliased by the packaged [Pktree] must be
+       pinned: segments are mutable records and a multi-shot continuation
+       can graft the same records back twice, so the machine has to
+       copy-on-write rather than mutate them (and never pool them). *)
     let rec ptree_of m =
-      if m == n then Phole st.pstack
+      if m == n then (
+        Machine.pin_segments st.pstack;
+        Phole st.pstack)
       else
         match m.body with
-        | Nleaf s -> Pleaf s
+        | Nleaf s ->
+            Machine.pin_segments s.pstack;
+            Pleaf s
         | Nparked p ->
             (* Pruning a parked waiter: invalidate its wake thunk (the
                cell may resolve while the subtree is captured) and
@@ -256,9 +264,11 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                finds the cell resolved or parks again. *)
             p.pk_live <- false;
             decr n_parked;
+            Machine.pin_segments p.pk_st.pstack;
             Pleaf p.pk_st
         | Ndone -> Pdone
         | Nfork f ->
+            Machine.pin_segments f.trunk;
             Pfork
               {
                 pf_trunk = f.trunk;
@@ -285,6 +295,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         incr prunes;
         Counters.incr counters "concur.capture";
         Counters.incr counters "sync.lock";
+        Machine.pin_segments above_incl;
         let tree =
           Pfork
             {
@@ -357,16 +368,20 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         (match obs with
         | None -> ()
         | Some o ->
-            (* Announce every rebuilt node (forks included), parents
-               before children, so trace consumers never see a pid whose
-               spawn was skipped. *)
-            let rec announce parent m =
-              Obs.emit o (E.Spawn { pid = m.nid; parent; kind = "graft" });
+            (* Announce every rebuilt node (forks included) in one batch
+               event, parents before children, so trace consumers never
+               see a pid whose spawn was skipped — one event instead of
+               one per rebuilt node. *)
+            let acc = ref [] in
+            let rec collect parent m =
+              acc := (m.nid, parent) :: !acc;
               match m.body with
-              | Nfork f -> Array.iter (announce m.nid) f.children
+              | Nfork f -> Array.iter (collect m.nid) f.children
               | Nleaf _ | Nparked _ | Ndone -> ()
             in
-            Array.iter (announce n.nid) f.children)
+            Array.iter (collect n.nid) f.children;
+            let nodes = Array.of_list (List.rev !acc) in
+            Obs.emit o (E.Spawn_batch { pid = n.nid; kind = "graft"; nodes }))
     | Phole _ | Pleaf _ | Pdone ->
         (* Captures always package a fork at the top. *)
         assert false

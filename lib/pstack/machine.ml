@@ -6,16 +6,134 @@ type config = {
   strategy : strategy;
   counters : Counters.t;
   labels : Id.t;
+  fastpath : bool;
+      (* enables the segment pool and the one-shot move path; [false]
+         reproduces the pre-optimization allocation behavior so benchmarks
+         can measure both in one run *)
+  pool : segment array;
+      (* free-listed segment records, slots [0 .. pool_n-1] live.  A fixed
+         array rather than a list so recycling allocates nothing. *)
+  mutable pool_n : int;
+  mutable pool_ops : int;
+      (* recycles since the last pool flush.  Pooled records that survive
+         a minor collection are promoted to the major heap, and every
+         frame write on an old record pays the full write barrier — so a
+         record that circulates through the pool indefinitely makes the
+         whole interpreter slower, not faster.  Aging the pool out every
+         [pool_age] recycles bounds any promoted record's circulation. *)
+  pool_hit : int ref;  (* cached cells for the pool counters: the *)
+  pool_miss : int ref; (* acquire/release sites skip the hash lookup *)
+  pk_moved : int ref;
+  mutable lin_cache : (rir * int) list;
+      (* memoized one-shot classification, keyed by physical identity of
+         the controller-body code node: the same (lambda (k) ...) site
+         classifies identically on every capture, so the linearity walk
+         runs once per site, not once per capture.  Bounded by the number
+         of controller bodies in the program.  -1 encodes "not linear". *)
   mutable metrics : Pcont_obs.Obs.Metrics.t option;
       (* histogram half of the observability metrics; the drivers set it
          while a trace handle is attached, so the no-handle path stays a
          single pattern match *)
 }
 
-let config ?(strategy = Linked) () =
-  { strategy; counters = Counters.create (); labels = Id.create (); metrics = None }
+let pool_cap = 64
+let pool_age = 16
 
-let initial_pstack = [ { root = Rbase; frames = []; winders = [] } ]
+(* Fills unused pool slots; [shared] so a leak through any bug is inert. *)
+let dummy_segment = { root = Rbase; frames = []; winders = []; shared = true }
+
+let config ?(strategy = Linked) ?(fastpath = true) () =
+  let counters = Counters.create () in
+  {
+    strategy;
+    counters;
+    labels = Id.create ();
+    fastpath;
+    pool = Array.make pool_cap dummy_segment;
+    pool_n = 0;
+    pool_ops = 0;
+    pool_hit = Counters.cell counters "machine.pool.hit";
+    pool_miss = Counters.cell counters "machine.pool.miss";
+    pk_moved = Counters.cell counters "machine.capture.moved";
+    lin_cache = [];
+    metrics = None;
+  }
+
+(* The one Rbase record is shared by every run and every forked branch, so
+   it is permanently [shared]: the first frame push copies it. *)
+let initial_pstack = [ { root = Rbase; frames = []; winders = []; shared = true } ]
+
+(* ------------------------------------------------------------------ *)
+(* Segment pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Fresh segments are needed at exactly two rates: one per spawn and one
+   per prompt.  Their records die at the matching return (the first branch
+   of [return_value]), which recycles any record no continuation aliases —
+   so spawn-heavy loops reuse a handful of records instead of allocating. *)
+let fresh_segment cfg root =
+  if cfg.fastpath && cfg.pool_n > 0 then begin
+    let n = cfg.pool_n - 1 in
+    cfg.pool_n <- n;
+    let seg = Array.unsafe_get cfg.pool n in
+    Array.unsafe_set cfg.pool n dummy_segment;
+    incr cfg.pool_hit;
+    seg.root <- root;
+    seg
+  end
+  else begin
+    if cfg.fastpath then incr cfg.pool_miss;
+    { root; frames = []; winders = []; shared = false }
+  end
+
+let recycle_segment cfg seg =
+  if cfg.fastpath && (not seg.shared) && cfg.pool_n < pool_cap then begin
+    let ops = cfg.pool_ops + 1 in
+    cfg.pool_ops <- ops;
+    if ops land (pool_age - 1) = 0 then begin
+      (* age out: drop every pooled record AND the incoming one (clearing
+         the slots so the array does not keep them alive).  The incoming
+         record must go too — a hot loop's record is back in the pool
+         within an op or two of any flush, so sparing it would let a
+         promoted record circulate forever. *)
+      Array.fill cfg.pool 0 cfg.pool_n dummy_segment;
+      cfg.pool_n <- 0
+    end
+    else begin
+      seg.frames <- [];
+      seg.winders <- [];
+      Array.unsafe_set cfg.pool cfg.pool_n seg;
+      cfg.pool_n <- cfg.pool_n + 1;
+      match cfg.metrics with
+      | None -> ()
+      | Some m ->
+          Pcont_obs.Obs.Metrics.observe m "machine.pool.occupancy" cfg.pool_n
+    end
+  end
+
+let rec recycle_segments cfg = function
+  | [] -> ()
+  | seg :: more ->
+      recycle_segment cfg seg;
+      recycle_segments cfg more
+
+(* Young replacements for a moved segment list.  Splicing the moved
+   records themselves is a trap: one record reused across a whole
+   capture loop is eventually promoted, and from then on every frame
+   write on it pays the full write barrier — measurably slower than
+   allocating.  Routing the replacements through the pool is the same
+   trap at one remove (the hot record circulates pool -> live -> pool
+   and two old-array writes are paid per capture), so the reinstate
+   path simply allocates: a 4-word minor allocation is nearly free. *)
+let rec renew_segments = function
+  | [] -> []
+  | s :: more ->
+      { root = s.root; frames = s.frames; winders = s.winders; shared = false }
+      :: renew_segments more
+
+(* Mark records as aliased by a captured continuation: from here on they
+   are copied before any field write and never pooled. *)
+let pin_segments segs = List.iter (fun seg -> seg.shared <- true) segs
 
 let initial ir = { control = Ceval (ir, []); pstack = initial_pstack }
 
@@ -36,13 +154,46 @@ exception Stop of stepped
 
 let err msg = raise (Stop (Err msg))
 
-let push_frame f = function
+(* Frame push/pop mutates the top record in place when it is uniquely
+   owned, so the steady-state machine transition allocates no segment
+   record and no list cell.  Shared records (aliased by a continuation)
+   get a fresh copy first — copy-on-write — which detaches the live stack
+   from the capture without ever touching the captured fields. *)
+let push_frame f pstack =
+  match pstack with
   | seg :: rest ->
-      let winders =
-        match f with Fwind (b, a) -> (b, a) :: seg.winders | _ -> seg.winders
-      in
-      { seg with frames = f :: seg.frames; winders } :: rest
+      if seg.shared then
+        let winders =
+          match f with Fwind (b, a) -> (b, a) :: seg.winders | _ -> seg.winders
+        in
+        { root = seg.root; frames = f :: seg.frames; winders; shared = false }
+        :: rest
+      else begin
+        (match f with
+        | Fwind (b, a) -> seg.winders <- (b, a) :: seg.winders
+        | _ -> ());
+        seg.frames <- f :: seg.frames;
+        pstack
+      end
   | [] -> assert false
+
+(* Replace the top segment's frames ([pstack] must be [seg :: rest]). *)
+let set_frames pstack seg fs rest =
+  if seg.shared then
+    { root = seg.root; frames = fs; winders = seg.winders; shared = false } :: rest
+  else begin
+    seg.frames <- fs;
+    pstack
+  end
+
+(* Same, also replacing the winder list (the two winder transitions). *)
+let set_top pstack seg fs ws rest =
+  if seg.shared then { root = seg.root; frames = fs; winders = ws; shared = false } :: rest
+  else begin
+    seg.frames <- fs;
+    seg.winders <- ws;
+    pstack
+  end
 
 (* Run winder thunks one by one (discarding their values), then perform
    the target action. *)
@@ -85,8 +236,17 @@ let count_frames segs =
 let copy_segments segs =
   (* Rebuild every cons cell of every frame list: the per-frame work a
      stack-copying implementation performs.  Frames themselves are immutable
-     and can be shared. *)
-  List.map (fun seg -> { seg with frames = List.map Fun.id seg.frames }) segs
+     and can be shared.  The copies are fresh records, owned by whoever
+     asked for them, so they start unshared. *)
+  List.map
+    (fun seg ->
+      {
+        root = seg.root;
+        frames = List.map Fun.id seg.frames;
+        winders = seg.winders;
+        shared = false;
+      })
+    segs
 
 (* Record the cost of moving [segs] during a control operation named [op]
    ("capture" or "reinstate"), and return the representation to store:
@@ -106,21 +266,154 @@ let charge cfg op segs =
 let prim_arity_ok p nargs =
   nargs >= p.pmin && match p.pmax with None -> true | Some m -> nargs <= m
 
+(* ------------------------------------------------------------------ *)
+(* One-shot (linear) controller bodies                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A controller body [(lambda (k) e)] uses its process continuation
+   LINEARLY when no execution of [e] can apply [k] more than once and [k]
+   cannot escape [e].  For such bodies the capture may MOVE the segments:
+   no pinning, no copy-on-write downstream, and the records return to the
+   pool when they die — the wasmfx-style one-shot optimization.
+
+   The check is deliberately conservative.  [k] may appear only as the
+   operator of a direct application whose arguments are "simple" (cannot
+   capture or mention [k]); any other application anywhere in the body
+   rejects, because a general call could invoke call/cc (or another
+   controller) and capture the pending application of [k], re-entering it.
+   Branches of an [if] may each use [k] once.  Zero uses also qualify:
+   aborts like [(spawn (lambda (k) v))] never reinstate at all.
+
+   A node budget bounds the walk so classification stays O(1) for the
+   tiny bodies that dominate capture-heavy code. *)
+exception Not_linear
+
+(* The helpers live at module level and share one budget cell, reset at
+   each classification: closing over a per-call ref would allocate four
+   closures plus the ref per capture, visible in allocations/capture on
+   generator loops.  The machine is single-threaded and the walk never
+   re-enters the classifier, so the shared cell is safe. *)
+let lin_budget = ref 0
+
+let lin_spend () =
+  decr lin_budget;
+  if !lin_budget < 0 then raise Not_linear
+
+(* Does [e] reference the continuation, bound at rib depth [d] slot 0? *)
+let rec lin_mentions d e =
+  lin_spend ();
+  match e with
+  | Ir.Rconst _ | Ir.Rquoted _ | Ir.Rglobal _ -> false
+  | Ir.Rlocal (d', s) -> d' = d && s = 0
+  | Ir.Rlam { rbody; _ } -> lin_mentions (d + 1) rbody
+  | Ir.Rapp (f, args) -> lin_mentions d f || lin_mentions_any d args
+  | Ir.Rif (c, t, e') ->
+      lin_mentions d c || lin_mentions d t || lin_mentions d e'
+  | Ir.Rseq es | Ir.Rpcall es -> lin_mentions_any d es
+  | Ir.Rlet (inits, bd) -> lin_mentions_any d inits || lin_mentions (d + 1) bd
+  | Ir.Rletrec (inits, bd) ->
+      lin_mentions_any (d + 1) inits || lin_mentions (d + 1) bd
+  | Ir.Rset_local (_, _, e') | Ir.Rset_global (_, e') | Ir.Rfuture e' ->
+      lin_mentions d e'
+
+and lin_mentions_any d = function
+  | [] -> false
+  | e :: rest -> lin_mentions d e || lin_mentions_any d rest
+
+(* Arguments to the one [k]-application must not capture and must not
+   smuggle [k] into a closure that could run after reinstatement. *)
+let lin_simple d e =
+  lin_spend ();
+  match e with
+  | Ir.Rconst _ | Ir.Rquoted _ | Ir.Rglobal _ -> true
+  | Ir.Rlocal (d', s) -> not (d' = d && s = 0)
+  | Ir.Rlam { rbody; _ } -> not (lin_mentions (d + 1) rbody)
+  | _ -> false
+
+let rec lin_all_simple d = function
+  | [] -> true
+  | e :: rest -> lin_simple d e && lin_all_simple d rest
+
+(* Number of times [k] is applied along any execution of [e]. *)
+let rec lin_uses d e =
+  lin_spend ();
+  match e with
+  | Ir.Rconst _ | Ir.Rquoted _ | Ir.Rglobal _ -> 0
+  | Ir.Rlocal (d', s) ->
+      if d' = d && s = 0 then raise Not_linear (* bare k escapes *) else 0
+  | Ir.Rapp (Ir.Rlocal (d', 0), args) when d' = d ->
+      if lin_all_simple d args then 1 else raise Not_linear
+  | Ir.Rapp _ | Ir.Rpcall _ | Ir.Rfuture _ ->
+      (* even a k-free call can capture the context holding a pending
+         use of k and replay it, so only leaf bodies qualify *)
+      raise Not_linear
+  | Ir.Rlam { rbody; _ } ->
+      if lin_mentions (d + 1) rbody then raise Not_linear else 0
+  | Ir.Rif (c, t, e') ->
+      if lin_mentions d c then raise Not_linear
+      else max (lin_uses d t) (lin_uses d e')
+  | Ir.Rseq es -> lin_uses_sum d es
+  | Ir.Rlet (inits, bd) -> lin_uses_sum d inits + lin_uses (d + 1) bd
+  | Ir.Rletrec (inits, bd) -> lin_uses_sum (d + 1) inits + lin_uses (d + 1) bd
+  | Ir.Rset_local (d', s, e') ->
+      if d' = d && s = 0 then raise Not_linear else lin_uses d e'
+  | Ir.Rset_global (_, e') -> lin_uses d e'
+
+and lin_uses_sum d = function
+  | [] -> 0
+  | e :: rest -> lin_uses d e + lin_uses_sum d rest
+
+(* [Some n] (n <= 1) when the body is a linear user of [k]; [Some 0] in
+   particular means [k] occurs nowhere — an abort — so the captured
+   extent is dead the moment the controller body is entered. *)
+let pk_linear_uses body =
+  lin_budget := 128;
+  match lin_uses 0 body with
+  | n -> if n <= 1 then Some n else None
+  | exception Not_linear -> None
+
+let linear_pk_use body = pk_linear_uses body <> None
+
+(* The capture-site view of the classifier: int-encoded (-1 = not
+   linear, n >= 0 = n uses) and memoized on the config so the hit path
+   is a pointer-compare scan that allocates nothing. *)
+let rec lin_assoc body = function
+  | [] -> min_int
+  | (b, n) :: more -> if b == body then n else lin_assoc body more
+
+let pk_linear_uses_cached cfg body =
+  match lin_assoc body cfg.lin_cache with
+  | n when n <> min_int -> n
+  | _ ->
+      let n = match pk_linear_uses body with Some n -> n | None -> -1 in
+      cfg.lin_cache <- (body, n) :: cfg.lin_cache;
+      n
+
+let no_winders segs = List.for_all (fun seg -> seg.winders = []) segs
+
 (* Capture up to the nearest prompt for Felleisen's F: a flat frame list.
    Any spawn roots in between are erased (their segments' frames are
    concatenated), which is the §3 observation that F cannot respect process
    structure.  Returns (frames, remaining pstack). *)
-let capture_to_prompt pstack =
+let capture_to_prompt cfg pstack =
+  let clear pstack seg rest =
+    let frames = seg.frames in
+    (frames, set_top pstack seg [] [] rest)
+  in
   let rec go acc = function
     | [] -> (List.concat (List.rev acc), initial_pstack)
-    | seg :: rest when seg.root = Rprompt ->
-        ( List.concat (List.rev (seg.frames :: acc)),
-          { seg with frames = []; winders = [] } :: rest )
-    | seg :: rest when seg.root = Rbase ->
+    | (seg :: rest) as ps when seg.root = Rprompt ->
+        let frames, cleared = clear ps seg rest in
+        (List.concat (List.rev (frames :: acc)), cleared)
+    | (seg :: rest) as ps when seg.root = Rbase ->
         (* no prompt: F aborts the complete computation to the base *)
-        ( List.concat (List.rev (seg.frames :: acc)),
-          { seg with frames = []; winders = [] } :: rest )
-    | seg :: rest -> go (seg.frames :: acc) rest
+        let frames, cleared = clear ps seg rest in
+        (List.concat (List.rev (frames :: acc)), cleared)
+    | seg :: rest ->
+        (* the erased spawn root's record dies here: F keeps only frames *)
+        let frames = seg.frames in
+        recycle_segment cfg seg;
+        go (frames :: acc) rest
   in
   go [] pstack
 
@@ -130,7 +423,12 @@ let arity_error c args =
     (Printf.sprintf "procedure expects %d arguments, got %d" c.nparams
        (List.length args))
 
-let apply cfg st f args =
+(* [oneshot] permits classifying controller captures as linear.  The
+   sequential driver enables it; the tree-of-stacks scheduler must not:
+   a concurrent capture can package a sibling branch — including a pending
+   application of its process continuation — into a multi-shot [Pktree],
+   and grafting that tree twice would re-apply the "one-shot" pk. *)
+let apply ?(oneshot = true) cfg st f args =
   match f with
   | Closure ({ nparams; has_rest = false; cbody; cenv } as c) ->
       (* Fast path for the common exact-arity call: fill the rib in a
@@ -172,19 +470,22 @@ let apply cfg st f args =
             | Op_spawn, [ proc ] ->
                 let l = Id.fresh cfg.labels in
                 Counters.incr cfg.counters "spawn";
-                let pstack = { root = Rspawn l; frames = []; winders = [] } :: st.pstack in
+                let pstack = fresh_segment cfg (Rspawn l) :: st.pstack in
                 { control = Capply (proc, [ Controller l ]); pstack }
             | Op_callcc, [ proc ] ->
+                (* call/cc aliases the entire live stack, so under Linked
+                   every record in it becomes copy-on-write. *)
+                if cfg.strategy = Linked then pin_segments st.pstack;
                 let saved = charge cfg "capture" st.pstack in
                 Counters.incr cfg.counters "callcc";
                 { st with control = Capply (proc, [ Cont { ck_pstack = saved } ]) }
             | Op_prompt, [ thunk ] ->
                 Counters.incr cfg.counters "prompt";
-                let pstack = { root = Rprompt; frames = []; winders = [] } :: st.pstack in
+                let pstack = fresh_segment cfg Rprompt :: st.pstack in
                 { control = Capply (thunk, []); pstack }
             | Op_fcontrol, [ proc ] ->
                 Counters.incr cfg.counters "fcontrol";
-                let frames, pstack = capture_to_prompt st.pstack in
+                let frames, pstack = capture_to_prompt cfg st.pstack in
                 Counters.add cfg.counters "capture.frames" (List.length frames);
                 { control = Capply (proc, [ Fcont frames ]); pstack }
             | Op_wind, [ before; thunk; after ] ->
@@ -208,24 +509,102 @@ let apply cfg st f args =
           | Some (captured, rest) ->
               let captured = charge cfg "capture" captured in
               Counters.incr cfg.counters "controller";
-              let pk = Pk { pk_label = l; pk_segments = captured } in
-              (* Exiting the captured extent runs its winders' afters,
-                 innermost first, in the context outside the root, before
-                 the controller's argument is applied. *)
-              run_winders { st with pstack = rest } (afters_of captured)
-                (Wapply (body, [ pk ]))
+              (* One-shot fast path: a linear body takes sole ownership of
+                 the segments (the split already removed them from the live
+                 stack), so they stay unshared — mutable in place after the
+                 move, and pool-eligible when they die.  Winders disqualify:
+                 an after thunk runs before the body and could itself
+                 capture the pending body application. *)
+              let uses =
+                if
+                  oneshot && cfg.fastpath
+                  && cfg.strategy = Linked
+                  && no_winders captured
+                then
+                  match body with
+                  | Closure { nparams = 1; has_rest = false; cbody; _ } ->
+                      pk_linear_uses_cached cfg cbody
+                  | _ -> -1
+                else -1
+              in
+              (match uses with
+              | 0 ->
+                  (* ABORT: [k] occurs nowhere in the body, so the captured
+                     extent is dead on entry — recycle its records now
+                     instead of packaging them.  The pk still exists (the
+                     body is unary) but arrives pre-consumed, so an
+                     application the analysis ruled out fails loudly.
+                     [no_winders] holds, so there are no afters to run. *)
+                  recycle_segments cfg captured;
+                  incr cfg.pk_moved;
+                  let pk =
+                    Pk
+                      {
+                        pk_label = l;
+                        pk_segments = [];
+                        pk_once = true;
+                        pk_consumed = true;
+                      }
+                  in
+                  run_winders { st with pstack = rest } [] (Wapply (body, [ pk ]))
+              | n when n > 0 ->
+                  (* no winders by [no_winders], so no afters to run *)
+                  let pk =
+                    Pk
+                      {
+                        pk_label = l;
+                        pk_segments = captured;
+                        pk_once = true;
+                        pk_consumed = false;
+                      }
+                  in
+                  run_winders { st with pstack = rest } [] (Wapply (body, [ pk ]))
+              | _ ->
+                  if cfg.strategy = Linked then pin_segments captured;
+                  let pk =
+                    Pk
+                      {
+                        pk_label = l;
+                        pk_segments = captured;
+                        pk_once = false;
+                        pk_consumed = false;
+                      }
+                  in
+                  (* Exiting the captured extent runs its winders' afters,
+                     innermost first, in the context outside the root,
+                     before the controller's argument is applied. *)
+                  run_winders { st with pstack = rest } (afters_of captured)
+                    (Wapply (body, [ pk ])))
           | None -> raise (Stop (Esc_control (l, body))))
       | _ -> err "controller: expects exactly one argument")
   | Pk pk -> (
       match args with
       | [ v ] ->
-          let segs = charge cfg "reinstate" pk.pk_segments in
-          Counters.incr cfg.counters "pk-invoke";
-          (* Re-entering the reinstated extent runs its winders' befores,
-             outermost first, before the value reaches the capture point. *)
-          run_winders
+          if pk.pk_once then begin
+            (* MOVE: pointer transfer of the segments and invalidation of
+               the source.  The linearity analysis makes a second
+               application unreachable from the classified body; reaching
+               this error means the pk escaped through a path the analysis
+               should have rejected, so fail loudly rather than corrupt. *)
+            if pk.pk_consumed then
+              err "one-shot process continuation applied more than once";
+            let segs = renew_segments (charge cfg "reinstate" pk.pk_segments) in
+            pk.pk_consumed <- true;
+            pk.pk_segments <- [];
+            Counters.incr cfg.counters "pk-invoke";
+            incr cfg.pk_moved;
+            (* no winders by construction, so no befores to re-run *)
             { control = Creturn v; pstack = segs @ st.pstack }
-            (befores_of segs) (Wreturn v)
+          end
+          else begin
+            let segs = charge cfg "reinstate" pk.pk_segments in
+            Counters.incr cfg.counters "pk-invoke";
+            (* Re-entering the reinstated extent runs its winders' befores,
+               outermost first, before the value reaches the capture point. *)
+            run_winders
+              { control = Creturn v; pstack = segs @ st.pstack }
+              (befores_of segs) (Wreturn v)
+          end
       | _ -> err "process continuation: expects exactly one argument")
   | Pktree pkt -> (
       match args with
@@ -265,88 +644,87 @@ let apply cfg st f args =
    with no intermediate [Creturn] state.  The replacement frames are
    never [Fwind], so [winders] carries over except in the two winder
    branches, which handle it explicitly. *)
-let return_value st v =
+let return_value cfg st v =
   match st.pstack with
   | [] -> assert false
-  | { root; frames = []; _ } :: rest -> (
-      match root with
+  | ({ frames = []; _ } as seg) :: rest -> (
+      match seg.root with
       | Rbase ->
           if rest = [] then raise (Stop (Final v))
           else err "internal error: base segment above other segments"
       | Rspawn _ ->
-          (* Normal return from a spawned process removes its root. *)
+          (* Normal return from a spawned process removes its root; the
+             record is dead unless a continuation captured it. *)
+          recycle_segment cfg seg;
           { control = Creturn v; pstack = rest }
       | Rprompt ->
           (* A value returning to a prompt falls through to the prompt
              application's continuation. *)
+          recycle_segment cfg seg;
           { control = Creturn v; pstack = rest })
   | ({ frames = f :: fs; _ } as seg) :: rest -> (
+      let ps = st.pstack in
       match f with
       (* Unary and binary applications, specialized: the generic case
          conses [v] on and reverses, costing k+2 fresh cells for a k-ary
          call where these need one or two. *)
       | Fapp ([ op ], [], _) ->
-          { control = Capply (op, [ v ]); pstack = { seg with frames = fs } :: rest }
+          { control = Capply (op, [ v ]); pstack = set_frames ps seg fs rest }
       | Fapp ([ a1; op ], [], _) ->
-          { control = Capply (op, [ a1; v ]);
-            pstack = { seg with frames = fs } :: rest }
+          { control = Capply (op, [ a1; v ]); pstack = set_frames ps seg fs rest }
       | Fapp (vals, [], _) ->
           let all = List.rev (v :: vals) in
           { control = Capply (List.hd all, List.tl all);
-            pstack = { seg with frames = fs } :: rest }
+            pstack = set_frames ps seg fs rest }
       | Fapp (vals, e :: es, env) ->
           { control = Ceval (e, env);
-            pstack = { seg with frames = Fapp (v :: vals, es, env) :: fs } :: rest }
+            pstack = set_frames ps seg (Fapp (v :: vals, es, env) :: fs) rest }
       | Fpcall (vals, [], _) ->
           let all = List.rev (v :: vals) in
           { control = Capply (List.hd all, List.tl all);
-            pstack = { seg with frames = fs } :: rest }
+            pstack = set_frames ps seg fs rest }
       | Fpcall (vals, e :: es, env) ->
           { control = Ceval (e, env);
-            pstack = { seg with frames = Fpcall (v :: vals, es, env) :: fs } :: rest }
+            pstack = set_frames ps seg (Fpcall (v :: vals, es, env) :: fs) rest }
       | Fif (thn, els, env) ->
           { control = Ceval ((if Value.is_truthy v then thn else els), env);
-            pstack = { seg with frames = fs } :: rest }
-      | Fseq ([], _) ->
-          { control = Creturn v; pstack = { seg with frames = fs } :: rest }
+            pstack = set_frames ps seg fs rest }
+      | Fseq ([], _) -> { control = Creturn v; pstack = set_frames ps seg fs rest }
       | Fseq ([ e ], env) ->
-          { control = Ceval (e, env); pstack = { seg with frames = fs } :: rest }
+          { control = Ceval (e, env); pstack = set_frames ps seg fs rest }
       | Fseq (e :: es, env) ->
           { control = Ceval (e, env);
-            pstack = { seg with frames = Fseq (es, env) :: fs } :: rest }
+            pstack = set_frames ps seg (Fseq (es, env) :: fs) rest }
       | Flet (done_, [], body, env) ->
           let rib = Array.of_list (List.rev (v :: done_)) in
-          { control = Ceval (body, rib :: env);
-            pstack = { seg with frames = fs } :: rest }
+          { control = Ceval (body, rib :: env); pstack = set_frames ps seg fs rest }
       | Flet (done_, e :: es, body, env) ->
           { control = Ceval (e, env);
-            pstack = { seg with frames = Flet (v :: done_, es, body, env) :: fs } :: rest }
+            pstack = set_frames ps seg (Flet (v :: done_, es, body, env) :: fs) rest }
       | Fletrec (rib, i, [], body, env) ->
           rib.(i) <- v;
-          { control = Ceval (body, env); pstack = { seg with frames = fs } :: rest }
+          { control = Ceval (body, env); pstack = set_frames ps seg fs rest }
       | Fletrec (rib, i, e :: es, body, env) ->
           rib.(i) <- v;
           { control = Ceval (e, env);
-            pstack = { seg with frames = Fletrec (rib, i + 1, es, body, env) :: fs } :: rest }
+            pstack = set_frames ps seg (Fletrec (rib, i + 1, es, body, env) :: fs) rest }
       | Fset (rib, slot) ->
           rib.(slot) <- v;
-          { control = Creturn Unit; pstack = { seg with frames = fs } :: rest }
+          { control = Creturn Unit; pstack = set_frames ps seg fs rest }
       | Fsetg g ->
           g.gval <- v;
-          { control = Creturn Unit; pstack = { seg with frames = fs } :: rest }
+          { control = Creturn Unit; pstack = set_frames ps seg fs rest }
       | Ffuture fc ->
           fc.fvalue <- Some v;
-          { control = Creturn (Future fc); pstack = { seg with frames = fs } :: rest }
+          { control = Creturn (Future fc); pstack = set_frames ps seg fs rest }
       | Fwind (_, after) ->
           (* normal return exits the wind: run the after, then deliver v *)
-          let pstack =
-            { seg with frames = fs; winders = List.tl seg.winders } :: rest
-          in
+          let pstack = set_top ps seg fs (List.tl seg.winders) rest in
           run_winders { control = Creturn v; pstack } [ after ] (Wreturn v)
       | Fwinding (pending, target) ->
           (* a winder thunk finished; its value is discarded *)
           run_winders
-            { control = Creturn v; pstack = { seg with frames = fs } :: rest }
+            { control = Creturn v; pstack = set_frames ps seg fs rest }
             pending target)
 
 (* Read a lexical address.  Inlined here rather than via Env so the
@@ -361,8 +739,8 @@ let rec rib_at env d =
    driver loop needs no per-step control inspection of its own. *)
 let step_gen ~conc cfg st =
   match st.control with
-  | Creturn v -> return_value st v
-  | Capply (f, args) -> apply cfg st f args
+  | Creturn v -> return_value cfg st v
+  | Capply (f, args) -> apply ~oneshot:(not conc) cfg st f args
   | Ceval (ir, env) -> (
       match ir with
       | Ir.Rconst v -> { st with control = Creturn v }

@@ -29,13 +29,36 @@ type config = {
   strategy : Types.strategy;
   counters : Pcont_util.Counters.t;
   labels : Pcont_util.Id.t;  (** fresh-label source for [spawn] *)
+  fastpath : bool;
+      (** enables the segment pool and the one-shot move path (default);
+          [false] reproduces the pre-optimization allocation behavior so
+          benchmarks can measure both in one run *)
+  pool : Types.segment array;
+      (** recycled segment records, slots [0 .. pool_n-1] live; spawn and
+          prompt draw from it, the matching returns refill it *)
+  mutable pool_n : int;
+  mutable pool_ops : int;
+      (** recycles since the last pool flush; the pool is aged out
+          periodically so promoted records cannot circulate forever *)
+  pool_hit : int ref;
+      (** cached cell of counter [machine.pool.hit]: spawn/prompt segments
+          served from the pool *)
+  pool_miss : int ref;
+      (** cached cell of counter [machine.pool.miss]: freshly allocated *)
+  pk_moved : int ref;
+      (** cached cell of counter [machine.capture.moved]: one-shot process
+          continuations whose segments were moved, not shared or copied *)
+  mutable lin_cache : (Types.rir * int) list;
+      (** memoized one-shot classification per controller-body code node
+          (physical identity; [-1] = not linear) — the linearity walk runs
+          once per code site, not once per capture *)
   mutable metrics : Pcont_obs.Obs.Metrics.t option;
       (** histogram half of the observability metrics ([machine.*]
           size distributions); the drivers install it while a trace
           handle is attached and the machine leaves it alone otherwise *)
 }
 
-val config : ?strategy:Types.strategy -> unit -> config
+val config : ?strategy:Types.strategy -> ?fastpath:bool -> unit -> config
 
 val initial_pstack : Types.segment list
 (** A single empty base segment. *)
@@ -86,9 +109,29 @@ val step_exn_conc : config -> Types.state -> Types.state
 val step : config -> Types.state -> stepped
 (** Allocation-boxed wrapper around {!step_exn}; never raises [Stop]. *)
 
-val apply : config -> Types.state -> Types.value -> Types.value list -> Types.state
+val apply :
+  ?oneshot:bool ->
+  config ->
+  Types.state ->
+  Types.value ->
+  Types.value list ->
+  Types.state
 (** Apply a procedure value to arguments in the given state's process
-    stack.  Exposed for the drivers; raises {!Stop} like {!step_exn}. *)
+    stack.  Exposed for the drivers; raises {!Stop} like {!step_exn}.
+    [oneshot] (default [true]) permits classifying controller captures as
+    linear; the concurrent scheduler disables it because a sibling capture
+    can package a pending pk application into a multi-shot [Pktree]. *)
+
+val linear_pk_use : Types.rir -> bool
+(** Is the body of a unary controller argument [(lambda (k) body)] a
+    linear (at-most-once, non-escaping) user of [k]?  Conservative static
+    check behind the one-shot move path; exposed for tests. *)
+
+val pin_segments : Types.segment list -> unit
+(** Mark every segment as shared: aliased by a captured continuation, so
+    the machine must copy-on-write instead of mutating in place and must
+    never recycle the record into the pool.  The concurrent scheduler
+    pins every stack it packages into a [Pktree]. *)
 
 val find_spawn_label : Types.label -> Types.segment list -> bool
 (** Does the process stack contain a segment rooted at [Rspawn l]? *)

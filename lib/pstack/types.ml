@@ -125,13 +125,20 @@ and wind_target =
   | Wenter of value * value * value  (* install Fwind(before, after), run thunk *)
 
 and segment = {
-  root : root;
-  frames : frame list;
-  winders : (value * value) list;
+  mutable root : root;
+  mutable frames : frame list;
+  mutable winders : (value * value) list;
       (* the (before, after) pairs of the Fwind frames in [frames],
          innermost first — maintained alongside the frames so control
          operations find winders in O(winders), never O(frames),
          preserving the O(control points) claim of Section 7 *)
+  mutable shared : bool;
+      (* true once the record is aliased by a captured continuation (a
+         [Pk], [Pktree] or [Cont] under the Linked strategy).  The
+         machine never field-mutates a shared record: it copies first
+         (copy-on-write), and never returns one to the segment pool.
+         Frame lists themselves stay immutable, so sharing a spine is
+         always safe; only the records need the flag. *)
 }
 
 and control =
@@ -141,7 +148,16 @@ and control =
 
 and state = { control : control; pstack : segment list }
 
-and pk_local = { pk_label : label; pk_segments : segment list }
+and pk_local = {
+  pk_label : label;
+  mutable pk_segments : segment list;
+  pk_once : bool;
+      (* the controller body was statically recognised as using its
+         process continuation linearly (at most once), so reinstatement
+         may MOVE the segments — pointer transfer, no pinning, no copy —
+         and invalidate the source *)
+  mutable pk_consumed : bool;  (* a one-shot pk that has been applied *)
+}
 
 and cont = { ck_pstack : segment list }
 

@@ -471,16 +471,20 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
       match obs with
       | None -> ()
       | Some o ->
-          (* Announce every rebuilt node (waits included), parents before
-             children, so trace consumers never see a pid whose spawn was
-             skipped. *)
-          let rec announce parent m =
-            Obs.emit o (E.Spawn { pid = m.nid; parent; kind = "graft" });
+          (* Announce every rebuilt node (waits included) in one batch
+             event, parents before children, so trace consumers never see
+             a pid whose spawn was skipped — one event instead of one per
+             rebuilt node. *)
+          let acc = ref [] in
+          let rec collect parent m =
+            acc := (m.nid, parent) :: !acc;
             match m.body with
-            | Nwait w -> Array.iter (announce m.nid) w.children
+            | Nwait w -> Array.iter (collect m.nid) w.children
             | Nleaf _ | Nparked _ | Ndone -> ()
           in
-          announce n.nid child_holder.children.(0)
+          collect n.nid child_holder.children.(0);
+          let nodes = Array.of_list (List.rev !acc) in
+          Obs.emit o (E.Spawn_batch { pid = n.nid; kind = "graft"; nodes })
     end
   in
 

@@ -78,11 +78,11 @@ let eval_value ?mode ?fuel ?quantum ?obs t src =
       | Error msg :: _ -> failwith msg
       | [] -> assert false)
 
-let create ?(prelude = true) ?strategy () =
+let create ?(prelude = true) ?strategy ?fastpath () =
   let t =
     {
       ienv = Pstack.Prims.base_env ();
-      icfg = Pstack.Machine.config ?strategy ();
+      icfg = Pstack.Machine.config ?strategy ?fastpath ();
       imacros = Macro.create ();
     }
   in

@@ -13,9 +13,13 @@ type mode =
 
 type t
 
-val create : ?prelude:bool -> ?strategy:Pcont_pstack.Types.strategy -> unit -> t
+val create :
+  ?prelude:bool -> ?strategy:Pcont_pstack.Types.strategy -> ?fastpath:bool -> unit -> t
 (** A fresh interpreter.  [prelude] (default true) loads the Scheme-level
-    prelude, including the paper's [spawn/exit] and [first-true]. *)
+    prelude, including the paper's [spawn/exit] and [first-true].
+    [fastpath] (default true) enables the machine's segment pool and
+    one-shot continuation move; pass [false] to benchmark against the
+    always-copy baseline. *)
 
 val env : t -> Pcont_pstack.Types.genv
 (** The interpreter's global table; each top-level form is resolved

@@ -12,6 +12,11 @@ val create : unit -> t
 val incr : t -> string -> unit
 (** [incr c name] adds 1 to counter [name], creating it at 0 if absent. *)
 
+val cell : t -> string -> int ref
+(** [cell c name] is the mutable cell behind counter [name], creating it at
+    0 if absent.  Hot paths cache the cell to skip the hash lookup; [reset]
+    zeroes cells in place, so cached cells stay valid. *)
+
 val add : t -> string -> int -> unit
 (** [add c name n] adds [n] to counter [name]. *)
 

@@ -443,6 +443,25 @@ let test_explore_parallel_or_race () =
   Alcotest.(check bool) "subset of {1,2}" true
     (outcomes <> [] && List.for_all (fun o -> o = "1" || o = "2") outcomes)
 
+let test_explore_capture_while_parked () =
+  (* A branch parks on a future while its sibling captures the whole
+     subtree, packaging the parked waiter; the graft revives it and the
+     revived branch re-touches.  Every interleaving of the park, the
+     capture and the graft must agree — a regression guard for the
+     mutable-segment representation: the captured stacks are pinned, so
+     no schedule can observe a stack mutated after its capture. *)
+  Alcotest.(check (list string)) "one outcome" [ "13" ]
+    (explore_schedules ~depth:8
+       "(spawn (lambda (c) (pcall + (touch (future (+ 1 2))) (c (lambda (k) (k 10))))))")
+
+let test_explore_multishot_twice () =
+  (* The multi-shot continuation is grafted twice under every schedule
+     and must keep producing the seed answer: the one-shot fast path is
+     disabled in concurrent mode, so both grafts see intact segments. *)
+  Alcotest.(check (list string)) "seed answer under every schedule" [ "18" ]
+    (explore_schedules ~depth:8
+       "(spawn (lambda (c) (pcall + 1 (c (lambda (k) (* (k 2) (k 5)))))))")
+
 let test_explore_racy_set () =
   (* A genuine race: schedules disagree — exploration must SEE both
      outcomes, demonstrating the explorer exercises distinct schedules. *)
@@ -711,6 +730,10 @@ let () =
           Alcotest.test_case "parallel-or race: valid winners" `Quick
             test_explore_parallel_or_race;
           Alcotest.test_case "racy set!: both outcomes seen" `Quick test_explore_racy_set;
+          Alcotest.test_case "capture while parked" `Quick
+            test_explore_capture_while_parked;
+          Alcotest.test_case "multi-shot grafted twice" `Quick
+            test_explore_multishot_twice;
         ] );
       ( "deadlock",
         [

@@ -558,6 +558,88 @@ let test_counter_events () =
   Alcotest.(check int) "one controller capture" 1 (C.get c "controller");
   Alcotest.(check int) "one pk invoke" 1 (C.get c "pk-invoke")
 
+(* ---------------- capture fast path (segment pool + one-shot move) -------- *)
+
+(* The linearity analyzer on hand-built resolved bodies: [k] is the
+   controller body's parameter, [Rlocal (depth, 0)]. *)
+let test_linear_pk_use_classifier () =
+  let check name expect body =
+    Alcotest.(check bool) name expect (Machine.linear_pk_use body)
+  in
+  let kapp d arg : Types.rir = Ir.Rapp (Ir.Rlocal (d, 0), [ arg ]) in
+  let zero : Types.rir = Ir.Rconst (Types.Int 0) in
+  check "(k 0) is linear" true (kapp 0 zero);
+  check "abort (k unused) is linear" true zero;
+  check "bare k escapes" false (Ir.Rlocal (0, 0));
+  check "two sequential uses" false (Ir.Rseq [ kapp 0 zero; kapp 0 zero ]);
+  check "one use per if branch" true (Ir.Rif (zero, kapp 0 zero, zero));
+  check "branch use plus sequence use" false
+    (Ir.Rseq [ Ir.Rif (zero, kapp 0 zero, zero); kapp 0 zero ]);
+  check "k smuggled into a closure" false
+    (Ir.Rlam { Ir.rnparams = 1; rhas_rest = false; rbody = kapp 1 zero });
+  check "k-free closure is fine" true
+    (Ir.Rseq
+       [ Ir.Rlam { Ir.rnparams = 0; rhas_rest = false; rbody = zero }; kapp 0 zero ]);
+  check "unknown application rejects" false
+    (Ir.Rapp (Ir.Rlam { Ir.rnparams = 0; rhas_rest = false; rbody = zero }, []));
+  check "k under let, depth-adjusted" true (Ir.Rlet ([ zero ], kapp 1 zero));
+  check "non-simple argument rejects" false (kapp 0 (kapp 0 zero))
+
+let test_oneshot_move_and_fallback () =
+  (* A linear body takes the move path; a multi-shot body falls back to
+     the pinned representation and still reinstates twice, producing the
+     same answer with the fast path on and off. *)
+  let cfg = Machine.config () in
+  Alcotest.check value "one-shot result" (Types.Int 5)
+    (eval_v ~cfg (capture_program ~frames:5));
+  Alcotest.(check int) "capture moved" 1
+    (C.get cfg.Machine.counters "machine.capture.moved");
+  let multishot =
+    spawn_
+      (Ir.lam [ "c" ]
+         (v "+"
+         @@@ [
+               i 1;
+               v "c"
+               @@@ [ Ir.lam [ "k" ] (v "*" @@@ [ v "k" @@@ [ i 2 ]; v "k" @@@ [ i 3 ] ]) ];
+             ]))
+  in
+  let cfg2 = Machine.config () in
+  Alcotest.check value "multi-shot applied twice" (Types.Int 12) (eval_v ~cfg:cfg2 multishot);
+  Alcotest.(check int) "multi-shot not moved" 0
+    (C.get cfg2.Machine.counters "machine.capture.moved");
+  Alcotest.check value "one-shot agrees with fastpath off" (Types.Int 5)
+    (eval_v ~cfg:(Machine.config ~fastpath:false ()) (capture_program ~frames:5));
+  Alcotest.check value "multi-shot agrees with fastpath off" (Types.Int 12)
+    (eval_v ~cfg:(Machine.config ~fastpath:false ()) multishot)
+
+let test_abort_recycles_into_pool () =
+  (* Each spawn aborts ([k] unused), so its segment is recycled at the
+     capture and every spawn after the first is served from the pool. *)
+  let abort = spawn_ (Ir.lam [ "c" ] (v "c" @@@ [ Ir.lam [ "k" ] (i 5) ])) in
+  let cfg = Machine.config () in
+  Alcotest.check value "aborts" (Types.Int 5)
+    (eval_v ~cfg (Ir.seq [ abort; abort; abort ]));
+  Alcotest.(check bool) "pool reuse" true
+    (C.get cfg.Machine.counters "machine.pool.hit" >= 2);
+  Alcotest.(check int) "all three took the move path" 3
+    (C.get cfg.Machine.counters "machine.capture.moved")
+
+let test_escaped_pk_stays_multishot () =
+  (* The body returns [k] itself, so the capture must pin (multi-shot):
+     the escaped continuation is applied twice after the spawn finished,
+     splicing the same pinned segment back both times. *)
+  let prog =
+    Ir.let_
+      [ ("pk", spawn_ (Ir.lam [ "c" ] (v "c" @@@ [ Ir.lam [ "k" ] (v "k") ]))) ]
+      (v "+" @@@ [ v "pk" @@@ [ i 1 ]; v "pk" @@@ [ i 2 ] ])
+  in
+  let cfg = Machine.config () in
+  Alcotest.check value "escaped pk applied twice" (Types.Int 3) (eval_v ~cfg prog);
+  Alcotest.(check int) "not classified one-shot" 0
+    (C.get cfg.Machine.counters "machine.capture.moved");
+  Alcotest.(check int) "two reinstates" 2 (C.get cfg.Machine.counters "pk-invoke")
+
 let test_nested_capture_value () =
   Alcotest.check value "nested capture result" (Types.Int 0)
     (eval_v (nested_roots_program ~roots:4))
@@ -728,6 +810,16 @@ let () =
           Alcotest.test_case "cost linear in roots" `Quick test_capture_cost_linear_in_roots;
           Alcotest.test_case "counter events" `Quick test_counter_events;
           Alcotest.test_case "nested capture value" `Quick test_nested_capture_value;
+        ] );
+      ( "fastpath",
+        [
+          Alcotest.test_case "linearity classifier" `Quick test_linear_pk_use_classifier;
+          Alcotest.test_case "one-shot move, multi-shot fallback" `Quick
+            test_oneshot_move_and_fallback;
+          Alcotest.test_case "abort recycles into pool" `Quick
+            test_abort_recycles_into_pool;
+          Alcotest.test_case "escaped pk stays multi-shot" `Quick
+            test_escaped_pk_stays_multishot;
         ] );
       ( "debug",
         [

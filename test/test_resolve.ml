@@ -168,13 +168,22 @@ let read_file path =
 
 (* Machine-level control counters; scheduler-internal bookkeeping
    ("concur.*", "sync.*") legitimately exists only under the concurrent
-   driver and is excluded. *)
+   driver and is excluded.  The allocation-policy counters ("machine.pool.*",
+   "machine.capture.moved") are also excluded: the one-shot move path is
+   enabled only under the sequential driver (a concurrent sibling capture
+   can package a pending pk application into a multi-shot tree), so pool
+   reuse legitimately differs across drivers while the control counters —
+   the observable cost model — must not. *)
 let machine_counters t =
+  let has_prefix p name =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
   (Interp.config t).Machine.counters |> Counters.to_list
   |> List.filter (fun (name, _) ->
          not
-           (String.length name >= 7 && String.sub name 0 7 = "concur."
-           || String.length name >= 5 && String.sub name 0 5 = "sync."))
+           (has_prefix "concur." name || has_prefix "sync." name
+           || has_prefix "machine.pool." name
+           || name = "machine.capture.moved"))
 
 let run_golden mode src =
   let t = Interp.create () in

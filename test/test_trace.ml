@@ -372,6 +372,151 @@ let test_diff_detects_change () =
         || d.Analysis.Diff.d_left <> d.Analysis.Diff.d_right)
   | None -> Alcotest.fail "dropped exit not detected"
 
+(* ---------------- batched graft announcements ---------------- *)
+
+(* The unbatched twin of a trace: every spawn-batch expanded into the
+   equivalent individual spawns, in the batch's pre-order, with seq
+   renumbered.  Batching is purely an encoding choice, so the twin must
+   be indistinguishable to both the checker and the diff. *)
+let expand_batches evs =
+  Array.to_list evs
+  |> List.concat_map (fun s ->
+         match s.Trace.ev with
+         | E.Spawn_batch { kind; nodes; _ } ->
+             Array.to_list nodes
+             |> List.map (fun (pid, parent) ->
+                    { s with Trace.ev = E.Spawn { pid; parent; kind } })
+         | _ -> [ s ])
+  |> Array.of_list |> reindex
+
+let batches_of evs =
+  Array.to_list evs
+  |> List.filter_map (fun s ->
+         match s.Trace.ev with
+         | E.Spawn_batch { pid; kind; nodes } -> Some (pid, kind, nodes)
+         | _ -> None)
+
+let test_batched_grafts_check () =
+  (* Both schedulers announce grafts as one pre-order batch; the batched
+     traces — and their expanded twins — still pass every rule. *)
+  Alcotest.(check int) "nine rules" 9 (List.length Analysis.Check.rules);
+  List.iter
+    (fun (who, trace) ->
+      let evs = parse_exn trace in
+      let bs = batches_of evs in
+      Alcotest.(check bool) (who ^ " grafts are batched") true (bs <> []);
+      List.iter
+        (fun (pid, kind, nodes) ->
+          Alcotest.(check string) "batch kind" "graft" kind;
+          Alcotest.(check bool) "batch non-empty" true (Array.length nodes > 0);
+          (* pre-order: each node hangs off the grafting pid or an
+             earlier node of the same batch *)
+          let seen = Hashtbl.create 8 in
+          Array.iter
+            (fun (child, parent) ->
+              if parent <> pid && not (Hashtbl.mem seen parent) then
+                Alcotest.failf "node %d grafted under unknown parent %d" child
+                  parent;
+              Hashtbl.replace seen child ())
+            nodes)
+        bs;
+      Alcotest.(check int)
+        (who ^ " batched trace clean")
+        0
+        (List.length (Analysis.Check.run evs));
+      Alcotest.(check int)
+        (who ^ " expanded twin clean")
+        0
+        (List.length (Analysis.Check.run (expand_batches evs))))
+    [
+      ("pstack", pstack_trace ~seed:42 pstack_src);
+      ("native", native_trace ~seed:42 ());
+    ]
+
+let test_spawn_batch_round_trip () =
+  let evs = parse_exn (pstack_trace ~seed:42 pstack_src) in
+  let checked = ref 0 in
+  Array.iter
+    (fun s ->
+      match s.Trace.ev with
+      | E.Spawn_batch _ ->
+          incr checked;
+          let line = Obs.Json.to_string (Trace.to_json s) ^ "\n" in
+          let reparsed = parse_exn line in
+          Alcotest.(check int) "one event" 1 (Array.length reparsed);
+          Alcotest.(check string) "spawn-batch line round-trips" line
+            (Obs.Json.to_string (Trace.to_json reparsed.(0)) ^ "\n")
+      | _ -> ())
+    evs;
+  Alcotest.(check bool) "trace carries spawn-batch lines" true (!checked > 0)
+
+let test_diff_batch_vs_expanded () =
+  (* The skeleton expands batches into the same per-node facts as the
+     individual spawns would produce, so a batched trace and its
+     unbatched twin never diverge — on either scheduler. *)
+  List.iter
+    (fun (who, trace) ->
+      let evs = parse_exn trace in
+      match Analysis.Diff.diff evs (expand_batches evs) with
+      | None -> ()
+      | Some d ->
+          Alcotest.failf "%s: batching changed the skeleton at cpid %d: %s / %s"
+            who d.Analysis.Diff.d_cpid
+            (Option.value ~default:"<end>" d.Analysis.Diff.d_left)
+            (Option.value ~default:"<end>" d.Analysis.Diff.d_right))
+    [
+      ("pstack", pstack_trace ~seed:42 pstack_src);
+      ("native", native_trace ~seed:42 ());
+    ]
+
+(* Mirrored graft workloads: the same capture-then-reinstate tree, once
+   in Scheme and once against the native API (the constant branch again
+   mirrors pstack forking the pcall operator). *)
+let mirrored_graft_pstack =
+  "(spawn (lambda (c) (pcall + (c (lambda (k) (k 1))) 2)))"
+
+let mirrored_graft_native () =
+  Sched.spawn (fun c ->
+      let xs =
+        Sched.pcall
+          [
+            (fun () -> 0);
+            (fun () -> Sched.control c (fun pk -> Sched.resume pk 1));
+            (fun () -> 2);
+          ]
+      in
+      List.fold_left ( + ) 0 xs)
+
+let test_diff_cross_scheduler_batched () =
+  let left = parse_exn (pstack_trace ~seed:1 mirrored_graft_pstack) in
+  let right =
+    let o, buf = jsonl_handle () in
+    ignore
+      (Sched.run
+         ~policy:(Sched.Randomized (Int64.of_int 2))
+         ~obs:o mirrored_graft_native);
+    Obs.close o;
+    parse_exn (Buffer.contents buf)
+  in
+  Alcotest.(check bool) "left grafts batched" true (batches_of left <> []);
+  Alcotest.(check bool) "right grafts batched" true (batches_of right <> []);
+  (* The two schedulers legitimately differ in tree granularity here —
+     native materializes process/controller nodes where pstack captures
+     and reinstates in-node — so the diff reports a real divergence.
+     What batching must guarantee is that the outcome is the *same* no
+     matter which side (if any) batches its grafts: the skeleton cannot
+     tell a batched trace from its unbatched twin. *)
+  let outcome l r =
+    match Analysis.Diff.diff l r with
+    | None -> None
+    | Some d -> Some Analysis.Diff.(d.d_cpid, d.d_left, d.d_right)
+  in
+  let xl = expand_batches left and xr = expand_batches right in
+  let base = outcome xl xr in
+  Alcotest.(check bool) "batched left agrees" true (outcome left xr = base);
+  Alcotest.(check bool) "batched right agrees" true (outcome xl right = base);
+  Alcotest.(check bool) "batched both agrees" true (outcome left right = base)
+
 (* ---------------- round-trip ---------------- *)
 
 let test_to_json_round_trip () =
@@ -396,12 +541,16 @@ let () =
           Alcotest.test_case "unbalanced slice" `Quick test_check_unbalanced_slice;
           Alcotest.test_case "tampered reinstate" `Quick test_check_tampered_reinstate;
           Alcotest.test_case "seq gap" `Quick test_check_seq_gap;
+          Alcotest.test_case "batched grafts pass all rules" `Quick
+            test_batched_grafts_check;
         ] );
       ( "reconstruct",
         [
           Alcotest.test_case "timelines" `Quick test_reconstruct_timelines;
           Alcotest.test_case "blocked time" `Quick test_reconstruct_blocked;
           Alcotest.test_case "jsonl round-trip" `Quick test_to_json_round_trip;
+          Alcotest.test_case "spawn-batch round-trip" `Quick
+            test_spawn_batch_round_trip;
         ] );
       ( "report",
         [
@@ -417,5 +566,9 @@ let () =
             test_diff_cross_scheduler;
           Alcotest.test_case "detects injected change" `Quick
             test_diff_detects_change;
+          Alcotest.test_case "batch vs expanded twin" `Quick
+            test_diff_batch_vs_expanded;
+          Alcotest.test_case "cross-scheduler batched grafts" `Quick
+            test_diff_cross_scheduler_batched;
         ] );
     ]
