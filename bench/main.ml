@@ -855,6 +855,89 @@ let e12 () =
   print_endline "       the pool recycles spawn segments that die without escaping."
 
 (* ------------------------------------------------------------------ *)
+(* E13: DPOR schedule exploration vs naive seed sweep                  *)
+(* ------------------------------------------------------------------ *)
+
+module X = Pcont_explore.Explore
+
+let e13 () =
+  header "E13  schedule exploration: DPOR backtracking vs Randomized seed sweep";
+  (* Two comparisons against the blind baseline (Randomized seeds 1..n):
+     coverage — on the bug-free racing(n) workload, how many DISTINCT
+     causal skeletons each strategy reaches per run (redundancy =
+     runs/skeletons; a sweep keeps re-executing the same few orders) —
+     and bug-finding — runs until the injected lost-wakeup/stolen-relay
+     deadlocks show, where the sweep finds nothing at any seed count
+     because round-based schedules cannot reach the buggy window. *)
+  Printf.printf "%-13s | %5s %6s %7s %7s %9s | %6s %7s %7s\n" "workload" "runs"
+    "skels" "redund" "races" "sched/s" "seeds" "skels" "redund";
+  let ns = if !quick then [ 2 ] else [ 2; 3 ] in
+  List.iter
+    (fun n ->
+      let target = X.Workloads.racing n in
+      let budget = if !quick then 60 else 150 in
+      let st, dt = time_best ~n:1 (fun () -> X.Dpor.explore ~max_runs:budget target) in
+      let runs = st.X.Dpor.s_runs in
+      let sw = X.Dpor.seed_sweep ~seeds:runs target in
+      let redund r s = float_of_int r /. float_of_int (max 1 s) in
+      let rate = float_of_int runs /. dt in
+      jrow
+        ~name:(Printf.sprintf "e13.racing%d.dpor" n)
+        ~params:[ pint "branches" (2 * n) ]
+        ~metrics:
+          [
+            ("runs", runs);
+            ("skeletons", st.X.Dpor.s_skeletons);
+            ("races", st.X.Dpor.s_races);
+          ]
+        (ns_per dt runs);
+      jrow
+        ~name:(Printf.sprintf "e13.racing%d.sweep" n)
+        ~params:[ pint "branches" (2 * n) ]
+        ~metrics:[ ("seeds", sw.X.Dpor.sw_seeds); ("skeletons", sw.X.Dpor.sw_skeletons) ]
+        0.;
+      row "%-13s | %5d %6d %7.1f %7d %9.0f | %6d %7d %7.1f\n"
+        (Printf.sprintf "racing(%d)" n)
+        runs st.X.Dpor.s_skeletons
+        (redund runs st.X.Dpor.s_skeletons)
+        st.X.Dpor.s_races rate sw.X.Dpor.sw_seeds sw.X.Dpor.sw_skeletons
+        (redund sw.X.Dpor.sw_seeds sw.X.Dpor.sw_skeletons))
+    ns;
+  Printf.printf "%-13s | %21s | %s\n" "bug" "dpor runs-to-find" "sweep (100 seeds)";
+  List.iter
+    (fun (label, target) ->
+      let st = X.Dpor.explore ~max_runs:200 target in
+      let found =
+        match st.X.Dpor.s_witness with
+        | Some w -> w.X.Dpor.w_runs_to_find
+        | None -> -1
+      in
+      let sw = X.Dpor.seed_sweep ~seeds:100 target in
+      jrow
+        ~name:(Printf.sprintf "e13.bug.%s" label)
+        ~params:[]
+        ~metrics:
+          [
+            ("runs_to_find", found);
+            ("sweep_found", match sw.X.Dpor.sw_found with Some _ -> 1 | None -> 0);
+          ]
+        0.;
+      row "%-13s | %21s | %s\n" label
+        (if found < 0 then "not found" else string_of_int found)
+        (match sw.X.Dpor.sw_found with
+        | None -> "not found"
+        | Some (s, k) -> Printf.sprintf "seed %d: %s" s k))
+    [
+      ("lost-wakeup", X.Workloads.lost_wakeup);
+      ("stolen-relay", X.Workloads.stolen_relay);
+    ];
+  print_endline "shape: per run, DPOR reaches several times more distinct skeletons";
+  print_endline "       (Mazurkiewicz classes) than the sweep, whose seeds re-execute";
+  print_endline "       equivalent orders; both injected deadlocks are found within a";
+  print_endline "       handful of runs while no Randomized seed ever reaches them.";
+  print_endline "claim: racing-pair backtracking explores distinct orders, not seeds."
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel measurements of the native primitives               *)
 (* ------------------------------------------------------------------ *)
 
@@ -912,6 +995,7 @@ let experiments =
     ("e10", e10);
     ("e11", e11);
     ("e12", e12);
+    ("e13", e13);
     ("micro", micro);
   ]
 

@@ -100,7 +100,7 @@ let print_analysis events =
         (Pcont_obs.Analysis.Report.of_run (Pcont_obs.Trace.reconstruct run)))
     (Pcont_obs.Trace.runs events)
 
-let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
+let run file expr concurrent seed replay no_prelude fuel quantum strategy stats trace
     trace_out trace_format summary analyze backend =
   (match backend with
   | "pstack" | "machine" | "zipper" -> ()
@@ -119,6 +119,7 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
     in
     reject "--concurrent" concurrent;
     reject "--seed" (seed <> None);
+    reject "--replay" (replay <> None);
     reject "--quantum" (quantum <> None);
     reject "--trace" trace;
     reject "--trace-out" (trace_out <> None);
@@ -138,14 +139,35 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
         other;
       exit 2);
   let trace_format = Option.value trace_format ~default:"jsonl" in
+  if replay <> None && seed <> None then begin
+    Printf.eprintf "psi: --replay and --seed are mutually exclusive\n";
+    exit 2
+  end;
+  (* --replay pins every scheduling decision to a recorded schedule (a
+     trace from --trace-out or a witness from ptrace explore); all other
+     nondeterminism already lives behind the decision function, so the
+     re-run is deterministic.  Divergence is reported on exit. *)
+  let replay_driver =
+    match replay with
+    | None -> None
+    | Some path -> (
+        match Pcont_explore.Explore.Schedule.load path with
+        | Ok sched -> Some (Pcont_explore.Explore.Replay.driver sched)
+        | Error m ->
+            Printf.eprintf "psi: %s: %s\n" path m;
+            exit 2)
+  in
   let mode =
-    if concurrent || seed <> None || trace || trace_out <> None || summary || analyze
-    then
-      Interp.Concurrent
-        (match seed with
-        | None -> Pcont_pstack.Concur.Round_robin
-        | Some s -> Pcont_pstack.Concur.Randomized (Int64.of_int s))
-    else Interp.Sequential
+    match replay_driver with
+    | Some (pick, _) -> Interp.Concurrent (Pcont_pstack.Concur.Driven_pids pick)
+    | None ->
+        if concurrent || seed <> None || trace || trace_out <> None || summary || analyze
+        then
+          Interp.Concurrent
+            (match seed with
+            | None -> Pcont_pstack.Concur.Round_robin
+            | Some s -> Pcont_pstack.Concur.Randomized (Int64.of_int s))
+        else Interp.Sequential
   in
   let strategy =
     match strategy with
@@ -202,6 +224,27 @@ let run file expr concurrent seed no_prelude fuel quantum strategy stats trace
   let eval_form t src = Interp.eval_string ~mode ?fuel ?quantum ?obs t src in
   let finish code =
     (match obs with None -> () | Some o -> Obs.close o);
+    (match replay_driver with
+    | None -> ()
+    | Some (_, probe) -> (
+        match probe () with
+        | None -> ()
+        | Some d ->
+            let module R = Pcont_explore.Explore.Replay in
+            let cands =
+              String.concat ", "
+                (Array.to_list (Array.map string_of_int d.R.d_candidates))
+            in
+            if d.R.d_wanted < 0 then
+              Printf.eprintf
+                ";; psi: replay diverged at decision %d: schedule exhausted \
+                 (runnable: %s)\n"
+                d.R.d_decision cands
+            else
+              Printf.eprintf
+                ";; psi: replay diverged at decision %d: recorded pid %d not \
+                 runnable (runnable: %s)\n"
+                d.R.d_decision d.R.d_wanted cands));
     List.iter (fun f -> f ()) !cleanups;
     (match summary_tbl with
     | None -> ()
@@ -257,6 +300,18 @@ let seed =
     & opt (some int) None
     & info [ "seed" ] ~docv:"N"
         ~doc:"Randomize the branch interleaving with seed $(docv) (implies --concurrent).")
+
+let replay =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Pin every scheduling decision to the schedule recorded in $(docv) — a \
+           JSONL trace written by --trace-out, or a schedule/witness file from \
+           $(b,ptrace explore) — making the run deterministic (implies \
+           --concurrent; excludes --seed).  Divergence from the recorded \
+           schedule is reported on stderr.")
 
 let no_prelude =
   Arg.(value & flag & info [ "no-prelude" ] ~doc:"Do not load the Scheme prelude.")
@@ -349,7 +404,7 @@ let cmd =
   Cmd.v
     (Cmd.info "psi" ~version:"1.0.0" ~doc)
     Term.(
-      const run $ file $ expr $ concurrent $ seed $ no_prelude $ fuel $ quantum
+      const run $ file $ expr $ concurrent $ seed $ replay $ no_prelude $ fuel $ quantum
       $ strategy $ stats $ trace $ trace_out $ trace_format $ summary $ analyze
       $ backend)
 

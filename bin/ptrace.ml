@@ -12,6 +12,13 @@
      ptrace gen                 run a built-in mirrored workload on the
                                 pstack or native scheduler and write its
                                 trace, for cross-scheduler comparisons
+     ptrace replay INPUT        re-run a workload pinned to a recorded
+                                trace or schedule file; when the input is
+                                a trace, require the replay byte-identical
+     ptrace explore             DPOR-style schedule exploration of a
+                                workload: flip racing decisions, check
+                                every run's invariants, emit a minimized
+                                replayable witness on the first violation
 
    All subcommands take --json for machine-readable output; report and
    diff output is byte-deterministic for a given input. *)
@@ -19,9 +26,7 @@
 module Obs = Pcont_obs.Obs
 module Trace = Pcont_obs.Trace
 module Analysis = Pcont_obs.Analysis
-module Interp = Pcont_syntax.Interp
-module Concur = Pcont_pstack.Concur
-module Sched = Pcont_sched.Sched
+module Explore = Pcont_explore.Explore
 
 let load_or_die path =
   match Trace.load path with
@@ -60,50 +65,232 @@ let run_diff left right json =
   else Format.printf "@[<v>%a@]" Analysis.Diff.pp d;
   match d with None -> 0 | Some _ -> 1
 
-(* The gen workload is written twice — once in Scheme for the pstack
-   scheduler, once against the native API — mirroring the same process
-   tree (a future plus a 3-way pcall touching it), so the two traces'
-   causal skeletons line up and `ptrace diff` can compare schedulers. *)
-let gen_src_pstack =
-  "(let ([f (future (* 3 (+ 2 2)))])\n\
-  \  (pcall + (+ 1 2) (touch f) (* 2 (touch f))))"
-
-let gen_native () =
-  let f = Sched.future (fun () -> 3 * (2 + 2)) in
-  let xs =
-    (* Four branches, not three: the pstack pcall forks its operator
-       expression too, and the skeletons must match child for child. *)
-    Sched.pcall
-      [
-        (fun () -> 0);
-        (fun () -> 1 + 2);
-        (fun () -> Sched.touch f);
-        (fun () -> 2 * Sched.touch f);
-      ]
-  in
-  List.fold_left ( + ) 0 xs
-
+(* The gen workloads live in Pcont_explore.Explore.Workloads so that gen,
+   replay and explore all run the byte-for-byte same programs: a trace
+   written by `ptrace gen` replays against `--workload gen`/`gen-pstack`
+   with no drift between the two definitions. *)
 let run_gen scheduler seed out =
-  let buf = Buffer.create 4096 in
-  let o = Obs.create () in
-  Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
-  (match scheduler with
-  | "pstack" ->
-      let t = Interp.create () in
-      let mode = Interp.Concurrent (Concur.Randomized (Int64.of_int seed)) in
-      ignore (Interp.eval_value ~mode ~obs:o t gen_src_pstack)
-  | "native" ->
-      ignore (Sched.run ~policy:(Sched.Randomized (Int64.of_int seed)) ~obs:o gen_native)
-  | other ->
-      Printf.eprintf "ptrace: unknown scheduler %S (expected pstack or native)\n" other;
-      exit 2);
-  Obs.close o;
+  let target =
+    match scheduler with
+    | "pstack" -> Explore.Workloads.gen_pstack
+    | "native" -> Explore.Workloads.gen_native
+    | other ->
+        Printf.eprintf "ptrace: unknown scheduler %S (expected pstack or native)\n" other;
+        exit 2
+  in
+  let r = Explore.Replay.record ~policy:(Explore.Seeded (Int64.of_int seed)) target in
   (match out with
-  | None -> print_string (Buffer.contents buf)
+  | None -> print_string r.Explore.Replay.rec_trace
   | Some path ->
       Out_channel.with_open_bin path (fun oc ->
-          Out_channel.output_string oc (Buffer.contents buf)));
+          Out_channel.output_string oc r.Explore.Replay.rec_trace));
   0
+
+(* ---- replay / explore ------------------------------------------------ *)
+
+(* Both subcommands need a target; either a built-in workload by name or
+   an ad-hoc Scheme expression on the pstack scheduler (native programs
+   cannot be passed on a command line — use --workload for those). *)
+let resolve_target workload expr =
+  match (workload, expr) with
+  | Some _, Some _ ->
+      Printf.eprintf "ptrace: --workload and --expr are mutually exclusive\n";
+      exit 2
+  | None, None ->
+      Printf.eprintf "ptrace: need a program: --workload NAME or --expr EXPR\n";
+      Printf.eprintf "ptrace: built-in workloads: %s\n"
+        (String.concat ", " Explore.Workloads.names);
+      exit 2
+  | Some name, None -> (
+      match Explore.Workloads.find name with
+      | Some t -> t
+      | None ->
+          Printf.eprintf "ptrace: unknown workload %S (expected one of: %s)\n" name
+            (String.concat ", " Explore.Workloads.names);
+          exit 2)
+  | None, Some src -> Explore.pstack_target "expr" src
+
+(* First differing line between the recorded and replayed trace bytes. *)
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | [], [] -> Printf.sprintf "traces differ (line %d)" i
+    | x :: _, [] -> Printf.sprintf "replay is shorter: recording line %d is %s" i x
+    | [], y :: _ -> Printf.sprintf "replay is longer: extra line %d is %s" i y
+    | x :: xs, y :: ys ->
+        if String.equal x y then go (i + 1) (xs, ys)
+        else Printf.sprintf "line %d: recorded %s, replayed %s" i x y
+  in
+  go 1 (la, lb)
+
+let pp_divergence d =
+  let cands =
+    String.concat ", "
+      (Array.to_list (Array.map string_of_int d.Explore.Replay.d_candidates))
+  in
+  if d.Explore.Replay.d_wanted < 0 then
+    Printf.sprintf "decision %d: schedule exhausted (runnable: %s)"
+      d.Explore.Replay.d_decision cands
+  else
+    Printf.sprintf "decision %d: recorded pid %d not runnable (runnable: %s)"
+      d.Explore.Replay.d_decision d.Explore.Replay.d_wanted cands
+
+let run_replay input workload expr out json =
+  let target = resolve_target workload expr in
+  (* When the input is a trace we hold the recording to a byte-identity
+     standard; a bare schedule file (e.g. an exploration witness) has no
+     reference bytes, so only divergence can fail it. *)
+  let reference =
+    match Trace.load input with
+    | Ok evs when Array.length evs > 0 ->
+        Some (In_channel.with_open_bin input In_channel.input_all)
+    | Ok _ | Error _ -> None
+  in
+  let sched =
+    match Explore.Schedule.load input with
+    | Ok s -> s
+    | Error m ->
+        Printf.eprintf "ptrace: %s: %s\n" input m;
+        exit 2
+  in
+  let r, div = Explore.Replay.replay target sched in
+  (match out with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc r.Explore.Replay.rec_trace));
+  let identical =
+    match reference with
+    | None -> None
+    | Some bytes -> Some (String.equal bytes r.Explore.Replay.rec_trace)
+  in
+  let ok = div = None && identical <> Some false in
+  if json then
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [
+              ("target", Obs.Json.Str target.Explore.tg_name);
+              ( "decisions",
+                Obs.Json.Num
+                  (float_of_int (Array.length sched.Explore.Schedule.decisions)) );
+              ("outcome", Obs.Json.Str r.Explore.Replay.rec_outcome);
+              ( "diverged",
+                match div with
+                | None -> Obs.Json.Bool false
+                | Some d -> Obs.Json.Str (pp_divergence d) );
+              ( "byte_identical",
+                match identical with
+                | None -> Obs.Json.Null
+                | Some b -> Obs.Json.Bool b );
+            ]))
+  else begin
+    Printf.printf "replayed %s: %d decisions, outcome: %s\n" target.Explore.tg_name
+      (Array.length sched.Explore.Schedule.decisions)
+      r.Explore.Replay.rec_outcome;
+    (match div with
+    | None -> ()
+    | Some d -> Printf.printf "diverged at %s\n" (pp_divergence d));
+    match (identical, reference) with
+    | Some true, _ -> print_endline "trace byte-identical to the recording"
+    | Some false, Some bytes ->
+        Printf.printf "trace differs from the recording: %s\n"
+          (first_diff bytes r.Explore.Replay.rec_trace)
+    | _ -> ()
+  end;
+  if ok then 0 else 1
+
+let run_explore workload expr max_runs sweep out expect_bug json =
+  let target = resolve_target workload expr in
+  let st = Explore.Dpor.explore ~max_runs target in
+  let sweep_res =
+    if sweep > 0 then Some (Explore.Dpor.seed_sweep ~seeds:sweep target) else None
+  in
+  (match (out, st.Explore.Dpor.s_witness) with
+  | Some path, Some w -> Explore.Schedule.save path w.Explore.Dpor.w_schedule
+  | Some _, None | None, _ -> ());
+  if json then begin
+    let sweep_json =
+      match sweep_res with
+      | None -> []
+      | Some sw ->
+          [
+            ( "sweep",
+              Obs.Json.Obj
+                [
+                  ("seeds", Obs.Json.Num (float_of_int sw.Explore.Dpor.sw_seeds));
+                  ( "skeletons",
+                    Obs.Json.Num (float_of_int sw.Explore.Dpor.sw_skeletons) );
+                  ( "found",
+                    match sw.Explore.Dpor.sw_found with
+                    | None -> Obs.Json.Null
+                    | Some (seed, kind) ->
+                        Obs.Json.Obj
+                          [
+                            ("seed", Obs.Json.Num (float_of_int seed));
+                            ("kind", Obs.Json.Str kind);
+                          ] );
+                ] );
+          ]
+    in
+    let witness_json =
+      match st.Explore.Dpor.s_witness with
+      | None -> Obs.Json.Null
+      | Some w ->
+          Obs.Json.Obj
+            [
+              ("kind", Obs.Json.Str w.Explore.Dpor.w_kind);
+              ("outcome", Obs.Json.Str w.Explore.Dpor.w_outcome);
+              ("runs_to_find", Obs.Json.Num (float_of_int w.Explore.Dpor.w_runs_to_find));
+              ("forced", Obs.Json.Num (float_of_int w.Explore.Dpor.w_forced));
+              ( "decisions",
+                Obs.Json.Num
+                  (float_of_int
+                     (Array.length w.Explore.Dpor.w_schedule.Explore.Schedule.decisions))
+              );
+            ]
+    in
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            ([
+               ("target", Obs.Json.Str target.Explore.tg_name);
+               ("runs", Obs.Json.Num (float_of_int st.Explore.Dpor.s_runs));
+               ("probes", Obs.Json.Num (float_of_int st.Explore.Dpor.s_probes));
+               ("schedules", Obs.Json.Num (float_of_int st.Explore.Dpor.s_schedules));
+               ("skeletons", Obs.Json.Num (float_of_int st.Explore.Dpor.s_skeletons));
+               ("races", Obs.Json.Num (float_of_int st.Explore.Dpor.s_races));
+               ("witness", witness_json);
+             ]
+            @ sweep_json)))
+  end
+  else begin
+    Printf.printf "explored %s: %d runs (+%d minimization probes), %d schedules, %d skeletons, %d races\n"
+      target.Explore.tg_name st.Explore.Dpor.s_runs st.Explore.Dpor.s_probes
+      st.Explore.Dpor.s_schedules st.Explore.Dpor.s_skeletons st.Explore.Dpor.s_races;
+    (match st.Explore.Dpor.s_witness with
+    | None -> print_endline "no violation found"
+    | Some w ->
+        Printf.printf "violation: %s (outcome: %s)\n" w.Explore.Dpor.w_kind
+          w.Explore.Dpor.w_outcome;
+        Printf.printf "found after %d runs; witness: %d decisions, %d forced\n"
+          w.Explore.Dpor.w_runs_to_find
+          (Array.length w.Explore.Dpor.w_schedule.Explore.Schedule.decisions)
+          w.Explore.Dpor.w_forced;
+        match out with
+        | Some path -> Printf.printf "witness schedule written to %s\n" path
+        | None -> ());
+    match sweep_res with
+    | None -> ()
+    | Some sw ->
+        Printf.printf "seed sweep: %d seeds, %d skeletons, %s\n"
+          sw.Explore.Dpor.sw_seeds sw.Explore.Dpor.sw_skeletons
+          (match sw.Explore.Dpor.sw_found with
+          | None -> "no violation found"
+          | Some (seed, kind) -> Printf.sprintf "seed %d hit %s" seed kind)
+  end;
+  let found = st.Explore.Dpor.s_witness <> None in
+  if expect_bug then if found then 0 else 1 else if found then 1 else 0
 
 open Cmdliner
 
@@ -149,9 +336,77 @@ let gen_cmd =
   in
   Cmd.v (Cmd.info "gen" ~doc) Term.(const run_gen $ scheduler $ seed $ out)
 
+let workload =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Built-in workload to run: one of %s."
+             (String.concat ", " Pcont_explore.Explore.Workloads.names)))
+
+let expr =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "expr" ] ~docv:"EXPR"
+        ~doc:"Ad-hoc Scheme program to run on the pstack scheduler.")
+
+let replay_cmd =
+  let doc = "re-run a workload pinned to a recorded trace or schedule" in
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"INPUT"
+          ~doc:"A JSONL trace (replay must be byte-identical) or a schedule file.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the replayed trace to $(docv).")
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run_replay $ input $ workload $ expr $ out $ json)
+
+let explore_cmd =
+  let doc = "DPOR schedule exploration: find and minimize a racing-schedule bug" in
+  let max_runs =
+    Arg.(
+      value & opt int 200
+      & info [ "max-runs" ] ~docv:"N" ~doc:"Stop after $(docv) explored schedules.")
+  in
+  let sweep =
+    Arg.(
+      value & opt int 0
+      & info [ "sweep" ] ~docv:"N"
+          ~doc:
+            "Also run a naive $(docv)-seed Randomized sweep on the same workload \
+             and report what it found, for comparison.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the minimized witness schedule to $(docv) (replay it with \
+                $(b,ptrace replay)).")
+  in
+  let expect_bug =
+    Arg.(
+      value & flag
+      & info [ "expect-bug" ]
+          ~doc:
+            "Invert the exit status: 0 when a violation is found, 1 when none is \
+             (for CI jobs asserting an injected bug is caught).")
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run_explore $ workload $ expr $ max_runs $ sweep $ out $ expect_bug $ json)
+
 let cmd =
-  let doc = "analyze scheduler traces: check invariants, profile, diff" in
+  let doc = "analyze scheduler traces: check invariants, profile, diff, replay, explore" in
   Cmd.group (Cmd.info "ptrace" ~version:"1.0.0" ~doc)
-    [ check_cmd; report_cmd; diff_cmd; gen_cmd ]
+    [ check_cmd; report_cmd; diff_cmd; gen_cmd; replay_cmd; explore_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,691 @@
+(* Record/replay and DPOR-style schedule exploration.
+
+   Everything here leans on two properties the schedulers already have:
+
+   - under [Driven]/[Driven_pids] every scheduling decision runs exactly
+     one fiber/branch for one slice, so the trace's slice-begin stream
+     and the decision stream are the same sequence;
+   - all remaining nondeterminism (virtual clock, pid/label/channel-id
+     allocation) is a deterministic function of that sequence, so a run
+     pinned to a recorded schedule reproduces the recording byte for
+     byte.
+
+   The exploration engine is dynamic partial-order reduction in the
+   style of Flanagan–Godefroid 2005, driven entirely by the trace: after
+   each executed schedule it finds pairs of decisions whose visible
+   operations conflict (send/recv on a channel, park/wake on a waitset,
+   a capture against the entries it prunes) and re-executes with the
+   later decision's pid forced at the earlier index.  Conflicts are
+   keyed by resource, so the shared waitset names ("channel.send",
+   "channel.recv") make this an over-approximation across distinct
+   channels — sound (no race is missed), merely less sparing. *)
+
+module Obs = Pcont_obs.Obs
+module Trace = Pcont_obs.Trace
+module Analysis = Pcont_obs.Analysis
+module E = Pcont_obs.Obs.Event
+module Json = Pcont_obs.Obs.Json
+module Sched = Pcont_sched.Sched
+module Channel = Pcont_sched.Channel
+module Concur = Pcont_pstack.Concur
+module Interp = Pcont_syntax.Interp
+
+let find_idx (a : int array) (x : int) : int option =
+  let n = Array.length a in
+  let rec go i = if i >= n then None else if a.(i) = x then Some i else go (i + 1) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Schedules.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Schedule = struct
+  type t = { decisions : int array }
+
+  let of_trace evs =
+    let runs = Trace.runs evs in
+    let parts = Array.map (fun r -> Trace.schedule (Trace.reconstruct r)) runs in
+    { decisions = Array.concat (Array.to_list parts) }
+
+  let to_json t =
+    Json.Obj
+      [
+        ("version", Json.Num 1.);
+        ("kind", Json.Str "pcont-schedule");
+        ( "decisions",
+          Json.Arr (Array.to_list (Array.map (fun d -> Json.Num (float_of_int d)) t.decisions))
+        );
+      ]
+
+  let of_json j =
+    match Json.member "decisions" j with
+    | Some (Json.Arr ds) ->
+        let ok = ref true in
+        let decisions =
+          Array.of_list
+            (List.map
+               (function
+                 | Json.Num f when Float.is_integer f -> int_of_float f
+                 | _ ->
+                     ok := false;
+                     0)
+               ds)
+        in
+        if !ok then Ok { decisions }
+        else Error "schedule: non-integral decision"
+    | Some _ -> Error "schedule: \"decisions\" is not an array"
+    | None -> Error "schedule: missing \"decisions\" field"
+
+  let save path t =
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (Json.to_string (to_json t));
+        Out_channel.output_char oc '\n')
+
+  let load path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error m -> Error m
+    | txt -> (
+        (* A schedule file is a single JSON object carrying "decisions";
+           anything else is treated as a JSONL trace. *)
+        match Json.parse (String.trim txt) with
+        | Ok j when Json.member "decisions" j <> None -> of_json j
+        | _ -> (
+            match Trace.parse_string txt with
+            | Ok evs -> Ok (of_trace evs)
+            | Error m -> Error m))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Targets.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type policy = Default | Seeded of int64 | Fixed of (int array -> int)
+
+type target = { tg_name : string; tg_run : policy -> Obs.t option -> string }
+
+let native_target tg_name (prog : unit -> string) =
+  {
+    tg_name;
+    tg_run =
+      (fun policy obs ->
+        let policy =
+          match policy with
+          | Default -> Sched.Tree_order
+          | Seeded s -> Sched.Randomized s
+          | Fixed f -> Sched.Driven_pids f
+        in
+        match Sched.run ~policy ?obs prog with
+        | v -> "value " ^ v
+        | exception Sched.Deadlock m -> m
+        | exception e -> "error: " ^ Printexc.to_string e);
+  }
+
+let pstack_target tg_name src =
+  {
+    tg_name;
+    tg_run =
+      (fun policy obs ->
+        let sched =
+          match policy with
+          | Default -> Concur.Round_robin
+          | Seeded s -> Concur.Randomized s
+          | Fixed f -> Concur.Driven_pids f
+        in
+        let t = Interp.create () in
+        ignore (Interp.take_output ());
+        let results = Interp.eval_string ~mode:(Interp.Concurrent sched) ?obs t src in
+        let out = Interp.take_output () in
+        let body = String.concat "; " (List.map Interp.result_to_string results) in
+        if out = "" then body else body ^ " | output: " ^ out);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Record / replay.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Replay = struct
+  type divergence = { d_decision : int; d_wanted : int; d_candidates : int array }
+
+  let driver (s : Schedule.t) =
+    let k = ref 0 and div = ref None in
+    let note d = if !div = None then div := Some d in
+    let pick pids =
+      let i = !k in
+      incr k;
+      if i >= Array.length s.decisions then begin
+        note { d_decision = i; d_wanted = -1; d_candidates = Array.copy pids };
+        0
+      end
+      else
+        let want = s.decisions.(i) in
+        match find_idx pids want with
+        | Some j -> j
+        | None ->
+            note { d_decision = i; d_wanted = want; d_candidates = Array.copy pids };
+            0
+    in
+    (pick, fun () -> !div)
+
+  type recording = {
+    rec_trace : string;
+    rec_outcome : string;
+    rec_schedule : Schedule.t;
+  }
+
+  let record ?(policy = Default) target =
+    let buf = Buffer.create 4096 in
+    let o = Obs.create () in
+    Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+    let outcome = target.tg_run policy (Some o) in
+    Obs.close o;
+    let trace = Buffer.contents buf in
+    let sched =
+      match Trace.parse_string trace with
+      | Ok evs -> Schedule.of_trace evs
+      | Error _ -> { Schedule.decisions = [||] }
+    in
+    { rec_trace = trace; rec_outcome = outcome; rec_schedule = sched }
+
+  let replay target sched =
+    let pick, div = driver sched in
+    let r = record ~policy:(Fixed pick) target in
+    (r, div ())
+
+  let lines s = String.split_on_char '\n' s
+
+  let first_diff a b =
+    let la = lines a and lb = lines b in
+    let rec go i = function
+      | [], [] -> Printf.sprintf "traces differ (line %d)" i
+      | x :: _, [] -> Printf.sprintf "replay is shorter: recording line %d is %s" i x
+      | [], y :: _ -> Printf.sprintf "replay is longer: extra line %d is %s" i y
+      | x :: xs, y :: ys ->
+          if String.equal x y then go (i + 1) (xs, ys)
+          else Printf.sprintf "first differing line %d:\n  recorded: %s\n  replayed: %s" i x y
+    in
+    go 0 (la, lb)
+
+  let check_roundtrip ?policy target =
+    let r = record ?policy target in
+    let r2, div = replay target r.rec_schedule in
+    match div with
+    | Some d ->
+        Error
+          (Printf.sprintf "replay diverged at decision %d: wanted pid %d, runnable [%s]"
+             d.d_decision d.d_wanted
+             (String.concat ";" (List.map string_of_int (Array.to_list d.d_candidates))))
+    | None ->
+        if not (String.equal r2.rec_outcome r.rec_outcome) then
+          Error
+            (Printf.sprintf "outcome differs:\n  recorded: %s\n  replayed: %s" r.rec_outcome
+               r2.rec_outcome)
+        else if not (String.equal r2.rec_trace r.rec_trace) then Error (first_diff r.rec_trace r2.rec_trace)
+        else Ok r
+end
+
+(* ------------------------------------------------------------------ *)
+(* DPOR exploration.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Dpor = struct
+  type witness = {
+    w_kind : string;
+    w_outcome : string;
+    w_schedule : Schedule.t;
+    w_runs_to_find : int;
+    w_forced : int;
+  }
+
+  type stats = {
+    s_runs : int;
+    s_probes : int;
+    s_schedules : int;
+    s_skeletons : int;
+    s_races : int;
+    s_witness : witness option;
+  }
+
+  (* One pinned execution: follow [prefix] by pid (falling back to index
+     0 on divergence — backtrack prefixes are built from enabled pids,
+     so in practice they never diverge), default to index 0 afterwards,
+     and log every decision's candidates and choice. *)
+  type exec = {
+    x_trace : string;
+    x_outcome : string;
+    x_log : (int array * int) array;
+  }
+
+  let execute target (prefix : int array) : exec =
+    let buf = Buffer.create 4096 in
+    let o = Obs.create () in
+    Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+    let k = ref 0 in
+    let log = ref [] in
+    let pick pids =
+      let i = !k in
+      incr k;
+      let idx =
+        if i < Array.length prefix then
+          match find_idx pids prefix.(i) with Some j -> j | None -> 0
+        else 0
+      in
+      log := (Array.copy pids, pids.(idx)) :: !log;
+      idx
+    in
+    let outcome = target.tg_run (Fixed pick) (Some o) in
+    Obs.close o;
+    {
+      x_trace = Buffer.contents buf;
+      x_outcome = outcome;
+      x_log = Array.of_list (List.rev !log);
+    }
+
+  (* Canonical causal-skeleton fingerprint: [Analysis.Diff]'s projection
+     (pids renamed to spawn order, per-pid program-order causal facts,
+     scheduling events dropped) extended with the per-resource operation
+     orders — for each channel the global send/recv order, for each
+     waitset the park/wake order.  Operations on the same resource are
+     the dependent ones, so their relative order is exactly what a
+     racing-pair flip changes; per-pid facts alone cannot see it (two
+     interleavings of the same sends are per-pid identical).  With both
+     parts the fingerprint is a Mazurkiewicz-trace invariant: equal iff
+     no racing pair is ordered differently. *)
+  let skeleton evs =
+    let b = Buffer.create 256 in
+    Array.iter
+      (fun revs ->
+        Buffer.add_char b '{';
+        let canon = Hashtbl.create 16 in
+        let next = ref 0 in
+        let cpid pid =
+          if pid < 0 then -1
+          else
+            match Hashtbl.find_opt canon pid with
+            | Some c -> c
+            | None ->
+                let c = !next in
+                incr next;
+                Hashtbl.replace canon pid c;
+                c
+        in
+        let facts : (int, string list ref) Hashtbl.t = Hashtbl.create 16 in
+        let add pid f =
+          let c = cpid pid in
+          let l =
+            match Hashtbl.find_opt facts c with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace facts c l;
+                l
+          in
+          l := f :: !l
+        in
+        let res : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+        let addr key op pid =
+          let l =
+            match Hashtbl.find_opt res key with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace res key l;
+                l
+          in
+          l := Printf.sprintf "%s%d" op (cpid pid) :: !l
+        in
+        Array.iter
+          (fun (st : Trace.stamped) ->
+            match st.ev with
+            | E.Spawn { pid; parent; kind } ->
+                let cp = cpid parent in
+                add pid (Printf.sprintf "s%d:%s" cp kind)
+            | E.Spawn_batch { nodes; kind; _ } ->
+                Array.iter
+                  (fun (pid, parent) ->
+                    let cp = cpid parent in
+                    add pid (Printf.sprintf "s%d:%s" cp kind))
+                  nodes
+            | E.Exit { pid } -> add pid "x"
+            | E.Send { pid; chan } ->
+                add pid (Printf.sprintf "!%d" chan);
+                addr (Printf.sprintf "c%d" chan) "!" pid
+            | E.Recv { pid; chan } ->
+                add pid (Printf.sprintf "?%d" chan);
+                addr (Printf.sprintf "c%d" chan) "?" pid
+            | E.Capture { pid; label; root_pid; _ } ->
+                add pid (Printf.sprintf "c%d@%d" label (cpid root_pid))
+            | E.Reinstate { pid; label; _ } -> add pid (Printf.sprintf "g%d" label)
+            | E.Invalid_controller { pid; label } -> add pid (Printf.sprintf "i%d" label)
+            | E.Deadlock { parked } -> Buffer.add_string b (Printf.sprintf "D%d;" parked)
+            | E.Park { pid; resource } -> addr ("w" ^ resource) "p" pid
+            | E.Wake { pid; resource } -> addr ("w" ^ resource) "w" pid
+            | E.Slice_begin _ | E.Slice_end _ -> ())
+          revs;
+        for c = 0 to !next - 1 do
+          match Hashtbl.find_opt facts c with
+          | None -> ()
+          | Some l ->
+              Buffer.add_string b (string_of_int c);
+              Buffer.add_char b '[';
+              List.iter
+                (fun f ->
+                  Buffer.add_string b f;
+                  Buffer.add_char b ';')
+                (List.rev !l);
+              Buffer.add_char b ']'
+        done;
+        let keys = Hashtbl.fold (fun k _ acc -> k :: acc) res [] in
+        List.iter
+          (fun k ->
+            Buffer.add_char b '|';
+            Buffer.add_string b k;
+            Buffer.add_char b ':';
+            List.iter (Buffer.add_string b) (List.rev !(Hashtbl.find res k)))
+          (List.sort compare keys);
+        Buffer.add_char b '}')
+      (Trace.runs evs);
+    Buffer.contents b
+
+  let classify ~deadlock_is_bug ~check evs outcome =
+    match Analysis.Check.run evs with
+    | v :: _ -> Some ("check:" ^ v.Analysis.Check.v_rule)
+    | [] ->
+        if
+          deadlock_is_bug
+          && Array.exists
+               (fun (st : Trace.stamped) ->
+                 match st.ev with E.Deadlock _ -> true | _ -> false)
+               evs
+        then Some "deadlock"
+        else (
+          match check with
+          | None -> None
+          | Some f -> Option.map (fun m -> "assert:" ^ m) (f evs outcome))
+
+  (* Racing decisions of one executed schedule, as backtrack prefixes.
+     Decision indices and trace slices are 1:1 (each driven decision
+     runs exactly one slice), so a run's slice [a] is global decision
+     [base + a] and the event→slice map [r_actor] attributes every
+     visible operation to its decision. *)
+  let backtracks (ex : exec) (evs : Trace.stamped array) : int array list =
+    let chosen = Array.map snd ex.x_log in
+    let cands = Array.map fst ex.x_log in
+    let ndecisions = Array.length chosen in
+    let out = ref [] in
+    let push i q =
+      if i < ndecisions && chosen.(i) <> q && Array.exists (Int.equal q) cands.(i)
+      then out := Array.append (Array.sub chosen 0 i) [| q |] :: !out
+    in
+    let base = ref 0 in
+    Array.iter
+      (fun revs ->
+        let run = Trace.reconstruct revs in
+        let nslices = Array.length run.Trace.r_slices in
+        let ops = Array.make (max nslices 1) [] in
+        let cap_pruned = ref [] in
+        Array.iteri
+          (fun i (st : Trace.stamped) ->
+            let a = run.Trace.r_actor.(i) in
+            if a >= 0 && a < nslices then
+              match st.ev with
+              | E.Send { chan; _ } | E.Recv { chan; _ } ->
+                  ops.(a) <- ("c" ^ string_of_int chan) :: ops.(a)
+              | E.Park { resource; _ } | E.Wake { resource; _ } ->
+                  ops.(a) <- ("w" ^ resource) :: ops.(a)
+              | E.Capture _ ->
+                  (* [reconstruct] stamps the nodes this capture pruned
+                     with the capture's ts: those are the entries whose
+                     running races with the capture itself. *)
+                  let pruned =
+                    Array.fold_left
+                      (fun acc (n : Trace.node) ->
+                        match n.Trace.n_pruned_ts with
+                        | Some t when t = st.ts -> n.Trace.n_pid :: acc
+                        | _ -> acc)
+                      [] run.Trace.r_nodes
+                  in
+                  cap_pruned := (a, pruned) :: !cap_pruned
+              | _ -> ())
+          revs;
+        let dense = ref [] in
+        Array.iteri (fun a l -> if l <> [] then dense := (!base + a, l) :: !dense) ops;
+        let dense = Array.of_list (List.rev !dense) in
+        let m = Array.length dense in
+        for jj = 0 to m - 1 do
+          let j, opj = dense.(jj) in
+          if j < ndecisions then
+            for ii = 0 to jj - 1 do
+              let i, opi = dense.(ii) in
+              if
+                i < ndecisions
+                && chosen.(i) <> chosen.(j)
+                && List.exists (fun o -> List.mem o opj) opi
+              then push i chosen.(j)
+            done
+        done;
+        List.iter
+          (fun (a, pruned) -> List.iter (fun q -> push (!base + a) q) pruned)
+          !cap_pruned;
+        base := !base + nslices)
+      (Trace.runs evs);
+    List.rev !out
+
+  let key (a : int array) =
+    String.concat "," (List.map string_of_int (Array.to_list a))
+
+  let explore ?(max_runs = 200) ?(deadlock_is_bug = true) ?check target =
+    let seen_prefixes = Hashtbl.create 64 in
+    let seen_schedules = Hashtbl.create 64 in
+    let skeletons = Hashtbl.create 64 in
+    let frontier = Queue.create () in
+    Queue.add [||] frontier;
+    Hashtbl.replace seen_prefixes (key [||]) ();
+    let runs = ref 0 and probes = ref 0 and races = ref 0 in
+    let witness = ref None in
+    let minimize (ex : exec) kind =
+      (* Bisect the forced-prefix length; the result always comes from a
+         re-verified execution, so a non-monotone bug is never
+         mis-reported, merely minimized less. *)
+      let full = Array.map snd ex.x_log in
+      let reproduces k =
+        incr probes;
+        let e = execute target (Array.sub full 0 k) in
+        match Trace.parse_string e.x_trace with
+        | Error _ -> None
+        | Ok evs -> (
+            match classify ~deadlock_is_bug ~check evs e.x_outcome with
+            | Some kk when String.equal kk kind -> Some e
+            | _ -> None)
+      in
+      let lo = ref 0 and hi = ref (Array.length full) and best = ref ex in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        match reproduces mid with
+        | Some e ->
+            best := e;
+            hi := mid
+        | None -> lo := mid + 1
+      done;
+      {
+        w_kind = kind;
+        w_outcome = !best.x_outcome;
+        w_schedule = { Schedule.decisions = Array.map snd !best.x_log };
+        w_runs_to_find = !runs;
+        w_forced = !hi;
+      }
+    in
+    while !witness = None && !runs < max_runs && not (Queue.is_empty frontier) do
+      let prefix = Queue.pop frontier in
+      let ex = execute target prefix in
+      incr runs;
+      let sched = Array.map snd ex.x_log in
+      let k = key sched in
+      if not (Hashtbl.mem seen_schedules k) then begin
+        Hashtbl.replace seen_schedules k ();
+        match Trace.parse_string ex.x_trace with
+        | Error m ->
+            witness :=
+              Some
+                {
+                  w_kind = "trace-parse:" ^ m;
+                  w_outcome = ex.x_outcome;
+                  w_schedule = { Schedule.decisions = sched };
+                  w_runs_to_find = !runs;
+                  w_forced = Array.length sched;
+                }
+        | Ok evs -> (
+            Hashtbl.replace skeletons (skeleton evs) ();
+            match classify ~deadlock_is_bug ~check evs ex.x_outcome with
+            | Some kind -> witness := Some (minimize ex kind)
+            | None ->
+                List.iter
+                  (fun p ->
+                    let pk = key p in
+                    if not (Hashtbl.mem seen_prefixes pk) then begin
+                      Hashtbl.replace seen_prefixes pk ();
+                      incr races;
+                      Queue.add p frontier
+                    end)
+                  (backtracks ex evs))
+      end
+    done;
+    {
+      s_runs = !runs;
+      s_probes = !probes;
+      s_schedules = Hashtbl.length seen_schedules;
+      s_skeletons = Hashtbl.length skeletons;
+      s_races = !races;
+      s_witness = !witness;
+    }
+
+  type sweep = {
+    sw_seeds : int;
+    sw_skeletons : int;
+    sw_found : (int * string) option;
+  }
+
+  let seed_sweep ?(seeds = 100) ?(deadlock_is_bug = true) ?check target =
+    let skels = Hashtbl.create 64 in
+    let found = ref None in
+    for s = 1 to seeds do
+      let r = Replay.record ~policy:(Seeded (Int64.of_int s)) target in
+      match Trace.parse_string r.Replay.rec_trace with
+      | Error m -> if !found = None then found := Some (s, "trace-parse:" ^ m)
+      | Ok evs -> (
+          Hashtbl.replace skels (skeleton evs) ();
+          match classify ~deadlock_is_bug ~check evs r.Replay.rec_outcome with
+          | Some kind when !found = None -> found := Some (s, kind)
+          | _ -> ())
+    done;
+    { sw_seeds = seeds; sw_skeletons = Hashtbl.length skels; sw_found = !found }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Built-in workloads.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Workloads = struct
+  let gen_pstack_src =
+    "(let ([f (future (* 3 (+ 2 2)))])\n\
+    \  (pcall + (+ 1 2) (touch f) (* 2 (touch f))))"
+
+  let gen_native =
+    native_target "gen" (fun () ->
+        let f = Sched.future (fun () -> 3 * (2 + 2)) in
+        let xs =
+          (* Four branches, not three: the pstack pcall forks its
+             operator expression too, and the skeletons must match
+             child for child. *)
+          Sched.pcall
+            [
+              (fun () -> 0);
+              (fun () -> 1 + 2);
+              (fun () -> Sched.touch f);
+              (fun () -> 2 * Sched.touch f);
+            ]
+        in
+        string_of_int (List.fold_left ( + ) 0 xs))
+
+  let gen_pstack = pstack_target "gen-pstack" gen_pstack_src
+
+  let racing n =
+    native_target
+      (Printf.sprintf "racing-%d" n)
+      (fun () ->
+        let c = Channel.create ~capacity:1 () in
+        let branches =
+          List.init n (fun i () ->
+              Channel.send c (i + 1);
+              0)
+          @ List.init n (fun _ () -> Channel.recv c)
+        in
+        let vs = Sched.pcall branches in
+        string_of_int (List.fold_left ( + ) 0 vs))
+
+  let lost_wakeup =
+    native_target "lost-wakeup" (fun () ->
+        let ws = Sched.Waitset.create "event" in
+        let flag = ref false in
+        let waiter () =
+          (* BUG: yields between the check and the park and never
+             re-checks, so a signal completed inside that one-yield
+             window is lost.  The waiter's check and park slices sit in
+             consecutive rounds, and the window between them spans at
+             most the tail of one round plus the head of the next — two
+             signaler slices.  The signal below takes three slices from
+             store to wake, so no round-based policy (any seed, any
+             within-round order) can fit it inside the window; only a
+             driven schedule that starves the waiter exposes the bug. *)
+          if not !flag then begin
+            Sched.yield ();
+            Sched.block ws
+          end;
+          assert !flag
+        in
+        let signaler () =
+          flag := true;
+          (* preemption points between the store and the wake: the
+             classic missing-mutex window *)
+          Sched.yield ();
+          Sched.yield ();
+          Sched.wake ws
+        in
+        let (), () = Sched.pcall2 waiter signaler in
+        "done")
+
+  let stolen_relay =
+    native_target "stolen-relay" (fun () ->
+        let c = Channel.create ~capacity:2 () in
+        let w1 () =
+          let v = Channel.recv c in
+          if v = 1 then Channel.send c 2;
+          v
+        in
+        let w2 () =
+          (* BUG: consumes a token without relaying it.  Its receive is
+             only reached on its third slice, and worker 1's receive
+             completes by round 2 under any round-based schedule, so
+             the steal needs a driven schedule that starves worker 1. *)
+          Sched.yield ();
+          Sched.yield ();
+          Channel.recv c
+        in
+        let s () =
+          Channel.send c 1;
+          0
+        in
+        let vs = Sched.pcall [ w1; w2; s ] in
+        "values " ^ String.concat "," (List.map string_of_int vs))
+
+  let all =
+    [
+      ("gen", gen_native);
+      ("gen-pstack", gen_pstack);
+      ("racing", racing 3);
+      ("lost-wakeup", lost_wakeup);
+      ("stolen-relay", stolen_relay);
+    ]
+
+  let find name = List.assoc_opt name all
+  let names = List.map fst all
+end

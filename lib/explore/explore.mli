@@ -1,0 +1,224 @@
+(** Deterministic record/replay and DPOR-style schedule exploration.
+
+    The paper's point is that scheduling is a program-level object; this
+    library makes it a {e file}.  Both schedulers already route every
+    scheduling decision through their policy ([Driven]/[Driven_pids]) and
+    stamp traces with a deterministic virtual clock, so:
+
+    - {b record}: run a program once under any policy with a JSONL sink
+      attached; the trace's [slice-begin] stream {e is} the schedule (one
+      decision per slice under a driven policy, and exactly the same
+      per-round stepping order under the round-based ones);
+    - {b replay}: feed the recorded pid sequence back through
+      [Driven_pids]; because all remaining nondeterminism lives behind
+      the decision function, the replayed trace is byte-identical to the
+      recording;
+    - {b explore}: instead of a blind seed sweep, compute per executed
+      schedule which decisions {e race} — send/recv on the same channel,
+      park/wake order within a waitset, capture-vs-run of an entry the
+      capture prunes — and re-run with the racing decision flipped at
+      the earliest point where it was enabled (dynamic partial-order
+      reduction in the style of Flanagan–Godefroid 2005).  Every
+      explored run is checked against all {!Pcont_obs.Analysis.Check}
+      invariants plus an optional user assertion; the first violation is
+      minimized and emitted as a replayable schedule file.
+
+    The unit both halves share is the {!Schedule.t}: the flat sequence
+    of pids in slice-begin order, across every run of the trace (a psi
+    session traces one run per top-level form; a faithful replay consumes
+    exactly each run's slice count before the next run starts, so a flat
+    sequence needs no run boundaries). *)
+
+module Trace := Pcont_obs.Trace
+module Obs := Pcont_obs.Obs
+
+(** {1 Schedules} *)
+
+module Schedule : sig
+  type t = { decisions : int array }
+  (** The pid stepped at each scheduling decision, in decision order. *)
+
+  val of_trace : Trace.stamped array -> t
+  (** Concatenate {!Trace.schedule} over the trace's runs. *)
+
+  val to_json : t -> Obs.Json.t
+  (** [{"version":1,"kind":"pcont-schedule","decisions":[...]}]. *)
+
+  val of_json : Obs.Json.t -> (t, string) result
+
+  val save : string -> t -> unit
+
+  val load : string -> (t, string) result
+  (** Accepts either a schedule file ({!to_json} on one line) or a JSONL
+      trace, whose schedule is extracted with {!of_trace}. *)
+end
+
+(** {1 Targets}
+
+    A target is a runnable program: the exploration engine and the
+    replay harness both need to run the same program many times under
+    different policies, so the program is packaged with its policy
+    plumbing.  [tg_run] must be self-contained and deterministic modulo
+    the policy — every call starts from fresh state. *)
+
+type policy =
+  | Default  (** [Tree_order] / [Round_robin] *)
+  | Seeded of int64  (** [Randomized] *)
+  | Fixed of (int array -> int)  (** [Driven_pids] *)
+
+type target = {
+  tg_name : string;
+  tg_run : policy -> Obs.t option -> string;
+      (** Run once; the result is a human-readable outcome string
+          (value, error, or deadlock diagnosis). *)
+}
+
+val native_target : string -> (unit -> string) -> target
+(** Package a program against [Pcont_sched.Sched].  [Sched.Deadlock] is
+    caught and rendered into the outcome. *)
+
+val pstack_target : string -> string -> target
+(** [pstack_target name src] packages a Scheme program evaluated by a
+    fresh [Pcont_syntax.Interp] per call (multi-form programs trace one
+    run per form; the flat schedule spans them). *)
+
+(** {1 Record / replay} *)
+
+module Replay : sig
+  type divergence = {
+    d_decision : int;  (** index of the first diverging decision *)
+    d_wanted : int;  (** recorded pid; [-1] = schedule exhausted early *)
+    d_candidates : int array;  (** pids actually runnable at that point *)
+  }
+
+  val driver : Schedule.t -> (int array -> int) * (unit -> divergence option)
+  (** A [Driven_pids] decision function that follows the schedule,
+      plus a probe for the first divergence (recorded pid not runnable,
+      or schedule exhausted before the run finished).  On divergence the
+      driver falls back to index 0 and keeps going, so a diverged replay
+      still terminates and can be diagnosed. *)
+
+  type recording = {
+    rec_trace : string;  (** JSONL bytes *)
+    rec_outcome : string;
+    rec_schedule : Schedule.t;
+  }
+
+  val record : ?policy:policy -> target -> recording
+
+  val replay : target -> Schedule.t -> recording * divergence option
+  (** Re-run pinned to the schedule. *)
+
+  val check_roundtrip : ?policy:policy -> target -> (recording, string) result
+  (** Record, replay, and require byte-identical traces, identical
+      outcomes and no divergence; the error says what differed first. *)
+end
+
+(** {1 DPOR exploration} *)
+
+module Dpor : sig
+  type witness = {
+    w_kind : string;
+        (** ["deadlock"], ["check:<rule>"] or ["assert:<msg>"] *)
+    w_outcome : string;
+    w_schedule : Schedule.t;  (** minimized, complete, replayable *)
+    w_runs_to_find : int;  (** runs executed when the bug first showed *)
+    w_forced : int;
+        (** length of the forced decision prefix after minimization
+            (decisions beyond it are the default fallback's) *)
+  }
+
+  type stats = {
+    s_runs : int;  (** schedules executed (excluding minimization probes) *)
+    s_probes : int;  (** extra runs spent minimizing the witness *)
+    s_schedules : int;  (** distinct complete schedules *)
+    s_skeletons : int;  (** distinct causal skeletons among them *)
+    s_races : int;  (** backtrack points seeded *)
+    s_witness : witness option;
+  }
+
+  val skeleton : Trace.stamped array -> string
+  (** Canonical causal-skeleton fingerprint of a trace: pids renamed to
+      spawn order, each pid's program-order causal facts (spawns, exits,
+      channel ops, capture/reinstate labels, invalid controllers,
+      deadlock) — the projection [Analysis.Diff] compares — extended
+      with the global per-resource operation orders (send/recv order per
+      channel, park/wake order per waitset), as one hashable string.
+      Operations on a shared resource are the dependent ones, so the
+      fingerprint is a Mazurkiewicz-trace invariant: two schedules have
+      equal skeletons iff no racing pair is ordered differently, making
+      them redundant for bug-finding purposes. *)
+
+  val explore :
+    ?max_runs:int ->
+    ?deadlock_is_bug:bool ->
+    ?check:(Trace.stamped array -> string -> string option) ->
+    target ->
+    stats
+  (** Explore interleavings of the target, starting from the default
+      driven schedule and backtracking on races, until a bug is found,
+      the frontier is exhausted, or [max_runs] (default 200) schedules
+      have run.  A bug is a {!Pcont_obs.Analysis.Check} violation, a
+      deadlock (unless [deadlock_is_bug] is [false]), or [check trace
+      outcome] returning [Some msg].  The first bug is minimized by
+      bisecting the forced-prefix length (extra runs are counted in
+      [s_probes], and the minimized schedule is re-verified). *)
+
+  type sweep = {
+    sw_seeds : int;
+    sw_skeletons : int;  (** distinct skeletons across the sweep *)
+    sw_found : (int * string) option;
+        (** (1-based index of the first seed that hit a bug, kind) *)
+  }
+
+  val seed_sweep :
+    ?seeds:int ->
+    ?deadlock_is_bug:bool ->
+    ?check:(Trace.stamped array -> string -> string option) ->
+    target ->
+    sweep
+  (** The baseline the tentpole displaces: run [seeds] (default 100)
+      [Randomized] schedules with seeds 1..n and look for the same bugs.
+      Used by bench e13 for the redundancy comparison and by the tests
+      to show exploration finds what the sweep misses. *)
+end
+
+(** {1 Built-in workloads} *)
+
+module Workloads : sig
+  val gen_native : target
+  (** The [ptrace gen --scheduler native] workload (a future plus a
+      4-way pcall touching it). *)
+
+  val gen_pstack : target
+  (** The mirrored Scheme workload ([ptrace gen --scheduler pstack]). *)
+
+  val gen_pstack_src : string
+
+  val racing : int -> target
+  (** [racing n]: n producers and n consumers racing on one capacity-1
+      channel — many send/recv races, no bug; the e13 exploration
+      benchmark. *)
+
+  val lost_wakeup : target
+  (** An injected lost-wakeup: the waiter re-checks its condition, then
+      yields {e before} parking, so a signal delivered entirely inside
+      that window is lost and the run deadlocks.  Round-based policies
+      (including every [Randomized] seed) step each runnable fiber once
+      per round and can never fit the signaler's two slices inside the
+      window; only a driven schedule can. *)
+
+  val stolen_relay : target
+  (** An injected deadlock: worker 1 relays the token it expects; worker
+      2 consumes a token without relaying, but only reaches its receive
+      on its third slice.  Under any round-based schedule the token is
+      consumed (and relayed) by worker 1 first, so the bug needs a
+      driven schedule that delays worker 1 until worker 2's receive is
+      pending. *)
+
+  val find : string -> target option
+  (** Look up by name ([gen], [gen-pstack], [racing], [lost-wakeup],
+      [stolen-relay]). *)
+
+  val names : string list
+end

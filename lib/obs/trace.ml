@@ -394,3 +394,5 @@ let blocked_total run =
     run.r_nodes;
   Hashtbl.fold (fun r d acc -> (r, d) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let schedule run = Array.map (fun s -> s.sl_pid) run.r_slices

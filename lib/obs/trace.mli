@@ -95,3 +95,9 @@ val reconstruct : stamped array -> run
 
 val blocked_total : run -> (string * int) list
 (** Total parked virtual time per resource, sorted by resource name. *)
+
+val schedule : run -> int array
+(** The run's schedule: the pid of each slice in begin order.  Under a
+    one-decision-per-slice policy ([Driven]/[Driven_pids]) this is
+    exactly the sequence of scheduler decisions, so feeding it back
+    through [Driven_pids] replays the run (see [Pcont_explore]). *)

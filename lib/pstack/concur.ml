@@ -10,7 +10,12 @@ type sched =
   | Driven of (int -> int)
       (* each scheduling decision steps exactly one runnable branch:
          [pick n] receives the number of runnable branches and returns the
-         index of the one to step — systematic schedule exploration *)
+         index of the one to step (reduced modulo the runnable count) —
+         systematic schedule exploration *)
+  | Driven_pids of (int array -> int)
+      (* as Driven, but the decision function sees the runnable branches'
+         node ids in queue order — the hook record/replay needs to pin a
+         recorded schedule by pid rather than by position *)
 
 type outcome =
   | Value of Types.value
@@ -136,7 +141,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
   let n_parked = ref 0 in
   let rng =
     match sched with
-    | Round_robin | Driven _ -> None
+    | Round_robin | Driven _ | Driven_pids _ -> None
     | Randomized seed -> Some (Xorshift.create seed)
   in
 
@@ -188,12 +193,20 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         decr live_futures;
         (* Wake the branches parked on this cell, in park (FIFO) order:
            [fwaiters] is newest-first and the thunks prepend to [born],
-           so iterating in place leaves the oldest waiter first. *)
+           so iterating in place leaves the oldest waiter first in the
+           queue; the wake events are then emitted in that same park
+           order, the order the branches will actually run in. *)
         (match cell.fwaiters with
         | [] -> ()
         | ws ->
             cell.fwaiters <- [];
-            List.iter (fun wake -> wake ()) ws)
+            let pids = List.filter_map (fun wake -> wake ()) ws in
+            (match obs with
+            | None -> ()
+            | Some o ->
+                List.iter
+                  (fun pid -> Obs.emit o (E.Wake { pid; resource = "future" }))
+                  (List.rev pids)))
     | Pchild (p, slot) ->
         let f = fork_of p in
         f.results.(slot) <- Some v;
@@ -454,12 +467,12 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                       (match obs with
                       | None -> ()
                       | Some o ->
-                          Obs.observe o "concur.park.rounds" (!rounds - p.pk_round);
-                          Obs.emit o
-                            (E.Wake { pid = p.pk_node.nid; resource = "future" }));
+                          Obs.observe o "concur.park.rounds" (!rounds - p.pk_round));
                       p.pk_node.body <- Nleaf p.pk_st;
-                      born := p.pk_node :: !born
-                    end)
+                      born := p.pk_node :: !born;
+                      Some p.pk_node.nid
+                    end
+                    else None)
                   :: cell.fwaiters
             | _ -> (
                 decr fuel_left;
@@ -527,7 +540,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         Obs.observe o "concur.runq.depth" (List.length !queue));
     new_trees := [];
     (match sched with
-    | Driven pick ->
+    | (Driven _ | Driven_pids _) as driven ->
         (* Systematic exploration: one decision, one branch, one quantum.
            The pick contract needs the exact live count, so compact the
            queue up front. *)
@@ -536,19 +549,22 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
         let count = Array.length arr in
         if count = 0 then queue := []
         else begin
-          let idx = pick count in
-          if idx < 0 || idx >= count then begin
-            failure := Some "scheduler: Driven pick returned an out-of-range index";
-            queue := live
-          end
-          else begin
-            let n = arr.(idx) in
-            born := [];
-            if !failure = None && !fuel_left > 0 && attached n then step_leaf n;
-            let before = Array.to_list (Array.sub arr 0 idx) in
-            let after = Array.to_list (Array.sub arr (idx + 1) (count - idx - 1)) in
-            queue := before @ successors n @ after
-          end
+          let raw =
+            match driven with
+            | Driven pick -> pick count
+            | Driven_pids pick -> pick (Array.map (fun n -> n.nid) arr)
+            | Round_robin | Randomized _ -> assert false
+          in
+          (* Out-of-range picks are reduced modulo the runnable count
+             (mirrors sched.ml) so a decision function written against
+             one schedule stays total when the run diverges. *)
+          let idx = ((raw mod count) + count) mod count in
+          let n = arr.(idx) in
+          born := [];
+          if !failure = None && !fuel_left > 0 && attached n then step_leaf n;
+          let before = Array.to_list (Array.sub arr 0 idx) in
+          let after = Array.to_list (Array.sub arr (idx + 1) (count - idx - 1)) in
+          queue := before @ successors n @ after
         end
     | Round_robin ->
         (* Single fused pass: compact lazily while stepping, replacing

@@ -32,8 +32,20 @@ type sched =
   | Driven of (int -> int)
       (** systematic schedule exploration: each scheduling decision steps
           exactly one runnable branch (for one quantum); [pick n] receives
-          the number of runnable branches and chooses which.  Combine with
+          the number of runnable branches and chooses which.  The returned
+          index is reduced modulo the runnable count ([((i mod n) + n) mod
+          n]), so any integer is a valid decision and a decision function
+          computed against one schedule stays total if the run diverges —
+          the same contract as [Pcont_sched.Sched.Driven].  Combine with
           [~quantum:1] for the finest interleavings. *)
+  | Driven_pids of (int array -> int)
+      (** like {!Driven}, but the decision function receives the runnable
+          branches' pids (node ids as they appear in the event stream) in
+          queue order and returns the index of the one to step, reduced
+          modulo the array length.  This is the record/replay hook: a
+          schedule extracted from a trace is a pid sequence, and matching
+          on pids rather than queue positions makes the replay robust to
+          how the queue happens to be ordered. *)
 
 type outcome =
   | Value of Types.value

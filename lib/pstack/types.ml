@@ -55,10 +55,12 @@ and pair = { mutable car : value; mutable cdr : value }
 
 and future_cell = {
   mutable fvalue : value option;
-  mutable fwaiters : (unit -> unit) list;
+  mutable fwaiters : (unit -> int option) list;
       (* wake thunks registered (newest first) by the concurrent
          scheduler for branches parked on a pending touch; run once,
-         when the cell's value is delivered *)
+         when the cell's value is delivered, returning the woken
+         branch's node id ([None] when the entry was invalidated by a
+         capture) so the scheduler can emit wake events in park order *)
 }
 
 (* The runtime environment is a chain of flat "rib" frames: one value

@@ -17,7 +17,12 @@ type policy =
   | Tree_order
   | Randomized of int64
   | Driven of (int -> int)
-      (* systematic exploration: each decision steps exactly one fiber *)
+      (* systematic exploration: each decision steps exactly one fiber;
+         the index is reduced modulo the runnable count *)
+  | Driven_pids of (int array -> int)
+      (* as Driven, but the decision function sees the runnable fibers'
+         node ids in queue order — the hook record/replay needs to pin a
+         recorded schedule by pid rather than by position *)
 
 (* ------------------------------------------------------------------ *)
 (* Untyped scheduler core: every fiber computes a Univ.t.              *)
@@ -218,7 +223,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
   let rounds = ref 0 in
   let rng =
     match policy with
-    | Tree_order | Driven _ -> None
+    | Tree_order | Driven _ | Driven_pids _ -> None
     | Randomized seed -> Some (Xorshift.create seed)
   in
 
@@ -254,21 +259,25 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
   let resume_step k v : fiber_step = fun () -> continue k v in
   let raise_step k exn : fiber_step = fun () -> discontinue k exn in
 
-  (* Re-enqueue every live fiber parked on [ws], in park (FIFO) order.
-     [ws_parked] is newest-first and [born] is built by prepending, so
-     iterating in place leaves the oldest waiter first in the queue. *)
+  (* Re-enqueue every live fiber parked on [ws], in park (FIFO) order:
+     oldest waiter first both in the queue and in the emitted wake
+     events, so the trace shows the order the fibers will actually run
+     in.  [ws_parked] is newest-first, so walk it reversed and prepend
+     the woken nodes to an accumulator, which reverses them back to
+     park order before they are spliced into [born]. *)
   let wake_ws ws =
     match ws.ws_parked with
     | [] -> ()
     | entries ->
         ws.ws_parked <- [];
+        let woken = ref [] in
         List.iter
           (fun e ->
             if e.we_live then begin
               e.we_live <- false;
               decr n_parked;
               e.we_node.body <- Nleaf (resume_step e.we_k u_unit);
-              born := e.we_node :: !born;
+              woken := e.we_node :: !woken;
               match obs with
               | None -> ()
               | Some o ->
@@ -276,7 +285,8 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
                   Obs.emit o
                     (E.Wake { pid = e.we_node.nid; resource = e.we_ws.ws_name })
             end)
-          entries
+          (List.rev entries);
+        born := List.rev_append !woken !born
   in
 
   let deliver n v =
@@ -583,7 +593,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
     | Some o -> Obs.observe o "sched.runq.depth" (List.length !queue));
     new_trees := [];
     (match policy with
-    | Driven pick ->
+    | (Driven _ | Driven_pids _) as driven ->
         (* The pick contract needs the exact live count, so compact the
            queue up front. *)
         let live = List.filter (fun n -> is_leaf n && attached n) !queue in
@@ -591,22 +601,25 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
         let count = Array.length arr in
         if count = 0 then queue := []
         else begin
-          let idx = pick count in
-          if idx < 0 || idx >= count then begin
-            failure := Some (Invalid_argument "Sched: Driven pick out of range");
-            queue := live
-          end
-          else begin
-            let n = arr.(idx) in
-            born := [];
-            (if !final = None && !failure = None && attached n then
-               match n.body with
-               | Nleaf s -> step_leaf n s
-               | Nwait _ | Nparked _ | Ndone -> ());
-            let before = Array.to_list (Array.sub arr 0 idx) in
-            let after = Array.to_list (Array.sub arr (idx + 1) (count - idx - 1)) in
-            queue := before @ successors n @ after
-          end
+          let raw =
+            match driven with
+            | Driven pick -> pick count
+            | Driven_pids pick -> pick (Array.map (fun n -> n.nid) arr)
+            | Tree_order | Randomized _ -> assert false
+          in
+          (* Out-of-range picks are reduced modulo the runnable count
+             (mirrors concur.ml) so a decision function written against
+             one schedule stays total when the run diverges. *)
+          let idx = ((raw mod count) + count) mod count in
+          let n = arr.(idx) in
+          born := [];
+          (if !final = None && !failure = None && attached n then
+             match n.body with
+             | Nleaf s -> step_leaf n s
+             | Nwait _ | Nparked _ | Ndone -> ());
+          let before = Array.to_list (Array.sub arr 0 idx) in
+          let after = Array.to_list (Array.sub arr (idx + 1) (count - idx - 1)) in
+          queue := before @ successors n @ after
         end
     | Tree_order ->
         (* Single fused pass: compact lazily while stepping, replacing

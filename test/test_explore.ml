@@ -1,0 +1,364 @@
+(* Tests for record/replay and DPOR-style exploration (lib/explore),
+   plus the scheduler-determinism contracts they depend on: the Driven
+   modulo-reduction rule, the Driven_pids decision/slice alignment,
+   FIFO wake order (including Channel.close), and Randomized's
+   independence from the global Random state. *)
+
+module Obs = Pcont_obs.Obs
+module E = Pcont_obs.Obs.Event
+module Trace = Pcont_obs.Trace
+module Analysis = Pcont_obs.Analysis
+module Interp = Pcont_syntax.Interp
+module Concur = Pcont_pstack.Concur
+module Sched = Pcont_sched.Sched
+module Channel = Pcont_sched.Channel
+module Xorshift = Pcont_util.Xorshift
+module X = Pcont_explore.Explore
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Run a native program with a trace buffer attached. *)
+let native_trace policy prog =
+  let buf = Buffer.create 1024 in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+  let v = Sched.run ~policy ~obs:o prog in
+  Obs.close o;
+  (v, Buffer.contents buf)
+
+let pstack_trace sched src =
+  let buf = Buffer.create 1024 in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+  let t = Interp.create () in
+  let rs = Interp.eval_string ~mode:(Interp.Concurrent sched) ~obs:o t src in
+  Obs.close o;
+  ignore (Interp.take_output ());
+  (String.concat ";" (List.map Interp.result_to_string rs), Buffer.contents buf)
+
+let native_prog () =
+  let f = Sched.future (fun () -> 21 * 2) in
+  let xs = Sched.pcall [ (fun () -> 1); (fun () -> 2); (fun () -> Sched.touch f) ] in
+  List.fold_left ( + ) 0 xs
+
+let pstack_src = "(pcall + 1 (touch (future 2)) 3)"
+
+(* ---------------- Driven modulo contract (satellite: out-of-range) -- *)
+
+let test_driven_modulo_native () =
+  (* pick n = n is out of range and must behave exactly like pick 0;
+     pick -1 must behave like pick (n - 1). *)
+  let v0, t0 = native_trace (Sched.Driven (fun _ -> 0)) native_prog in
+  let vn, tn = native_trace (Sched.Driven (fun n -> n)) native_prog in
+  Alcotest.(check int) "value: pick n = pick 0" v0 vn;
+  Alcotest.(check string) "trace: pick n = pick 0" t0 tn;
+  let vl, tl = native_trace (Sched.Driven (fun n -> n - 1)) native_prog in
+  let vm, tm = native_trace (Sched.Driven (fun _ -> -1)) native_prog in
+  Alcotest.(check int) "value: pick -1 = pick (n-1)" vl vm;
+  Alcotest.(check string) "trace: pick -1 = pick (n-1)" tl tm
+
+let test_driven_modulo_pstack () =
+  let r0, t0 = pstack_trace (Concur.Driven (fun _ -> 0)) pstack_src in
+  let rn, tn = pstack_trace (Concur.Driven (fun n -> n)) pstack_src in
+  Alcotest.(check string) "result: pick n = pick 0" r0 rn;
+  Alcotest.(check string) "trace: pick n = pick 0" t0 tn;
+  (* before the modulo contract, an out-of-range pick was an Error
+     outcome here (and an exception on the native side) *)
+  Alcotest.(check bool) "no error outcome" false (starts_with ~prefix:"error" rn);
+  let rl, tl = pstack_trace (Concur.Driven (fun n -> n - 1)) pstack_src in
+  let rm, tm = pstack_trace (Concur.Driven (fun _ -> -1)) pstack_src in
+  Alcotest.(check string) "result: pick -1 = pick (n-1)" rl rm;
+  Alcotest.(check string) "trace: pick -1 = pick (n-1)" tl tm
+
+(* Driven_pids decisions and trace slices must be the same sequence:
+   the chosen pid log equals the schedule extracted from the trace. *)
+let test_driven_pids_alignment () =
+  List.iter
+    (fun target ->
+      let chosen = ref [] in
+      let pick pids =
+        (* rotate through candidates so the log is not just queue heads *)
+        let i = List.length !chosen mod Array.length pids in
+        chosen := pids.(i) :: !chosen;
+        i
+      in
+      let r = X.Replay.record ~policy:(X.Fixed pick) target in
+      let log = Array.of_list (List.rev !chosen) in
+      Alcotest.(check (array int))
+        (target.X.tg_name ^ ": decision log = trace schedule")
+        log r.X.Replay.rec_schedule.X.Schedule.decisions)
+    [ X.Workloads.gen_native; X.Workloads.gen_pstack ]
+
+(* ---------------- record / replay round-trips --------------------- *)
+
+let pstack_multiform =
+  (* two top-level forms = two runs in one trace; the flat schedule
+     must replay across the run boundary *)
+  "(define x (pcall + 1 2 3))\n(pcall * x (touch (future 5)))"
+
+let pstack_capture =
+  "(spawn (lambda (c) (pcall + 1 (c (lambda (k) (* (k 2) (k 5)))))))"
+
+let roundtrip_targets =
+  [
+    X.Workloads.gen_native;
+    X.Workloads.racing 2;
+    X.Workloads.lost_wakeup;
+    X.Workloads.stolen_relay;
+    X.Workloads.gen_pstack;
+    X.pstack_target "multiform" pstack_multiform;
+    X.pstack_target "capture" pstack_capture;
+  ]
+
+let reports trace =
+  match Trace.parse_string trace with
+  | Error m -> Alcotest.fail ("trace parse: " ^ m)
+  | Ok evs ->
+      Obs.Json.to_string
+        (Obs.Json.Arr (List.map Analysis.Report.to_json (Analysis.Report.of_trace evs)))
+
+let roundtrip_under name policy =
+  List.iter
+    (fun target ->
+      match X.Replay.check_roundtrip ~policy target with
+      | Error m -> Alcotest.fail (target.X.tg_name ^ " under " ^ name ^ ": " ^ m)
+      | Ok r ->
+          let r2, div = X.Replay.replay target r.X.Replay.rec_schedule in
+          Alcotest.(check bool) "no divergence" true (div = None);
+          Alcotest.(check string)
+            (target.X.tg_name ^ " under " ^ name ^ ": identical reports")
+            (reports r.X.Replay.rec_trace)
+            (reports r2.X.Replay.rec_trace))
+    roundtrip_targets
+
+let test_roundtrip_default () = roundtrip_under "default" X.Default
+let test_roundtrip_seeded () = roundtrip_under "randomized" (X.Seeded 7L)
+
+let test_roundtrip_driven () =
+  (* a third, distinct schedule source: always step the last runnable *)
+  roundtrip_under "driven" (X.Fixed (fun pids -> Array.length pids - 1))
+
+(* ---------------- exploration finds injected bugs ------------------ *)
+
+let test_explore_lost_wakeup () =
+  let stats = X.Dpor.explore ~max_runs:50 X.Workloads.lost_wakeup in
+  match stats.X.Dpor.s_witness with
+  | None -> Alcotest.fail "exploration missed the lost wakeup"
+  | Some w ->
+      Alcotest.(check string) "kind" "deadlock" w.X.Dpor.w_kind;
+      Alcotest.(check bool)
+        "found within a handful of schedules" true
+        (w.X.Dpor.w_runs_to_find <= 10);
+      (* the witness is a replayable schedule that reproduces the bug *)
+      let r, div = X.Replay.replay X.Workloads.lost_wakeup w.X.Dpor.w_schedule in
+      Alcotest.(check bool) "witness replays without divergence" true (div = None);
+      Alcotest.(check bool)
+        "witness reproduces the deadlock" true
+        (starts_with ~prefix:"deadlock" r.X.Replay.rec_outcome);
+      (* the naive baseline cannot find it: round-based schedules
+         interleave strictly, so the two-slice signal never lands
+         entirely inside the waiter's check/park window *)
+      let sweep = X.Dpor.seed_sweep ~seeds:100 X.Workloads.lost_wakeup in
+      Alcotest.(check bool) "100-seed sweep misses it" true (sweep.X.Dpor.sw_found = None)
+
+let test_explore_stolen_relay () =
+  let stats = X.Dpor.explore ~max_runs:100 X.Workloads.stolen_relay in
+  match stats.X.Dpor.s_witness with
+  | None -> Alcotest.fail "exploration missed the stolen relay deadlock"
+  | Some w ->
+      Alcotest.(check string) "kind" "deadlock" w.X.Dpor.w_kind;
+      let r, div = X.Replay.replay X.Workloads.stolen_relay w.X.Dpor.w_schedule in
+      Alcotest.(check bool) "witness replays without divergence" true (div = None);
+      Alcotest.(check bool)
+        "witness reproduces the deadlock" true
+        (starts_with ~prefix:"deadlock" r.X.Replay.rec_outcome);
+      let sweep = X.Dpor.seed_sweep ~seeds:100 X.Workloads.stolen_relay in
+      Alcotest.(check bool) "100-seed sweep misses it" true (sweep.X.Dpor.sw_found = None)
+
+let test_explore_clean_workloads () =
+  (* no false positives on a racy-but-correct workload, and the engine
+     actually explores distinct schedules *)
+  let stats = X.Dpor.explore ~max_runs:60 (X.Workloads.racing 2) in
+  Alcotest.(check bool) "no witness on racing" true (stats.X.Dpor.s_witness = None);
+  Alcotest.(check bool) "explored several schedules" true (stats.X.Dpor.s_schedules > 5);
+  Alcotest.(check bool) "seeded backtrack points" true (stats.X.Dpor.s_races > 0);
+  (* capture-vs-run races on a grafting program: explored, no violation *)
+  let stats = X.Dpor.explore ~max_runs:30 (X.pstack_target "capture" pstack_capture) in
+  Alcotest.(check bool) "no witness on capture workload" true
+    (stats.X.Dpor.s_witness = None)
+
+(* ---------------- decision pinning (satellite: hidden decisions) --- *)
+
+let test_wake_fifo_order () =
+  (* park order = wake order, pinned: three fibers park on one waitset,
+     a fourth wakes them all *)
+  let _, trace =
+    native_trace Sched.Tree_order (fun () ->
+        let ws = Sched.Waitset.create "event" in
+        let waiter () = Sched.block ws in
+        let waker () =
+          Sched.yield ();
+          Sched.yield ();
+          Sched.wake ws
+        in
+        Sched.pcall [ waiter; waiter; waiter; waker ])
+  in
+  match Trace.parse_string trace with
+  | Error m -> Alcotest.fail m
+  | Ok evs ->
+      let parked = ref [] and woken = ref [] in
+      Array.iter
+        (fun (st : Trace.stamped) ->
+          match st.Trace.ev with
+          | E.Park { pid; _ } -> parked := pid :: !parked
+          | E.Wake { pid; _ } -> woken := pid :: !woken
+          | _ -> ())
+        evs;
+      Alcotest.(check int) "three parks" 3 (List.length !parked);
+      Alcotest.(check (list int)) "wake order = park order (FIFO)" (List.rev !parked)
+        (List.rev !woken)
+
+let test_channel_close_wake_order () =
+  (* Channel.close wakes parked senders in park order; replay fidelity
+     requires that order to be deterministic *)
+  let v, trace =
+    native_trace Sched.Tree_order (fun () ->
+        let c = Channel.create ~capacity:1 () in
+        let sender x () =
+          try
+            Channel.send c x;
+            Channel.send c (10 * x);
+            0
+          with Channel.Closed -> x
+        in
+        let closer () =
+          Sched.yield ();
+          Sched.yield ();
+          Channel.close c;
+          0
+        in
+        Sched.pcall [ sender 1; sender 2; closer ])
+  in
+  Alcotest.(check (list int)) "both parked senders raised Closed" [ 1; 2; 0 ] v;
+  match Trace.parse_string trace with
+  | Error m -> Alcotest.fail m
+  | Ok evs ->
+      let parked = ref [] and woken = ref [] in
+      Array.iter
+        (fun (st : Trace.stamped) ->
+          match st.Trace.ev with
+          | E.Park { pid; _ } -> parked := pid :: !parked
+          | E.Wake { pid; _ } -> woken := pid :: !woken
+          | _ -> ())
+        evs;
+      Alcotest.(check (list int)) "close wakes in park order" (List.rev !parked)
+        (List.rev !woken)
+
+(* ---------------- Randomized vs global Random (satellite: PRNG) ---- *)
+
+let test_randomized_ignores_global_random () =
+  let t1 = X.Replay.record ~policy:(X.Seeded 5L) (X.Workloads.racing 2) in
+  Random.init 123;
+  ignore (Random.bits ());
+  let t2 = X.Replay.record ~policy:(X.Seeded 5L) (X.Workloads.racing 2) in
+  Random.init 98765;
+  ignore (Random.float 1.0);
+  let t3 = X.Replay.record ~policy:(X.Seeded 5L) (X.Workloads.racing 2) in
+  Alcotest.(check string) "native trace unaffected by Random.init"
+    t1.X.Replay.rec_trace t2.X.Replay.rec_trace;
+  Alcotest.(check string) "…twice" t1.X.Replay.rec_trace t3.X.Replay.rec_trace;
+  let p1 = X.Replay.record ~policy:(X.Seeded 5L) X.Workloads.gen_pstack in
+  Random.init 4242;
+  ignore (Random.bits ());
+  let p2 = X.Replay.record ~policy:(X.Seeded 5L) X.Workloads.gen_pstack in
+  Alcotest.(check string) "pstack trace unaffected by Random.init"
+    p1.X.Replay.rec_trace p2.X.Replay.rec_trace
+
+let test_xorshift_pinned_stream () =
+  (* both schedulers share this splitmix64; pin its stream so a silent
+     reimplementation (or a fallback to Stdlib.Random) cannot slip in *)
+  let g = Xorshift.create 42L in
+  Alcotest.(check int64) "v1" 0xbdd732262feb6e95L (Xorshift.next g);
+  Alcotest.(check int64) "v2" 0x28efe333b266f103L (Xorshift.next g);
+  Alcotest.(check int64) "v3" 0x47526757130f9f52L (Xorshift.next g);
+  Alcotest.(check int64) "v4" 0x581ce1ff0e4ae394L (Xorshift.next g)
+
+let test_cross_scheduler_same_seed_aligned () =
+  (* the mirrored gen workloads under the same seed stay causally
+     aligned across schedulers (same shared PRNG, same decision
+     surface); Diff must find no divergence *)
+  List.iter
+    (fun seed ->
+      let n = X.Replay.record ~policy:(X.Seeded seed) X.Workloads.gen_native in
+      let p = X.Replay.record ~policy:(X.Seeded seed) X.Workloads.gen_pstack in
+      match (Trace.parse_string n.X.Replay.rec_trace, Trace.parse_string p.X.Replay.rec_trace) with
+      | Ok ne, Ok pe ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %Ld causally aligned" seed)
+            true
+            (Analysis.Diff.diff ne pe = None)
+      | Error m, _ | _, Error m -> Alcotest.fail m)
+    [ 1L; 3L; 11L ]
+
+(* ---------------- schedule files ----------------------------------- *)
+
+let test_schedule_file_roundtrip () =
+  let r = X.Replay.record X.Workloads.gen_native in
+  let path = Filename.temp_file "sched" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      X.Schedule.save path r.X.Replay.rec_schedule;
+      match X.Schedule.load path with
+      | Error m -> Alcotest.fail m
+      | Ok s ->
+          Alcotest.(check (array int)) "schedule file round-trips"
+            r.X.Replay.rec_schedule.X.Schedule.decisions s.X.Schedule.decisions);
+  (* a raw trace file is also a valid schedule source *)
+  let tpath = Filename.temp_file "trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tpath)
+    (fun () ->
+      Out_channel.with_open_bin tpath (fun oc ->
+          Out_channel.output_string oc r.X.Replay.rec_trace);
+      match X.Schedule.load tpath with
+      | Error m -> Alcotest.fail m
+      | Ok s ->
+          Alcotest.(check (array int)) "trace file yields the same schedule"
+            r.X.Replay.rec_schedule.X.Schedule.decisions s.X.Schedule.decisions)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "driven-contract",
+        [
+          Alcotest.test_case "modulo reduction (native)" `Quick test_driven_modulo_native;
+          Alcotest.test_case "modulo reduction (pstack)" `Quick test_driven_modulo_pstack;
+          Alcotest.test_case "decision/slice alignment" `Quick test_driven_pids_alignment;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "default policies" `Quick test_roundtrip_default;
+          Alcotest.test_case "randomized" `Quick test_roundtrip_seeded;
+          Alcotest.test_case "driven" `Quick test_roundtrip_driven;
+          Alcotest.test_case "schedule files" `Quick test_schedule_file_roundtrip;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "finds injected lost wakeup" `Quick test_explore_lost_wakeup;
+          Alcotest.test_case "finds injected deadlock" `Quick test_explore_stolen_relay;
+          Alcotest.test_case "clean workloads stay clean" `Quick test_explore_clean_workloads;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "wake order is FIFO" `Quick test_wake_fifo_order;
+          Alcotest.test_case "close wake order pinned" `Quick test_channel_close_wake_order;
+          Alcotest.test_case "Randomized ignores global Random" `Quick
+            test_randomized_ignores_global_random;
+          Alcotest.test_case "splitmix64 stream pinned" `Quick test_xorshift_pinned_stream;
+          Alcotest.test_case "cross-scheduler seed alignment" `Quick
+            test_cross_scheduler_same_seed_aligned;
+        ] );
+    ]
