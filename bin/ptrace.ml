@@ -69,21 +69,36 @@ let run_diff left right json =
    replay and explore all run the byte-for-byte same programs: a trace
    written by `ptrace gen` replays against `--workload gen`/`gen-pstack`
    with no drift between the two definitions. *)
-let run_gen scheduler seed out =
+let run_gen scheduler seed workload faults out =
   let target =
-    match scheduler with
-    | "pstack" -> Explore.Workloads.gen_pstack
-    | "native" -> Explore.Workloads.gen_native
-    | other ->
-        Printf.eprintf "ptrace: unknown scheduler %S (expected pstack or native)\n" other;
-        exit 2
+    match workload with
+    | Some name -> (
+        match Explore.Workloads.find name with
+        | Some t -> t
+        | None ->
+            Printf.eprintf "ptrace: unknown workload %S (expected one of: %s)\n"
+              name
+              (String.concat ", " Explore.Workloads.names);
+            exit 2)
+    | None -> (
+        match scheduler with
+        | "pstack" -> Explore.Workloads.gen_pstack
+        | "native" -> Explore.Workloads.gen_native
+        | other ->
+            Printf.eprintf
+              "ptrace: unknown scheduler %S (expected pstack or native)\n" other;
+            exit 2)
   in
-  let r = Explore.Replay.record ~policy:(Explore.Seeded (Int64.of_int seed)) target in
+  let r =
+    Explore.Replay.record ~policy:(Explore.Seeded (Int64.of_int seed)) ~faults
+      target
+  in
   (match out with
   | None -> print_string r.Explore.Replay.rec_trace
   | Some path ->
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc r.Explore.Replay.rec_trace));
+  Printf.eprintf "outcome: %s\n" r.Explore.Replay.rec_outcome;
   0
 
 (* ---- replay / explore ------------------------------------------------ *)
@@ -200,11 +215,12 @@ let run_replay input workload expr out json =
   end;
   if ok then 0 else 1
 
-let run_explore workload expr max_runs sweep out expect_bug json =
+let run_explore workload expr max_runs sweep fault_menu out expect_bug json =
   let target = resolve_target workload expr in
-  let st = Explore.Dpor.explore ~max_runs target in
+  let st = Explore.Dpor.explore ~max_runs ~fault_menu target in
   let sweep_res =
-    if sweep > 0 then Some (Explore.Dpor.seed_sweep ~seeds:sweep target) else None
+    if sweep > 0 then Some (Explore.Dpor.seed_sweep ~seeds:sweep ~fault_menu target)
+    else None
   in
   (match (out, st.Explore.Dpor.s_witness) with
   | Some path, Some w -> Explore.Schedule.save path w.Explore.Dpor.w_schedule
@@ -248,6 +264,11 @@ let run_explore workload expr max_runs sweep out expect_bug json =
                   (float_of_int
                      (Array.length w.Explore.Dpor.w_schedule.Explore.Schedule.decisions))
               );
+              ( "faults",
+                Obs.Json.Arr
+                  (List.map
+                     (fun f -> Obs.Json.Str (Explore.Fault.to_string f))
+                     w.Explore.Dpor.w_schedule.Explore.Schedule.faults) );
             ]
     in
     print_endline
@@ -277,6 +298,11 @@ let run_explore workload expr max_runs sweep out expect_bug json =
           w.Explore.Dpor.w_runs_to_find
           (Array.length w.Explore.Dpor.w_schedule.Explore.Schedule.decisions)
           w.Explore.Dpor.w_forced;
+        (match w.Explore.Dpor.w_schedule.Explore.Schedule.faults with
+        | [] -> ()
+        | fs ->
+            Printf.printf "witness faults: %s\n"
+              (String.concat ", " (List.map Explore.Fault.to_string fs)));
         match out with
         | Some path -> Printf.printf "witness schedule written to %s\n" path
         | None -> ());
@@ -296,6 +322,60 @@ open Cmdliner
 
 let json =
   Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+
+(* Fault kinds on the command line use the same spellings as the
+   in-trace markers, minus the "inject:" prefix: crash, wake:RESOURCE,
+   drop:CHAN. *)
+let fault_kind_of_string s = Explore.Fault.kind_of_marker ("inject:" ^ s)
+
+let fault_conv =
+  let parse s =
+    match String.index_opt s '@' with
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "expected KIND@SLICE (e.g. crash@12, wake:channel.recv@3, \
+                 drop:0@7), got %S" s))
+    | Some i -> (
+        let kind = String.sub s 0 i in
+        let at = String.sub s (i + 1) (String.length s - i - 1) in
+        match (fault_kind_of_string kind, int_of_string_opt at) with
+        | Some kind, Some at when at >= 0 -> Ok { Explore.Fault.at; kind }
+        | None, _ -> Error (`Msg (Printf.sprintf "unknown fault kind %S" kind))
+        | _, _ -> Error (`Msg (Printf.sprintf "bad fault slice %S" at)))
+  in
+  let print ppf f = Format.pp_print_string ppf (Explore.Fault.to_string f) in
+  Arg.conv (parse, print)
+
+let fault_kind_conv =
+  let parse s =
+    match fault_kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown fault kind %S (expected crash, wake:RESOURCE or \
+                 drop:CHAN)" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf (Explore.Fault.kind_to_string k)
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt_all fault_conv []
+    & info [ "fault" ] ~docv:"KIND@SLICE"
+        ~doc:
+          "Inject a fault just before global slice $(i,SLICE) (repeatable): \
+           $(b,crash@N) delivers Injected_crash to the fiber scheduled at \
+           slice N, $(b,wake:RES@N) spuriously wakes every fiber parked on \
+           waitset RES, $(b,drop:C@N) drops one buffered message from \
+           channel C.  Faults are recorded as in-trace markers, so the \
+           resulting trace replays byte-identically.")
 
 let trace_arg p name =
   Arg.(required & pos p (some file) None & info [] ~docv:name ~doc:"JSONL trace file.")
@@ -328,13 +408,25 @@ let gen_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Interleaving seed.")
   in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Trace this built-in workload instead of the gen pair: one of \
+                %s."
+               (String.concat ", " Pcont_explore.Explore.Workloads.names)))
+  in
   let out =
     Arg.(
       value
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) (default stdout).")
   in
-  Cmd.v (Cmd.info "gen" ~doc) Term.(const run_gen $ scheduler $ seed $ out)
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run_gen $ scheduler $ seed $ workload $ faults_arg $ out)
 
 let workload =
   Arg.(
@@ -393,6 +485,18 @@ let explore_cmd =
           ~doc:"Write the minimized witness schedule to $(docv) (replay it with \
                 $(b,ptrace replay)).")
   in
+  let fault_menu =
+    Arg.(
+      value
+      & opt_all fault_kind_conv []
+      & info [ "fault-menu" ] ~docv:"KIND"
+          ~doc:
+            "Also explore fault placements (repeatable): after the fault-free \
+             root run, try each $(docv) ($(b,crash), $(b,wake:RES), \
+             $(b,drop:C)) at every slice of the root schedule, then explore \
+             races within each placement.  The sweep (if any) derives one \
+             random placement per seed from the same menu.")
+  in
   let expect_bug =
     Arg.(
       value & flag
@@ -402,7 +506,9 @@ let explore_cmd =
              (for CI jobs asserting an injected bug is caught).")
   in
   Cmd.v (Cmd.info "explore" ~doc)
-    Term.(const run_explore $ workload $ expr $ max_runs $ sweep $ out $ expect_bug $ json)
+    Term.(
+      const run_explore $ workload $ expr $ max_runs $ sweep $ fault_menu $ out
+      $ expect_bug $ json)
 
 let cmd =
   let doc = "analyze scheduler traces: check invariants, profile, diff, replay, explore" in

@@ -27,6 +27,7 @@ module E = Pcont_obs.Obs.Event
 module Json = Pcont_obs.Obs.Json
 module Sched = Pcont_sched.Sched
 module Channel = Pcont_sched.Channel
+module Resil = Pcont_resil.Resil
 module Concur = Pcont_pstack.Concur
 module Interp = Pcont_syntax.Interp
 
@@ -36,30 +37,114 @@ let find_idx (a : int array) (x : int) : int option =
   go 0
 
 (* ------------------------------------------------------------------ *)
+(* Faults.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = struct
+  type kind = Crash | Wake of string | Drop of int
+
+  type t = { at : int; kind : kind }
+
+  let kind_to_string = function
+    | Crash -> "crash"
+    | Wake r -> "wake:" ^ r
+    | Drop c -> "drop:" ^ string_of_int c
+
+  let to_string f = Printf.sprintf "%s@%d" (kind_to_string f.kind) f.at
+
+  let to_sched = function
+    | Crash -> Sched.Fcrash
+    | Wake r -> Sched.Fwake r
+    | Drop c -> Sched.Fdrop c
+
+  (* The injection hook for [Sched.run]: one lookup per slice index. *)
+  let to_inject faults =
+    fun i ->
+      List.find_map
+        (fun f -> if f.at = i then Some (to_sched f.kind) else None)
+        faults
+
+  (* Inverse of the scheduler's in-trace markers ("inject:crash",
+     "inject:wake:<res>", "inject:drop:<id>"). *)
+  let kind_of_marker s =
+    let strip p =
+      let lp = String.length p in
+      if String.length s >= lp && String.sub s 0 lp = p then
+        Some (String.sub s lp (String.length s - lp))
+      else None
+    in
+    if s = "inject:crash" then Some Crash
+    else
+      match strip "inject:wake:" with
+      | Some r -> Some (Wake r)
+      | None -> (
+          match strip "inject:drop:" with
+          | Some c -> int_of_string_opt c |> Option.map (fun c -> Drop c)
+          | None -> None)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Schedules.                                                          *)
 (* ------------------------------------------------------------------ *)
 
 module Schedule = struct
-  type t = { decisions : int array }
+  type t = { decisions : int array; faults : Fault.t list }
 
   let of_trace evs =
     let runs = Trace.runs evs in
     let parts = Array.map (fun r -> Trace.schedule (Trace.reconstruct r)) runs in
-    { decisions = Array.concat (Array.to_list parts) }
+    (* Re-extract injected faults from their markers: each marker is
+       emitted just before its target slice's begin event, so a fault's
+       index is the count of slice-begins seen before it (global across
+       runs, matching the flat decision sequence). *)
+    let faults = ref [] in
+    let slices = ref 0 in
+    Array.iter
+      (fun (st : Trace.stamped) ->
+        match st.ev with
+        | E.Slice_begin _ -> incr slices
+        | E.Crash { fault; _ } -> (
+            match Fault.kind_of_marker fault with
+            | Some kind -> faults := { Fault.at = !slices; kind } :: !faults
+            | None -> ())
+        | _ -> ())
+      evs;
+    { decisions = Array.concat (Array.to_list parts); faults = List.rev !faults }
 
   let to_json t =
+    let fault_json (f : Fault.t) =
+      Json.Obj
+        [
+          ("at", Json.Num (float_of_int f.at));
+          ("fault", Json.Str (Fault.kind_to_string f.kind));
+        ]
+    in
     Json.Obj
-      [
-        ("version", Json.Num 1.);
-        ("kind", Json.Str "pcont-schedule");
-        ( "decisions",
-          Json.Arr (Array.to_list (Array.map (fun d -> Json.Num (float_of_int d)) t.decisions))
-        );
-      ]
+      ([
+         ("version", Json.Num 1.);
+         ("kind", Json.Str "pcont-schedule");
+         ( "decisions",
+           Json.Arr
+             (Array.to_list (Array.map (fun d -> Json.Num (float_of_int d)) t.decisions)) );
+       ]
+      @ if t.faults = [] then [] else [ ("faults", Json.Arr (List.map fault_json t.faults)) ])
+
+  let fault_of_json j =
+    match (Json.member "at" j, Json.member "fault" j) with
+    | Some (Json.Num at), Some (Json.Str s) when Float.is_integer at -> (
+        let kind =
+          if s = "crash" then Some Fault.Crash
+          else
+            Fault.kind_of_marker ("inject:" ^ s)
+        in
+        match kind with
+        | Some kind -> Ok { Fault.at = int_of_float at; kind }
+        | None -> Error ("schedule: unknown fault " ^ s))
+    | _ -> Error "schedule: fault needs integral \"at\" and string \"fault\""
 
   let of_json j =
     match Json.member "decisions" j with
-    | Some (Json.Arr ds) ->
+    | Some (Json.Arr ds) -> (
         let ok = ref true in
         let decisions =
           Array.of_list
@@ -71,8 +156,22 @@ module Schedule = struct
                      0)
                ds)
         in
-        if !ok then Ok { decisions }
-        else Error "schedule: non-integral decision"
+        if not !ok then Error "schedule: non-integral decision"
+        else
+          (* "faults" is optional: schedules recorded before fault
+             injection existed load unchanged. *)
+          match Json.member "faults" j with
+          | None -> Ok { decisions; faults = [] }
+          | Some (Json.Arr fs) ->
+              let rec go acc = function
+                | [] -> Ok { decisions; faults = List.rev acc }
+                | f :: rest -> (
+                    match fault_of_json f with
+                    | Ok f -> go (f :: acc) rest
+                    | Error m -> Error m)
+              in
+              go [] fs
+          | Some _ -> Error "schedule: \"faults\" is not an array")
     | Some _ -> Error "schedule: \"decisions\" is not an array"
     | None -> Error "schedule: missing \"decisions\" field"
 
@@ -101,20 +200,29 @@ end
 
 type policy = Default | Seeded of int64 | Fixed of (int array -> int)
 
-type target = { tg_name : string; tg_run : policy -> Obs.t option -> string }
+type target = {
+  tg_name : string;
+  tg_run : policy -> Fault.t list -> Obs.t option -> string;
+}
 
 let native_target tg_name (prog : unit -> string) =
   {
     tg_name;
     tg_run =
-      (fun policy obs ->
+      (fun policy faults obs ->
         let policy =
           match policy with
           | Default -> Sched.Tree_order
           | Seeded s -> Sched.Randomized s
           | Fixed f -> Sched.Driven_pids f
         in
-        match Sched.run ~policy ?obs prog with
+        let inject =
+          match faults with [] -> None | fs -> Some (Fault.to_inject fs)
+        in
+        (* Every exception becomes an outcome string: an injected crash
+           that escapes its fiber must terminate the run, not the
+           exploration loop driving it. *)
+        match Sched.run ~policy ?obs ?inject prog with
         | v -> "value " ^ v
         | exception Sched.Deadlock m -> m
         | exception e -> "error: " ^ Printexc.to_string e);
@@ -124,19 +232,25 @@ let pstack_target tg_name src =
   {
     tg_name;
     tg_run =
-      (fun policy obs ->
-        let sched =
-          match policy with
-          | Default -> Concur.Round_robin
-          | Seeded s -> Concur.Randomized s
-          | Fixed f -> Concur.Driven_pids f
-        in
-        let t = Interp.create () in
-        ignore (Interp.take_output ());
-        let results = Interp.eval_string ~mode:(Interp.Concurrent sched) ?obs t src in
-        let out = Interp.take_output () in
-        let body = String.concat "; " (List.map Interp.result_to_string results) in
-        if out = "" then body else body ^ " | output: " ^ out);
+      (fun policy faults obs ->
+        if faults <> [] then
+          (* Fault injection is a native-scheduler feature; a pstack
+             target reports it rather than silently ignoring the
+             faults (the outcome stays deterministic either way). *)
+          "error: fault injection is not supported on pstack targets"
+        else
+          let sched =
+            match policy with
+            | Default -> Concur.Round_robin
+            | Seeded s -> Concur.Randomized s
+            | Fixed f -> Concur.Driven_pids f
+          in
+          let t = Interp.create () in
+          ignore (Interp.take_output ());
+          let results = Interp.eval_string ~mode:(Interp.Concurrent sched) ?obs t src in
+          let out = Interp.take_output () in
+          let body = String.concat "; " (List.map Interp.result_to_string results) in
+          if out = "" then body else body ^ " | output: " ^ out);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -172,23 +286,23 @@ module Replay = struct
     rec_schedule : Schedule.t;
   }
 
-  let record ?(policy = Default) target =
+  let record ?(policy = Default) ?(faults = []) target =
     let buf = Buffer.create 4096 in
     let o = Obs.create () in
     Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
-    let outcome = target.tg_run policy (Some o) in
+    let outcome = target.tg_run policy faults (Some o) in
     Obs.close o;
     let trace = Buffer.contents buf in
     let sched =
       match Trace.parse_string trace with
       | Ok evs -> Schedule.of_trace evs
-      | Error _ -> { Schedule.decisions = [||] }
+      | Error _ -> { Schedule.decisions = [||]; faults = [] }
     in
     { rec_trace = trace; rec_outcome = outcome; rec_schedule = sched }
 
-  let replay target sched =
+  let replay target (sched : Schedule.t) =
     let pick, div = driver sched in
-    let r = record ~policy:(Fixed pick) target in
+    let r = record ~policy:(Fixed pick) ~faults:sched.faults target in
     (r, div ())
 
   let lines s = String.split_on_char '\n' s
@@ -205,8 +319,8 @@ module Replay = struct
     in
     go 0 (la, lb)
 
-  let check_roundtrip ?policy target =
-    let r = record ?policy target in
+  let check_roundtrip ?policy ?faults target =
+    let r = record ?policy ?faults target in
     let r2, div = replay target r.rec_schedule in
     match div with
     | Some d ->
@@ -253,9 +367,10 @@ module Dpor = struct
     x_trace : string;
     x_outcome : string;
     x_log : (int array * int) array;
+    x_faults : Fault.t list;
   }
 
-  let execute target (prefix : int array) : exec =
+  let execute target (prefix : int array) (faults : Fault.t list) : exec =
     let buf = Buffer.create 4096 in
     let o = Obs.create () in
     Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
@@ -272,12 +387,13 @@ module Dpor = struct
       log := (Array.copy pids, pids.(idx)) :: !log;
       idx
     in
-    let outcome = target.tg_run (Fixed pick) (Some o) in
+    let outcome = target.tg_run (Fixed pick) faults (Some o) in
     Obs.close o;
     {
       x_trace = Buffer.contents buf;
       x_outcome = outcome;
       x_log = Array.of_list (List.rev !log);
+      x_faults = faults;
     }
 
   (* Canonical causal-skeleton fingerprint: [Analysis.Diff]'s projection
@@ -356,6 +472,18 @@ module Dpor = struct
                 add pid (Printf.sprintf "c%d@%d" label (cpid root_pid))
             | E.Reinstate { pid; label; _ } -> add pid (Printf.sprintf "g%d" label)
             | E.Invalid_controller { pid; label } -> add pid (Printf.sprintf "i%d" label)
+            | E.Cancel { pid; scope; pids; _ } ->
+                add pid
+                  (Printf.sprintf "k%d[%s]" (cpid scope)
+                     (String.concat ","
+                        (Array.to_list
+                           (Array.map (fun p -> string_of_int (cpid p)) pids))))
+            | E.Timeout { pid; _ } -> add pid "t"
+            | E.Crash { pid; fault } ->
+                if pid >= 0 then add pid ("f:" ^ fault)
+                else Buffer.add_string b (Printf.sprintf "F:%s;" fault)
+            | E.Restart { pid; child; attempt; _ } ->
+                add pid (Printf.sprintf "r%d.%d" (cpid child) attempt)
             | E.Deadlock { parked } -> Buffer.add_string b (Printf.sprintf "D%d;" parked)
             | E.Park { pid; resource } -> addr ("w" ^ resource) "p" pid
             | E.Wake { pid; resource } -> addr ("w" ^ resource) "w" pid
@@ -473,23 +601,27 @@ module Dpor = struct
   let key (a : int array) =
     String.concat "," (List.map string_of_int (Array.to_list a))
 
-  let explore ?(max_runs = 200) ?(deadlock_is_bug = true) ?check target =
+  let fkey faults = String.concat "+" (List.map Fault.to_string faults)
+
+  let explore ?(max_runs = 200) ?(deadlock_is_bug = true) ?(fault_menu = [])
+      ?(max_fault_slices = 200) ?check target =
     let seen_prefixes = Hashtbl.create 64 in
     let seen_schedules = Hashtbl.create 64 in
     let skeletons = Hashtbl.create 64 in
     let frontier = Queue.create () in
-    Queue.add [||] frontier;
+    Queue.add ([||], []) frontier;
     Hashtbl.replace seen_prefixes (key [||]) ();
     let runs = ref 0 and probes = ref 0 and races = ref 0 in
     let witness = ref None in
     let minimize (ex : exec) kind =
-      (* Bisect the forced-prefix length; the result always comes from a
-         re-verified execution, so a non-monotone bug is never
-         mis-reported, merely minimized less. *)
+      (* Bisect the forced-prefix length (the faults, being part of the
+         schedule, are kept); the result always comes from a re-verified
+         execution, so a non-monotone bug is never mis-reported, merely
+         minimized less. *)
       let full = Array.map snd ex.x_log in
       let reproduces k =
         incr probes;
-        let e = execute target (Array.sub full 0 k) in
+        let e = execute target (Array.sub full 0 k) ex.x_faults in
         match Trace.parse_string e.x_trace with
         | Error _ -> None
         | Ok evs -> (
@@ -509,17 +641,34 @@ module Dpor = struct
       {
         w_kind = kind;
         w_outcome = !best.x_outcome;
-        w_schedule = { Schedule.decisions = Array.map snd !best.x_log };
+        w_schedule =
+          { Schedule.decisions = Array.map snd !best.x_log;
+            faults = !best.x_faults };
         w_runs_to_find = !runs;
         w_forced = !hi;
       }
     in
+    let first = ref true in
     while !witness = None && !runs < max_runs && not (Queue.is_empty frontier) do
-      let prefix = Queue.pop frontier in
-      let ex = execute target prefix in
+      let prefix, faults = Queue.pop frontier in
+      let ex = execute target prefix faults in
       incr runs;
+      (* Fault placements are enumerated once, from the unconstrained
+         default run: one single-fault schedule per (kind, slice) pair.
+         Each placement then explores its own backtrack tree below, so
+         schedule races and fault timing compose. *)
+      if !first then begin
+        first := false;
+        let nslices = min (Array.length ex.x_log) max_fault_slices in
+        List.iter
+          (fun kind ->
+            for at = 0 to nslices - 1 do
+              Queue.add ([||], [ { Fault.at; kind } ]) frontier
+            done)
+          fault_menu
+      end;
       let sched = Array.map snd ex.x_log in
-      let k = key sched in
+      let k = key sched ^ "|" ^ fkey faults in
       if not (Hashtbl.mem seen_schedules k) then begin
         Hashtbl.replace seen_schedules k ();
         match Trace.parse_string ex.x_trace with
@@ -529,7 +678,7 @@ module Dpor = struct
                 {
                   w_kind = "trace-parse:" ^ m;
                   w_outcome = ex.x_outcome;
-                  w_schedule = { Schedule.decisions = sched };
+                  w_schedule = { Schedule.decisions = sched; faults };
                   w_runs_to_find = !runs;
                   w_forced = Array.length sched;
                 }
@@ -540,11 +689,13 @@ module Dpor = struct
             | None ->
                 List.iter
                   (fun p ->
-                    let pk = key p in
+                    let pk = key p ^ "|" ^ fkey faults in
                     if not (Hashtbl.mem seen_prefixes pk) then begin
                       Hashtbl.replace seen_prefixes pk ();
                       incr races;
-                      Queue.add p frontier
+                      (* backtracks inherit the run's faults: the race
+                         is explored within the same fault scenario *)
+                      Queue.add (p, faults) frontier
                     end)
                   (backtracks ex evs))
       end
@@ -564,11 +715,11 @@ module Dpor = struct
     sw_found : (int * string) option;
   }
 
-  let seed_sweep ?(seeds = 100) ?(deadlock_is_bug = true) ?check target =
+  let seed_sweep ?(seeds = 100) ?(deadlock_is_bug = true) ?(fault_menu = [])
+      ?check target =
     let skels = Hashtbl.create 64 in
     let found = ref None in
-    for s = 1 to seeds do
-      let r = Replay.record ~policy:(Seeded (Int64.of_int s)) target in
+    let consider s (r : Replay.recording) =
       match Trace.parse_string r.Replay.rec_trace with
       | Error m -> if !found = None then found := Some (s, "trace-parse:" ^ m)
       | Ok evs -> (
@@ -576,6 +727,29 @@ module Dpor = struct
           match classify ~deadlock_is_bug ~check evs r.Replay.rec_outcome with
           | Some kind when !found = None -> found := Some (s, kind)
           | _ -> ())
+    in
+    for s = 1 to seeds do
+      let clean = Replay.record ~policy:(Seeded (Int64.of_int s)) target in
+      consider s clean;
+      (* The randomized-fault baseline: one seed-derived fault placement
+         per seed, drawn over the clean run's slice count.  This is what
+         the systematic placement enumeration in [explore] displaces. *)
+      if fault_menu <> [] then begin
+        let nslices = Array.length clean.Replay.rec_schedule.Schedule.decisions in
+        if nslices > 0 then begin
+          let kind =
+            List.nth fault_menu (s mod List.length fault_menu)
+          in
+          let at = (s * 2654435761) land max_int mod nslices in
+          let r =
+            Replay.record
+              ~policy:(Seeded (Int64.of_int s))
+              ~faults:[ { Fault.at; kind } ]
+              target
+          in
+          consider s r
+        end
+      end
     done;
     { sw_seeds = seeds; sw_skeletons = Hashtbl.length skels; sw_found = !found }
 end
@@ -677,6 +851,122 @@ module Workloads = struct
         let vs = Sched.pcall [ w1; w2; s ] in
         "values " ^ String.concat "," (List.map string_of_int vs))
 
+  let timeout_race =
+    native_target "timeout-race" (fun () ->
+        (* Two timeouts, one on each side of its deadline: the fast body
+           beats its timer, the slow body is cancelled by it.  Both races
+           are decided on the virtual clock, so any schedule resolves
+           them the same way — the workload exists to pin the timer
+           wheel's trace (sleep parks, clock jumps, the Timeout/Cancel
+           pair) under record/replay. *)
+        let show = function
+          | Ok v -> v
+          | Error f -> Resil.failure_to_string f
+        in
+        let fast =
+          Resil.with_timeout 50 (fun () ->
+              Sched.sleep 5;
+              "fast")
+        in
+        let slow =
+          Resil.with_timeout 5 (fun () ->
+              Sched.sleep 50;
+              "slow")
+        in
+        show fast ^ "/" ^ show slow)
+
+  (* The pstack mirror of the timeout race: a [control]-armed timer
+     branch cancels the slow computation by declining to reinstate the
+     captured subtree — the paper's own timeout idiom. *)
+  let timer_pstack_src =
+    "(spawn (lambda (c)\n\
+    \  (pcall list\n\
+    \    (begin (sleep 1000) 'slow)\n\
+    \    (begin (sleep 5) (c (lambda (pk) 'timed-out))))))"
+
+  let timer_pstack = pstack_target "timer-pstack" timer_pstack_src
+
+  let sup_relay =
+    native_target "sup-relay" (fun () ->
+        (* A one-for-one supervisor over a single-fiber relay child.  An
+           injected crash at any of the child's suspension points is
+           caught by its scope, surfaces as [Error (Crashed _)], and the
+           supervisor restarts it; the restarted incarnation completes
+           and the run still ends in a value.  The top-level try keeps a
+           crash delivered to the supervisor fiber itself from escaping
+           the run. *)
+        try
+          let r =
+            Resil.Supervisor.supervise ~max_restarts:3 ~window:1000 ~backoff:5
+              [
+                Resil.Supervisor.child ~name:"relay" (fun () ->
+                    (* single-fiber: the capacity must cover all three
+                       sends, since nobody drains concurrently *)
+                    let c = Channel.create ~capacity:4 () in
+                    for i = 1 to 3 do
+                      Channel.send c i
+                    done;
+                    Sched.yield ();
+                    for _ = 1 to 3 do
+                      ignore (Channel.recv c)
+                    done);
+              ]
+          in
+          match r with
+          | Ok () -> "relay supervised ok"
+          | Error f -> "supervisor gave up: " ^ Resil.failure_to_string f
+        with e -> "supervisor crashed: " ^ Printexc.to_string e)
+
+  let sup_leak =
+    native_target "sup-leak" (fun () ->
+        try
+          (* Background fibers pad the schedule so a randomized fault
+             placement almost never lands inside the worker's
+             plant-to-signal window; the systematic placement enumeration
+             in [Dpor.explore] always does. *)
+          let pads =
+            List.init 6 (fun _ ->
+                Sched.future (fun () ->
+                    try
+                      for _ = 1 to 30 do
+                        Sched.yield ()
+                      done;
+                      1
+                    with _ -> 1))
+          in
+          let r =
+            Resil.Supervisor.supervise ~max_restarts:2 ~window:10_000
+              ~backoff:2
+              [
+                Resil.Supervisor.child ~name:"worker" (fun () ->
+                    (* BUG: the helper lives in its own tree ([future]),
+                       so the scope abort that follows a worker crash
+                       never reaches it.  If the worker crashes between
+                       planting the helper and signalling it, the helper
+                       stays parked forever under a cancelled ancestor —
+                       the no-orphan-waiters leak. *)
+                    let ws = Sched.Waitset.create "leak.helper" in
+                    let done_ = ref false in
+                    let _h : int Sched.future =
+                      Sched.future (fun () ->
+                          try
+                            while not !done_ do
+                              Sched.block ws
+                            done;
+                            1
+                          with _ -> 1)
+                    in
+                    Sched.yield ();
+                    done_ := true;
+                    Sched.wake ws);
+              ]
+          in
+          let pad_sum = List.fold_left (fun a f -> a + Sched.touch f) 0 pads in
+          match r with
+          | Ok () -> Printf.sprintf "ok pads=%d" pad_sum
+          | Error f -> "supervisor gave up: " ^ Resil.failure_to_string f
+        with e -> "supervisor crashed: " ^ Printexc.to_string e)
+
   let all =
     [
       ("gen", gen_native);
@@ -684,6 +974,10 @@ module Workloads = struct
       ("racing", racing 3);
       ("lost-wakeup", lost_wakeup);
       ("stolen-relay", stolen_relay);
+      ("timeout-race", timeout_race);
+      ("timer-pstack", timer_pstack);
+      ("sup-relay", sup_relay);
+      ("sup-leak", sup_leak);
     ]
 
   let find name = List.assoc_opt name all

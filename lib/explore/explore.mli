@@ -32,17 +32,54 @@
 module Trace := Pcont_obs.Trace
 module Obs := Pcont_obs.Obs
 
+(** {1 Faults}
+
+    Deterministic fault injection treats a fault as one more schedule
+    decision: a fault is pinned to a global slice index, the scheduler
+    emits an in-trace marker when it fires, and a schedule re-extracted
+    from the trace re-injects at the same index — so faulty runs replay
+    byte-identically like any other. *)
+
+module Fault : sig
+  type kind =
+    | Crash  (** deliver {!Pcont_sched.Sched.Injected_crash} *)
+    | Wake of string  (** spurious wake of a waitset, by name *)
+    | Drop of int  (** drop one buffered message from a channel, by id *)
+
+  type t = { at : int; kind : kind }
+  (** Fire [kind] just before global slice [at] (counted across every
+      run of the trace, like schedule decisions). *)
+
+  val kind_to_string : kind -> string
+  (** ["crash"], ["wake:<resource>"], ["drop:<chan>"]. *)
+
+  val to_string : t -> string
+  (** ["<kind>@<at>"]. *)
+
+  val to_sched : kind -> Pcont_sched.Sched.fault
+
+  val to_inject : t list -> int -> Pcont_sched.Sched.fault option
+  (** The [?inject] hook for {!Pcont_sched.Sched.run}. *)
+
+  val kind_of_marker : string -> kind option
+  (** Parse the scheduler's in-trace [Crash] marker faults
+      (["inject:crash"], ["inject:wake:<r>"], ["inject:drop:<c>"]). *)
+end
+
 (** {1 Schedules} *)
 
 module Schedule : sig
-  type t = { decisions : int array }
-  (** The pid stepped at each scheduling decision, in decision order. *)
+  type t = { decisions : int array; faults : Fault.t list }
+  (** The pid stepped at each scheduling decision, in decision order,
+      plus the faults injected along the way. *)
 
   val of_trace : Trace.stamped array -> t
-  (** Concatenate {!Trace.schedule} over the trace's runs. *)
+  (** Concatenate {!Trace.schedule} over the trace's runs and re-extract
+      the injected faults from their in-trace markers. *)
 
   val to_json : t -> Obs.Json.t
-  (** [{"version":1,"kind":"pcont-schedule","decisions":[...]}]. *)
+  (** [{"version":1,"kind":"pcont-schedule","decisions":[...]}], plus a
+      ["faults"] array when faults were injected. *)
 
   val of_json : Obs.Json.t -> (t, string) result
 
@@ -68,19 +105,23 @@ type policy =
 
 type target = {
   tg_name : string;
-  tg_run : policy -> Obs.t option -> string;
-      (** Run once; the result is a human-readable outcome string
-          (value, error, or deadlock diagnosis). *)
+  tg_run : policy -> Fault.t list -> Obs.t option -> string;
+      (** Run once, injecting the given faults; the result is a
+          human-readable outcome string (value, error, or deadlock
+          diagnosis). *)
 }
 
 val native_target : string -> (unit -> string) -> target
-(** Package a program against [Pcont_sched.Sched].  [Sched.Deadlock] is
-    caught and rendered into the outcome. *)
+(** Package a program against [Pcont_sched.Sched].  [Sched.Deadlock] —
+    and any other exception, injected crashes included — is caught and
+    rendered into the outcome. *)
 
 val pstack_target : string -> string -> target
 (** [pstack_target name src] packages a Scheme program evaluated by a
     fresh [Pcont_syntax.Interp] per call (multi-form programs trace one
-    run per form; the flat schedule spans them). *)
+    run per form; the flat schedule spans them).  Fault injection is a
+    native-scheduler feature: a pstack target run with faults reports an
+    error outcome instead of silently ignoring them. *)
 
 (** {1 Record / replay} *)
 
@@ -104,12 +145,13 @@ module Replay : sig
     rec_schedule : Schedule.t;
   }
 
-  val record : ?policy:policy -> target -> recording
+  val record : ?policy:policy -> ?faults:Fault.t list -> target -> recording
 
   val replay : target -> Schedule.t -> recording * divergence option
-  (** Re-run pinned to the schedule. *)
+  (** Re-run pinned to the schedule, re-injecting its faults. *)
 
-  val check_roundtrip : ?policy:policy -> target -> (recording, string) result
+  val check_roundtrip :
+    ?policy:policy -> ?faults:Fault.t list -> target -> (recording, string) result
   (** Record, replay, and require byte-identical traces, identical
       outcomes and no divergence; the error says what differed first. *)
 end
@@ -152,6 +194,8 @@ module Dpor : sig
   val explore :
     ?max_runs:int ->
     ?deadlock_is_bug:bool ->
+    ?fault_menu:Fault.kind list ->
+    ?max_fault_slices:int ->
     ?check:(Trace.stamped array -> string -> string option) ->
     target ->
     stats
@@ -162,7 +206,16 @@ module Dpor : sig
       deadlock (unless [deadlock_is_bug] is [false]), or [check trace
       outcome] returning [Some msg].  The first bug is minimized by
       bisecting the forced-prefix length (extra runs are counted in
-      [s_probes], and the minimized schedule is re-verified). *)
+      [s_probes], and the minimized schedule is re-verified; the faults,
+      being part of the schedule, are kept).
+
+      With a non-empty [fault_menu], fault placements are explored too:
+      after the fault-free root run, one single-fault schedule is queued
+      per (menu kind, slice index) pair over the root run's slices
+      (capped at [max_fault_slices], default 200), and each placement
+      then grows its own backtrack tree — schedule races and fault
+      timing compose.  The witness schedule carries its faults, so
+      [ptrace replay] reproduces the faulty run byte for byte. *)
 
   type sweep = {
     sw_seeds : int;
@@ -174,13 +227,18 @@ module Dpor : sig
   val seed_sweep :
     ?seeds:int ->
     ?deadlock_is_bug:bool ->
+    ?fault_menu:Fault.kind list ->
     ?check:(Trace.stamped array -> string -> string option) ->
     target ->
     sweep
-  (** The baseline the tentpole displaces: run [seeds] (default 100)
+  (** The baseline the exploration displaces: run [seeds] (default 100)
       [Randomized] schedules with seeds 1..n and look for the same bugs.
-      Used by bench e13 for the redundancy comparison and by the tests
-      to show exploration finds what the sweep misses. *)
+      With a non-empty [fault_menu], each seed additionally runs once
+      with a single seed-derived fault placement (kind and slice index
+      hashed from the seed over the clean run's slice count) — the
+      randomized analogue of [explore]'s systematic placement
+      enumeration.  Used by bench e13 for the redundancy comparison and
+      by the tests to show exploration finds what the sweep misses. *)
 end
 
 (** {1 Built-in workloads} *)
@@ -216,9 +274,38 @@ module Workloads : sig
       driven schedule that delays worker 1 until worker 2's receive is
       pending. *)
 
+  val timeout_race : target
+  (** Two [Resil.with_timeout] scopes on the native timer wheel, one on
+      each side of its deadline: pins the sleep/clock-jump/Timeout/Cancel
+      trace under record/replay. *)
+
+  val timer_pstack : target
+  (** The pstack mirror: a timer branch [sleep]s, then cancels the slow
+      branch by capturing it with [control] and declining to reinstate —
+      the paper's timeout idiom, on the interpreter's virtual clock. *)
+
+  val sup_relay : target
+  (** A one-for-one supervisor over a single-fiber channel relay.  Built
+      to be crashed: an injected crash at any of the child's suspension
+      points surfaces as a scope failure, the supervisor restarts it,
+      and the run still ends in a value (the CI fault-injection smoke
+      workload). *)
+
+  val sup_leak : target
+  (** A supervised worker with a planted leak: it parks a helper in an
+      independent [future] tree and only signals it after one more
+      yield.  A crash injected inside that window is contained by the
+      scope, but the abort cannot reach the helper's tree — the helper
+      stays parked forever under a cancelled ancestor, tripping the
+      [no-orphan-waiters] invariant.  Padding fibers dilute the window
+      so a 100-seed randomized sweep (even with random fault
+      placements) misses it; [Dpor.explore] with [fault_menu = [Crash]]
+      enumerates placements and finds it deterministically. *)
+
   val find : string -> target option
   (** Look up by name ([gen], [gen-pstack], [racing], [lost-wakeup],
-      [stolen-relay]). *)
+      [stolen-relay], [timeout-race], [timer-pstack], [sup-relay],
+      [sup-leak]). *)
 
   val names : string list
 end

@@ -19,12 +19,19 @@ module Check = struct
       ("park-pairing", "parks and wakes alternate with matching resources");
       ("capture-consistency", "captures prune live ancestors; reinstates match");
       ("deadlock-count", "deadlock parked count matches live parked processes");
+      ( "cancel-propagation-complete",
+        "a cancel discards every live non-future descendant of its scope" );
+      ( "restart-intensity-bounded",
+        "restart attempts stay within the declared intensity limit" );
+      ( "no-orphan-waiters",
+        "no fiber ends the run parked under a cancelled or pruned ancestor" );
     ]
 
-  type status = Live | Exited | Pruned
+  type status = Live | Exited | Pruned | Cancelled
 
   type pstate = {
     ps_parent : int;
+    ps_kind : string;
     mutable ps_children : int list;
     mutable ps_status : status;
     mutable ps_parked : string option;
@@ -64,7 +71,9 @@ module Check = struct
           List.iter
             (fun c ->
               match find c with
-              | Some cs when cs.ps_status = Live ->
+              (* futures are independent trees: control operations in the
+                 planting tree never discard them *)
+              | Some cs when cs.ps_status = Live && cs.ps_kind <> "future" ->
                   (match cs.ps_parked with
                   | Some _ ->
                       cs.ps_parked <- None;
@@ -74,6 +83,38 @@ module Check = struct
                   prune_descendants c
               | _ -> ())
             ps.ps_children
+    in
+    (* A fiber still parked while some ancestor was cancelled or
+       capture-pruned can never be woken by its (discarded) tree: it is
+       leaked.  Checked at every quiescence point — deadlock, run
+       boundary, end of trace. *)
+    let scan_orphans seq =
+      let dead_above pid =
+        let rec go p =
+          match find p with
+          | None -> None
+          | Some ps -> (
+              match ps.ps_status with
+              | Cancelled | Pruned -> Some p
+              | Live | Exited -> if ps.ps_parent >= 0 then go ps.ps_parent else None)
+        in
+        match find pid with
+        | Some ps when ps.ps_parent >= 0 -> go ps.ps_parent
+        | _ -> None
+      in
+      Hashtbl.fold (fun pid ps acc -> (pid, ps) :: acc) nodes []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (pid, ps) ->
+             match (ps.ps_status, ps.ps_parked) with
+             | Live, Some r -> (
+                 match dead_above pid with
+                 | Some anc ->
+                     violate seq "no-orphan-waiters"
+                       (Printf.sprintf
+                          "pid %d still parked on %s under dead ancestor %d" pid r
+                          anc)
+                 | None -> ())
+             | _ -> ())
     in
     (* A dead (exited or pruned) pid may still close the slice it had
        open when it died; anything else is a violation. *)
@@ -91,6 +132,10 @@ module Check = struct
               false
           | Pruned ->
               violate seq "exit-once" (Printf.sprintf "%s by pruned pid %d" what pid);
+              false
+          | Cancelled ->
+              violate seq "exit-once"
+                (Printf.sprintf "%s by cancelled pid %d" what pid);
               false)
     in
     let check_not_parked seq pid what =
@@ -126,18 +171,23 @@ module Check = struct
                 | Some ps ->
                     (match ps.ps_status with
                     | Live -> ()
-                    | Exited | Pruned ->
+                    | Exited | Pruned | Cancelled ->
                         violate seq "spawn-unique"
                           (Printf.sprintf "pid %d spawned by dead parent %d (%s)" pid
                              parent kind));
                     ps.ps_children <- ps.ps_children @ [ pid ]);
               Hashtbl.add nodes pid
-                { ps_parent = parent; ps_children = []; ps_status = Live;
-                  ps_parked = None }
+                { ps_parent = parent; ps_kind = kind; ps_children = [];
+                  ps_status = Live; ps_parked = None }
         in
         match s.Trace.ev with
         | Event.Spawn { pid; parent; kind } ->
-            if parent = -1 then reset_run seq;
+            if parent = -1 then begin
+              (* the previous run is over: anything still parked under a
+                 cancelled/pruned ancestor stayed parked forever *)
+              scan_orphans seq;
+              reset_run seq
+            end;
             spawn_node seq pid parent kind
         | Event.Spawn_batch { kind; nodes = batch; _ } ->
             (* pre-order: parents must already be known (or earlier in the
@@ -249,6 +299,69 @@ module Check = struct
             if check_alive seq pid "send" then check_not_parked seq pid "send"
         | Event.Recv { pid; _ } ->
             if check_alive seq pid "recv" then check_not_parked seq pid "recv"
+        | Event.Cancel { pid; scope; reason = _; pids } ->
+            ignore (check_alive seq pid "cancel");
+            (match find scope with
+            | None ->
+                violate seq "cancel-propagation-complete"
+                  (Printf.sprintf "cancel of unknown scope pid %d" scope)
+            | Some ss ->
+                if ss.ps_status <> Live then
+                  violate seq "cancel-propagation-complete"
+                    (Printf.sprintf "cancel of dead scope pid %d" scope));
+            Array.iter
+              (fun q ->
+                if q <> scope && not (is_ancestor scope q) then
+                  violate seq "cancel-propagation-complete"
+                    (Printf.sprintf
+                       "cancel of scope %d lists pid %d, not a descendant" scope q);
+                match find q with
+                | Some qs when qs.ps_status = Live ->
+                    (match qs.ps_parked with
+                    | Some _ ->
+                        qs.ps_parked <- None;
+                        decr n_parked
+                    | None -> ());
+                    qs.ps_status <- Cancelled
+                | Some _ ->
+                    violate seq "cancel-propagation-complete"
+                      (Printf.sprintf "cancel of scope %d lists dead pid %d" scope q)
+                | None ->
+                    violate seq "cancel-propagation-complete"
+                      (Printf.sprintf "cancel of scope %d lists unknown pid %d" scope
+                         q))
+              pids;
+            (* completeness: the whole scope subtree must now be dead,
+               futures (independent trees) excepted *)
+            let rec check_empty p =
+              match find p with
+              | None -> ()
+              | Some ps ->
+                  List.iter
+                    (fun c ->
+                      match find c with
+                      | Some cs when cs.ps_kind <> "future" ->
+                          if cs.ps_status = Live then
+                            violate seq "cancel-propagation-complete"
+                              (Printf.sprintf
+                                 "pid %d still live after cancel of scope %d" c scope);
+                          check_empty c
+                      | _ -> ())
+                    ps.ps_children
+            in
+            check_empty scope
+        | Event.Timeout { pid; _ } -> ignore (check_alive seq pid "timeout")
+        | Event.Crash { pid; _ } ->
+            if pid >= 0 then ignore (check_alive seq pid "crash")
+        | Event.Restart { pid; child; attempt; backoff = _; limit } ->
+            ignore (check_alive seq pid "restart");
+            if find child = None then
+              violate seq "restart-intensity-bounded"
+                (Printf.sprintf "restart references unknown child pid %d" child);
+            if attempt < 1 || attempt > limit then
+              violate seq "restart-intensity-bounded"
+                (Printf.sprintf "restart attempt %d outside window limit %d" attempt
+                   limit)
         | Event.Invalid_controller { pid; _ } -> ignore (check_alive seq pid "controller")
         | Event.Deadlock { parked } ->
             if parked <> !n_parked then
@@ -261,6 +374,7 @@ module Check = struct
         violate (-1) "slice-balance"
           (Printf.sprintf "slice of pid %d still open at end of trace" pid)
     | None -> ());
+    scan_orphans (-1);
     List.rev !out
 
   let to_json vs =
@@ -646,6 +760,23 @@ module Diff = struct
             push (cpid pid) (Printf.sprintf "reinstate label=%d" label)
         | Event.Send { pid; chan } -> push (cpid pid) (Printf.sprintf "send chan=%d" chan)
         | Event.Recv { pid; chan } -> push (cpid pid) (Printf.sprintf "recv chan=%d" chan)
+        | Event.Cancel { pid; scope; reason; pids } ->
+            (* canonical pids; virtual-time-free, so mirrored workloads on
+               the two schedulers keep aligned skeletons *)
+            push (cpid pid)
+              (Printf.sprintf "cancel scope=%d reason=%s pids=[%s]" (cpid scope)
+                 reason
+                 (String.concat ";"
+                    (Array.to_list
+                       (Array.map (fun p -> string_of_int (cpid p)) pids))))
+        | Event.Timeout { pid; _ } -> push (cpid pid) "timeout"
+        | Event.Crash { pid; fault } ->
+            push (if pid >= 0 then cpid pid else -1)
+              (Printf.sprintf "crash fault=%s" fault)
+        | Event.Restart { pid; child; attempt; backoff = _; limit } ->
+            push (cpid pid)
+              (Printf.sprintf "restart child=%d attempt=%d limit=%d" (cpid child)
+                 attempt limit)
         | Event.Invalid_controller { pid; label } ->
             push (cpid pid) (Printf.sprintf "invalid-controller label=%d" label)
         | Event.Deadlock { parked } -> push (-1) (Printf.sprintf "deadlock parked=%d" parked)

@@ -256,6 +256,25 @@ module Event = struct
     | Reinstate of { pid : int; label : int; size : int }
     | Send of { pid : int; chan : int }
     | Recv of { pid : int; chan : int }
+    | Cancel of { pid : int; scope : int; reason : string; pids : int array }
+        (* node [pid] aborted the subtree rooted at [scope] (capture and
+           decline to reinstate): [pids] lists every live node discarded,
+           pre-order, including [pid] itself when it sat inside the
+           scope.  Parked entries among them were released. *)
+    | Timeout of { pid : int; deadline : int }
+        (* the timer fiber [pid] fired at virtual time [deadline]; a
+           Cancel for the timed-out scope follows. *)
+    | Crash of { pid : int; fault : string }
+        (* a fiber failed.  [fault] is ["inject:crash"], ["inject:wake:R"]
+           or ["inject:drop:N"] for scheduler fault injections (these are
+           the replayable markers a schedule re-extracts), or the
+           exception description when a scope body raised.  [pid] is -1
+           for faults that target a resource rather than a fiber. *)
+    | Restart of { pid : int; child : int; attempt : int; backoff : int; limit : int }
+        (* supervisor [pid] restarted the child whose failed incarnation
+           was rooted at [child]; [attempt] counts restarts inside the
+           current intensity window (1-based, never exceeds [limit]),
+           [backoff] is the virtual-time delay slept before the restart. *)
     | Invalid_controller of { pid : int; label : int }
     | Deadlock of { parked : int }
 
@@ -271,6 +290,10 @@ module Event = struct
     | Reinstate _ -> "reinstate"
     | Send _ -> "send"
     | Recv _ -> "recv"
+    | Cancel _ -> "cancel"
+    | Timeout _ -> "timeout"
+    | Crash _ -> "crash"
+    | Restart _ -> "restart"
     | Invalid_controller _ -> "invalid-controller"
     | Deadlock _ -> "deadlock"
 
@@ -286,6 +309,10 @@ module Event = struct
     | Reinstate { pid; _ }
     | Send { pid; _ }
     | Recv { pid; _ }
+    | Cancel { pid; _ }
+    | Timeout { pid; _ }
+    | Crash { pid; _ }
+    | Restart { pid; _ }
     | Invalid_controller { pid; _ } ->
         pid
     | Deadlock _ -> -1
@@ -310,6 +337,16 @@ module Event = struct
         Printf.sprintf "graft   pid=%d root=%d size=%d" pid label size
     | Send { pid; chan } -> Printf.sprintf "send    pid=%d chan=%d" pid chan
     | Recv { pid; chan } -> Printf.sprintf "recv    pid=%d chan=%d" pid chan
+    | Cancel { pid; scope; reason; pids } ->
+        Printf.sprintf "cancel  pid=%d scope=%d reason=%s pids=[%s]" pid scope
+          reason
+          (String.concat ";" (Array.to_list (Array.map string_of_int pids)))
+    | Timeout { pid; deadline } ->
+        Printf.sprintf "timeout pid=%d deadline=%d" pid deadline
+    | Crash { pid; fault } -> Printf.sprintf "crash   pid=%d fault=%s" pid fault
+    | Restart { pid; child; attempt; backoff; limit } ->
+        Printf.sprintf "restart pid=%d child=%d attempt=%d/%d backoff=%d" pid
+          child attempt limit backoff
     | Invalid_controller { pid; label } ->
         Printf.sprintf "invalid pid=%d root=%d" pid label
     | Deadlock { parked } -> Printf.sprintf "deadlock parked=%d" parked
@@ -352,6 +389,20 @@ module Event = struct
           [ i "pid" pid; i "label" label; i "size" size ]
       | Send { pid; chan } -> [ i "pid" pid; i "chan" chan ]
       | Recv { pid; chan } -> [ i "pid" pid; i "chan" chan ]
+      | Cancel { pid; scope; reason; pids } ->
+          [
+            i "pid" pid;
+            i "scope" scope;
+            s "reason" reason;
+            ( "pids",
+              Json.Arr
+                (Array.to_list
+                   (Array.map (fun p -> Json.Num (float_of_int p)) pids)) );
+          ]
+      | Timeout { pid; deadline } -> [ i "pid" pid; i "deadline" deadline ]
+      | Crash { pid; fault } -> [ i "pid" pid; s "fault" fault ]
+      | Restart { pid; child; attempt; backoff; limit } ->
+          [ i "pid" pid; i "child" child; i "attempt" attempt; i "backoff" backoff; i "limit" limit ]
       | Invalid_controller { pid; label } -> [ i "pid" pid; i "label" label ]
       | Deadlock { parked } -> [ i "parked" parked ]
     in
@@ -613,6 +664,25 @@ module Sink = struct
               instant ~ts pid "reinstate" [ ("label", num label); ("size", num size) ]
           | Event.Send { pid; chan } -> instant ~ts pid "send" [ ("chan", num chan) ]
           | Event.Recv { pid; chan } -> instant ~ts pid "recv" [ ("chan", num chan) ]
+          | Event.Cancel { pid; scope; reason; pids } ->
+              instant ~ts pid "cancel"
+                [
+                  ("scope", num scope);
+                  ("reason", Json.Str reason);
+                  ("count", num (Array.length pids));
+                ]
+          | Event.Timeout { pid; deadline } ->
+              instant ~ts pid "timeout" [ ("deadline", num deadline) ]
+          | Event.Crash { pid; fault } ->
+              instant ~ts (max pid 0) "crash" [ ("fault", Json.Str fault) ]
+          | Event.Restart { pid; child; attempt; backoff; limit } ->
+              instant ~ts pid "restart"
+                [
+                  ("child", num child);
+                  ("attempt", num attempt);
+                  ("backoff", num backoff);
+                  ("limit", num limit);
+                ]
           | Event.Invalid_controller { pid; label } ->
               instant ~ts pid "invalid-controller" [ ("label", num label) ]
           | Event.Deadlock { parked } ->
@@ -639,14 +709,20 @@ module Summary = struct
     mutable r_sends : int;
     mutable r_recvs : int;
     mutable r_exits : int;
+    mutable r_fate : string;
+        (* "" for a normal exit; "cancelled", "crashed" or "restarted"
+           otherwise (restarted > crashed > cancelled when several apply) *)
   }
 
   type t = {
     s_rows : (int, row) Hashtbl.t;
     mutable s_deadlock : int option;  (* parked count of the last deadlock *)
+    mutable s_cancelled_parked : int;
+        (* fibers that were parked at the moment a cancel discarded them *)
   }
 
-  let create () : t = { s_rows = Hashtbl.create 16; s_deadlock = None }
+  let create () : t =
+    { s_rows = Hashtbl.create 16; s_deadlock = None; s_cancelled_parked = 0 }
 
   let row t pid =
     match Hashtbl.find_opt t.s_rows pid with
@@ -664,6 +740,7 @@ module Summary = struct
             r_sends = 0;
             r_recvs = 0;
             r_exits = 0;
+            r_fate = "";
           }
         in
         Hashtbl.add t.s_rows pid r;
@@ -708,8 +785,25 @@ module Summary = struct
           | Event.Recv { pid; _ } ->
               let r = row t pid in
               r.r_recvs <- r.r_recvs + 1
+          | Event.Cancel { pids; _ } ->
+              Array.iter
+                (fun p ->
+                  let r = row t p in
+                  if r.r_parks > r.r_wakes then
+                    t.s_cancelled_parked <- t.s_cancelled_parked + 1;
+                  if r.r_fate = "" then r.r_fate <- "cancelled")
+                pids
+          | Event.Crash { pid; _ } ->
+              if pid >= 0 then begin
+                let r = row t pid in
+                if r.r_fate <> "restarted" then r.r_fate <- "crashed"
+              end
+          | Event.Restart { child; _ } ->
+              let r = row t child in
+              r.r_fate <- "restarted"
           | Event.Deadlock { parked } -> t.s_deadlock <- Some parked
-          | Event.Slice_begin _ | Event.Invalid_controller _ -> ());
+          | Event.Slice_begin _ | Event.Timeout _ | Event.Invalid_controller _ ->
+              ());
       sink_close = (fun () -> ());
     }
 
@@ -718,19 +812,29 @@ module Summary = struct
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
   let deadlock t = t.s_deadlock
+  let cancelled_parked t = t.s_cancelled_parked
 
   let pp ppf t =
-    Format.fprintf ppf "@[<v>%8s %-10s %8s %10s %7s %7s %9s %7s %7s %7s %5s" "pid"
+    Format.fprintf ppf "@[<v>%8s %-10s %8s %10s %7s %7s %9s %7s %7s %7s %9s" "pid"
       "kind" "slices" "fuel" "parks" "wakes" "captures" "grafts" "sends" "recvs"
       "exits";
     List.iter
       (fun (pid, r) ->
-        Format.fprintf ppf "@,%8d %-10s %8d %10d %7d %7d %9d %7d %7d %7d %5d" pid
+        (* the exits cell distinguishes cancelled/crashed/restarted fates
+           from normal exit counts *)
+        let exits =
+          if r.r_fate = "" then string_of_int r.r_exits else r.r_fate
+        in
+        Format.fprintf ppf "@,%8d %-10s %8d %10d %7d %7d %9d %7d %7d %7d %9s" pid
           r.r_kind r.r_slices r.r_fuel r.r_parks r.r_wakes r.r_captures
-          r.r_reinstates r.r_sends r.r_recvs r.r_exits)
+          r.r_reinstates r.r_sends r.r_recvs exits)
       (rows t);
     (match t.s_deadlock with
     | None -> ()
-    | Some parked -> Format.fprintf ppf "@,deadlock: %d process(es) left parked" parked);
+    | Some parked ->
+        Format.fprintf ppf "@,deadlock: %d process(es) left parked" parked;
+        if t.s_cancelled_parked > 0 then
+          Format.fprintf ppf " (+%d cancelled while parked)"
+            t.s_cancelled_parked);
     Format.fprintf ppf "@]"
 end

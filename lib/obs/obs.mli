@@ -127,6 +127,30 @@ module Event : sig
             captured subtree back into the live tree *)
     | Send of { pid : int; chan : int }  (** a value was enqueued on a channel *)
     | Recv of { pid : int; chan : int }  (** a value was dequeued from a channel *)
+    | Cancel of { pid : int; scope : int; reason : string; pids : int array }
+        (** node [pid] aborted the subtree rooted at [scope] — a capture
+            that declines to reinstate.  [pids] lists every live node
+            discarded, pre-order (including [pid] itself when it sat
+            inside the scope); parked entries among them were released.
+            Futures planted from inside the scope are independent trees
+            and are {e not} discarded (the paper's "control operations
+            affect only the tree in which they occur"). *)
+    | Timeout of { pid : int; deadline : int }
+        (** the timer fiber [pid] fired at virtual time [deadline]; the
+            {!Cancel} of the timed-out scope follows *)
+    | Crash of { pid : int; fault : string }
+        (** a fiber failed.  [fault] is ["inject:crash"],
+            ["inject:wake:R"] or ["inject:drop:N"] for scheduler fault
+            injections — the in-trace markers
+            [Pcont_explore.Explore.Schedule.of_trace] re-extracts so a
+            faulted run replays byte-identically — or the exception
+            description when a scope body raised.  [pid] is [-1] for
+            faults targeting a resource rather than a fiber. *)
+    | Restart of { pid : int; child : int; attempt : int; backoff : int; limit : int }
+        (** supervisor [pid] restarted the child whose failed incarnation
+            was rooted at node [child]; [attempt] counts restarts inside
+            the current intensity window (1-based, bounded by [limit]),
+            [backoff] is the virtual-time delay slept first *)
     | Invalid_controller of { pid : int; label : int }
         (** a controller was applied with no matching root in the
             current continuation *)
@@ -290,6 +314,10 @@ module Summary : sig
     mutable r_sends : int;
     mutable r_recvs : int;
     mutable r_exits : int;  (** 0 or 1 in a well-formed trace *)
+    mutable r_fate : string;
+        (** [""] for a normal exit, else ["cancelled"], ["crashed"] or
+            ["restarted"] (restarted > crashed > cancelled when several
+            apply); rendered in place of the exits count by {!pp} *)
   }
 
   type t
@@ -307,7 +335,11 @@ module Summary : sig
   val deadlock : t -> int option
   (** The parked count of the last deadlock event, if one occurred. *)
 
+  val cancelled_parked : t -> int
+  (** Fibers that were parked at the moment a cancel discarded them. *)
+
   val pp : Format.formatter -> t -> unit
   (** The [psi --summary] table: one row per process, plus a trailing
-      deadlock line when one occurred. *)
+      deadlock line when one occurred (also counting cancelled-while-
+      parked fibers when there were any). *)
 end

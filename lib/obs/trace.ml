@@ -85,6 +85,39 @@ let event_of_json j =
         let* pid = int_field j "pid" in
         let* chan = int_field j "chan" in
         Ok (Event.Recv { pid; chan })
+    | "cancel" ->
+        let* pid = int_field j "pid" in
+        let* scope = int_field j "scope" in
+        let* reason = str_field j "reason" in
+        let* pids =
+          match Json.member "pids" j with
+          | Some (Json.Arr entries) ->
+              let rec go acc = function
+                | [] -> Ok (Array.of_list (List.rev acc))
+                | Json.Num p :: rest when Float.is_integer p ->
+                    go (int_of_float p :: acc) rest
+                | _ -> Error "field \"pids\" entries must be integers"
+              in
+              go [] entries
+          | Some _ -> Error "field \"pids\" is not an array"
+          | None -> Error "missing field \"pids\""
+        in
+        Ok (Event.Cancel { pid; scope; reason; pids })
+    | "timeout" ->
+        let* pid = int_field j "pid" in
+        let* deadline = int_field j "deadline" in
+        Ok (Event.Timeout { pid; deadline })
+    | "crash" ->
+        let* pid = int_field j "pid" in
+        let* fault = str_field j "fault" in
+        Ok (Event.Crash { pid; fault })
+    | "restart" ->
+        let* pid = int_field j "pid" in
+        let* child = int_field j "child" in
+        let* attempt = int_field j "attempt" in
+        let* backoff = int_field j "backoff" in
+        let* limit = int_field j "limit" in
+        Ok (Event.Restart { pid; child; attempt; backoff; limit })
     | "invalid-controller" ->
         let* pid = int_field j "pid" in
         let* label = int_field j "label" in
@@ -231,7 +264,11 @@ let reconstruct events =
         List.iter
           (fun c ->
             match find c with
-            | Some m when m.n_exit_ts = None && m.n_pruned_ts = None ->
+            (* futures are independent trees: a capture (or cancel) of
+               the planting subtree never discards them *)
+            | Some m
+              when m.n_exit_ts = None && m.n_pruned_ts = None
+                   && m.n_kind <> "future" ->
                 ignore (unpark ~ts c);
                 m.n_pruned_ts <- Some ts;
                 prune ~ts c
@@ -341,6 +378,18 @@ let reconstruct events =
           match find pid with
           | Some n -> n.n_recvs <- n.n_recvs + 1
           | None -> ())
+      | Event.Cancel { pids; _ } ->
+          (* the scheduler lists exactly the nodes it discarded (futures
+             planted inside the scope are absent: they live on) *)
+          Array.iter
+            (fun c ->
+              match find c with
+              | Some m when m.n_exit_ts = None && m.n_pruned_ts = None ->
+                  ignore (unpark ~ts:s.ts c);
+                  m.n_pruned_ts <- Some s.ts
+              | _ -> ())
+            pids
+      | Event.Timeout _ | Event.Crash _ | Event.Restart _ -> ()
       | Event.Invalid_controller _ -> ()
       | Event.Deadlock { parked = p } -> deadlock := Some p)
     events;

@@ -59,6 +59,7 @@ and parked = {
   pk_st : state;
   mutable pk_live : bool;
   pk_round : int;
+  pk_res : string;  (* resource class ("future", "timer") for diagnostics *)
 }
 
 let control_points ptree =
@@ -110,6 +111,23 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
   in
   (* The current scheduling round, for the park-latency histogram. *)
   let rounds = ref 0 in
+  (* Virtual time: advanced by the fuel each slice charges (at least 1),
+     with or without a trace handle, so [sleep] never depends on whether
+     the run is observed.  Kept in lockstep with [Obs.advance]. *)
+  let vclock = ref 0 in
+  (* Sleeping branches, sorted by deadline (FIFO among equal deadlines).
+     Entries are ordinary [parked] records, so a capture that prunes a
+     sleeper invalidates it here exactly as it would on a future's
+     waitset — the grafted branch then resumes (early) from its sleep. *)
+  let timers = ref [] in
+  let insert_timer deadline p =
+    let rec ins = function
+      | [] -> [ (deadline, p) ]
+      | (d, _) :: _ as l when deadline < d -> (deadline, p) :: l
+      | e :: rest -> e :: ins rest
+    in
+    timers := ins !timers
+  in
   let root =
     {
       nid = 0;
@@ -453,7 +471,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                 | Some o ->
                     Obs.emit o (E.Park { pid = n.nid; resource = "future" }));
                 let p =
-                  { pk_node = n; pk_st = st; pk_live = true; pk_round = !rounds }
+                  { pk_node = n; pk_st = st; pk_live = true; pk_round = !rounds;
+                    pk_res = "future" }
                 in
                 n.body <- Nparked p;
                 incr n_parked;
@@ -474,6 +493,26 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                     end
                     else None)
                   :: cell.fwaiters
+            | Machine.Esc_sleep d ->
+                (* Park on the timer wheel until the virtual clock reaches
+                   the deadline.  The saved state returns 0 from the sleep
+                   call, so a woken — or captured-and-grafted — sleeper
+                   resumes past it (a grafted sleeper wakes early, like
+                   any pruned parked waiter).  No fuel: a sleeping branch
+                   takes no machine transitions. *)
+                Counters.incr counters "concur.park";
+                (match obs with
+                | None -> ()
+                | Some o -> Obs.emit o (E.Park { pid = n.nid; resource = "timer" }));
+                let p =
+                  { pk_node = n;
+                    pk_st = { st with control = Creturn (Int 0) };
+                    pk_live = true; pk_round = !rounds; pk_res = "timer" }
+                in
+                n.body <- Nparked p;
+                incr n_parked;
+                all_parked := p :: !all_parked;
+                insert_timer (!vclock + max d 0) p
             | _ -> (
                 decr fuel_left;
                 match s with
@@ -482,25 +521,30 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                 | Machine.Esc_control (l, body_fn) -> do_capture n st l body_fn
                 | Machine.Esc_pktree (pkt, v) -> do_graft n st pkt v
                 | Machine.Next _ | Machine.Esc_fork _ | Machine.Esc_future _
-                | Machine.Esc_touch _ ->
+                | Machine.Esc_touch _ | Machine.Esc_sleep _ ->
                     assert false))
     in
     match n.body with
     | Nleaf st ->
         if !failure = None then begin
+          (* A run slice: everything the branch does before the
+             scheduler moves on.  The virtual clock advances by the
+             fuel charged (at least 1, so zero-fuel interception
+             slices still have visible extent) whether or not a trace
+             handle is attached, which keeps timestamps — and timer
+             behavior — deterministic and independent of observation,
+             and makes Chrome-trace slice widths proportional to
+             machine work. *)
+          (match obs with
+          | None -> ()
+          | Some o -> Obs.emit o (E.Slice_begin { pid = n.nid }));
+          let fuel0 = !fuel_left in
+          go st quantum;
+          let used = fuel0 - !fuel_left in
+          vclock := !vclock + (if used > 0 then used else 1);
           match obs with
-          | None -> go st quantum
+          | None -> ()
           | Some o ->
-              (* A run slice: everything the branch does before the
-                 scheduler moves on.  The virtual clock advances by the
-                 fuel charged (at least 1, so zero-fuel interception
-                 slices still have visible extent), which keeps
-                 timestamps deterministic and makes Chrome-trace slice
-                 widths proportional to machine work. *)
-              Obs.emit o (E.Slice_begin { pid = n.nid });
-              let fuel0 = !fuel_left in
-              go st quantum;
-              let used = fuel0 - !fuel_left in
               Obs.advance o (if used > 0 then used else 1);
               Obs.observe o "concur.slice.fuel" used;
               Obs.emit o (E.Slice_end { pid = n.nid; fuel = used })
@@ -628,18 +672,76 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
      and no failure means every remaining branch is parked on a future
      that no runnable branch can resolve. *)
   let deadlock_msg () =
-    let live = List.filter (fun p -> p.pk_live) !all_parked in
+    let live = List.filter (fun p -> p.pk_live) (List.rev !all_parked) in
     match live with
     | [] -> "no runnable branches"
     | _ ->
-        let ids =
-          List.map (fun p -> p.pk_node.nid) live |> List.sort_uniq compare
+        (* Root-to-leaf path through the process tree for each blocked
+           branch, so the diagnostic names where in the computation it
+           hangs, not just what it waits on. *)
+        let path n =
+          let rec climb acc m =
+            match m.parent with
+            | Ptop | Pfut _ -> m.nid :: acc
+            | Pchild (p, _) -> climb (m.nid :: acc) p
+          in
+          climb [] n |> List.map string_of_int |> String.concat ">"
         in
-        Printf.sprintf "%d branch(es) parked on unresolved futures (node %s)"
-          (List.length live)
-          (String.concat ", " (List.map string_of_int ids))
+        let tally = Hashtbl.create 7 in
+        List.iter
+          (fun p ->
+            let ps = try Hashtbl.find tally p.pk_res with Not_found -> [] in
+            Hashtbl.replace tally p.pk_res (path p.pk_node :: ps))
+          live;
+        let parts =
+          Hashtbl.fold (fun res ps acc -> (res, List.rev ps) :: acc) tally []
+          |> List.sort compare
+          |> List.map (fun (res, ps) ->
+                 Printf.sprintf "%d on %s (paths %s)" (List.length ps) res
+                   (String.concat ", " ps))
+        in
+        Printf.sprintf "%d branch(es) parked: %s" (List.length live)
+          (String.concat ", " parts)
   in
 
+  (* Wake every live timer whose deadline has arrived.  Expiry happens
+     between rounds, so appending to the queue is safe (the driven
+     branch's queue snapshot has already been written back). *)
+  let expire_due () =
+    let rec split acc = function
+      | (d, p) :: rest when d <= !vclock -> split (p :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let due, rest = split [] !timers in
+    timers := rest;
+    let woken = ref [] in
+    List.iter
+      (fun p ->
+        if p.pk_live then begin
+          p.pk_live <- false;
+          decr n_parked;
+          Counters.incr counters "concur.wake";
+          (match obs with
+          | None -> ()
+          | Some o ->
+              Obs.observe o "concur.park.rounds" (!rounds - p.pk_round);
+              Obs.emit o (E.Wake { pid = p.pk_node.nid; resource = "timer" }));
+          p.pk_node.body <- Nleaf p.pk_st;
+          woken := p.pk_node :: !woken
+        end)
+      due;
+    if !woken <> [] then queue := !queue @ List.rev !woken
+  in
+  (* Quiescent with timers pending: jump the virtual clock to the
+     earliest deadline instead of declaring deadlock, so timeouts stay a
+     liveness backstop even when every branch is blocked. *)
+  let jump_clock_to d =
+    let delta = d - !vclock in
+    vclock := d;
+    match obs with
+    | Some o when delta > 0 -> Obs.advance o delta
+    | _ -> ()
+  in
   let rec drive () =
     match (!final, !failure) with
     | _, Some msg -> Error msg
@@ -648,24 +750,45 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
            created by this program remain touchable afterwards (bounded by
            the remaining fuel).  Stop at quiescence: a future tree parked
            forever (e.g. on a cell nothing will resolve) empties the
-           queue, and spinning on it would never terminate. *)
-        if drain_futures && !live_futures > 0 && !fuel_left > 0 && !queue <> []
-        then begin
-          round ();
-          drive ()
+           queue, and spinning on it would never terminate — but a tree
+           that is merely sleeping is not quiescent: the clock jumps and
+           the drain continues. *)
+        if drain_futures && !live_futures > 0 && !fuel_left > 0 then begin
+          expire_due ();
+          if !queue <> [] then begin
+            round ();
+            drive ()
+          end
+          else begin
+            timers := List.filter (fun (_, p) -> p.pk_live) !timers;
+            match !timers with
+            | (d, _) :: _ ->
+                jump_clock_to d;
+                drive ()
+            | [] -> Value v
+          end
         end
         else Value v
     | None, None ->
         if !fuel_left <= 0 then Out_of_fuel
-        else if !queue = [] then begin
-          (match obs with
-          | None -> ()
-          | Some o -> Obs.emit o (E.Deadlock { parked = !n_parked }));
-          Deadlock (deadlock_msg ())
-        end
         else begin
-          round ();
-          drive ()
+          expire_due ();
+          if !queue = [] then begin
+            timers := List.filter (fun (_, p) -> p.pk_live) !timers;
+            match !timers with
+            | (d, _) :: _ ->
+                jump_clock_to d;
+                drive ()
+            | [] ->
+                (match obs with
+                | None -> ()
+                | Some o -> Obs.emit o (E.Deadlock { parked = !n_parked }));
+                Deadlock (deadlock_msg ())
+          end
+          else begin
+            round ();
+            drive ()
+          end
         end
   in
   Fun.protect ~finally:(fun () -> cfg.Machine.metrics <- saved_metrics) drive

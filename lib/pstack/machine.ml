@@ -146,6 +146,7 @@ type stepped =
   | Esc_touch of Types.future_cell
   | Esc_fork of Types.rir list * Types.env
   | Esc_future of Types.rir * Types.env
+  | Esc_sleep of int
 
 (* The hot path returns the successor state directly; everything that ends
    or escapes the step loop is raised, so the driver pays for one handler
@@ -497,6 +498,8 @@ let apply ?(oneshot = true) cfg st f args =
             | Op_touch, [ v ] ->
                 (* Multilisp: touching a non-future returns it. *)
                 { st with control = Creturn v }
+            | Op_sleep, [ Int n ] -> raise (Stop (Esc_sleep n))
+            | Op_sleep, [ _ ] -> err "sleep: argument must be an integer"
             | Op_apply, [ proc; arglist ] -> (
                 match Value.list_to_values arglist with
                 | Some vs -> { st with control = Capply (proc, vs) }

@@ -89,6 +89,10 @@ type stepped =
   | Esc_future of Types.rir * Types.env
       (** [future] under {!step_exn_conc}: the scheduler plants a new
           tree and continues the branch with a pending future *)
+  | Esc_sleep of int
+      (** [sleep] of a duration in virtual-time units: the concurrent
+          scheduler parks the branch on its timer wheel; outside the
+          scheduler there is no clock and the run errors *)
 
 exception Stop of stepped
 (** Raised by {!step_exn} for every outcome other than a plain successor

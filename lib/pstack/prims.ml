@@ -349,6 +349,7 @@ let prim_list : (string * prim) list =
     ctl "apply" 2 Op_apply;
     ctl "touch" 1 Op_touch;
     ctl "dynamic-wind" 3 Op_wind;
+    ctl "sleep" 1 Op_sleep;
   ]
 
 let find name =

@@ -34,6 +34,8 @@ let run ?(fuel = default_fuel) cfg state =
              outside the concurrent scheduler"
       | Machine.Esc_touch _ ->
           Error "touch: unresolved future outside the concurrent scheduler"
+      | Machine.Esc_sleep _ ->
+          Error "sleep: no virtual clock outside the concurrent scheduler"
       | Machine.Next _ | Machine.Esc_fork _ | Machine.Esc_future _ ->
           (* step_exn takes the sequential pcall/future fallbacks *)
           assert false)

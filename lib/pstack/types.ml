@@ -88,7 +88,15 @@ and prim_kind =
   | Pure of (value list -> (value, string) result)
   | Ctl of ctl  (* operators that manipulate the process stack *)
 
-and ctl = Op_spawn | Op_callcc | Op_prompt | Op_fcontrol | Op_apply | Op_touch | Op_wind
+and ctl =
+  | Op_spawn
+  | Op_callcc
+  | Op_prompt
+  | Op_fcontrol
+  | Op_apply
+  | Op_touch
+  | Op_wind
+  | Op_sleep  (* park until the scheduler's virtual clock advances *)
 
 (* What established a segment.  [Rbase] is the bottom of a task's stack;
    [Rspawn l] is a process root; [Rprompt] is Felleisen's #. *)

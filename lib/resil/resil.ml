@@ -1,0 +1,314 @@
+(* Fault tolerance over the native scheduler: structured cancellation
+   scopes, virtual-time timeouts, and supervision trees.
+
+   Everything here is built from the paper's control operations — a
+   scope is a [spawn] root, and every way a scope can end (completion,
+   crash, cancellation, timeout) is an [abort]: the subtree is captured
+   back to the root exactly as [control] would capture it, and then
+   discarded instead of reinstated.  Cancellation is thus "declined
+   reinstatement": the scheduler releases parked descendants, the
+   replacement body runs the scope's finalizers, and the scope's result
+   becomes an ['a outcome]. *)
+
+module Sched = Pcont_sched.Sched
+module Channel = Pcont_sched.Channel
+module Obs = Pcont_obs.Obs
+module E = Pcont_obs.Obs.Event
+
+type failure = Cancelled of string | Crashed of string
+
+let failure_to_string = function
+  | Cancelled r -> "cancelled: " ^ r
+  | Crashed r -> "crashed: " ^ r
+
+type 'a outcome = ('a, failure) result
+
+(* ------------------------------------------------------------------ *)
+(* Scopes.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Scope = struct
+  type state = Running | Cancel_requested of string | Finished
+
+  type t = {
+    ws : Sched.Waitset.t;  (* the scope's watchdog parks here *)
+    mutable state : state;
+    mutable finalizers : (unit -> unit) list;  (* run LIFO on any exit *)
+    mutable children : t list;  (* nested scopes: cancellation flows down *)
+    mutable finalized : bool;
+  }
+
+  let make ?parent () =
+    let sc =
+      {
+        ws = Sched.Waitset.create "resil.scope";
+        state = Running;
+        finalizers = [];
+        children = [];
+        finalized = false;
+      }
+    in
+    (match parent with None -> () | Some p -> p.children <- sc :: p.children);
+    sc
+
+  let on_exit sc f = sc.finalizers <- f :: sc.finalizers
+
+  let own_channel sc ch = on_exit sc (fun () -> Channel.close ch)
+
+  let cancelled sc =
+    match sc.state with Cancel_requested _ -> true | Running | Finished -> false
+
+  (* Request cancellation: flag the scope and every nested scope, then
+     wake each watchdog.  The request is asynchronous — the watchdog
+     performs the abort from inside the scope's own tree, so [cancel] is
+     safe to call from anywhere (another tree, a supervisor, a timer). *)
+  let rec cancel sc ~reason =
+    (match sc.state with
+    | Running ->
+        sc.state <- Cancel_requested reason;
+        Sched.wake sc.ws
+    | Cancel_requested _ | Finished -> ());
+    List.iter (fun c -> cancel c ~reason) sc.children
+
+  (* Finalizers run exactly once, inside the abort replacement body (a
+     fresh fiber at the scope root), newest first.  A finalizer that
+     raises must not mask the scope's outcome. *)
+  let finalize sc =
+    if not sc.finalized then begin
+      sc.finalized <- true;
+      List.iter (fun f -> try f () with _ -> ()) sc.finalizers
+    end
+
+  (* Run [body] under the scope.  The spawn root holds three concurrent
+     branches, and every one of them exits by aborting the root:
+
+     - the main branch runs [body]; completion aborts with [Ok v],
+       an escaped exception aborts with [Error (Crashed _)];
+     - the watchdog parks on the scope's waitset and aborts with
+       [Error (Cancelled _)] when it observes a cancellation request
+       (park is a re-check loop, so a spurious wake re-parks);
+     - [extra] branches (the timeout timer) may abort on their own.
+
+     Whichever branch aborts first wins: the abort captures and
+     discards the other branches — parked, sleeping or mid-compute at a
+     yield point — so the [pcall] below never returns and no branch
+     outlives the scope. *)
+  let run_with sc extra body =
+    Sched.spawn (fun c ->
+        let abort_with reason result =
+          Sched.abort c ~reason (fun () ->
+              finalize sc;
+              result)
+        in
+        let crash e =
+          let msg = Printexc.to_string e in
+          (match Sched.obs () with
+          | None -> ()
+          | Some o -> Obs.emit o (E.Crash { pid = Sched.self_pid (); fault = msg }));
+          sc.state <- Finished;
+          abort_with ("crash: " ^ msg) (Error (Crashed msg))
+        in
+        let main () =
+          match body () with
+          | v ->
+              sc.state <- Finished;
+              abort_with "complete" (Ok v)
+          | exception e -> crash e
+        in
+        let watchdog () =
+          let rec watch () =
+            match sc.state with
+            | Cancel_requested r ->
+                sc.state <- Finished;
+                abort_with ("cancel: " ^ r) (Error (Cancelled r))
+            | Running ->
+                Sched.block sc.ws;
+                watch ()
+            | Finished ->
+                (* unreachable: the branch that set [Finished] aborted in
+                   the same slice, discarding this watchdog *)
+                assert false
+          in
+          (* an injected crash delivered at the watchdog's park is a
+             scope failure like any other *)
+          try watch () with e -> crash e
+        in
+        ignore (Sched.pcall (main :: watchdog :: List.map (fun f -> f crash) extra));
+        assert false)
+
+  let run sc body = run_with sc [] body
+
+  let with_scope ?parent body =
+    let sc = make ?parent () in
+    run sc (fun () -> body sc)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Timeouts.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A timeout is a scope with one extra branch: a timer that sleeps on
+   the scheduler's virtual clock and, if the scope is still running at
+   the deadline, aborts it.  Because quiescence jumps the clock to the
+   earliest pending deadline, the timer fires even when every fiber in
+   the system is blocked — the timeout doubles as a deadlock backstop. *)
+let with_timeout ?parent d body =
+  let sc = Scope.make ?parent () in
+  Scope.run_with sc
+    [
+      (fun crash () ->
+        try
+          Sched.sleep d;
+          match sc.Scope.state with
+          | Scope.Running ->
+              (match Sched.obs () with
+              | None -> ()
+              | Some o ->
+                  Obs.emit o
+                    (E.Timeout { pid = Sched.self_pid (); deadline = Sched.now () }));
+              Scope.cancel sc ~reason:"timeout";
+              (* the watchdog is parked on the scope's waitset; [cancel]
+                 woke it, and it will abort the scope.  This timer then
+                 just parks until that abort discards it. *)
+              Sched.block (Sched.Waitset.create "resil.discard");
+              assert false
+          | Scope.Cancel_requested _ | Scope.Finished ->
+              (* the scope is already on its way out; park until
+                 whichever branch is aborting it discards this timer *)
+              Sched.block (Sched.Waitset.create "resil.discard");
+              assert false
+        with e -> crash e);
+    ]
+    body
+
+(* ------------------------------------------------------------------ *)
+(* Supervision.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Supervisor = struct
+  type strategy = One_for_one | One_for_all
+
+  type child = { name : string; body : unit -> unit }
+
+  let child ~name body = { name; body }
+
+  type slot = {
+    spec : child;
+    mutable pid : int;  (* root fiber pid of the current incarnation *)
+    mutable scope : Scope.t;
+    mutable result : unit outcome option;  (* None while running *)
+    mutable restarts : int list;  (* virtual times of past restarts *)
+  }
+
+  (* Run the children under supervision, each in its own scope inside
+     its own independent tree ([Sched.future]), so a child crash is
+     contained by its scope and control operations never cross between
+     siblings.  The supervisor parks on its waitset; children wake it
+     when they deliver an outcome.
+
+     Restart intensity: a child's restart log is pruned to the sliding
+     [window] of virtual time; when a failure arrives with [max_restarts]
+     restarts already in the window, the supervisor gives up — it cancels
+     every live child, waits for all of them to deliver, and returns the
+     triggering failure.  Otherwise it backs off exponentially in virtual
+     time ([backoff * 2^(attempt-1)]) before restarting. *)
+  let supervise ?(strategy = One_for_one) ?(max_restarts = 3) ?(window = 1000)
+      ?(backoff = 10) specs =
+    if specs = [] then invalid_arg "Supervisor.supervise: no children";
+    let sup_ws = Sched.Waitset.create "resil.supervisor" in
+    let slots =
+      List.map
+        (fun spec ->
+          { spec; pid = -1; scope = Scope.make (); result = None; restarts = [] })
+        specs
+    in
+    let start slot =
+      slot.result <- None;
+      let sc = Scope.make () in
+      slot.scope <- sc;
+      let _ : unit Sched.future =
+        Sched.future (fun () ->
+            slot.pid <- Sched.self_pid ();
+            let r = Scope.run sc slot.spec.body in
+            slot.result <- Some r;
+            Sched.wake sup_ws)
+      in
+      ()
+    in
+    (* Park until [p] holds.  The waitset is woken by child deliveries;
+       re-check on every wake. *)
+    let rec await p =
+      if not (p ()) then begin
+        Sched.block sup_ws;
+        await p
+      end
+    in
+    let cancel_live reason =
+      List.iter
+        (fun s ->
+          if s.result = None then Scope.cancel s.scope ~reason)
+        slots
+    in
+    let all_delivered () = List.for_all (fun s -> s.result <> None) slots in
+    let rec loop () =
+      match
+        List.find_opt
+          (fun s -> match s.result with Some (Error _) -> true | _ -> false)
+          slots
+      with
+      | Some failed -> (
+          let f =
+            match failed.result with Some (Error f) -> f | _ -> assert false
+          in
+          let now = Sched.now () in
+          failed.restarts <-
+            List.filter (fun t -> t > now - window) failed.restarts;
+          let attempt = List.length failed.restarts + 1 in
+          if attempt > max_restarts then begin
+            (* intensity exceeded: shut the whole supervisor down *)
+            cancel_live "supervisor-giving-up";
+            await all_delivered;
+            Error f
+          end
+          else begin
+            let delay = backoff * (1 lsl (attempt - 1)) in
+            (match strategy with
+            | One_for_one -> ()
+            | One_for_all ->
+                (* stop the siblings before the backoff so nothing runs
+                   on a half-failed configuration *)
+                List.iter
+                  (fun s ->
+                    if s != failed && s.result = None then
+                      Scope.cancel s.scope ~reason:"sibling-crash")
+                  slots;
+                await all_delivered);
+            Sched.sleep delay;
+            failed.restarts <- Sched.now () :: failed.restarts;
+            (match Sched.obs () with
+            | None -> ()
+            | Some o ->
+                Obs.emit o
+                  (E.Restart
+                     {
+                       pid = Sched.self_pid ();
+                       child = failed.pid;
+                       attempt;
+                       backoff = delay;
+                       limit = max_restarts;
+                     }));
+            (match strategy with
+            | One_for_one -> start failed
+            | One_for_all -> List.iter start slots);
+            loop ()
+          end)
+      | None ->
+          if all_delivered () then Ok ()
+          else begin
+            Sched.block sup_ws;
+            loop ()
+          end
+    in
+    List.iter start slots;
+    loop ()
+end

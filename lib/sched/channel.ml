@@ -14,14 +14,24 @@ type 'a t = {
 
 let create ?(capacity = 16) () =
   if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
-  {
-    id = Sched.fresh_chan_id ();
-    buf = Queue.create ();
-    capacity;
-    closed = false;
-    senders = Sched.Waitset.create "channel.send";
-    receivers = Sched.Waitset.create "channel.recv";
-  }
+  let ch =
+    {
+      id = Sched.fresh_chan_id ();
+      buf = Queue.create ();
+      capacity;
+      closed = false;
+      senders = Sched.Waitset.create "channel.send";
+      receivers = Sched.Waitset.create "channel.recv";
+    }
+  in
+  (* Fault-injection hook (Fdrop): losing a buffered message frees a
+     slot, so parked senders must be woken exactly as a real consumer
+     would wake them. *)
+  Sched.register_dropper ch.id (fun () ->
+      match Queue.take_opt ch.buf with
+      | Some _ -> Some ch.senders
+      | None -> None);
+  ch
 
 (* Blocked operations park on the channel's waitsets and re-check on
    wake-up (the scheduler is cooperative, so there is no check-then-park

@@ -13,6 +13,9 @@ exception Not_in_scheduler
 
 exception Deadlock of string
 
+exception Injected_crash
+(* delivered at a fiber's suspension point by the [Fcrash] fault *)
+
 type policy =
   | Tree_order
   | Randomized of int64
@@ -23,6 +26,16 @@ type policy =
       (* as Driven, but the decision function sees the runnable fibers'
          node ids in queue order — the hook record/replay needs to pin a
          recorded schedule by pid rather than by position *)
+
+(* Deterministic fault injection: [run ?inject] consults the hook with
+   the global slice index before every slice.  Faults are scheduler
+   decisions — same schedule + same fault plan = byte-identical trace —
+   and each one emits an [E.Crash "inject:..."] marker so the plan can
+   be re-extracted from the trace. *)
+type fault =
+  | Fcrash  (* raise [Injected_crash] at the target fiber's suspension point *)
+  | Fwake of string  (* spurious wake: wake everything parked on the resource *)
+  | Fdrop of int  (* silently drop one buffered element from the channel *)
 
 (* ------------------------------------------------------------------ *)
 (* Untyped scheduler core: every fiber computes a Univ.t.              *)
@@ -43,6 +56,17 @@ type request =
       (* an INDEPENDENT process tree (Section 8's forest): its result is
          stored in the cell; control operations cannot cross into it *)
   | Ryield
+  | Rsleep of int
+      (* park the fiber until the run's virtual clock reaches now+d; the
+         timer wheel wakes due sleepers in deadline order, and quiescence
+         jumps the clock to the earliest pending deadline instead of
+         declaring deadlock *)
+  | Rabort of int * string * (unit -> Univ.t)
+      (* cancellation as declined reinstatement: capture the subtree
+         delimited by the labeled root — releasing parked entries — and
+         discard it (the invoking fiber included), running the
+         replacement body in the root's place.  The string is the
+         cancel reason recorded in the trace. *)
   | Rblock of waitset
       (* park the fiber on the waitset until a matching Rwake (or the
          delivery of the owning future); parked fibers leave the run
@@ -132,17 +156,32 @@ let cur_obs : Obs.t option ref = ref None
 
 let cur_pid = ref 0
 
+(* The innermost run's virtual clock: slices since the run started, plus
+   any quiescence jumps to pending timer deadlines.  Advances whether or
+   not an obs handle is installed, so timer behavior never depends on
+   tracing. *)
+let cur_clock = ref 0
+
 (* Channel (and other user-resource) ids: allocated per run so traces
    of identical runs are identical. *)
 let chan_ids = ref 0
+
+(* Channel-drop fault hooks: channels register how to discard one
+   buffered element (returning the waitset to wake, since dropping frees
+   capacity).  Per run, like [chan_ids]. *)
+let droppers : (int * (unit -> waitset option)) list ref = ref []
 
 let obs () = !cur_obs
 
 let self_pid () = !cur_pid
 
+let now () = !cur_clock
+
 let fresh_chan_id () =
   incr chan_ids;
   !chan_ids
+
+let register_dropper id f = droppers := (id, f) :: !droppers
 
 (* Control points (labels and forks) and node count of a captured
    subtree — the quantities the paper's complexity claim is stated in. *)
@@ -156,7 +195,8 @@ let rec ptree_size = function
   | PLeaf _ | PHole _ | PDone -> 1
   | PWait w -> 1 + Array.fold_left (fun n t -> n + ptree_size t) 0 w.pw_children
 
-let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
+let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) : a
+    =
   let obs = obs_arg in
   (* Install the observability context; restored on every exit path so
      nested runs and exceptions leave the outer context intact.  Labels
@@ -164,20 +204,38 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
      runs byte-identical. *)
   let saved_obs = !cur_obs and saved_pid = !cur_pid in
   let saved_chans = !chan_ids and saved_labels = !label_counter in
+  let saved_clock = !cur_clock and saved_droppers = !droppers in
   cur_obs := obs;
   chan_ids := 0;
   label_counter := 0;
+  cur_clock := 0;
+  droppers := [];
   let restore () =
     cur_obs := saved_obs;
     cur_pid := saved_pid;
     chan_ids := saved_chans;
-    label_counter := saved_labels
+    label_counter := saved_labels;
+    cur_clock := saved_clock;
+    droppers := saved_droppers
   in
   let inj_a, prj_a = Univ.embed () in
   let pending_request : (request * fiber_k) option ref = ref None in
+  (* An injected crash for the fiber about to step: consumed by the
+     step wrappers below, so the exception materializes at the fiber's
+     suspension point (catchable by its own try/with); a fiber that has
+     never run yet crashes before its body — spawn-failure semantics. *)
+  let pending_crash : exn option ref = ref None in
   let make_step (body : unit -> Univ.t) : fiber_step =
    fun () ->
-    match_with body ()
+    match_with
+      (fun () ->
+        (match !pending_crash with
+        | Some e ->
+            pending_crash := None;
+            raise e
+        | None -> ());
+        body ())
+      ()
       {
         retc = (fun v -> Sdone v);
         exnc = raise;
@@ -221,6 +279,23 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
   let all_parked = ref [] in
   let n_parked = ref 0 in
   let rounds = ref 0 in
+  (* Global slice index, the unit fault placements are expressed in. *)
+  let nslices = ref 0 in
+  (* The timer wheel: sleeping fibers ordered by (deadline, park order).
+     Entries are ordinary waitset entries (on a dedicated "timer" set
+     that is never woken collectively), so capture invalidation works on
+     sleepers unchanged: a pruned sleeper is re-captured as a runnable
+     leaf and its remaining delay is forgotten on graft. *)
+  let timer_ws = { ws_name = "timer"; ws_parked = [] } in
+  let timers : (int * wentry) list ref = ref [] in
+  let insert_timer deadline e =
+    let rec go = function
+      | [] -> [ (deadline, e) ]
+      | (d, _) :: _ as l when deadline < d -> (deadline, e) :: l
+      | hd :: rest -> hd :: go rest
+    in
+    timers := go !timers
+  in
   let rng =
     match policy with
     | Tree_order | Driven _ | Driven_pids _ -> None
@@ -256,7 +331,14 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
     | Nwait w -> Array.fold_left collect_leaves acc w.children
   in
 
-  let resume_step k v : fiber_step = fun () -> continue k v in
+  let resume_step k v : fiber_step =
+   fun () ->
+    match !pending_crash with
+    | None -> continue k v
+    | Some e ->
+        pending_crash := None;
+        discontinue k e
+  in
   let raise_step k exn : fiber_step = fun () -> discontinue k exn in
 
   (* Re-enqueue every live fiber parked on [ws], in park (FIFO) order:
@@ -426,6 +508,78 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
         born := [ child ]
   in
 
+  (* Cancellation as declined reinstatement: capture the subtree under
+     the nearest root labeled [label] exactly as [do_capture] would —
+     invalidating parked entries — but discard it instead of handing it
+     to a controller body.  The invoking fiber is part of the discarded
+     subtree (its continuation is dropped; [abort] never returns); the
+     replacement body runs in the root's former position and its value
+     becomes the root's. *)
+  let do_abort n k label reason replacement =
+    let rec climb cur =
+      match cur.parent with
+      | Ptop | Pfuture _ -> None
+      | Pchild (p, _) -> (
+          match p.body with
+          | Nwait w when w.wk = Wroot label -> Some (p, w)
+          | _ -> climb p)
+    in
+    match climb n with
+    | None ->
+        (match obs with
+        | None -> ()
+        | Some o -> Obs.emit o (E.Invalid_controller { pid = n.nid; label }));
+        n.body <- Nleaf (raise_step k Dead_controller)
+    | Some (p, w) ->
+        ignore k;
+        incr prunes;
+        (* Pre-order sweep of the discarded subtree: collect live pids
+           (the Cancel event's payload — exactly what an invariant
+           checker must mark dead) and release parked entries.  The
+           invoking fiber's body is its already-consumed leaf step, so
+           the Nleaf case covers it. *)
+        let cancelled = ref [] in
+        let rec sweep m =
+          match m.body with
+          | Ndone -> ()
+          | Nleaf _ -> cancelled := m.nid :: !cancelled
+          | Nparked e ->
+              e.we_live <- false;
+              decr n_parked;
+              cancelled := m.nid :: !cancelled
+          | Nwait wc ->
+              cancelled := m.nid :: !cancelled;
+              Array.iter sweep wc.children
+        in
+        sweep w.children.(0);
+        let pids = Array.of_list (List.rev !cancelled) in
+        (match obs with
+        | None -> ()
+        | Some o ->
+            Obs.observe o "sched.cancel.pids" (Array.length pids);
+            Obs.emit o (E.Cancel { pid = n.nid; scope = p.nid; reason; pids }));
+        let body = make_step replacement in
+        let w' =
+          {
+            wk = Wbody;
+            children = [||];
+            results = [| None |];
+            pending = 1;
+            resume = w.resume;
+            join = (fun vs -> vs.(0));
+          }
+        in
+        let child =
+          { nid = fresh_id (); parent = Pchild (p, 0); body = Nleaf body }
+        in
+        p.body <- Nwait { w' with children = [| child |] };
+        (match obs with
+        | None -> ()
+        | Some o ->
+            Obs.emit o (E.Spawn { pid = child.nid; parent = p.nid; kind = "cancel" }));
+        born := [ child ]
+  in
+
   (* Graft a captured subtree onto the invoking fiber: the fiber waits (as
      a reinstated root) for the subtree's result; the capture point inside
      receives [v]; every captured branch becomes runnable. *)
@@ -498,18 +652,74 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
     end
   in
 
+  (* Apply one injected fault just before the slice it targets.  The
+     marker event precedes the slice's begin event, so a schedule
+     re-extracted from the trace re-injects at the same slice index. *)
+  let apply_fault n fault =
+    match fault with
+    | Fcrash ->
+        (match obs with
+        | None -> ()
+        | Some o -> Obs.emit o (E.Crash { pid = n.nid; fault = "inject:crash" }));
+        pending_crash := Some Injected_crash
+    | Fwake res ->
+        (match obs with
+        | None -> ()
+        | Some o -> Obs.emit o (E.Crash { pid = -1; fault = "inject:wake:" ^ res }));
+        (* spurious wake: every live fiber parked on the named resource
+           becomes runnable, in park order.  Parking is a re-check loop,
+           so correct waiters re-park; anything that stays woken revealed
+           a missing re-check. *)
+        let woken = ref [] in
+        List.iter
+          (fun e ->
+            if e.we_live && e.we_ws.ws_name = res then begin
+              e.we_live <- false;
+              decr n_parked;
+              e.we_node.body <- Nleaf (resume_step e.we_k u_unit);
+              woken := e.we_node :: !woken;
+              match obs with
+              | None -> ()
+              | Some o -> Obs.emit o (E.Wake { pid = e.we_node.nid; resource = res })
+            end)
+          (List.rev !all_parked);
+        born := List.rev_append !woken !born
+    | Fdrop chan -> (
+        (match obs with
+        | None -> ()
+        | Some o ->
+            Obs.emit o
+              (E.Crash { pid = -1; fault = "inject:drop:" ^ string_of_int chan }));
+        match List.assoc_opt chan !droppers with
+        | None -> ()
+        | Some drop -> (
+            match drop () with
+            | None -> ()
+            | Some ws -> wake_ws ws))
+  in
   let step_leaf n step =
     pending_request := None;
     cur_pid := n.nid;
+    (match inject with
+    | None -> ()
+    | Some f -> (
+        match f !nslices with None -> () | Some fault -> apply_fault n fault));
+    incr nslices;
     (match obs with
     | None -> ()
     | Some o -> Obs.emit o (E.Slice_begin { pid = n.nid }));
     let finish_slice () =
+      (* The native scheduler does not meter fiber work: a slice runs
+         the fiber to its next request and is charged one unit of
+         virtual time (advanced with or without a trace handle, so the
+         timer wheel never depends on tracing). *)
+      incr cur_clock;
+      (* an unconsumed crash (the target delivered or raised before its
+         suspension point was resumed) must not leak to the next slice *)
+      pending_crash := None;
       match obs with
       | None -> ()
       | Some o ->
-          (* The native scheduler does not meter fiber work: a slice runs
-             the fiber to its next request and is charged one unit. *)
           Obs.advance o 1;
           Obs.observe o "sched.slice.fuel" 1;
           Obs.emit o (E.Slice_end { pid = n.nid; fuel = 1 })
@@ -522,6 +732,25 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
         | Some (req, k) -> (
             match req with
             | Ryield -> n.body <- Nleaf (resume_step k u_unit)
+            | Rsleep d ->
+                (* Park on the timer wheel.  The entry joins [all_parked]
+                   and the deadline list but NOT [timer_ws.ws_parked]:
+                   timers are never woken collectively, only by expiry
+                   (or discarded by capture/cancel, which flips
+                   [we_live] like any other park). *)
+                let e =
+                  { we_ws = timer_ws; we_node = n; we_k = k; we_live = true;
+                    we_round = !rounds }
+                in
+                all_parked := e :: !all_parked;
+                incr n_parked;
+                n.body <- Nparked e;
+                insert_timer (!cur_clock + max d 0) e;
+                (match obs with
+                | None -> ()
+                | Some o -> Obs.emit o (E.Park { pid = n.nid; resource = "timer" }))
+            | Rabort (label, reason, replacement) ->
+                do_abort n k label reason replacement
             | Rspawn (label, body) ->
                 make_wait n k (Wroot label) [ body ] (fun vs -> vs.(0))
             | Rpcall (thunks, join) -> make_wait n k Wfork thunks join
@@ -685,37 +914,97 @@ let run ?(policy = Tree_order) ?obs:obs_arg (type a) (main : unit -> a) : a =
      and no failure means every remaining fiber is parked on a resource
      nobody left can signal. *)
   let deadlock_msg () =
-    let live = List.filter (fun e -> e.we_live) !all_parked in
+    let live = List.filter (fun e -> e.we_live) (List.rev !all_parked) in
     match live with
     | [] -> "deadlock: no runnable fibers"
     | _ ->
+        (* Root-to-fiber path through the process tree, so the diagnostic
+           names not just the resource but where in the computation each
+           blocked fiber hangs. *)
+        let path n =
+          let rec climb acc m =
+            match m.parent with
+            | Ptop -> m.nid :: acc
+            | Pfuture _ -> m.nid :: acc
+            | Pchild (p, _) -> climb (m.nid :: acc) p
+          in
+          climb [] n
+          |> List.map string_of_int
+          |> String.concat ">"
+        in
         let tally = Hashtbl.create 7 in
         List.iter
           (fun e ->
             let name = e.we_ws.ws_name in
-            let c = try Hashtbl.find tally name with Not_found -> 0 in
-            Hashtbl.replace tally name (c + 1))
+            let ps = try Hashtbl.find tally name with Not_found -> [] in
+            Hashtbl.replace tally name (path e.we_node :: ps))
           live;
         let parts =
-          Hashtbl.fold (fun name c acc -> (name, c) :: acc) tally []
+          Hashtbl.fold (fun name ps acc -> (name, List.rev ps) :: acc) tally []
           |> List.sort compare
-          |> List.map (fun (name, c) -> Printf.sprintf "%d on %s" c name)
+          |> List.map (fun (name, ps) ->
+                 Printf.sprintf "%d on %s (paths %s)" (List.length ps) name
+                   (String.concat ", " ps))
         in
         Printf.sprintf "deadlock: %d fiber(s) parked: %s" (List.length live)
           (String.concat ", " parts)
   in
 
+  (* Wake every live timer whose deadline has been reached.  Expiry
+     happens between rounds (never inside [step_leaf]), so appending to
+     the queue is safe: the driven branch's queue snapshot has already
+     been written back. *)
+  let expire_due () =
+    let rec split acc = function
+      | (d, e) :: rest when d <= !cur_clock -> split (e :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let due, rest = split [] !timers in
+    timers := rest;
+    let woken = ref [] in
+    List.iter
+      (fun e ->
+        if e.we_live then begin
+          e.we_live <- false;
+          decr n_parked;
+          e.we_node.body <- Nleaf (resume_step e.we_k u_unit);
+          woken := e.we_node :: !woken;
+          (match obs with
+          | None -> ()
+          | Some o ->
+              Obs.observe o "sched.park.rounds" (!rounds - e.we_round);
+              Obs.emit o (E.Wake { pid = e.we_node.nid; resource = "timer" }))
+        end)
+      due;
+    if !woken <> [] then queue := !queue @ List.rev !woken
+  in
   let rec drive () =
     match (!final, !failure) with
     | Some v, _ -> (
         match prj_a v with Some a -> a | None -> assert false)
     | None, Some e -> raise e
     | None, None ->
+        expire_due ();
         if !queue = [] then begin
-          (match obs with
-          | None -> ()
-          | Some o -> Obs.emit o (E.Deadlock { parked = !n_parked }));
-          raise (Deadlock (deadlock_msg ()))
+          timers := List.filter (fun (_, e) -> e.we_live) !timers;
+          match !timers with
+          | (d, _) :: _ ->
+              (* Quiescent but a timer is pending: jump the virtual clock
+                 to the earliest deadline instead of declaring deadlock.
+                 This is what makes timeouts usable as a liveness
+                 backstop — a fully blocked system still makes progress
+                 in virtual time. *)
+              let delta = d - !cur_clock in
+              cur_clock := d;
+              (match obs with
+              | None -> ()
+              | Some o -> if delta > 0 then Obs.advance o delta);
+              drive ()
+          | [] ->
+              (match obs with
+              | None -> ()
+              | Some o -> Obs.emit o (E.Deadlock { parked = !n_parked }));
+              raise (Deadlock (deadlock_msg ()))
         end
         else begin
           round ();
@@ -779,6 +1068,15 @@ let pcall2 (type a b) (ta : unit -> a) (tb : unit -> b) : a * b =
     (perform_sched (Rpcall ([ (fun () -> inj_a (ta ())); (fun () -> inj_b (tb ())) ], join)))
 
 let yield () = ignore (perform_sched Ryield)
+
+let sleep d = ignore (perform_sched (Rsleep d))
+
+let abort (type r) (c : r controller) ~reason (f : unit -> r) : 'a =
+  ignore (perform_sched (Rabort (c.c_label, reason, fun () -> c.c_inj (f ()))));
+  (* The scheduler discards this fiber's continuation: the replacement
+     body runs at the controller root instead, so control never returns
+     here.  (A dead controller label raises via [discontinue] above.) *)
+  assert false
 
 (* ------------------------------------------------------------------ *)
 (* Parked waiters.                                                     *)

@@ -37,8 +37,19 @@ exception Deadlock of string
 (** Raised by {!run} when the run queue is empty while fibers remain
     parked on waitsets (see {!block}): every remaining fiber is blocked
     on a resource that no runnable fiber can signal.  The message names
-    the blocked resources, e.g.
-    ["deadlock: 2 fiber(s) parked: 1 on channel.recv, 1 on future"]. *)
+    the blocked resources and, for each blocked fiber, its root-to-leaf
+    path through the process tree, e.g.
+    ["deadlock: 2 fiber(s) parked: 2 on channel.recv (paths 0>2>5,
+    0>3>6)"].  Pending {!sleep} timers avert deadlock: a quiescent run
+    jumps the virtual clock to the earliest deadline instead (see
+    {!run}). *)
+
+exception Injected_crash
+(** Delivered into a fiber by an injected {!Fcrash} fault (see {!run}'s
+    [inject] argument).  It is an ordinary exception: a fiber that
+    catches it survives; one that does not aborts the whole run like any
+    escaped exception — unless a supervisor ({!Pcont_resil}) converts it
+    into a restart. *)
 
 type policy =
   | Tree_order  (** deterministic: branches run in process-tree order *)
@@ -60,11 +71,31 @@ type policy =
           on pids rather than queue positions makes the replay robust to
           how the queue happens to be ordered. *)
 
+type fault =
+  | Fcrash
+      (** raise {!Injected_crash} inside the fiber about to be stepped:
+          delivered at its suspension point (catchable by the fiber's
+          own [try]) or, for a fiber that has not started, before its
+          body runs *)
+  | Fwake of string
+      (** spuriously wake every fiber parked on the named resource
+          (e.g. ["channel.recv"]).  Correct waiters re-check and re-park;
+          a waiter that proceeds exposed a missing re-check loop. *)
+  | Fdrop of int
+      (** silently drop one buffered message from the channel with this
+          id (see {!fresh_chan_id}), waking its senders as a real
+          consumer would.  A no-op for unknown or empty channels. *)
+
 type 'r controller
 
 type ('a, 'r) pk
 
-val run : ?policy:policy -> ?obs:Pcont_obs.Obs.t -> (unit -> 'a) -> 'a
+val run :
+  ?policy:policy ->
+  ?obs:Pcont_obs.Obs.t ->
+  ?inject:(int -> fault option) ->
+  (unit -> 'a) ->
+  'a
 (** Run a computation under the scheduler.  Exceptions escaping any fiber
     abort the whole computation and re-raise here.
 
@@ -80,7 +111,17 @@ val run : ?policy:policy -> ?obs:Pcont_obs.Obs.t -> (unit -> 'a) -> 'a
     (saved and restored around nested runs) for the same reason.  With
     no handle the instrumentation reduces to one pattern match per
     site: no events are allocated and behavior is bit-for-bit that of
-    an uninstrumented run. *)
+    an uninstrumented run.
+
+    [inject] is the deterministic fault hook: it is consulted once per
+    scheduling slice with the global slice index (0-based count of
+    slices begun so far) and may return a {!fault} to apply just before
+    that slice runs.  Faults are part of the schedule, not the program:
+    the same [policy] and [inject] reproduce the same run byte for
+    byte, and each applied fault is recorded in the trace as a
+    [Crash] marker event (fault string ["inject:..."], emitted before
+    the target slice's begin event) so a schedule re-extracted from the
+    trace re-injects identically. *)
 
 val spawn : ('r controller -> 'r) -> 'r
 (** Create a process with a fresh root; see {!Pcont.Spawn.spawn}. *)
@@ -109,6 +150,37 @@ val pcall2 : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 val yield : unit -> unit
 (** Let other branches run; also the points at which a fiber can be
     suspended into a captured subtree. *)
+
+(** {1 Virtual time}
+
+    The scheduler keeps a virtual clock that advances one unit per
+    scheduling slice, with or without a trace handle attached, so timer
+    behavior never depends on whether a run is being observed.  Sleeping
+    fibers park on an internal timer wheel; when the run queue drains
+    while timers are pending, the clock jumps to the earliest deadline
+    instead of declaring deadlock, so timeouts remain a liveness
+    backstop for fully blocked systems. *)
+
+val now : unit -> int
+(** The current virtual time (slices elapsed in the innermost run). *)
+
+val sleep : int -> unit
+(** Park the calling fiber until the virtual clock reaches
+    [now () + d] (a non-positive [d] sleeps to the next round).  Like
+    any parked fiber, a sleeper captured into a process continuation is
+    removed from the timer wheel and resumes — early — when the
+    continuation is grafted. *)
+
+val abort : 'r controller -> reason:string -> (unit -> 'r) -> 'a
+(** Capture the subtree delimited by the controller's root — exactly as
+    {!control} would — and discard it: parked descendants are released,
+    and the root instead waits on a fresh fiber running the replacement
+    thunk.  This is cancellation as declined reinstatement (the
+    continuation is never grafted back), the primitive under
+    {!Pcont_resil}'s scopes and timeouts.  Emits a [Cancel] event
+    carrying every discarded pid.  Never returns to the caller.
+
+    @raise Dead_controller if the root is not above the calling fiber. *)
 
 (** {1 Parked waiters}
 
@@ -171,6 +243,12 @@ val self_pid : unit -> int
 val fresh_chan_id : unit -> int
 (** Allocate a resource id (used by {!Channel}).  Ids restart at 1 in
     each {!run} so traces of identical runs are identical. *)
+
+val register_dropper : int -> (unit -> Waitset.t option) -> unit
+(** Register the {!Fdrop} hook for a channel id: the thunk drops one
+    buffered message if any and returns the waitset to wake (senders
+    parked on a full buffer), or [None] when there was nothing to drop.
+    Called by {!Channel.create}; registrations are per-run. *)
 
 (** {1 Futures: independent concurrency (Section 8)}
 

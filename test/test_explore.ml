@@ -13,6 +13,7 @@ module Concur = Pcont_pstack.Concur
 module Sched = Pcont_sched.Sched
 module Channel = Pcont_sched.Channel
 module Xorshift = Pcont_util.Xorshift
+module Resil = Pcont_resil.Resil
 module X = Pcont_explore.Explore
 
 let starts_with ~prefix s =
@@ -329,6 +330,195 @@ let test_schedule_file_roundtrip () =
           Alcotest.(check (array int)) "trace file yields the same schedule"
             r.X.Replay.rec_schedule.X.Schedule.decisions s.X.Schedule.decisions)
 
+(* ---------------- cancellation races ------------------------------- *)
+
+(* A waker and a canceller race for a parked fiber: depending on the
+   schedule the waiter is woken or swept while parked.  Both fates are
+   legal; exploration must visit several schedules without flagging
+   either, and the race must be real (both outcomes reachable). *)
+let cancel_wake_target =
+  X.native_target "cancel-wake" (fun () ->
+      let ws = Sched.Waitset.create "signal" in
+      let sc = Resil.Scope.make () in
+      let waiter () =
+        match
+          Resil.Scope.run sc (fun () ->
+              Sched.block ws;
+              "woken")
+        with
+        | Ok s -> s
+        | Error f -> Resil.failure_to_string f
+      in
+      let waker () =
+        (* wait for the park so the wake cannot be lost; the bound keeps
+           driven schedules that starve the waiter from spinning forever
+           (the cancel then decides the fate) *)
+        let tries = ref 0 in
+        while
+          Sched.Waitset.parked ws = 0
+          && (not (Resil.Scope.cancelled sc))
+          && !tries < 20
+        do
+          incr tries;
+          Sched.yield ()
+        done;
+        Sched.wake ws;
+        "waker"
+      in
+      let canceller () =
+        Sched.yield ();
+        Sched.yield ();
+        Resil.Scope.cancel sc ~reason:"race";
+        "canceller"
+      in
+      String.concat "," (Sched.pcall [ waiter; waker; canceller ]))
+
+(* A control capture racing the cancellation of its enclosing scope:
+   the spawn controller aborts its own subtree and its replacement
+   signals the canceller through a channel, so the cancel lands exactly
+   in the window between the capture and the scope observing its value.
+   The scope either delivers the captured value (10) or the watchdog
+   wins and the whole subtree — replacement fiber included — is
+   swept. *)
+let cancel_capture_target =
+  X.native_target "cancel-capture" (fun () ->
+      let sc = Resil.Scope.make () in
+      let ch = Channel.create ~capacity:1 () in
+      let work () =
+        match
+          Resil.Scope.run sc (fun () ->
+              Sched.spawn (fun c ->
+                  fst
+                    (Sched.pcall2
+                       (fun () ->
+                         Sched.yield ();
+                         Sched.abort c ~reason:"shortcut" (fun () ->
+                             Channel.send ch 0;
+                             10))
+                       (fun () ->
+                         Sched.yield ();
+                         Sched.yield ();
+                         1))))
+        with
+        | Ok n -> "value " ^ string_of_int n
+        | Error f -> Resil.failure_to_string f
+      in
+      let canceller () =
+        let _ = Channel.recv ch in
+        Resil.Scope.cancel sc ~reason:"race";
+        "canceller"
+      in
+      String.concat "," (Sched.pcall [ work; canceller ]))
+
+let reachable_outcomes target =
+  List.sort_uniq compare
+    (List.map
+       (fun s ->
+         (X.Replay.record ~policy:(X.Seeded (Int64.of_int s)) target)
+           .X.Replay.rec_outcome)
+       (List.init 24 (fun i -> i + 1)))
+
+let test_explore_cancel_races () =
+  List.iter
+    (fun target ->
+      let stats = X.Dpor.explore ~max_runs:80 target in
+      (match stats.X.Dpor.s_witness with
+      | None -> ()
+      | Some w ->
+          Alcotest.failf "%s: spurious witness %s (%s)" target.X.tg_name
+            w.X.Dpor.w_kind w.X.Dpor.w_outcome);
+      Alcotest.(check bool)
+        (target.X.tg_name ^ ": explored distinct schedules")
+        true
+        (stats.X.Dpor.s_schedules >= 2 && stats.X.Dpor.s_races > 0);
+      Alcotest.(check bool)
+        (target.X.tg_name ^ ": the race is real")
+        true
+        (List.length (reachable_outcomes target) >= 2))
+    [ cancel_wake_target; cancel_capture_target ]
+
+let test_explore_timeout_races () =
+  (* timeout vs completion, native: both arms are deterministic in
+     virtual time, so every schedule is clean *)
+  let stats = X.Dpor.explore ~max_runs:60 X.Workloads.timeout_race in
+  Alcotest.(check bool) "timeout-race stays clean" true
+    (stats.X.Dpor.s_witness = None);
+  (* and the pstack timer-cancellation idiom from the paper *)
+  let stats = X.Dpor.explore ~max_runs:40 X.Workloads.timer_pstack in
+  Alcotest.(check bool) "timer-pstack stays clean" true
+    (stats.X.Dpor.s_witness = None);
+  let r = X.Replay.record X.Workloads.timer_pstack in
+  Alcotest.(check bool) "the timer branch wins" true
+    (let rec has i =
+       i >= 0
+       && (starts_with ~prefix:"timed-out"
+             (String.sub r.X.Replay.rec_outcome i
+                (String.length r.X.Replay.rec_outcome - i))
+          || has (i - 1))
+     in
+     has (String.length r.X.Replay.rec_outcome - 1))
+
+(* ---------------- fault injection ---------------------------------- *)
+
+let test_fault_roundtrip () =
+  (* a schedule that carries faults replays them byte for byte *)
+  let faults = [ { X.Fault.at = 6; kind = X.Fault.Crash } ] in
+  (match X.Replay.check_roundtrip ~faults X.Workloads.sup_relay with
+  | Error m -> Alcotest.fail ("faulty roundtrip: " ^ m)
+  | Ok r ->
+      Alcotest.(check bool) "faults recorded in the schedule" true
+        (r.X.Replay.rec_schedule.X.Schedule.faults = faults));
+  (* and they survive the schedule JSON encoding *)
+  let s =
+    {
+      X.Schedule.decisions = [| 0; 1; 2; 0 |];
+      faults =
+        [
+          { X.Fault.at = 3; kind = X.Fault.Crash };
+          { X.Fault.at = 5; kind = X.Fault.Wake "channel.send" };
+          { X.Fault.at = 7; kind = X.Fault.Drop 2 };
+        ];
+    }
+  in
+  match X.Schedule.of_json (X.Schedule.to_json s) with
+  | Error m -> Alcotest.fail ("schedule json: " ^ m)
+  | Ok s' ->
+      Alcotest.(check (array int)) "decisions" s.X.Schedule.decisions
+        s'.X.Schedule.decisions;
+      Alcotest.(check bool) "faults" true
+        (s.X.Schedule.faults = s'.X.Schedule.faults)
+
+let test_explore_finds_supervision_leak () =
+  (* The headline acceptance case: systematic fault placement finds the
+     orphaned-helper leak in sup-leak — a run that still delivers a
+     value, so only trace analysis exposes it — and a 100-seed
+     randomized sweep with the same fault menu does not. *)
+  let stats =
+    X.Dpor.explore ~max_runs:400 ~fault_menu:[ X.Fault.Crash ]
+      ~max_fault_slices:300 X.Workloads.sup_leak
+  in
+  match stats.X.Dpor.s_witness with
+  | None -> Alcotest.fail "fault exploration missed the supervision leak"
+  | Some w ->
+      Alcotest.(check string) "kind" "check:no-orphan-waiters" w.X.Dpor.w_kind;
+      Alcotest.(check bool) "witness carries the fault" true
+        (List.length w.X.Dpor.w_schedule.X.Schedule.faults = 1);
+      (* byte-identical witness replay, twice *)
+      let r1, d1 = X.Replay.replay X.Workloads.sup_leak w.X.Dpor.w_schedule in
+      let r2, d2 = X.Replay.replay X.Workloads.sup_leak w.X.Dpor.w_schedule in
+      Alcotest.(check bool) "no divergence" true (d1 = None && d2 = None);
+      Alcotest.(check string) "byte-identical replays" r1.X.Replay.rec_trace
+        r2.X.Replay.rec_trace;
+      Alcotest.(check string) "same outcome as the witness" w.X.Dpor.w_outcome
+        r1.X.Replay.rec_outcome;
+      (* the randomized baseline with the same menu misses it *)
+      let sweep =
+        X.Dpor.seed_sweep ~seeds:100 ~fault_menu:[ X.Fault.Crash ]
+          X.Workloads.sup_leak
+      in
+      Alcotest.(check bool) "100-seed fault sweep misses it" true
+        (sweep.X.Dpor.sw_found = None)
+
 let () =
   Alcotest.run "explore"
     [
@@ -350,6 +540,17 @@ let () =
           Alcotest.test_case "finds injected lost wakeup" `Quick test_explore_lost_wakeup;
           Alcotest.test_case "finds injected deadlock" `Quick test_explore_stolen_relay;
           Alcotest.test_case "clean workloads stay clean" `Quick test_explore_clean_workloads;
+          Alcotest.test_case "cancellation races stay clean" `Quick
+            test_explore_cancel_races;
+          Alcotest.test_case "timeout races stay clean" `Quick
+            test_explore_timeout_races;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "faulty schedules round-trip" `Quick
+            test_fault_roundtrip;
+          Alcotest.test_case "finds supervision leak, sweep misses" `Quick
+            test_explore_finds_supervision_leak;
         ] );
       ( "determinism",
         [
