@@ -95,13 +95,12 @@ let print_analysis events =
   Array.iteri
     (fun i run ->
       if i > 0 then Format.eprintf "@.";
-      Format.eprintf "%a"
-        Pcont_obs.Analysis.Report.pp
+      Pcont_obs.Analysis.Report.pp Format.err_formatter
         (Pcont_obs.Analysis.Report.of_run (Pcont_obs.Trace.reconstruct run)))
     (Pcont_obs.Trace.runs events)
 
 let run file expr concurrent seed replay no_prelude fuel quantum strategy stats trace
-    trace_out trace_format summary analyze backend =
+    trace_out trace_format summary analyze flight sample backend =
   (match backend with
   | "pstack" | "machine" | "zipper" -> ()
   | other ->
@@ -127,8 +126,18 @@ let run file expr concurrent seed replay no_prelude fuel quantum strategy stats 
     reject "--summary" summary;
     reject "--analyze" analyze;
     reject "--stats" stats;
+    reject "--flight" (flight <> None);
+    reject "--sample" (sample <> None);
     reject "--strategy copying" (strategy = "copying")
   end;
+  (match sample with
+  | Some r when r < 0. || r > 1. ->
+      Printf.eprintf "psi: --sample rate must be in [0,1], got %g\n" r;
+      exit 2
+  | Some _ when trace_out = None ->
+      Printf.eprintf "psi: --sample requires --trace-out (it thins that sink)\n";
+      exit 2
+  | _ -> ());
   (match trace_format with
   | Some _ when trace_out = None ->
       Printf.eprintf "psi: --trace-format requires --trace-out\n";
@@ -162,6 +171,7 @@ let run file expr concurrent seed replay no_prelude fuel quantum strategy stats 
     | Some (pick, _) -> Interp.Concurrent (Pcont_pstack.Concur.Driven_pids pick)
     | None ->
         if concurrent || seed <> None || trace || trace_out <> None || summary || analyze
+           || flight <> None
         then
           Interp.Concurrent
             (match seed with
@@ -183,7 +193,9 @@ let run file expr concurrent seed replay no_prelude fuel quantum strategy stats 
      --stats.  Its metrics share the interpreter's counter table, so
      machine counters and scheduler metrics land in one report. *)
   let obs =
-    if (trace || trace_out <> None || summary || analyze || stats) && backend = "pstack"
+    if
+      (trace || trace_out <> None || summary || analyze || stats || flight <> None)
+      && backend = "pstack"
     then
       Some
         (Obs.create
@@ -213,11 +225,41 @@ let run file expr concurrent seed replay no_prelude fuel quantum strategy stats 
           let oc = open_out path in
           cleanups := (fun () -> close_out oc) :: !cleanups;
           let write = Obs.Sink.of_channel oc in
-          Obs.attach o
-            (match trace_format with
+          let sink =
+            match trace_format with
             | "human" -> Obs.Sink.human write
             | "chrome" -> Obs.Sink.chrome write
-            | _ -> Obs.Sink.jsonl write));
+            | _ -> Obs.Sink.jsonl write
+          in
+          let sink =
+            (* Deterministic head sampling: the keep/drop decision is a
+               pure hash of (sampler seed, pid), so the thinned trace is
+               byte-identical run to run for a given --seed. *)
+            match sample with
+            | None -> sink
+            | Some rate ->
+                Obs.Sink.sampled
+                  ~seed:(Int64.of_int (Option.value seed ~default:0))
+                  ~rate sink
+          in
+          Obs.attach o sink);
+      (match flight with
+      | None -> ()
+      | Some path ->
+          let dump body =
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc body)
+          in
+          let rb = Obs.Sink.ring ~capacity:4096 ~flight:dump () in
+          Obs.attach o (Obs.Sink.ring_sink rb);
+          (* if nothing tripped the recorder, still leave the window on
+             disk at exit — the on-demand dump *)
+          cleanups :=
+            (fun () ->
+              if Obs.Sink.ring_dumps rb = 0 then
+                Out_channel.with_open_bin path (fun oc ->
+                    Obs.Sink.ring_dump rb (Out_channel.output_string oc)))
+            :: !cleanups);
       match summary_tbl with
       | None -> ()
       | Some s -> Obs.attach o (Obs.Summary.sink s));
@@ -390,6 +432,29 @@ let analyze =
            event stream; implies --concurrent.  See also $(b,ptrace report) for \
            analyzing an exported trace file.")
 
+let flight =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Attach a flight recorder: a fixed-size ring of the last 4096 \
+           scheduler events, dumped to $(docv) as JSONL automatically on \
+           deadlock or crash (otherwise at exit).  The dump is an ordinary \
+           trace — analyze it with $(b,ptrace check)/$(b,report); implies \
+           --concurrent.")
+
+let sample =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sample" ] ~docv:"RATE"
+        ~doc:
+          "Head-sample the --trace-out stream: keep per-fiber detail events \
+           (slices, parks, wakes, sends, recvs, spans) for a deterministic \
+           $(docv) fraction of fibers, keyed by pid and the --seed value. \
+           Lifecycle events (spawn, exit, crash, deadlock) are always kept.")
+
 let backend =
   Arg.(
     value & opt string "pstack"
@@ -406,6 +471,6 @@ let cmd =
     Term.(
       const run $ file $ expr $ concurrent $ seed $ replay $ no_prelude $ fuel $ quantum
       $ strategy $ stats $ trace $ trace_out $ trace_format $ summary $ analyze
-      $ backend)
+      $ flight $ sample $ backend)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,6 +19,9 @@
                                 workload: flip racing decisions, check
                                 every run's invariants, emit a minimized
                                 replayable witness on the first violation
+     ptrace top    TRACE        live dashboard: tail a growing JSONL file
+                                and render fiber fates, streaming
+                                percentiles and top blocked resources
 
    All subcommands take --json for machine-readable output; report and
    diff output is byte-deterministic for a given input. *)
@@ -43,7 +46,7 @@ let run_check path json =
   else Format.printf "%a" Analysis.Check.pp violations;
   if violations = [] then 0 else 1
 
-let run_report path json =
+let run_report path json top =
   let events = load_or_die path in
   let reports = Analysis.Report.of_trace events in
   if json then
@@ -54,7 +57,7 @@ let run_report path json =
       (fun i r ->
         if i > 0 then print_newline ();
         if List.length reports > 1 then Format.printf "=== run %d ===@." i;
-        Format.printf "%a" Analysis.Report.pp r)
+        Analysis.Report.pp ?top Format.std_formatter r)
       reports;
   0
 
@@ -69,7 +72,7 @@ let run_diff left right json =
    replay and explore all run the byte-for-byte same programs: a trace
    written by `ptrace gen` replays against `--workload gen`/`gen-pstack`
    with no drift between the two definitions. *)
-let run_gen scheduler seed workload faults out =
+let run_gen scheduler seed workload faults out flight ring_cap =
   let target =
     match workload with
     | Some name -> (
@@ -89,17 +92,104 @@ let run_gen scheduler seed workload faults out =
               "ptrace: unknown scheduler %S (expected pstack or native)\n" other;
             exit 2)
   in
+  (* The flight recorder rides along on the recording handle: a ring
+     sink that dumps the last events as JSONL to --flight on Deadlock /
+     Crash, or at the end of the run if nothing tripped it. *)
+  let ring =
+    match flight with
+    | None -> None
+    | Some path ->
+        let dump body =
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc body)
+        in
+        Some (path, Obs.Sink.ring ~capacity:ring_cap ~flight:dump ())
+  in
+  let attach =
+    Option.map (fun (_, rb) o -> Obs.attach o (Obs.Sink.ring_sink rb)) ring
+  in
   let r =
     Explore.Replay.record ~policy:(Explore.Seeded (Int64.of_int seed)) ~faults
-      target
+      ?attach target
   in
   (match out with
   | None -> print_string r.Explore.Replay.rec_trace
   | Some path ->
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc r.Explore.Replay.rec_trace));
+  (match ring with
+  | None -> ()
+  | Some (path, rb) ->
+      if Obs.Sink.ring_dumps rb = 0 then
+        Out_channel.with_open_bin path (fun oc ->
+            Obs.Sink.ring_dump rb (Out_channel.output_string oc));
+      Printf.eprintf "flight: %d event(s) (%d dropped) to %s%s\n"
+        (Obs.Sink.ring_stored rb) (Obs.Sink.ring_dropped rb) path
+        (if Obs.Sink.ring_dumps rb > 0 then " (auto-dumped on failure)" else ""));
   Printf.eprintf "outcome: %s\n" r.Explore.Replay.rec_outcome;
   0
+
+(* ---- top ------------------------------------------------------------- *)
+
+(* Live dashboard over a growing JSONL file: tail new complete lines,
+   feed them through Analysis.Snapshot, redraw.  Tolerant of a file
+   that does not exist yet (the run may not have started) and of a
+   torn final line (kept buffered until its newline arrives). *)
+let run_top path interval once =
+  let snap = Analysis.Snapshot.create () in
+  let carry = Buffer.create 4096 in
+  let pos = ref 0 in
+  let feed_new () =
+    (try
+       let ic = open_in_bin path in
+       let len = in_channel_length ic in
+       if len < !pos then pos := 0 (* file truncated/replaced: start over *);
+       if len > !pos then begin
+         seek_in ic !pos;
+         Buffer.add_string carry (really_input_string ic (len - !pos));
+         pos := len
+       end;
+       close_in ic
+     with Sys_error _ -> ());
+    let s = Buffer.contents carry in
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | None -> start
+      | Some nl ->
+          let line = String.sub s start (nl - start) in
+          (if String.trim line <> "" then
+             match Trace.parse_string line with
+             | Ok evs -> Array.iter (Analysis.Snapshot.feed snap) evs
+             | Error _ -> () (* garbage line mid-write: skip, keep tailing *));
+          go (nl + 1)
+    in
+    let consumed = go 0 in
+    if consumed > 0 then begin
+      let rest = String.sub s consumed (String.length s - consumed) in
+      Buffer.clear carry;
+      Buffer.add_string carry rest
+    end
+  in
+  let render () =
+    if not once then print_string "\027[2J\027[H";
+    Format.printf "ptrace top — %s@,%a@." path Analysis.Snapshot.pp snap
+  in
+  if once then begin
+    feed_new ();
+    render ();
+    0
+  end
+  else begin
+    Sys.catch_break true;
+    (try
+       while true do
+         feed_new ();
+         render ();
+         Unix.sleepf interval
+       done
+     with Sys.Break -> ());
+    0
+  end
 
 (* ---- replay / explore ------------------------------------------------ *)
 
@@ -388,9 +478,19 @@ let check_cmd =
 
 let report_cmd =
   let doc = "causal profile: critical path, utilization, blocked time" in
+  let top =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N"
+          ~doc:
+            "Cap the per-process table at the $(docv) processes with the most \
+             on-CPU virtual time (pretty output only; JSON always carries \
+             every row).")
+  in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const run_report $ trace_arg 0 "TRACE" $ json)
+    Term.(const run_report $ trace_arg 0 "TRACE" $ json $ top)
 
 let diff_cmd =
   let doc = "first causal divergence between two traces" in
@@ -425,8 +525,51 @@ let gen_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) (default stdout).")
   in
+  let flight =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Attach a flight-recorder ring sink and write its JSONL dump to \
+             $(docv): automatically on deadlock or crash, otherwise at the end \
+             of the run.  The dump is an ordinary trace — feed it back to \
+             $(b,ptrace check)/$(b,report)/$(b,replay).")
+  in
+  let ring_cap =
+    Arg.(
+      value & opt int 4096
+      & info [ "ring" ] ~docv:"N"
+          ~doc:"Flight-recorder capacity: keep the last $(docv) events.")
+  in
   Cmd.v (Cmd.info "gen" ~doc)
-    Term.(const run_gen $ scheduler $ seed $ workload $ faults_arg $ out)
+    Term.(
+      const run_gen $ scheduler $ seed $ workload $ faults_arg $ out $ flight
+      $ ring_cap)
+
+let top_cmd =
+  let doc = "live dashboard over a growing trace file" in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "JSONL trace file to tail; it may still be growing (psi \
+             --trace-out) or not exist yet.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.5
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Polling interval.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single snapshot and exit (no screen clearing).")
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const run_top $ file $ interval $ once)
 
 let workload =
   Arg.(
@@ -513,6 +656,6 @@ let explore_cmd =
 let cmd =
   let doc = "analyze scheduler traces: check invariants, profile, diff, replay, explore" in
   Cmd.group (Cmd.info "ptrace" ~version:"1.0.0" ~doc)
-    [ check_cmd; report_cmd; diff_cmd; gen_cmd; replay_cmd; explore_cmd ]
+    [ check_cmd; report_cmd; diff_cmd; gen_cmd; replay_cmd; explore_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -286,10 +286,11 @@ module Replay = struct
     rec_schedule : Schedule.t;
   }
 
-  let record ?(policy = Default) ?(faults = []) target =
+  let record ?(policy = Default) ?(faults = []) ?attach target =
     let buf = Buffer.create 4096 in
     let o = Obs.create () in
     Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+    (match attach with Some f -> f o | None -> ());
     let outcome = target.tg_run policy faults (Some o) in
     Obs.close o;
     let trace = Buffer.contents buf in
@@ -487,7 +488,7 @@ module Dpor = struct
             | E.Deadlock { parked } -> Buffer.add_string b (Printf.sprintf "D%d;" parked)
             | E.Park { pid; resource } -> addr ("w" ^ resource) "p" pid
             | E.Wake { pid; resource } -> addr ("w" ^ resource) "w" pid
-            | E.Slice_begin _ | E.Slice_end _ -> ())
+            | E.Slice_begin _ | E.Slice_end _ | E.Span_begin _ | E.Span_end _ -> ())
           revs;
         for c = 0 to !next - 1 do
           match Hashtbl.find_opt facts c with

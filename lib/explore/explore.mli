@@ -145,7 +145,16 @@ module Replay : sig
     rec_schedule : Schedule.t;
   }
 
-  val record : ?policy:policy -> ?faults:Fault.t list -> target -> recording
+  val record :
+    ?policy:policy ->
+    ?faults:Fault.t list ->
+    ?attach:(Obs.t -> unit) ->
+    target ->
+    recording
+  (** [?attach] is called with the recording's fresh [Obs] handle after
+      the JSONL sink is installed and before the run starts — the hook
+      for extra sinks (e.g. a flight-recorder ring).  Extra sinks see
+      the same stream; they cannot perturb the recorded bytes. *)
 
   val replay : target -> Schedule.t -> recording * divergence option
   (** Re-run pinned to the schedule, re-injecting its faults. *)

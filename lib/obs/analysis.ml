@@ -10,7 +10,7 @@ module Check = struct
 
   let rules =
     [
-      ("seq-dense", "sequence numbers are 0,1,2,... in file order");
+      ("seq-dense", "sequence numbers are base,base+1,... in file order");
       ("ts-monotone", "timestamps never decrease");
       ("slice-balance", "slice begin/end pairs balance, one open at a time");
       ("slice-time", "a slice's extent equals max(fuel,1)");
@@ -25,6 +25,8 @@ module Check = struct
         "restart attempts stay within the declared intensity limit" );
       ( "no-orphan-waiters",
         "no fiber ends the run parked under a cancelled or pruned ancestor" );
+      ( "span-balance",
+        "span ids begin once; ends match an open begin by a known pid" );
     ]
 
   type status = Live | Exited | Pruned | Cancelled
@@ -35,17 +37,31 @@ module Check = struct
     mutable ps_children : int list;
     mutable ps_status : status;
     mutable ps_parked : string option;
+    mutable ps_park_unknown : bool;
+        (** pre-window node whose park state at the cut is unknowable:
+            the first in-window park or wake just resolves it *)
   }
 
   let run (events : Trace.stamped array) =
     let out = ref [] in
     let violate seq rule msg = out := { v_seq = seq; v_rule = rule; v_msg = msg } :: !out in
     let prev_ts = ref min_int in
+    (* A nonzero base seq marks a flight-recorder window into the middle
+       of a run.  Everything the window can prove is still checked, but
+       obligations that need pre-window state — references to pids
+       spawned before the cut, the slice/park state at the cut,
+       pre-window captures and span begins, the deadlock census, the
+       end-of-run quiescence checks — are relaxed rather than reported
+       as false positives. *)
+    let window = Array.length events > 0 && events.(0).Trace.seq > 0 in
     (* per-run state, reset at each root spawn *)
     let nodes : (int, pstate) Hashtbl.t = Hashtbl.create 64 in
     let labels : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
     let open_slice = ref None in
     let n_parked = ref 0 in
+    (* one stray slice end is legitimate at the top of a window: the
+       slice it closes began before the cut *)
+    let stray_end_ok = ref window in
     let reset_run seq =
       (match !open_slice with
       | Some (pid, _) ->
@@ -53,9 +69,20 @@ module Check = struct
             (Printf.sprintf "slice of pid %d still open at run boundary" pid)
       | None -> ());
       open_slice := None;
+      stray_end_ok := false;
       Hashtbl.reset nodes;
       Hashtbl.reset labels;
       n_parked := 0
+    in
+    (* a pid first referenced mid-window was spawned before the cut:
+       parent, ancestry and park state are unknowable *)
+    let register_pre pid =
+      let ps =
+        { ps_parent = -2; ps_kind = "pre-window"; ps_children = [];
+          ps_status = Live; ps_parked = None; ps_park_unknown = true }
+      in
+      Hashtbl.add nodes pid ps;
+      ps
     in
     let find pid = Hashtbl.find_opt nodes pid in
     let rec is_ancestor anc pid =
@@ -121,9 +148,15 @@ module Check = struct
     let check_alive seq pid what =
       match find pid with
       | None ->
-          violate seq "spawn-unique"
-            (Printf.sprintf "%s references pid %d, never spawned in this run" what pid);
-          false
+          if window then (
+            ignore (register_pre pid);
+            true)
+          else begin
+            violate seq "spawn-unique"
+              (Printf.sprintf "%s references pid %d, never spawned in this run" what
+                 pid);
+            false
+          end
       | Some ps -> (
           match ps.ps_status with
           | Live -> true
@@ -145,12 +178,19 @@ module Check = struct
             (Printf.sprintf "%s by pid %d while parked on %s" what pid r)
       | _ -> ()
     in
+    (* span ids are allocated per handle, never reset across runs, so
+       the begin/end bookkeeping is global rather than per-run state *)
+    let span_seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let span_open : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    (* flight-recorder dumps are trace suffixes: seq numbers stay dense
+       but start wherever the ring's oldest surviving event fell *)
+    let seq_base = if Array.length events = 0 then 0 else events.(0).Trace.seq in
     Array.iteri
       (fun i s ->
         let seq = s.Trace.seq in
-        if seq <> i then
+        if seq <> seq_base + i then
           violate seq "seq-dense"
-            (Printf.sprintf "event %d carries seq %d" i seq);
+            (Printf.sprintf "event %d carries seq %d (base %d)" i seq seq_base);
         if s.Trace.ts < !prev_ts then
           violate seq "ts-monotone"
             (Printf.sprintf "ts %d after ts %d" s.Trace.ts !prev_ts);
@@ -166,8 +206,11 @@ module Check = struct
               if parent <> -1 then (
                 match find parent with
                 | None ->
-                    violate seq "spawn-unique"
-                      (Printf.sprintf "pid %d spawned by unknown parent %d" pid parent)
+                    if window then
+                      (register_pre parent).ps_children <- [ pid ]
+                    else
+                      violate seq "spawn-unique"
+                        (Printf.sprintf "pid %d spawned by unknown parent %d" pid parent)
                 | Some ps ->
                     (match ps.ps_status with
                     | Live -> ()
@@ -178,7 +221,7 @@ module Check = struct
                     ps.ps_children <- ps.ps_children @ [ pid ]);
               Hashtbl.add nodes pid
                 { ps_parent = parent; ps_kind = kind; ps_children = [];
-                  ps_status = Live; ps_parked = None }
+                  ps_status = Live; ps_parked = None; ps_park_unknown = false }
         in
         match s.Trace.ev with
         | Event.Spawn { pid; parent; kind } ->
@@ -207,12 +250,17 @@ module Check = struct
             | None -> ());
             if check_alive seq pid "slice begin" then
               check_not_parked seq pid "slice begin";
+            stray_end_ok := false;
             open_slice := Some (pid, s.Trace.ts)
         | Event.Slice_end { pid; fuel } -> (
             match !open_slice with
             | None ->
-                violate seq "slice-balance"
-                  (Printf.sprintf "slice end for pid %d with no slice open" pid)
+                (* the begin (and its ts, so slice-time too) predates a
+                   window's cut — legitimate exactly once, at the top *)
+                if !stray_end_ok then stray_end_ok := false
+                else
+                  violate seq "slice-balance"
+                    (Printf.sprintf "slice end for pid %d with no slice open" pid)
             | Some (opid, ots) ->
                 if opid <> pid then
                   violate seq "slice-balance"
@@ -230,6 +278,7 @@ module Check = struct
         | Event.Park { pid; resource } ->
             if check_alive seq pid "park" then begin
               let ps = Option.get (find pid) in
+              ps.ps_park_unknown <- false;
               match ps.ps_parked with
               | Some r ->
                   violate seq "park-pairing"
@@ -244,9 +293,13 @@ module Check = struct
               let ps = Option.get (find pid) in
               match ps.ps_parked with
               | None ->
-                  violate seq "park-pairing"
-                    (Printf.sprintf "wake for pid %d, which is not parked (double wake?)"
-                       pid)
+                  (* a pre-window pid's first wake matches a park before
+                     the cut; after that its state is tracked exactly *)
+                  if ps.ps_park_unknown then ps.ps_park_unknown <- false
+                  else
+                    violate seq "park-pairing"
+                      (Printf.sprintf
+                         "wake for pid %d, which is not parked (double wake?)" pid)
               | Some r ->
                   if r <> resource then
                     violate seq "park-pairing"
@@ -259,13 +312,17 @@ module Check = struct
               check_not_parked seq pid "capture";
               (match find root_pid with
               | None ->
-                  violate seq "capture-consistency"
-                    (Printf.sprintf "capture at unknown root pid %d" root_pid)
+                  if window then ignore (register_pre root_pid)
+                  else
+                    violate seq "capture-consistency"
+                      (Printf.sprintf "capture at unknown root pid %d" root_pid)
               | Some rs ->
                   if rs.ps_status <> Live then
                     violate seq "capture-consistency"
                       (Printf.sprintf "capture at dead root pid %d" root_pid)
-                  else if not (is_ancestor root_pid pid) then
+                  else if not (is_ancestor root_pid pid) && not window then
+                    (* in a window the ancestor chain can pass through
+                       pre-window nodes whose parents are unknowable *)
                     violate seq "capture-consistency"
                       (Printf.sprintf "capture root pid %d is not an ancestor of pid %d"
                          root_pid pid));
@@ -285,9 +342,10 @@ module Check = struct
               check_not_parked seq pid "reinstate";
               match Hashtbl.find_opt labels label with
               | None ->
-                  violate seq "capture-consistency"
-                    (Printf.sprintf "reinstate of label %d, never captured in this run"
-                       label)
+                  if not window then
+                    violate seq "capture-consistency"
+                      (Printf.sprintf "reinstate of label %d, never captured in this run"
+                         label)
               | Some sizes ->
                   if not (List.mem size !sizes) then
                     violate seq "capture-consistency"
@@ -303,15 +361,17 @@ module Check = struct
             ignore (check_alive seq pid "cancel");
             (match find scope with
             | None ->
-                violate seq "cancel-propagation-complete"
-                  (Printf.sprintf "cancel of unknown scope pid %d" scope)
+                if window then ignore (register_pre scope)
+                else
+                  violate seq "cancel-propagation-complete"
+                    (Printf.sprintf "cancel of unknown scope pid %d" scope)
             | Some ss ->
                 if ss.ps_status <> Live then
                   violate seq "cancel-propagation-complete"
                     (Printf.sprintf "cancel of dead scope pid %d" scope));
             Array.iter
               (fun q ->
-                if q <> scope && not (is_ancestor scope q) then
+                if q <> scope && not (is_ancestor scope q) && not window then
                   violate seq "cancel-propagation-complete"
                     (Printf.sprintf
                        "cancel of scope %d lists pid %d, not a descendant" scope q);
@@ -327,9 +387,11 @@ module Check = struct
                     violate seq "cancel-propagation-complete"
                       (Printf.sprintf "cancel of scope %d lists dead pid %d" scope q)
                 | None ->
-                    violate seq "cancel-propagation-complete"
-                      (Printf.sprintf "cancel of scope %d lists unknown pid %d" scope
-                         q))
+                    if window then (register_pre q).ps_status <- Cancelled
+                    else
+                      violate seq "cancel-propagation-complete"
+                        (Printf.sprintf "cancel of scope %d lists unknown pid %d" scope
+                           q))
               pids;
             (* completeness: the whole scope subtree must now be dead,
                futures (independent trees) excepted *)
@@ -356,25 +418,61 @@ module Check = struct
         | Event.Restart { pid; child; attempt; backoff = _; limit } ->
             ignore (check_alive seq pid "restart");
             if find child = None then
-              violate seq "restart-intensity-bounded"
-                (Printf.sprintf "restart references unknown child pid %d" child);
+              if window then ignore (register_pre child)
+              else
+                violate seq "restart-intensity-bounded"
+                  (Printf.sprintf "restart references unknown child pid %d" child);
             if attempt < 1 || attempt > limit then
               violate seq "restart-intensity-bounded"
                 (Printf.sprintf "restart attempt %d outside window limit %d" attempt
                    limit)
         | Event.Invalid_controller { pid; _ } -> ignore (check_alive seq pid "controller")
+        | Event.Span_begin { pid; span; _ } ->
+            if pid >= 0 then ignore (check_alive seq pid "span begin");
+            if Hashtbl.mem span_seen span then
+              violate seq "span-balance"
+                (Printf.sprintf "span id %d begun twice" span)
+            else begin
+              Hashtbl.add span_seen span ();
+              Hashtbl.add span_open span ()
+            end
+        | Event.Span_end { pid; span } ->
+            if pid >= 0 then ignore (check_alive seq pid "span end");
+            if Hashtbl.mem span_open span then Hashtbl.remove span_open span
+            else if window && not (Hashtbl.mem span_seen span) then
+              (* begun before the cut; remember the id so an in-window
+                 double end is still caught *)
+              Hashtbl.add span_seen span ()
+            else
+              violate seq "span-balance"
+                (Printf.sprintf "span end for id %d with no open begin" span)
         | Event.Deadlock { parked } ->
-            if parked <> !n_parked then
+            (* a window's park census misses fibers parked at the cut *)
+            if parked <> !n_parked && not window then
               violate seq "deadlock-count"
                 (Printf.sprintf "deadlock reports %d parked, trace shows %d" parked
                    !n_parked))
       events;
-    (match !open_slice with
-    | Some (pid, _) ->
-        violate (-1) "slice-balance"
-          (Printf.sprintf "slice of pid %d still open at end of trace" pid)
-    | None -> ());
-    scan_orphans (-1);
+    (* a window's last event is wherever the ring stopped — mid-run, so
+       the end-of-trace quiescence obligations do not apply.  Likewise a
+       trace that ends at a crash: that is a flight dump's cut point
+       (the recorder dumps the moment the Crash passes through), and the
+       interrupted slice is still open. *)
+    let crash_cut =
+      Array.length events > 0
+      &&
+      match events.(Array.length events - 1).Trace.ev with
+      | Event.Crash _ -> true
+      | _ -> false
+    in
+    if not (window || crash_cut) then begin
+      (match !open_slice with
+      | Some (pid, _) ->
+          violate (-1) "slice-balance"
+            (Printf.sprintf "slice of pid %d still open at end of trace" pid)
+      | None -> ());
+      scan_orphans (-1)
+    end;
     List.rev !out
 
   let to_json vs =
@@ -417,6 +515,16 @@ module Report = struct
 
   type hop = { h_pid : int; h_enter : int; h_leave : int; h_via : string }
 
+  type span_row = {
+    sp_name : string;
+    sp_count : int;
+    sp_open : int;
+    sp_total : int;
+    sp_mean : float;
+    sp_max : int;
+    sp_on_path : int;
+  }
+
   type t = {
     r_events : int;
     r_span : int;
@@ -430,6 +538,7 @@ module Report = struct
     r_reinstates : int;
     r_critical : hop list;
     r_critical_time : int;
+    r_spans : span_row list;
     r_deadlock : int option;
   }
 
@@ -574,6 +683,72 @@ module Report = struct
       run.Trace.r_events;
     let mean total n = if n = 0 then 0. else float_of_int total /. float_of_int n in
     let critical = critical_path run in
+    (* Fold spans against the critical path: per name, closed-span
+       duration stats plus the virtual time a critical hop ran while
+       the span was open (how much of the span was load-bearing). *)
+    let spans =
+      let open_tbl : (int, string * int) Hashtbl.t = Hashtbl.create 16 in
+      let rows : (string, span_row ref * (int * int) list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let row name =
+        match Hashtbl.find_opt rows name with
+        | Some r -> r
+        | None ->
+            let r =
+              ( ref
+                  { sp_name = name; sp_count = 0; sp_open = 0; sp_total = 0;
+                    sp_mean = 0.; sp_max = 0; sp_on_path = 0 },
+                ref [] )
+            in
+            Hashtbl.add rows name r;
+            r
+      in
+      Array.iter
+        (fun s ->
+          match s.Trace.ev with
+          | Event.Span_begin { span; name; _ } ->
+              Hashtbl.replace open_tbl span (name, s.Trace.ts);
+              let r, _ = row name in
+              r := { !r with sp_count = !r.sp_count + 1 }
+          | Event.Span_end { span; _ } -> (
+              match Hashtbl.find_opt open_tbl span with
+              | None -> ()
+              | Some (name, t0) ->
+                  Hashtbl.remove open_tbl span;
+                  let d = s.Trace.ts - t0 in
+                  let r, ivals = row name in
+                  ivals := (t0, s.Trace.ts) :: !ivals;
+                  r := { !r with sp_total = !r.sp_total + d; sp_max = max !r.sp_max d })
+          | _ -> ())
+        run.Trace.r_events;
+      Hashtbl.iter
+        (fun _ (name, _) ->
+          let r, _ = row name in
+          r := { !r with sp_open = !r.sp_open + 1 })
+        open_tbl;
+      let overlap a b =
+        List.fold_left
+          (fun acc h ->
+            let lo = max a h.h_enter and hi = min b h.h_leave in
+            acc + max 0 (hi - lo))
+          0 critical
+      in
+      Hashtbl.fold
+        (fun _ (r, ivals) out ->
+          let closed = List.length !ivals in
+          let on_path =
+            List.fold_left (fun acc (a, b) -> acc + overlap a b) 0 !ivals
+          in
+          { !r with
+            sp_mean =
+              (if closed = 0 then 0.
+               else float_of_int !r.sp_total /. float_of_int closed);
+            sp_on_path = on_path }
+          :: out)
+        rows []
+      |> List.sort (fun a b -> String.compare a.sp_name b.sp_name)
+    in
     {
       r_events = Array.length run.Trace.r_events;
       r_span = span;
@@ -592,6 +767,7 @@ module Report = struct
       r_critical = critical;
       r_critical_time =
         List.fold_left (fun a h -> a + (h.h_leave - h.h_enter)) 0 critical;
+      r_spans = spans;
       r_deadlock = run.Trace.r_deadlock;
     }
 
@@ -649,11 +825,26 @@ module Report = struct
                          ])
                      r.r_critical) );
             ] );
+        ( "spans",
+          Json.Arr
+            (List.map
+               (fun sp ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str sp.sp_name);
+                     ("count", num sp.sp_count);
+                     ("open", num sp.sp_open);
+                     ("total", num sp.sp_total);
+                     ("mean", Json.Num sp.sp_mean);
+                     ("max", num sp.sp_max);
+                     ("on_path", num sp.sp_on_path);
+                   ])
+               r.r_spans) );
         ( "deadlock",
           match r.r_deadlock with None -> Json.Null | Some p -> num p );
       ]
 
-  let pp ppf r =
+  let pp ?top ppf r =
     let pct part whole =
       if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
     in
@@ -668,11 +859,27 @@ module Report = struct
     | Some p -> Format.fprintf ppf "@,deadlock: %d process(es) left parked" p);
     Format.fprintf ppf "@,@,%8s %-10s %7s %9s %8s %8s %6s" "pid" "kind" "slices"
       "fuel" "run" "blocked" "util%";
+    let shown, omitted =
+      match top with
+      | Some n when n >= 0 && List.length r.r_procs > n ->
+          (* biggest consumers of virtual time first; ties by pid *)
+          let sorted =
+            List.stable_sort (fun a b -> compare (b.p_run, a.p_pid) (a.p_run, b.p_pid))
+              r.r_procs
+          in
+          let rec take k = function
+            | x :: rest when k > 0 -> x :: take (k - 1) rest
+            | _ -> []
+          in
+          (take n sorted, List.length r.r_procs - n)
+      | _ -> (r.r_procs, 0)
+    in
     List.iter
       (fun p ->
         Format.fprintf ppf "@,%8d %-10s %7d %9d %8d %8d %6.1f" p.p_pid p.p_kind
           p.p_slices p.p_fuel p.p_run p.p_blocked (100. *. p.p_util))
-      r.r_procs;
+      shown;
+    if omitted > 0 then Format.fprintf ppf "@,  ... (%d more processes)" omitted;
     (match r.r_blocked with
     | [] -> ()
     | blocked ->
@@ -686,6 +893,16 @@ module Report = struct
         "@,@,captures: %d (control points/capture %.1f, size/capture %.1f), \
          reinstates %d"
         r.r_captures r.r_cp_per_capture r.r_size_per_capture r.r_reinstates;
+    (match r.r_spans with
+    | [] -> ()
+    | spans ->
+        Format.fprintf ppf "@,@,spans: %-14s %6s %5s %8s %8s %8s %8s" "name" "count"
+          "open" "total" "mean" "max" "on-path";
+        List.iter
+          (fun sp ->
+            Format.fprintf ppf "@,       %-14s %6d %5d %8d %8.1f %8d %8d" sp.sp_name
+              sp.sp_count sp.sp_open sp.sp_total sp.sp_mean sp.sp_max sp.sp_on_path)
+          spans);
     Format.fprintf ppf "@,@,critical path: %d/%d of span on path (%.1f%%), %d hop(s)"
       r.r_critical_time r.r_span
       (pct r.r_critical_time r.r_span)
@@ -721,6 +938,9 @@ module Diff = struct
   let skeleton (events : Trace.stamped array) =
     let canon : (int, int) Hashtbl.t = Hashtbl.create 64 in
     let streams : (int, string list ref) Hashtbl.t = Hashtbl.create 64 in
+    (* span ids are allocation-order artifacts; only names are
+       scheduler-independent, so skeleton facts carry the name *)
+    let span_names : (int, string) Hashtbl.t = Hashtbl.create 16 in
     let next = ref 0 in
     let cpid pid =
       match Hashtbl.find_opt canon pid with Some c -> c | None -> -2
@@ -779,6 +999,16 @@ module Diff = struct
                  attempt limit)
         | Event.Invalid_controller { pid; label } ->
             push (cpid pid) (Printf.sprintf "invalid-controller label=%d" label)
+        | Event.Span_begin { pid; span; name; _ } ->
+            Hashtbl.replace span_names span name;
+            push (cpid pid) (Printf.sprintf "sb:%s" name)
+        | Event.Span_end { pid; span } ->
+            let name =
+              match Hashtbl.find_opt span_names span with
+              | Some n -> n
+              | None -> "span"
+            in
+            push (cpid pid) (Printf.sprintf "se:%s" name)
         | Event.Deadlock { parked } -> push (-1) (Printf.sprintf "deadlock parked=%d" parked)
         | Event.Slice_begin _ | Event.Slice_end _ | Event.Park _ | Event.Wake _ -> ())
       events;
@@ -857,4 +1087,166 @@ module Diff = struct
         Format.fprintf ppf
           "diverged at run %d, canonical pid %d, event %d:@,  left:  %s@,  right: %s@."
           d.d_run d.d_cpid d.d_index (side d.d_left) (side d.d_right)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Live snapshot (ptrace top)                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  (* Incremental fold over a (possibly still growing) event stream:
+     feed events as they arrive, render the current state at any time.
+     Everything here is derived from events alone, so it works on a
+     flight-recorder dump or a live tail equally. *)
+  type t = {
+    mutable sn_events : int;
+    mutable sn_clock : int;
+    mutable sn_spawned : int;
+    mutable sn_exited : int;
+    mutable sn_cancelled : int;
+    mutable sn_crashes : int;
+    mutable sn_parked : int;
+    mutable sn_deadlock : int option;
+    mutable sn_last_pid : int;
+    parked_by : (string, int) Hashtbl.t;
+    blocked_by : (string, int) Hashtbl.t;
+    park_since : (int, string * int) Hashtbl.t;
+    wake_at : (int, int) Hashtbl.t;
+    open_spans : (int, string * int) Hashtbl.t;
+    sn_mx : Obs.Metrics.t;
+  }
+
+  let create () =
+    {
+      sn_events = 0;
+      sn_clock = 0;
+      sn_spawned = 0;
+      sn_exited = 0;
+      sn_cancelled = 0;
+      sn_crashes = 0;
+      sn_parked = 0;
+      sn_deadlock = None;
+      sn_last_pid = -1;
+      parked_by = Hashtbl.create 8;
+      blocked_by = Hashtbl.create 8;
+      park_since = Hashtbl.create 64;
+      wake_at = Hashtbl.create 64;
+      open_spans = Hashtbl.create 16;
+      sn_mx = Obs.Metrics.create ();
+    }
+
+  let bump tbl k d =
+    Hashtbl.replace tbl k
+      (d + match Hashtbl.find_opt tbl k with Some v -> v | None -> 0)
+
+  let feed t (s : Trace.stamped) =
+    t.sn_events <- t.sn_events + 1;
+    t.sn_clock <- max t.sn_clock s.Trace.ts;
+    match s.Trace.ev with
+    | Event.Spawn { pid; _ } ->
+        t.sn_spawned <- t.sn_spawned + 1;
+        ignore pid
+    | Event.Spawn_batch { nodes; _ } -> t.sn_spawned <- t.sn_spawned + Array.length nodes
+    | Event.Exit _ -> t.sn_exited <- t.sn_exited + 1
+    | Event.Slice_begin { pid } ->
+        t.sn_last_pid <- pid;
+        (match Hashtbl.find_opt t.wake_at pid with
+        | Some wts ->
+            Hashtbl.remove t.wake_at pid;
+            Obs.Metrics.observe t.sn_mx "wake.to.run" (s.Trace.ts - wts)
+        | None -> ())
+    | Event.Slice_end { fuel; _ } -> Obs.Metrics.observe t.sn_mx "slice.fuel" fuel
+    | Event.Park { pid; resource } ->
+        t.sn_parked <- t.sn_parked + 1;
+        bump t.parked_by resource 1;
+        Hashtbl.replace t.park_since pid (resource, s.Trace.ts)
+    | Event.Wake { pid; resource } ->
+        t.sn_parked <- max 0 (t.sn_parked - 1);
+        bump t.parked_by resource (-1);
+        Hashtbl.replace t.wake_at pid s.Trace.ts;
+        (match Hashtbl.find_opt t.park_since pid with
+        | Some (r, since) ->
+            Hashtbl.remove t.park_since pid;
+            bump t.blocked_by r (s.Trace.ts - since)
+        | None -> ())
+    | Event.Cancel { pids; _ } ->
+        t.sn_cancelled <- t.sn_cancelled + Array.length pids;
+        Array.iter
+          (fun pid ->
+            match Hashtbl.find_opt t.park_since pid with
+            | Some (r, since) ->
+                Hashtbl.remove t.park_since pid;
+                t.sn_parked <- max 0 (t.sn_parked - 1);
+                bump t.parked_by r (-1);
+                bump t.blocked_by r (s.Trace.ts - since)
+            | None -> ())
+          pids
+    | Event.Crash _ -> t.sn_crashes <- t.sn_crashes + 1
+    | Event.Deadlock { parked } -> t.sn_deadlock <- Some parked
+    | Event.Span_begin { span; name; _ } ->
+        Hashtbl.replace t.open_spans span (name, s.Trace.ts)
+    | Event.Span_end { span; _ } -> (
+        match Hashtbl.find_opt t.open_spans span with
+        | Some (_, t0) ->
+            Hashtbl.remove t.open_spans span;
+            Obs.Metrics.observe t.sn_mx "span.duration" (s.Trace.ts - t0)
+        | None -> ())
+    | Event.Capture _ | Event.Reinstate _ | Event.Send _ | Event.Recv _
+    | Event.Timeout _ | Event.Restart _ | Event.Invalid_controller _ ->
+        ()
+
+  let runnable t =
+    max 0 (t.sn_spawned - t.sn_exited - t.sn_cancelled - t.sn_parked)
+
+  let top_blocked ?(n = 5) t =
+    Hashtbl.fold
+      (fun r d acc ->
+        let now = match Hashtbl.find_opt t.parked_by r with Some c -> c | None -> 0 in
+        (r, d, now) :: acc)
+      t.blocked_by []
+    |> fun base ->
+    (* resources currently parked on but never yet woken *)
+    Hashtbl.fold
+      (fun r c acc ->
+        if c > 0 && not (Hashtbl.mem t.blocked_by r) then (r, 0, c) :: acc else acc)
+      t.parked_by base
+    |> List.sort (fun (ra, da, ca) (rb, db, cb) ->
+           compare (db, cb, ra) (da, ca, rb))
+    |> fun l ->
+    let rec take k = function x :: rest when k > 0 -> x :: take (k - 1) rest | _ -> [] in
+    take n l
+
+  let pp ppf t =
+    let q name p =
+      match Obs.Metrics.find_sketch t.sn_mx name with
+      | None -> Format.asprintf "%8s" "-"
+      | Some sk -> Format.asprintf "%8.0f" (Obs.Metrics.Sketch.quantile sk p)
+    in
+    let qline name =
+      Format.asprintf "p50 %s  p99 %s  p999 %s  (n=%d)" (q name 0.5) (q name 0.99)
+        (q name 0.999)
+        (match Obs.Metrics.find_sketch t.sn_mx name with
+        | Some sk -> Obs.Metrics.Sketch.count sk
+        | None -> 0)
+    in
+    Format.fprintf ppf "@[<v>clock %d  events %d  last pid %d%s@,"
+      t.sn_clock t.sn_events t.sn_last_pid
+      (match t.sn_deadlock with
+      | Some p -> Printf.sprintf "  DEADLOCK(%d parked)" p
+      | None -> "");
+    Format.fprintf ppf
+      "fibers: %d spawned  %d exited  %d cancelled  %d crashes  %d parked  ~%d runnable@,"
+      t.sn_spawned t.sn_exited t.sn_cancelled t.sn_crashes t.sn_parked (runnable t);
+    Format.fprintf ppf "slice fuel:    %s@," (qline "slice.fuel");
+    Format.fprintf ppf "wake-to-run:   %s@," (qline "wake.to.run");
+    Format.fprintf ppf "span duration: %s  (%d open)@," (qline "span.duration")
+      (Hashtbl.length t.open_spans);
+    (match top_blocked t with
+    | [] -> ()
+    | top ->
+        Format.fprintf ppf "blocked resources (cumulative vt, now parked):@,";
+        List.iter
+          (fun (r, d, now) -> Format.fprintf ppf "  %-16s %10d %6d@," r d now)
+          top);
+    Format.fprintf ppf "@]"
 end

@@ -16,7 +16,10 @@ module Check : sig
 
   val rules : (string * string) list
   (** Rule id → one-line description:
-      - [seq-dense]: sequence numbers are [0, 1, 2, …] in file order;
+      - [seq-dense]: sequence numbers are [base, base+1, …] in file
+        order, where [base] is the first event's seq — so a
+        flight-recorder dump (a dense suffix of a longer stream) still
+        checks clean;
       - [ts-monotone]: timestamps never decrease;
       - [slice-balance]: at most one slice open at a time; every begin
         has a matching end with the same pid; no slice left open at a
@@ -36,12 +39,29 @@ module Check : sig
         ancestor of the capturing pid, and every reinstate names a
         label captured earlier in the run with the same subtree size;
       - [deadlock-count]: a deadlock event's parked count equals the
-        number of live parked processes at that point. *)
+        number of live parked processes at that point;
+      - [span-balance]: each span id begins at most once, and every
+        span end names an id with an open begin (ids are per-handle, so
+        this bookkeeping is global across runs; spans left open at end
+        of trace are tolerated — cancelled or captured fibers never get
+        to close theirs). *)
 
   val run : Trace.stamped array -> violation list
   (** All violations in stamp order.  The checker resets its per-run
       state (pids, parks, labels) at each root spawn; [seq-dense] and
-      [ts-monotone] span the whole trace. *)
+      [ts-monotone] span the whole trace.
+
+      A trace whose first seq is nonzero is a flight-recorder window
+      into the middle of a run.  Every rule still applies to what the
+      window can prove, but obligations needing pre-window state are
+      relaxed instead of reported as false positives: references to
+      pids spawned before the cut, one stray slice end at the top, a
+      first wake matching a pre-window park, reinstates of pre-window
+      captures, ends of pre-window spans, the deadlock park census,
+      and the end-of-run quiescence checks.  The quiescence checks are
+      also skipped when the trace ends at a {!Obs.Event.Crash} — the
+      cut point of a flight dump triggered by that crash, where the
+      interrupted slice is legitimately still open. *)
 
   val to_json : violation list -> Obs.Json.t
 
@@ -71,6 +91,18 @@ module Report : sig
             ["preempt"] (was runnable all along) *)
   }
 
+  type span_row = {
+    sp_name : string;
+    sp_count : int;  (** spans begun with this name *)
+    sp_open : int;  (** begun but never ended (cancelled/captured) *)
+    sp_total : int;  (** Σ closed-span durations, virtual time *)
+    sp_mean : float;
+    sp_max : int;
+    sp_on_path : int;
+        (** virtual time a critical-path hop ran while a closed span of
+            this name was open — how much of the span was load-bearing *)
+  }
+
   type t = {
     r_events : int;
     r_span : int;
@@ -86,6 +118,7 @@ module Report : sig
     r_reinstates : int;
     r_critical : hop list;  (** in time order *)
     r_critical_time : int;  (** Σ hop extents; ≤ span, the gap is queueing *)
+    r_spans : span_row list;  (** by name; empty when the trace has no spans *)
     r_deadlock : int option;
   }
 
@@ -97,7 +130,10 @@ module Report : sig
   val to_json : t -> Obs.Json.t
   (** Deterministic: equal reports serialize to equal bytes. *)
 
-  val pp : Format.formatter -> t -> unit
+  val pp : ?top:int -> Format.formatter -> t -> unit
+  (** [?top] caps the per-process table at the [top] processes with the
+      most on-CPU virtual time (ties by pid), appending a
+      "... (k more)" line.  Default: all rows. *)
 end
 
 (** {1 Trace diff} *)
@@ -125,4 +161,32 @@ module Diff : sig
   val to_json : divergence option -> Obs.Json.t
 
   val pp : Format.formatter -> divergence option -> unit
+end
+
+(** {1 Live snapshot} *)
+
+module Snapshot : sig
+  (** Incremental fold over a (possibly still growing) event stream —
+      the state behind [ptrace top].  Feed stamped events as they
+      arrive (e.g. tailing a JSONL file mid-run) and render at any
+      point: virtual clock, fiber fates, streaming percentiles for
+      slice fuel / wake-to-run latency / span durations (via
+      {!Obs.Metrics.Sketch}), and the top blocked resources.  Works
+      identically on a finished trace or a flight-recorder dump. *)
+
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Trace.stamped -> unit
+
+  val runnable : t -> int
+  (** Approximate runnable-fiber count:
+      [spawned - exited - cancelled - parked] (clamped at 0). *)
+
+  val top_blocked : ?n:int -> t -> (string * int * int) list
+  (** [(resource, cumulative blocked vt, currently parked)] for the
+      [n] (default 5) resources with the most cumulative blocked time. *)
+
+  val pp : Format.formatter -> t -> unit
 end

@@ -277,6 +277,13 @@ module Event = struct
            [backoff] is the virtual-time delay slept before the restart. *)
     | Invalid_controller of { pid : int; label : int }
     | Deadlock of { parked : int }
+    | Span_begin of { pid : int; span : int; parent : int; name : string }
+        (* fiber [pid] opened causal span [span] (a per-handle id, dense
+           in allocation order so traces stay byte-deterministic per
+           seed); [parent] is the enclosing span id or -1.  The span
+           context propagates through spawn, graft and channel
+           send/recv, so one request's spans cross fiber boundaries. *)
+    | Span_end of { pid : int; span : int }
 
   let name = function
     | Spawn _ -> "spawn"
@@ -296,6 +303,8 @@ module Event = struct
     | Restart _ -> "restart"
     | Invalid_controller _ -> "invalid-controller"
     | Deadlock _ -> "deadlock"
+    | Span_begin _ -> "span-begin"
+    | Span_end _ -> "span-end"
 
   let pid = function
     | Spawn { pid; _ }
@@ -313,7 +322,9 @@ module Event = struct
     | Timeout { pid; _ }
     | Crash { pid; _ }
     | Restart { pid; _ }
-    | Invalid_controller { pid; _ } ->
+    | Invalid_controller { pid; _ }
+    | Span_begin { pid; _ }
+    | Span_end { pid; _ } ->
         pid
     | Deadlock _ -> -1
 
@@ -350,6 +361,9 @@ module Event = struct
     | Invalid_controller { pid; label } ->
         Printf.sprintf "invalid pid=%d root=%d" pid label
     | Deadlock { parked } -> Printf.sprintf "deadlock parked=%d" parked
+    | Span_begin { pid; span; parent; name } ->
+        Printf.sprintf "span+   pid=%d id=%d parent=%d name=%s" pid span parent name
+    | Span_end { pid; span } -> Printf.sprintf "span-   pid=%d id=%d" pid span
 
   (* Field order is fixed per constructor so identical event streams
      serialize to byte-identical output. *)
@@ -405,6 +419,9 @@ module Event = struct
           [ i "pid" pid; i "child" child; i "attempt" attempt; i "backoff" backoff; i "limit" limit ]
       | Invalid_controller { pid; label } -> [ i "pid" pid; i "label" label ]
       | Deadlock { parked } -> [ i "parked" parked ]
+      | Span_begin { pid; span; parent; name } ->
+          [ i "pid" pid; i "span" span; i "parent" parent; s "name" name ]
+      | Span_end { pid; span } -> [ i "pid" pid; i "span" span ]
     in
     Json.Obj (i "seq" seq :: i "ts" ts :: s "ev" (name ev) :: payload)
 end
@@ -426,12 +443,127 @@ module Metrics = struct
      and capture sizes while keeping observation a short scan. *)
   let default_bounds = Array.init 21 (fun i -> 1 lsl i)
 
-  type t = { counters : Counters.t; hists : (string, hist) Hashtbl.t }
+  (* DDSketch-style mergeable quantile sketch.  Bucket [i] (i >= 0) holds
+     every observation v with gamma^(i-1) < v <= gamma^i, where
+     gamma = (1+alpha)/(1-alpha); zeros are counted exactly.  Reporting
+     the bucket midpoint 2*gamma^i/(gamma+1) makes every quantile
+     estimate within relative error alpha of some true observation:
+     for v in the bucket, |est - v| / v <= alpha (the DDSketch bound).
+     Merging two sketches with the same alpha is bucket-wise addition,
+     which loses nothing — the merge of the sketches equals the sketch
+     of the merged stream. *)
+  module Sketch = struct
+    type t = {
+      sk_alpha : float;
+      sk_gamma : float;
+      sk_log_gamma : float;  (* cached 1/ln gamma *)
+      (* bucket counts indexed directly by bucket number — observation is
+         an array increment, not a hashtable probe (this runs once per
+         scheduler slice); grown by doubling when a large value lands
+         past the end.  ~1150 buckets cover [1, 2^62] at alpha = 0.01. *)
+      mutable sk_buckets : int array;
+      mutable sk_zero : int;  (* exact count of zero observations *)
+      mutable sk_n : int;
+      mutable sk_sum : int;
+      mutable sk_max : int;
+    }
+
+    let create ?(alpha = 0.01) () =
+      if alpha <= 0. || alpha >= 1. then
+        invalid_arg "Sketch.create: alpha must be in (0, 1)";
+      let gamma = (1. +. alpha) /. (1. -. alpha) in
+      {
+        sk_alpha = alpha;
+        sk_gamma = gamma;
+        sk_log_gamma = 1. /. log gamma;
+        sk_buckets = Array.make 64 0;
+        sk_zero = 0;
+        sk_n = 0;
+        sk_sum = 0;
+        sk_max = 0;
+      }
+
+    let alpha sk = sk.sk_alpha
+
+    let count sk = sk.sk_n
+
+    let sum sk = sk.sk_sum
+
+    let max sk = sk.sk_max
+
+    let mean sk =
+      if sk.sk_n = 0 then 0. else float_of_int sk.sk_sum /. float_of_int sk.sk_n
+
+    (* ceil(log_gamma v), clamped so v=1 lands in bucket 0.  The float
+       log is exact enough: an off-by-one bucket is still within the
+       advertised bound because adjacent buckets overlap at gamma^i. *)
+    let bucket_of sk v = int_of_float (Float.ceil (log (float_of_int v) *. sk.sk_log_gamma))
+
+    let grow sk i =
+      let rec cap m = if i < m then m else cap (2 * m) in
+      let b = Array.make (cap (2 * Array.length sk.sk_buckets)) 0 in
+      Array.blit sk.sk_buckets 0 b 0 (Array.length sk.sk_buckets);
+      sk.sk_buckets <- b
+
+    let observe sk v =
+      let v = if v < 0 then 0 else v in
+      sk.sk_n <- sk.sk_n + 1;
+      sk.sk_sum <- sk.sk_sum + v;
+      if v > sk.sk_max then sk.sk_max <- v;
+      if v = 0 then sk.sk_zero <- sk.sk_zero + 1
+      else begin
+        let i = bucket_of sk v in
+        if i >= Array.length sk.sk_buckets then grow sk i;
+        sk.sk_buckets.(i) <- sk.sk_buckets.(i) + 1
+      end
+
+    (* Value at rank floor(q * (n-1)), walking buckets in index order —
+       deterministic for a given stream, O(buckets log buckets). *)
+    let quantile sk q =
+      if sk.sk_n = 0 then 0.
+      else begin
+        let q = if q < 0. then 0. else if q > 1. then 1. else q in
+        let rank = int_of_float (q *. float_of_int (sk.sk_n - 1)) in
+        if rank < sk.sk_zero then 0.
+        else begin
+          let nb = Array.length sk.sk_buckets in
+          let rec walk acc i =
+            if i >= nb then float_of_int sk.sk_max
+            else
+              let acc = acc + sk.sk_buckets.(i) in
+              if rank < acc then
+                2. *. (sk.sk_gamma ** float_of_int i) /. (sk.sk_gamma +. 1.)
+              else walk acc (i + 1)
+          in
+          walk sk.sk_zero 0
+        end
+      end
+
+    let merge dst src =
+      if dst.sk_alpha <> src.sk_alpha then
+        invalid_arg "Sketch.merge: sketches have different error bounds";
+      let ns = Array.length src.sk_buckets in
+      if ns > Array.length dst.sk_buckets then grow dst (ns - 1);
+      for i = 0 to ns - 1 do
+        dst.sk_buckets.(i) <- dst.sk_buckets.(i) + src.sk_buckets.(i)
+      done;
+      dst.sk_zero <- dst.sk_zero + src.sk_zero;
+      dst.sk_n <- dst.sk_n + src.sk_n;
+      dst.sk_sum <- dst.sk_sum + src.sk_sum;
+      if src.sk_max > dst.sk_max then dst.sk_max <- src.sk_max
+  end
+
+  type t = {
+    counters : Counters.t;
+    hists : (string, hist) Hashtbl.t;
+    sketches : (string, Sketch.t) Hashtbl.t;
+  }
 
   let create ?counters () =
     {
       counters = (match counters with Some c -> c | None -> Counters.create ());
       hists = Hashtbl.create 16;
+      sketches = Hashtbl.create 16;
     }
 
   let counters t = t.counters
@@ -456,18 +588,48 @@ module Metrics = struct
         Hashtbl.add t.hists name h;
         h
 
-  let observe t name v =
+  let sketch_of t name =
+    match Hashtbl.find_opt t.sketches name with
+    | Some sk -> sk
+    | None ->
+        let sk = Sketch.create () in
+        Hashtbl.add t.sketches name sk;
+        sk
+
+  (* A pre-resolved handle on one named distribution: scheduler hot
+     paths (one observation per slice) pay the string-keyed lookups once
+     per run instead of once per observation. *)
+  type series = { se_hist : hist; se_sketch : Sketch.t }
+
+  let series t name = { se_hist = hist_of t name; se_sketch = sketch_of t name }
+
+  (* Every observation feeds both views: the power-of-two histogram
+     (exact bucket counts, cheap to print) and the quantile sketch
+     (p50/p99/p999 within the relative-error bound, mergeable). *)
+  let observe_series se v =
     let v = if v < 0 then 0 else v in
-    let h = hist_of t name in
+    let h = se.se_hist in
     let nb = Array.length h.bounds in
     let rec bucket i = if i >= nb || v <= h.bounds.(i) then i else bucket (i + 1) in
     let i = bucket 0 in
     h.counts.(i) <- h.counts.(i) + 1;
     h.n <- h.n + 1;
     h.sum <- h.sum + v;
-    if v > h.max then h.max <- v
+    if v > h.max then h.max <- v;
+    Sketch.observe se.se_sketch v
+
+  let observe t name v = observe_series (series t name) v
 
   let find t name = Hashtbl.find_opt t.hists name
+
+  let find_sketch t name = Hashtbl.find_opt t.sketches name
+
+  let sketches t =
+    Hashtbl.fold (fun name sk acc -> (name, sk) :: acc) t.sketches []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let quantile t name q =
+    match find_sketch t name with None -> 0. | Some sk -> Sketch.quantile sk q
 
   let hists t =
     Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
@@ -493,6 +655,27 @@ module Metrics = struct
         acc := (label, h.counts.(i)) :: !acc
     done;
     !acc
+
+  (* Fold [src] into [dst]: counters add, histograms add bucket-wise
+     (same bounds required), sketches merge bucket-wise.  Groundwork for
+     per-domain metrics buffers: each domain observes locally and the
+     collector merges. *)
+  let merge dst src =
+    List.iter (fun (name, v) -> Counters.add dst.counters name v)
+      (Counters.to_list src.counters);
+    Hashtbl.iter
+      (fun name (h : hist) ->
+        let d = hist_of dst name in
+        if d.bounds <> h.bounds then
+          invalid_arg "Metrics.merge: histograms have different bounds";
+        Array.iteri (fun i c -> d.counts.(i) <- d.counts.(i) + c) h.counts;
+        d.n <- d.n + h.n;
+        d.sum <- d.sum + h.sum;
+        if h.max > d.max then d.max <- h.max)
+      src.hists;
+    Hashtbl.iter
+      (fun name sk -> Sketch.merge (sketch_of dst name) sk)
+      src.sketches
 
   let pp ppf t =
     Format.fprintf ppf "@[<v>%a" Counters.pp t.counters;
@@ -523,6 +706,8 @@ type t = {
   mutable oclock : int;
   mutable sinks : sink list;
   omx : Metrics.t;
+  mutable onext_span : int;  (* next span id, dense in allocation order *)
+  ospans : (int, int) Hashtbl.t;  (* open span id -> begin timestamp *)
 }
 
 let create ?metrics () =
@@ -531,6 +716,8 @@ let create ?metrics () =
     oclock = 0;
     sinks = [];
     omx = (match metrics with Some m -> m | None -> Metrics.create ());
+    onext_span = 0;
+    ospans = Hashtbl.create 8;
   }
 
 let metrics t = t.omx
@@ -539,12 +726,48 @@ let attach t s = t.sinks <- t.sinks @ [ s ]
 
 let has_sink t = t.sinks <> []
 
-let emit t ev =
+(* Deliver to every sink even if an earlier one raises; collect the
+   raisers (allocation-free when nothing fails — the common case). *)
+let rec sink_failures ~seq ~ts ev = function
+  | [] -> []
+  | s :: rest -> (
+      match s.sink_event ~seq ~ts ev with
+      | () -> sink_failures ~seq ~ts ev rest
+      | exception exn -> (s, exn) :: sink_failures ~seq ~ts ev rest)
+
+(* A sink whose [sink_event] raises must not take the handle down with
+   it: the event stream is shared state (the seq counter is already
+   advanced, later-attached sinks still expect delivery).  The faulty
+   sink is detached and the failure is recorded in-stream as a Crash
+   warning event with pid -1, so the surviving sinks' traces say why
+   one consumer went quiet. *)
+let rec emit t ev =
   let seq = t.oseq in
   t.oseq <- seq + 1;
   match t.sinks with
   | [] -> ()
-  | sinks -> List.iter (fun s -> s.sink_event ~seq ~ts:t.oclock ev) sinks
+  | [ s ] -> (
+      (* single-sink fast path: the common always-on configuration (one
+         ring) pays one closure call, no failure-list allocation *)
+      try s.sink_event ~seq ~ts:t.oclock ev
+      with exn ->
+        t.sinks <- List.filter (fun s' -> s' != s) t.sinks;
+        emit t
+          (Event.Crash { pid = -1; fault = "sink: " ^ Printexc.to_string exn }))
+  | sinks -> (
+      match sink_failures ~seq ~ts:t.oclock ev sinks with
+      | [] -> ()
+      | failures ->
+          t.sinks <-
+            List.filter
+              (fun s -> not (List.exists (fun (f, _) -> f == s) failures))
+              t.sinks;
+          List.iter
+            (fun (_, exn) ->
+              emit t
+                (Event.Crash
+                   { pid = -1; fault = "sink: " ^ Printexc.to_string exn }))
+            (List.rev failures))
 
 let advance t d = if d > 0 then t.oclock <- t.oclock + d
 
@@ -560,6 +783,36 @@ let close t =
   let sinks = t.sinks in
   t.sinks <- [];
   List.iter (fun s -> s.sink_close ()) sinks
+
+(* ------------------------------------------------------------------ *)
+(* Causal spans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Span ids are allocated here (per handle, dense) so both schedulers
+   share one id space per trace and allocation order — and therefore
+   the trace bytes — stay deterministic per seed.  Durations land in
+   the "span.duration" histogram + sketch on end.  A span that never
+   ends (its fiber was cancelled or captured away) just stays open;
+   the checker's span-balance rule tolerates that, matching the
+   cancellation model where cleanup is declined reinstatement. *)
+module Span = struct
+  let begin_ t ~pid ?(parent = -1) name =
+    let id = t.onext_span in
+    t.onext_span <- id + 1;
+    Hashtbl.replace t.ospans id t.oclock;
+    emit t (Event.Span_begin { pid; span = id; parent; name });
+    id
+
+  let end_ t ~pid span =
+    (match Hashtbl.find_opt t.ospans span with
+    | Some t0 ->
+        Hashtbl.remove t.ospans span;
+        Metrics.observe t.omx "span.duration" (t.oclock - t0)
+    | None -> ());
+    emit t (Event.Span_end { pid; span })
+
+  let open_count t = Hashtbl.length t.ospans
+end
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
@@ -626,6 +879,22 @@ module Sink = struct
       ensure_name pid (Printf.sprintf "p%d" pid);
       item (record ~ph:"i" ~ts pid name args)
     in
+    (* Spans map to async begin/end events (ph b/e): unlike B/E duration
+       events they need no per-track nesting, which a span whose fiber
+       was cancelled before the end annotation would violate.  Async
+       ends must repeat the begin's name, so remember it per span id. *)
+    let span_names = Hashtbl.create 16 in
+    let span ~ph ~ts pid span name args =
+      ensure_name pid (Printf.sprintf "p%d" pid);
+      item
+        (Json.Obj
+           (("name", Json.Str name)
+            :: ("cat", Json.Str "span")
+            :: ("ph", Json.Str ph)
+            :: ("id", num span)
+            :: [ ("ts", num ts); ("pid", num 1); ("tid", num pid) ]
+           @ (match args with [] -> [] | _ -> [ ("args", Json.Obj args) ])))
+    in
     {
       sink_event =
         (fun ~seq:_ ~ts ev ->
@@ -686,11 +955,307 @@ module Sink = struct
           | Event.Invalid_controller { pid; label } ->
               instant ~ts pid "invalid-controller" [ ("label", num label) ]
           | Event.Deadlock { parked } ->
-              instant ~ts 0 "deadlock" [ ("parked", num parked) ]);
+              instant ~ts 0 "deadlock" [ ("parked", num parked) ]
+          | Event.Span_begin { pid; span = id; parent; name } ->
+              Hashtbl.replace span_names id name;
+              span ~ph:"b" ~ts pid id name [ ("parent", num parent) ]
+          | Event.Span_end { pid; span = id } ->
+              let name =
+                match Hashtbl.find_opt span_names id with
+                | Some n -> n
+                | None -> "span"
+              in
+              span ~ph:"e" ~ts pid id name []);
       sink_close = (fun () -> if !first then write "[]\n" else write "\n]\n");
     }
 
   let memory f = { sink_event = (fun ~seq ~ts ev -> f (seq, ts, ev)); sink_close = ignore }
+
+  (* ---- flight recorder ------------------------------------------- *)
+
+  (* Fixed-size ring of the last [capacity] events: three array stores
+     and an index bump per event, no I/O, no allocation on the hot
+     path.  [dump] re-serializes the window as ordinary JSONL (original
+     seq/ts stamps), so the black box feeds the same ptrace toolchain
+     as a full trace.  With [flight] set, the ring dumps itself the
+     moment a Deadlock or Crash event passes through — every failure
+     ships its own post-mortem without anyone asking. *)
+  (* The ring stores events UNBOXED: tag + int fields in int arrays, the
+     occasional string field in a string array, and only the two rare
+     array-carrying events (Spawn_batch, Cancel) as boxed [Event.t].  A
+     boxed ring is quietly expensive: every stored event is reachable
+     from a major-heap array, so it survives the next minor collection
+     and is promoted — one copy plus write-barrier work per event, which
+     dominated the recorder's cost.  Int stores have no barrier and
+     nothing to promote, so a store is ~a handful of array writes.
+     Slots are decoded back to [Event.t] only at dump time.  String and
+     box slots are not cleared on overwrite (that would cost a barrier
+     per event); the stale references they pin are bounded by the
+     capacity. *)
+  type ring = {
+    rb_cap : int;
+    rb_seq : int array;
+    rb_ts : int array;
+    rb_tag : int array;
+    rb_a : int array;  (* first int field — the pid for every tag but Deadlock *)
+    rb_b : int array;
+    rb_c : int array;
+    rb_d : int array;
+    rb_e : int array;
+    rb_str : string array;  (* kind/resource/fault/name, when the tag has one *)
+    rb_box : Event.t array;  (* Spawn_batch / Cancel, stored whole *)
+    mutable rb_n : int;  (* events ever stored; head = rb_n mod rb_cap *)
+    mutable rb_head : int;  (* next store index, kept = rb_n mod rb_cap *)
+    rb_flight : (string -> unit) option;
+    mutable rb_dumps : int;
+  }
+
+  let ring_dummy = Event.Deadlock { parked = 0 }
+
+  let ring ?(capacity = 4096) ?flight () =
+    if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+    {
+      rb_cap = capacity;
+      rb_seq = Array.make capacity 0;
+      rb_ts = Array.make capacity 0;
+      rb_tag = Array.make capacity 0;
+      rb_a = Array.make capacity 0;
+      rb_b = Array.make capacity 0;
+      rb_c = Array.make capacity 0;
+      rb_d = Array.make capacity 0;
+      rb_e = Array.make capacity 0;
+      rb_str = Array.make capacity "";
+      rb_box = Array.make capacity ring_dummy;
+      rb_n = 0;
+      rb_head = 0;
+      rb_flight = flight;
+      rb_dumps = 0;
+    }
+
+  let ring_store r ~seq ~ts ev =
+    let i = r.rb_head in
+    r.rb_seq.(i) <- seq;
+    r.rb_ts.(i) <- ts;
+    (match ev with
+    | Event.Slice_begin { pid } ->
+        r.rb_tag.(i) <- 0;
+        r.rb_a.(i) <- pid
+    | Event.Slice_end { pid; fuel } ->
+        r.rb_tag.(i) <- 1;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- fuel
+    | Event.Spawn { pid; parent; kind } ->
+        r.rb_tag.(i) <- 2;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- parent;
+        r.rb_str.(i) <- kind
+    | Event.Exit { pid } ->
+        r.rb_tag.(i) <- 3;
+        r.rb_a.(i) <- pid
+    | Event.Park { pid; resource } ->
+        r.rb_tag.(i) <- 4;
+        r.rb_a.(i) <- pid;
+        r.rb_str.(i) <- resource
+    | Event.Wake { pid; resource } ->
+        r.rb_tag.(i) <- 5;
+        r.rb_a.(i) <- pid;
+        r.rb_str.(i) <- resource
+    | Event.Capture { pid; label; root_pid; control_points; size } ->
+        r.rb_tag.(i) <- 6;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- label;
+        r.rb_c.(i) <- root_pid;
+        r.rb_d.(i) <- control_points;
+        r.rb_e.(i) <- size
+    | Event.Reinstate { pid; label; size } ->
+        r.rb_tag.(i) <- 7;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- label;
+        r.rb_c.(i) <- size
+    | Event.Send { pid; chan } ->
+        r.rb_tag.(i) <- 8;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- chan
+    | Event.Recv { pid; chan } ->
+        r.rb_tag.(i) <- 9;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- chan
+    | Event.Timeout { pid; deadline } ->
+        r.rb_tag.(i) <- 10;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- deadline
+    | Event.Crash { pid; fault } ->
+        r.rb_tag.(i) <- 11;
+        r.rb_a.(i) <- pid;
+        r.rb_str.(i) <- fault
+    | Event.Restart { pid; child; attempt; backoff; limit } ->
+        r.rb_tag.(i) <- 12;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- child;
+        r.rb_c.(i) <- attempt;
+        r.rb_d.(i) <- backoff;
+        r.rb_e.(i) <- limit
+    | Event.Invalid_controller { pid; label } ->
+        r.rb_tag.(i) <- 13;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- label
+    | Event.Deadlock { parked } ->
+        r.rb_tag.(i) <- 14;
+        r.rb_a.(i) <- parked
+    | Event.Span_begin { pid; span; parent; name } ->
+        r.rb_tag.(i) <- 15;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- span;
+        r.rb_c.(i) <- parent;
+        r.rb_str.(i) <- name
+    | Event.Span_end { pid; span } ->
+        r.rb_tag.(i) <- 16;
+        r.rb_a.(i) <- pid;
+        r.rb_b.(i) <- span
+    | (Event.Spawn_batch _ | Event.Cancel _) as boxed ->
+        r.rb_tag.(i) <- 17;
+        r.rb_box.(i) <- boxed);
+    r.rb_head <- (if i + 1 = r.rb_cap then 0 else i + 1);
+    r.rb_n <- r.rb_n + 1
+
+  let ring_decode r i =
+    match r.rb_tag.(i) with
+    | 0 -> Event.Slice_begin { pid = r.rb_a.(i) }
+    | 1 -> Event.Slice_end { pid = r.rb_a.(i); fuel = r.rb_b.(i) }
+    | 2 ->
+        Event.Spawn { pid = r.rb_a.(i); parent = r.rb_b.(i); kind = r.rb_str.(i) }
+    | 3 -> Event.Exit { pid = r.rb_a.(i) }
+    | 4 -> Event.Park { pid = r.rb_a.(i); resource = r.rb_str.(i) }
+    | 5 -> Event.Wake { pid = r.rb_a.(i); resource = r.rb_str.(i) }
+    | 6 ->
+        Event.Capture
+          {
+            pid = r.rb_a.(i);
+            label = r.rb_b.(i);
+            root_pid = r.rb_c.(i);
+            control_points = r.rb_d.(i);
+            size = r.rb_e.(i);
+          }
+    | 7 ->
+        Event.Reinstate { pid = r.rb_a.(i); label = r.rb_b.(i); size = r.rb_c.(i) }
+    | 8 -> Event.Send { pid = r.rb_a.(i); chan = r.rb_b.(i) }
+    | 9 -> Event.Recv { pid = r.rb_a.(i); chan = r.rb_b.(i) }
+    | 10 -> Event.Timeout { pid = r.rb_a.(i); deadline = r.rb_b.(i) }
+    | 11 -> Event.Crash { pid = r.rb_a.(i); fault = r.rb_str.(i) }
+    | 12 ->
+        Event.Restart
+          {
+            pid = r.rb_a.(i);
+            child = r.rb_b.(i);
+            attempt = r.rb_c.(i);
+            backoff = r.rb_d.(i);
+            limit = r.rb_e.(i);
+          }
+    | 13 -> Event.Invalid_controller { pid = r.rb_a.(i); label = r.rb_b.(i) }
+    | 14 -> Event.Deadlock { parked = r.rb_a.(i) }
+    | 15 ->
+        Event.Span_begin
+          {
+            pid = r.rb_a.(i);
+            span = r.rb_b.(i);
+            parent = r.rb_c.(i);
+            name = r.rb_str.(i);
+          }
+    | 16 -> Event.Span_end { pid = r.rb_a.(i); span = r.rb_b.(i) }
+    | _ -> r.rb_box.(i)
+
+  let ring_stored r = if r.rb_n < r.rb_cap then r.rb_n else r.rb_cap
+
+  let ring_dropped r = if r.rb_n > r.rb_cap then r.rb_n - r.rb_cap else 0
+
+  let ring_iter r f =
+    let len = ring_stored r in
+    let start = r.rb_n - len in
+    for k = 0 to len - 1 do
+      let i = (start + k) mod r.rb_cap in
+      f ~seq:r.rb_seq.(i) ~ts:r.rb_ts.(i) (ring_decode r i)
+    done
+
+  let ring_dump r write =
+    ring_iter r (fun ~seq ~ts ev ->
+        write (Json.to_string (Event.to_json ~seq ~ts ev) ^ "\n"))
+
+  let ring_flight_dump r =
+    match r.rb_flight with
+    | None -> ()
+    | Some flight ->
+        let buf = Buffer.create 4096 in
+        ring_dump r (Buffer.add_string buf);
+        r.rb_dumps <- r.rb_dumps + 1;
+        flight (Buffer.contents buf)
+
+  let ring_dumps r = r.rb_dumps
+
+  let ring_sink r =
+    {
+      sink_event =
+        (fun ~seq ~ts ev ->
+          ring_store r ~seq ~ts ev;
+          match ev with
+          | Event.Deadlock _ | Event.Crash _ -> ring_flight_dump r
+          | _ -> ());
+      sink_close = (fun () -> ());
+    }
+
+  (* ---- deterministic head sampling ------------------------------- *)
+
+  (* Per-fiber head sampling: the keep/drop decision is made once per
+     pid, from a splitmix hash of (seed, pid) — a PRNG stream derived
+     from the run seed but independent of the scheduler's own draws, so
+     attaching a sampler can never perturb scheduling, and the sampled
+     trace is byte-identical for a given seed + rate on either
+     scheduler.  Structural events (spawn/exit/capture/cancel/...)
+     always pass so the process tree stays reconstructable; per-fiber
+     detail (slices, parks, wakes, sends, recvs, spans) passes only for
+     sampled fibers.  Original seq stamps are kept: gaps tell the
+     consumer exactly what sampling dropped. *)
+  let sampled ~seed ~rate inner =
+    let rate = if rate < 0. then 0. else if rate > 1. then 1. else rate in
+    let threshold = int_of_float (rate *. 1073741824.) in
+    let decided = Hashtbl.create 64 in
+    let keep pid =
+      if pid < 0 then true
+      else
+        match Hashtbl.find_opt decided pid with
+        | Some b -> b
+        | None ->
+            let h =
+              Int64.add seed
+                (Int64.mul (Int64.of_int (pid + 1)) 0x9E3779B97F4A7C15L)
+            in
+            let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+            let h = Int64.mul h 0xBF58476D1CE4E5B9L in
+            let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+            let h = Int64.mul h 0x94D049BB133111EBL in
+            let h = Int64.logxor h (Int64.shift_right_logical h 31) in
+            let b = Int64.to_int (Int64.logand h 0x3FFFFFFFL) < threshold in
+            Hashtbl.add decided pid b;
+            b
+    in
+    {
+      sink_event =
+        (fun ~seq ~ts ev ->
+          let forward =
+            match ev with
+            | Event.Slice_begin { pid }
+            | Event.Slice_end { pid; _ }
+            | Event.Park { pid; _ }
+            | Event.Wake { pid; _ }
+            | Event.Send { pid; _ }
+            | Event.Recv { pid; _ }
+            | Event.Span_begin { pid; _ }
+            | Event.Span_end { pid; _ } ->
+                keep pid
+            | _ -> true
+          in
+          if forward then inner.sink_event ~seq ~ts ev);
+      sink_close = inner.sink_close;
+    }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -802,7 +1367,8 @@ module Summary = struct
               let r = row t child in
               r.r_fate <- "restarted"
           | Event.Deadlock { parked } -> t.s_deadlock <- Some parked
-          | Event.Slice_begin _ | Event.Timeout _ | Event.Invalid_controller _ ->
+          | Event.Slice_begin _ | Event.Timeout _ | Event.Invalid_controller _
+          | Event.Span_begin _ | Event.Span_end _ ->
               ());
       sink_close = (fun () -> ());
     }

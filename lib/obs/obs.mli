@@ -156,6 +156,19 @@ module Event : sig
             current continuation *)
     | Deadlock of { parked : int }
         (** the run queue drained with [parked] live parked nodes *)
+    | Span_begin of { pid : int; span : int; parent : int; name : string }
+        (** fiber [pid] opened causal span [span] — a per-handle id,
+            dense in allocation order, so traces stay byte-deterministic
+            per seed.  [parent] is the enclosing span id, or [-1] at top
+            level.  The current span is part of the fiber's context and
+            propagates through [spawn], graft and channel send/recv
+            (the receiver adopts the sender's span), so one request's
+            latency decomposes across fibers. *)
+    | Span_end of { pid : int; span : int }
+        (** span [span] closed.  A span whose fiber was cancelled or
+            captured away never ends — cleanup is declined
+            reinstatement — and the checker's span-balance rule
+            tolerates exactly that case. *)
 
   val name : t -> string
   (** Stable kebab-case tag (["spawn"], ["slice-end"], …), used as the
@@ -188,6 +201,51 @@ module Metrics : sig
       power-of-two bucket bounds 1, 2, 4, …, 2{^20} plus an overflow
       bucket. *)
 
+  (** A DDSketch-style mergeable quantile sketch over non-negative
+      ints.  Log-spaced buckets with ratio gamma = (1+alpha)/(1-alpha)
+      give every quantile estimate a {e proven relative-error bound}:
+      bucket [i] holds values in (gamma{^i-1}, gamma{^i}] and reports
+      the midpoint 2·gamma{^i}/(gamma+1), so for any observation v in
+      the bucket |estimate − v|/v ≤ alpha.  Zeros are counted exactly.
+      Storage is O(buckets), independent of the observation count —
+      p50/p99/p999 without storing observations. *)
+  module Sketch : sig
+    type t
+
+    val create : ?alpha:float -> unit -> t
+    (** Fresh sketch with relative-error bound [alpha] (default 0.01,
+        i.e. quantiles within 1%).  Raises [Invalid_argument] unless
+        0 < alpha < 1. *)
+
+    val alpha : t -> float
+
+    val observe : t -> int -> unit
+    (** O(1): one log, one array bump (the bucket array grows by
+        doubling on first sight of a large value).  Negative values
+        clamp to 0. *)
+
+    val quantile : t -> float -> float
+    (** [quantile sk q] estimates the [q]-quantile (q clamped to
+        [0,1]); 0. when empty.  Deterministic for a given observation
+        multiset. *)
+
+    val count : t -> int
+
+    val sum : t -> int
+
+    val max : t -> int
+    (** Exact (tracked outside the buckets). *)
+
+    val mean : t -> float
+    (** Exact; 0. when empty. *)
+
+    val merge : t -> t -> unit
+    (** [merge dst src] folds [src] into [dst] by bucket-wise addition
+        — lossless: the result equals the sketch of the concatenated
+        streams.  Raises [Invalid_argument] when the error bounds
+        differ. *)
+  end
+
   val create : ?counters:Pcont_util.Counters.t -> unit -> t
   (** Fresh metrics; [counters] (default: a fresh table) receives the
       counter half, so callers can share an existing table. *)
@@ -199,13 +257,44 @@ module Metrics : sig
   val add : t -> string -> int -> unit
 
   val observe : t -> string -> int -> unit
-  (** Record one observation in the named histogram, creating it on
-      first use.  Values are clamped below at 0. *)
+  (** Record one observation under [name], creating the views on first
+      use.  Every observation feeds both the histogram (exact bucket
+      counts) and the sketch (quantiles within the error bound), so
+      they always agree on count/sum/max.  Values are clamped below
+      at 0. *)
+
+  type series
+  (** A pre-resolved handle on one named distribution (its histogram and
+      sketch).  Scheduler hot paths observe once per slice; resolving
+      the name once per run keeps the per-slice cost at two array
+      bumps. *)
+
+  val series : t -> string -> series
+  (** Resolve [name] to its views, creating them on first use. *)
+
+  val observe_series : series -> int -> unit
+  (** [observe] without the per-call name lookup. *)
 
   val find : t -> string -> hist option
 
   val hists : t -> (string * hist) list
   (** All histograms, sorted by name. *)
+
+  val find_sketch : t -> string -> Sketch.t option
+
+  val sketches : t -> (string * Sketch.t) list
+  (** All sketches, sorted by name. *)
+
+  val quantile : t -> string -> float -> float
+  (** [quantile t name q] reads the named sketch; 0. when absent. *)
+
+  val merge : t -> t -> unit
+  (** [merge dst src] folds [src] into [dst]: counters add, histograms
+      add bucket-wise, sketches merge bucket-wise.  Histograms must
+      have the same bounds and sketches the same error bound
+      ([Invalid_argument] otherwise).  [src] is left untouched.
+      Groundwork for per-domain metrics buffers: domains observe
+      locally, a collector merges. *)
 
   val hist_count : hist -> int
 
@@ -248,7 +337,15 @@ val emit : t -> Event.t -> unit
 (** Stamp the event with the next sequence number and the current
     virtual time and hand it to every sink.  Call sites in the
     schedulers guard with a match on the [?obs] option, so a run
-    without a handle never allocates an event. *)
+    without a handle never allocates an event.
+
+    Fan-out is hardened: a sink whose [sink_event] raises cannot
+    corrupt the stream.  The exception is captured, every other sink
+    still receives the event, the faulty sink is detached, and a
+    {!Event.Crash} warning event ([pid = -1],
+    [fault = "sink: <exn>"]) is emitted to the survivors.  The
+    sequence counter advances exactly once per event either way, so
+    seqs stay dense. *)
 
 val advance : t -> int -> unit
 (** Advance the virtual clock by [d] (ignored when [d <= 0]).  Only the
@@ -269,6 +366,31 @@ val incr : t -> string -> unit
 val close : t -> unit
 (** Close every sink (flushing any trailer, e.g. the Chrome JSON array's
     closing bracket) and detach them.  Idempotent. *)
+
+(** {1 Causal spans}
+
+    Begin/end annotations over the event stream.  Ids are allocated
+    per handle, dense in allocation order, so span numbering — and the
+    trace bytes — stay deterministic per seed.  The schedulers carry
+    the {e current span} as fiber context (inherited at spawn and
+    graft, carried by channel messages); use
+    [Pcont_sched.Sched.Span.with_] (native) or the [span-begin] /
+    [span-end] primitives (pstack) rather than calling these
+    directly. *)
+
+module Span : sig
+  val begin_ : t -> pid:int -> ?parent:int -> string -> int
+  (** Allocate a span id, emit {!Event.Span_begin} and record the
+      begin timestamp; [parent] defaults to [-1] (top level). *)
+
+  val end_ : t -> pid:int -> int -> unit
+  (** Emit {!Event.Span_end}; if the span was open, observe its
+      duration (virtual time) in the ["span.duration"]
+      histogram + sketch. *)
+
+  val open_count : t -> int
+  (** Spans begun but not yet ended. *)
+end
 
 (** {1:sinks Sinks} *)
 
@@ -298,6 +420,58 @@ module Sink : sig
   val memory : (int * int * Event.t -> unit) -> sink
   (** Feed [(seq, ts, event)] triples to a callback (tests,
       [psi --analyze]). *)
+
+  (** {2 Flight recorder} *)
+
+  type ring
+  (** A fixed-size ring buffer of the last [capacity] stamped events,
+      stored {e unboxed} (tag + int fields in int arrays) so recording
+      costs a handful of barrier-free array stores — no I/O, no
+      allocation, nothing for the GC to promote on the hot path —
+      dumped on demand (or automatically on failure) as ordinary JSONL
+      that the whole [ptrace] toolchain accepts. *)
+
+  val ring : ?capacity:int -> ?flight:(string -> unit) -> unit -> ring
+  (** A fresh ring holding the last [capacity] events (default 4096).
+      With [flight] installed, the ring dumps itself to it — one call,
+      the whole window as a JSONL string — the moment a
+      {!Event.Deadlock} or {!Event.Crash} event passes through (the
+      supervisor emits a Crash marker when it gives up, so supervision
+      collapse triggers a dump too). *)
+
+  val ring_sink : ring -> sink
+  (** The sink recording into [ring]; attach it like any other sink. *)
+
+  val ring_dump : ring -> (string -> unit) -> unit
+  (** Write the buffered window, oldest first, as JSONL with the
+      {e original} seq/ts stamps — the dump is byte-for-byte a
+      contiguous window of the full trace, so an unwrapped dump
+      replays byte-identically and a wrapped one still diffs cleanly
+      against the replayed full trace. *)
+
+  val ring_stored : ring -> int
+  (** Events currently buffered (≤ capacity). *)
+
+  val ring_dropped : ring -> int
+  (** Events overwritten since attach (total seen − capacity, ≥ 0). *)
+
+  val ring_dumps : ring -> int
+  (** Automatic flight dumps written so far. *)
+
+  (** {2 Sampling} *)
+
+  val sampled : seed:int64 -> rate:float -> sink -> sink
+  (** Deterministic per-fiber head sampling in front of [sink]: each
+      pid is kept with probability [rate] (clamped to [0,1]), decided
+      once per fiber by a splitmix hash of [(seed, pid)] — a stream
+      derived from the run seed but independent of the scheduler's own
+      PRNG draws, so attaching a sampler never perturbs scheduling and
+      the sampled trace is byte-identical for a given seed + rate.
+      Structural events (spawn, exit, capture, reinstate, cancel,
+      crash, restart, timeout, deadlock, …) always pass; per-fiber
+      detail (slices, parks, wakes, sends, recvs, spans) passes only
+      for sampled fibers.  Original seq stamps are preserved, so gaps
+      are visible to consumers. *)
 end
 
 (** {1 Per-process summary} *)

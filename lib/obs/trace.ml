@@ -125,6 +125,16 @@ let event_of_json j =
     | "deadlock" ->
         let* parked = int_field j "parked" in
         Ok (Event.Deadlock { parked })
+    | "span-begin" ->
+        let* pid = int_field j "pid" in
+        let* span = int_field j "span" in
+        let* parent = int_field j "parent" in
+        let* name = str_field j "name" in
+        Ok (Event.Span_begin { pid; span; parent; name })
+    | "span-end" ->
+        let* pid = int_field j "pid" in
+        let* span = int_field j "span" in
+        Ok (Event.Span_end { pid; span })
     | other -> Error (Printf.sprintf "unknown event tag %S" other)
   in
   Ok { seq; ts; ev }
@@ -390,6 +400,7 @@ let reconstruct events =
               | _ -> ())
             pids
       | Event.Timeout _ | Event.Crash _ | Event.Restart _ -> ()
+      | Event.Span_begin _ | Event.Span_end _ -> ()
       | Event.Invalid_controller _ -> ()
       | Event.Deadlock { parked = p } -> deadlock := Some p)
     events;

@@ -128,6 +128,33 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
     in
     timers := ins !timers
   in
+  (* Causal-span context.  [cur_span] is the span the branch being
+     stepped is inside (-1 = none); it is loaded from [node_span] at
+     slice begin and stored back at slice end, so a span follows its
+     branch across slices.  Children inherit the spawning branch's span
+     at fork/future/graft.  Span ids are program-visible ([span-begin]
+     returns one), so without a trace handle they come from a local
+     counter and the program behaves identically. *)
+  let cur_span = ref (-1) in
+  let node_span : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let span_parent : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let span_ctr = ref 0 in
+  let inherit_span nid =
+    if !cur_span >= 0 then Hashtbl.replace node_span nid !cur_span
+  in
+  (* Virtual time each branch was last woken, consumed at its next slice
+     begin for the wake-to-run latency distribution. *)
+  let wake_ts : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* Hot-path distributions, resolved to their views once per run; the
+     throwaway table when unobserved is never fed (every observation
+     site is guarded on [obs]). *)
+  let smx =
+    match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create ()
+  in
+  let s_fuel = Obs.Metrics.series smx "concur.slice.fuel" in
+  let s_runq = Obs.Metrics.series smx "concur.runq.depth" in
+  let s_park = Obs.Metrics.series smx "concur.park.rounds" in
+  let s_wake_run = Obs.Metrics.series smx "concur.wake.run" in
   let root =
     {
       nid = 0;
@@ -223,7 +250,9 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
             | None -> ()
             | Some o ->
                 List.iter
-                  (fun pid -> Obs.emit o (E.Wake { pid; resource = "future" }))
+                  (fun pid ->
+                    Hashtbl.replace wake_ts pid !vclock;
+                    Obs.emit o (E.Wake { pid; resource = "future" }))
                   (List.rev pids)))
     | Pchild (p, slot) ->
         let f = fork_of p in
@@ -261,6 +290,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
             body = Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
           })
       exprs;
+    Array.iter (fun c -> inherit_span c.nid) f.children;
     (match obs with
     | None -> ()
     | Some o ->
@@ -364,6 +394,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
              { pid = n.nid; label = pkt.pkt_label; size = tree_segments pkt.pkt_tree }));
     let rec rebuild parent pt =
       let m = { nid = fresh_id (); parent; body = Ndone } in
+      (* reinstated branches run under the reinstating fiber's span *)
+      inherit_span m.nid;
       (match pt with
       | Phole segs -> m.body <- Nleaf { control = Creturn v; pstack = segs }
       | Pleaf s -> m.body <- Nleaf s
@@ -449,6 +481,7 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                       Nleaf { control = Ceval (e, env'); pstack = Machine.initial_pstack };
                   }
                 in
+                inherit_span fnode.nid;
                 (match obs with
                 | None -> ()
                 | Some o ->
@@ -485,8 +518,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                       Counters.incr counters "concur.wake";
                       (match obs with
                       | None -> ()
-                      | Some o ->
-                          Obs.observe o "concur.park.rounds" (!rounds - p.pk_round));
+                      | Some _ ->
+                          Obs.Metrics.observe_series s_park (!rounds - p.pk_round));
                       p.pk_node.body <- Nleaf p.pk_st;
                       born := p.pk_node :: !born;
                       Some p.pk_node.nid
@@ -513,6 +546,33 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                 incr n_parked;
                 all_parked := p :: !all_parked;
                 insert_timer (!vclock + max d 0) p
+            | Machine.Esc_span_begin name ->
+                (* The id is program-visible, so it is allocated whether
+                   or not a trace handle is attached (from the handle so
+                   flight dumps and live traces agree, or from a local
+                   counter).  No fuel: like fork/future, an interception
+                   rather than a machine transition. *)
+                let id =
+                  match obs with
+                  | Some o -> Obs.Span.begin_ o ~pid:n.nid ~parent:!cur_span name
+                  | None ->
+                      incr span_ctr;
+                      !span_ctr
+                in
+                Hashtbl.replace span_parent id !cur_span;
+                cur_span := id;
+                go { st with control = Creturn (Int id) } (q - 1)
+            | Machine.Esc_span_end id ->
+                (match obs with
+                | None -> ()
+                | Some o -> Obs.Span.end_ o ~pid:n.nid id);
+                if !cur_span = id then
+                  cur_span :=
+                    (match Hashtbl.find_opt span_parent id with
+                    | Some parent -> parent
+                    | None -> -1);
+                Hashtbl.remove span_parent id;
+                go { st with control = Creturn Unit } (q - 1)
             | _ -> (
                 decr fuel_left;
                 match s with
@@ -521,7 +581,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
                 | Machine.Esc_control (l, body_fn) -> do_capture n st l body_fn
                 | Machine.Esc_pktree (pkt, v) -> do_graft n st pkt v
                 | Machine.Next _ | Machine.Esc_fork _ | Machine.Esc_future _
-                | Machine.Esc_touch _ | Machine.Esc_sleep _ ->
+                | Machine.Esc_touch _ | Machine.Esc_sleep _
+                | Machine.Esc_span_begin _ | Machine.Esc_span_end _ ->
                     assert false))
     in
     match n.body with
@@ -535,18 +596,28 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
              behavior — deterministic and independent of observation,
              and makes Chrome-trace slice widths proportional to
              machine work. *)
+          cur_span :=
+            (match Hashtbl.find_opt node_span n.nid with Some s -> s | None -> -1);
           (match obs with
           | None -> ()
-          | Some o -> Obs.emit o (E.Slice_begin { pid = n.nid }));
+          | Some o -> (
+              Obs.emit o (E.Slice_begin { pid = n.nid });
+              match Hashtbl.find_opt wake_ts n.nid with
+              | Some w ->
+                  Hashtbl.remove wake_ts n.nid;
+                  Obs.Metrics.observe_series s_wake_run (!vclock - w)
+              | None -> ()));
           let fuel0 = !fuel_left in
           go st quantum;
+          if !cur_span >= 0 then Hashtbl.replace node_span n.nid !cur_span
+          else Hashtbl.remove node_span n.nid;
           let used = fuel0 - !fuel_left in
           vclock := !vclock + (if used > 0 then used else 1);
           match obs with
           | None -> ()
           | Some o ->
               Obs.advance o (if used > 0 then used else 1);
-              Obs.observe o "concur.slice.fuel" used;
+              Obs.Metrics.observe_series s_fuel used;
               Obs.emit o (E.Slice_end { pid = n.nid; fuel = used })
         end
     | Nfork _ | Nparked _ | Ndone -> ()
@@ -578,10 +649,10 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
     incr rounds;
     (match obs with
     | None -> ()
-    | Some o ->
+    | Some _ ->
         (* Queue length may include entries gone stale since the last
            compaction; it is the work the round is about to look at. *)
-        Obs.observe o "concur.runq.depth" (List.length !queue));
+        Obs.Metrics.observe_series s_runq (List.length !queue));
     new_trees := [];
     (match sched with
     | (Driven _ | Driven_pids _) as driven ->
@@ -724,7 +795,8 @@ let run ?(fuel = 10_000_000) ?(quantum = 16) ?(sched = Round_robin)
           (match obs with
           | None -> ()
           | Some o ->
-              Obs.observe o "concur.park.rounds" (!rounds - p.pk_round);
+              Obs.Metrics.observe_series s_park (!rounds - p.pk_round);
+              Hashtbl.replace wake_ts p.pk_node.nid !vclock;
               Obs.emit o (E.Wake { pid = p.pk_node.nid; resource = "timer" }));
           p.pk_node.body <- Nleaf p.pk_st;
           woken := p.pk_node :: !woken

@@ -147,6 +147,8 @@ type stepped =
   | Esc_fork of Types.rir list * Types.env
   | Esc_future of Types.rir * Types.env
   | Esc_sleep of int
+  | Esc_span_begin of string
+  | Esc_span_end of int
 
 (* The hot path returns the successor state directly; everything that ends
    or escapes the step loop is raised, so the driver pays for one handler
@@ -500,6 +502,10 @@ let apply ?(oneshot = true) cfg st f args =
                 { st with control = Creturn v }
             | Op_sleep, [ Int n ] -> raise (Stop (Esc_sleep n))
             | Op_sleep, [ _ ] -> err "sleep: argument must be an integer"
+            | Op_span_begin, [ Str s ] -> raise (Stop (Esc_span_begin s))
+            | Op_span_begin, [ _ ] -> err "span-begin: argument must be a string"
+            | Op_span_end, [ Int n ] -> raise (Stop (Esc_span_end n))
+            | Op_span_end, [ _ ] -> err "span-end: argument must be an integer"
             | Op_apply, [ proc; arglist ] -> (
                 match Value.list_to_values arglist with
                 | Some vs -> { st with control = Capply (proc, vs) }

@@ -93,6 +93,12 @@ type stepped =
       (** [sleep] of a duration in virtual-time units: the concurrent
           scheduler parks the branch on its timer wheel; outside the
           scheduler there is no clock and the run errors *)
+  | Esc_span_begin of string
+      (** [span-begin] with the span's name: the concurrent scheduler
+          opens a causal span and continues the branch with its id *)
+  | Esc_span_end of int
+      (** [span-end] of a span id previously returned by [span-begin]:
+          the concurrent scheduler closes the span *)
 
 exception Stop of stepped
 (** Raised by {!step_exn} for every outcome other than a plain successor

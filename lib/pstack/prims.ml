@@ -350,6 +350,8 @@ let prim_list : (string * prim) list =
     ctl "touch" 1 Op_touch;
     ctl "dynamic-wind" 3 Op_wind;
     ctl "sleep" 1 Op_sleep;
+    ctl "span-begin" 1 Op_span_begin;
+    ctl "span-end" 1 Op_span_end;
   ]
 
 let find name =

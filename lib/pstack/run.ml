@@ -36,6 +36,8 @@ let run ?(fuel = default_fuel) cfg state =
           Error "touch: unresolved future outside the concurrent scheduler"
       | Machine.Esc_sleep _ ->
           Error "sleep: no virtual clock outside the concurrent scheduler"
+      | Machine.Esc_span_begin _ | Machine.Esc_span_end _ ->
+          Error "span: no span context outside the concurrent scheduler"
       | Machine.Next _ | Machine.Esc_fork _ | Machine.Esc_future _ ->
           (* step_exn takes the sequential pcall/future fallbacks *)
           assert false)

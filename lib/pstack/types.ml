@@ -97,6 +97,8 @@ and ctl =
   | Op_touch
   | Op_wind
   | Op_sleep  (* park until the scheduler's virtual clock advances *)
+  | Op_span_begin  (* open a causal span; returns its id *)
+  | Op_span_end  (* close a span by id *)
 
 (* What established a segment.  [Rbase] is the bottom of a task's stack;
    [Rspawn l] is a process root; [Rprompt] is Felleisen's #. *)

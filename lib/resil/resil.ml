@@ -265,7 +265,17 @@ module Supervisor = struct
             List.filter (fun t -> t > now - window) failed.restarts;
           let attempt = List.length failed.restarts + 1 in
           if attempt > max_restarts then begin
-            (* intensity exceeded: shut the whole supervisor down *)
+            (* intensity exceeded: shut the whole supervisor down.  The
+               Crash marker makes any attached flight recorder dump its
+               window — a supervisor giving up is exactly the post-mortem
+               moment.  (Non-"inject:" faults are ignored by schedule
+               extraction, so replay is unaffected.) *)
+            (match Sched.obs () with
+            | None -> ()
+            | Some o ->
+                Obs.emit o
+                  (E.Crash
+                     { pid = Sched.self_pid (); fault = "supervisor-give-up" }));
             cancel_live "supervisor-giving-up";
             await all_delivered;
             Error f

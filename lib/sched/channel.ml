@@ -5,7 +5,7 @@ exception Closed
 
 type 'a t = {
   id : int;  (* per-run id tagging the channel's trace events *)
-  buf : 'a Queue.t;
+  buf : (int * 'a) Queue.t;  (* (sender's span, value): receivers adopt it *)
   capacity : int;
   mutable closed : bool;
   senders : Sched.Waitset.t;  (* parked on a full channel *)
@@ -45,7 +45,9 @@ let rec send ch v =
     send ch v
   end
   else begin
-    Queue.add v ch.buf;
+    (* stamp the message with the sender's span so the receiver's work
+       is attributed to the same request *)
+    Queue.add (Sched.Span.current (), v) ch.buf;
     (match Sched.obs () with
     | None -> ()
     | Some o -> Obs.emit o (E.Send { pid = Sched.self_pid (); chan = ch.id }));
@@ -54,7 +56,8 @@ let rec send ch v =
 
 let try_recv ch =
   match Queue.take_opt ch.buf with
-  | Some v ->
+  | Some (span, v) ->
+      Sched.Span.adopt span;
       (match Sched.obs () with
       | None -> ()
       | Some o -> Obs.emit o (E.Recv { pid = Sched.self_pid (); chan = ch.id }));
@@ -66,7 +69,8 @@ let try_recv ch =
 
 let rec recv_opt ch =
   match Queue.take_opt ch.buf with
-  | Some v ->
+  | Some (span, v) ->
+      Sched.Span.adopt span;
       (match Sched.obs () with
       | None -> ()
       | Some o -> Obs.emit o (E.Recv { pid = Sched.self_pid (); chan = ch.id }));

@@ -156,6 +156,12 @@ let cur_obs : Obs.t option ref = ref None
 
 let cur_pid = ref 0
 
+(* The stepping fiber's innermost open span (-1 = none): user-level
+   code (channels) reads it to propagate request context across sends;
+   the scheduler saves/loads it around every slice so each fiber keeps
+   its own context. *)
+let cur_span = ref (-1)
+
 (* The innermost run's virtual clock: slices since the run started, plus
    any quiescence jumps to pending timer deadlines.  Advances whether or
    not an obs handle is installed, so timer behavior never depends on
@@ -205,10 +211,12 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
   let saved_obs = !cur_obs and saved_pid = !cur_pid in
   let saved_chans = !chan_ids and saved_labels = !label_counter in
   let saved_clock = !cur_clock and saved_droppers = !droppers in
+  let saved_span = !cur_span in
   cur_obs := obs;
   chan_ids := 0;
   label_counter := 0;
   cur_clock := 0;
+  cur_span := -1;
   droppers := [];
   let restore () =
     cur_obs := saved_obs;
@@ -216,6 +224,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
     chan_ids := saved_chans;
     label_counter := saved_labels;
     cur_clock := saved_clock;
+    cur_span := saved_span;
     droppers := saved_droppers
   in
   let inj_a, prj_a = Univ.embed () in
@@ -288,6 +297,15 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
      leaf and its remaining delay is forgotten on graft. *)
   let timer_ws = { ws_name = "timer"; ws_parked = [] } in
   let timers : (int * wentry) list ref = ref [] in
+  (* Per-node span context and wake stamps (for causal spans and the
+     wake-to-run latency metric).  Entries appear only for fibers with
+     an open span / a pending wake, so the no-handle, no-span path does
+     not touch these tables. *)
+  let node_span : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let wake_ts : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let inherit_span nid =
+    if !cur_span >= 0 then Hashtbl.replace node_span nid !cur_span
+  in
   let insert_timer deadline e =
     let rec go = function
       | [] -> [ (deadline, e) ]
@@ -364,6 +382,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
               | None -> ()
               | Some o ->
                   Obs.observe o "sched.park.rounds" (!rounds - e.we_round);
+                  Hashtbl.replace wake_ts e.we_node.nid !cur_clock;
                   Obs.emit o
                     (E.Wake { pid = e.we_node.nid; resource = e.we_ws.ws_name })
             end)
@@ -416,6 +435,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
         let child =
           { nid = fresh_id (); parent = Pchild (n, i); body = Nleaf (make_step body) }
         in
+        inherit_span child.nid;
         w.children.(i) <- child;
         match obs with
         | None -> ()
@@ -499,6 +519,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
         let child =
           { nid = fresh_id (); parent = Pchild (p, 0); body = Nleaf body }
         in
+        inherit_span child.nid;
         p.body <- Nwait { w' with children = [| child |] };
         (match obs with
         | None -> ()
@@ -572,6 +593,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
         let child =
           { nid = fresh_id (); parent = Pchild (p, 0); body = Nleaf body }
         in
+        inherit_span child.nid;
         p.body <- Nwait { w' with children = [| child |] };
         (match obs with
         | None -> ()
@@ -595,6 +617,10 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
                { pid = n.nid; label = upk.upk_label; size = ptree_size upk.upk_tree }));
       let rec rebuild parent pt =
         let m = { nid = fresh_id (); parent; body = Ndone } in
+        (* rebuilt fibers adopt the reinstating fiber's span: the graft
+           is what made them runnable again, so their work is causally
+           part of the reinstating request *)
+        inherit_span m.nid;
         (match pt with
         | PHole hole_k -> m.body <- Nleaf (resume_step hole_k v)
         | PLeaf s -> m.body <- Nleaf s
@@ -680,7 +706,9 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
               woken := e.we_node :: !woken;
               match obs with
               | None -> ()
-              | Some o -> Obs.emit o (E.Wake { pid = e.we_node.nid; resource = res })
+              | Some o ->
+                  Hashtbl.replace wake_ts e.we_node.nid !cur_clock;
+                  Obs.emit o (E.Wake { pid = e.we_node.nid; resource = res })
             end)
           (List.rev !all_parked);
         born := List.rev_append !woken !born
@@ -700,6 +728,8 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
   let step_leaf n step =
     pending_request := None;
     cur_pid := n.nid;
+    cur_span :=
+      (match Hashtbl.find_opt node_span n.nid with Some s -> s | None -> -1);
     (match inject with
     | None -> ()
     | Some f -> (
@@ -707,7 +737,15 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
     incr nslices;
     (match obs with
     | None -> ()
-    | Some o -> Obs.emit o (E.Slice_begin { pid = n.nid }));
+    | Some o ->
+        Obs.emit o (E.Slice_begin { pid = n.nid });
+        (* latency from the wake that made this fiber runnable to the
+           slice that actually runs it — the runqueue delay *)
+        match Hashtbl.find_opt wake_ts n.nid with
+        | Some w ->
+            Hashtbl.remove wake_ts n.nid;
+            Obs.observe o "sched.wake.run" (!cur_clock - w)
+        | None -> ());
     let finish_slice () =
       (* The native scheduler does not meter fiber work: a slice runs
          the fiber to its next request and is charged one unit of
@@ -782,6 +820,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
                    keep their creation order at the back of the forest
                    without an O(n) append per registration. *)
                 new_trees := fnode :: !new_trees;
+                inherit_span fnode.nid;
                 n.body <- Nleaf (resume_step k u_unit);
                 (match obs with
                 | None -> ()
@@ -791,6 +830,9 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
             | Rcontrol (label, body_fn) -> do_capture n k label body_fn
             | Rgraft (upk, v) -> do_graft n k upk v))
     | exception e -> failure := Some e);
+    (* store back whatever span context the slice left open *)
+    if !cur_span >= 0 then Hashtbl.replace node_span n.nid !cur_span
+    else Hashtbl.remove node_span n.nid;
     finish_slice ()
   in
 
@@ -973,6 +1015,7 @@ let run ?(policy = Tree_order) ?obs:obs_arg ?inject (type a) (main : unit -> a) 
           | None -> ()
           | Some o ->
               Obs.observe o "sched.park.rounds" (!rounds - e.we_round);
+              Hashtbl.replace wake_ts e.we_node.nid !cur_clock;
               Obs.emit o (E.Wake { pid = e.we_node.nid; resource = "timer" }))
         end)
       due;
@@ -1077,6 +1120,31 @@ let abort (type r) (c : r controller) ~reason (f : unit -> r) : 'a =
      body runs at the controller root instead, so control never returns
      here.  (A dead controller label raises via [discontinue] above.) *)
   assert false
+
+(* ------------------------------------------------------------------ *)
+(* Causal spans.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  let current () = !cur_span
+
+  let adopt s = if s >= 0 then cur_span := s
+
+  let with_ name f =
+    match !cur_obs with
+    | None -> f ()
+    | Some o ->
+        let parent = !cur_span in
+        let id = Obs.Span.begin_ o ~pid:!cur_pid ~parent name in
+        cur_span := id;
+        Fun.protect
+          ~finally:(fun () ->
+            (* runs on exception unwind too, so a crashing fiber still
+               closes its span before the crash propagates *)
+            Obs.Span.end_ o ~pid:!cur_pid id;
+            cur_span := parent)
+          f
+end
 
 (* ------------------------------------------------------------------ *)
 (* Parked waiters.                                                     *)

@@ -250,6 +250,32 @@ val register_dropper : int -> (unit -> Waitset.t option) -> unit
     parked on a full buffer), or [None] when there was nothing to drop.
     Called by {!Channel.create}; registrations are per-run. *)
 
+(** {1 Causal spans}
+
+    A span is a named interval of a logical request, propagated through
+    the concurrency operators: children spawned inside a span inherit
+    it ([spawn], [pcall], [future], controller bodies, grafted
+    subtrees), and {!Channel.send} stamps each message with the
+    sender's span so the receiver adopts it.  Span begin/end events are
+    emitted on the {!obs} stream ({!Pcont_obs.Obs.Span}); with no
+    handle installed [with_] just runs its thunk. *)
+
+module Span : sig
+  val current : unit -> int
+  (** The stepping fiber's innermost open span, [-1] when none. *)
+
+  val adopt : int -> unit
+  (** Make the given span the fiber's current context (no-op for
+      negative ids).  Used by {!Channel.recv} to continue the sender's
+      span; user code rarely needs it directly. *)
+
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** [with_ name f] opens a span, runs [f], and closes the span —
+      also on exception unwind, so a crashing fiber's span still ends
+      (the [span-end] precedes the crash's effects in the trace).
+      Nested spans record their parent. *)
+end
+
 (** {1 Futures: independent concurrency (Section 8)}
 
     The paper closes by noting that tree-structured and independent

@@ -1,0 +1,587 @@
+(* Tests for the always-on telemetry layer: the flight-recorder ring
+   (unboxed storage, wrap-around, dumps that the whole ptrace toolchain
+   accepts), the quantile sketch's relative-error bound on assorted
+   distributions, metrics merging, sink fan-out hardening, causal spans
+   on both schedulers, and deterministic head sampling. *)
+
+module Obs = Pcont_obs.Obs
+module E = Pcont_obs.Obs.Event
+module Json = Pcont_obs.Obs.Json
+module Trace = Pcont_obs.Trace
+module Analysis = Pcont_obs.Analysis
+module Explore = Pcont_explore.Explore
+module Interp = Pcont_syntax.Interp
+module Concur = Pcont_pstack.Concur
+module Pstack = Pcont_pstack
+module Sched = Pcont_sched.Sched
+module Channel = Pcont_sched.Channel
+
+let parse_ok what s =
+  match Trace.parse_string s with
+  | Ok evs -> evs
+  | Error m -> Alcotest.failf "%s does not parse: %s" what m
+
+let check_clean what s =
+  let evs = parse_ok what s in
+  match Analysis.Check.run evs with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%s violates %s: %s" what v.Analysis.Check.v_rule
+        v.Analysis.Check.v_msg
+
+let jsonl_lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+(* ---------------- flight-recorder ring ---------------- *)
+
+(* One event per constructor, covering every arm of the ring's unboxed
+   encode/decode (including the boxed fallback for the two
+   array-carrying events). *)
+let all_constructors =
+  [
+    E.Spawn { pid = 1; parent = -1; kind = "root" };
+    E.Spawn_batch { pid = 1; kind = "graft"; nodes = [| (2, 1); (3, 2) |] };
+    E.Slice_begin { pid = 1 };
+    E.Slice_end { pid = 1; fuel = 17 };
+    E.Park { pid = 2; resource = "future" };
+    E.Wake { pid = 2; resource = "channel.send" };
+    E.Capture { pid = 1; label = 4; root_pid = 1; control_points = 2; size = 5 };
+    E.Reinstate { pid = 2; label = 4; size = 5 };
+    E.Send { pid = 1; chan = 0 };
+    E.Recv { pid = 2; chan = 0 };
+    E.Cancel { pid = 1; scope = 2; reason = "timeout"; pids = [| 2; 3 |] };
+    E.Timeout { pid = 9; deadline = 77 };
+    E.Crash { pid = 2; fault = "inject:crash" };
+    E.Restart { pid = 1; child = 2; attempt = 1; backoff = 8; limit = 3 };
+    E.Invalid_controller { pid = 5; label = 9 };
+    E.Deadlock { parked = 2 };
+    E.Span_begin { pid = 1; span = 0; parent = -1; name = "work" };
+    E.Span_end { pid = 1; span = 0 };
+    E.Exit { pid = 1 };
+  ]
+
+let ring_dump_string r =
+  let buf = Buffer.create 1024 in
+  Obs.Sink.ring_dump r (Buffer.add_string buf);
+  Buffer.contents buf
+
+let test_ring_roundtrip_all_constructors () =
+  let r = Obs.Sink.ring ~capacity:32 () in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.ring_sink r);
+  List.iteri
+    (fun i ev ->
+      Obs.advance o (if i mod 3 = 0 then 2 else 0);
+      Obs.emit o ev)
+    all_constructors;
+  let evs = parse_ok "ring dump" (ring_dump_string r) in
+  Alcotest.(check int) "all events stored" (List.length all_constructors)
+    (Array.length evs);
+  List.iteri
+    (fun i expected ->
+      let got = evs.(i) in
+      Alcotest.(check int) "original seq preserved" i got.Trace.seq;
+      if got.Trace.ev <> expected then
+        Alcotest.failf "event %d decoded to %s, expected %s" i
+          (E.to_human got.Trace.ev) (E.to_human expected))
+    all_constructors
+
+let test_ring_wraparound () =
+  let cap = 8 and total = 21 in
+  let r = Obs.Sink.ring ~capacity:cap () in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.ring_sink r);
+  for pid = 0 to total - 1 do
+    Obs.emit o (E.Exit { pid })
+  done;
+  Alcotest.(check int) "stored = capacity" cap (Obs.Sink.ring_stored r);
+  Alcotest.(check int) "dropped = total - capacity" (total - cap)
+    (Obs.Sink.ring_dropped r);
+  let evs = parse_ok "wrapped dump" (ring_dump_string r) in
+  Alcotest.(check int) "dump holds capacity events" cap (Array.length evs);
+  Array.iteri
+    (fun k e ->
+      (* Oldest surviving event first, original stamps intact. *)
+      Alcotest.(check int) "seq windowed + ordered" (total - cap + k) e.Trace.seq;
+      match e.Trace.ev with
+      | E.Exit { pid } -> Alcotest.(check int) "payload matches seq" e.Trace.seq pid
+      | ev -> Alcotest.failf "unexpected event %s" (E.to_human ev))
+    evs
+
+let test_ring_dump_then_continue () =
+  let r = Obs.Sink.ring ~capacity:4 () in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.ring_sink r);
+  for pid = 0 to 5 do Obs.emit o (E.Exit { pid }) done;
+  let first = ring_dump_string r in
+  Alcotest.(check int) "first window" 4 (Array.length (parse_ok "dump 1" first));
+  (* Dumping is read-only: recording continues where it left off. *)
+  for pid = 6 to 9 do Obs.emit o (E.Exit { pid }) done;
+  let second = parse_ok "dump 2" (ring_dump_string r) in
+  Alcotest.(check int) "second window" 4 (Array.length second);
+  Alcotest.(check int) "window advanced" 6 second.(0).Trace.seq;
+  Alcotest.(check int) "nothing lost in between" 10 (Obs.Sink.ring_stored r + Obs.Sink.ring_dropped r)
+
+(* The strongest decode-fidelity check: on a real scheduler run, the
+   ring dump must be byte-for-byte the tail of the full JSONL trace. *)
+let span_src =
+  "(let ([s (span-begin \"outer\")])\n\
+  \  (let ([f (future (let ([i (span-begin \"inner\")])\n\
+  \                     (let ([x (* 6 7)])\n\
+  \                       (let ([d (span-end i)]) x))))])\n\
+  \    (let ([v (pcall + (touch f) 2)])\n\
+  \      (let ([d (span-end s)]) v))))"
+
+let pstack_run ?obs ?(seed = 42) src =
+  let t = Interp.create () in
+  let mode = Interp.Concurrent (Concur.Randomized (Int64.of_int seed)) in
+  Interp.eval_value ~mode ?obs t src
+
+let test_ring_dump_is_trace_tail () =
+  let run capacity =
+    let buf = Buffer.create 4096 in
+    let o = Obs.create () in
+    Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+    let r = Obs.Sink.ring ~capacity () in
+    Obs.attach o (Obs.Sink.ring_sink r);
+    ignore (pstack_run ~obs:o span_src);
+    Obs.close o;
+    (Buffer.contents buf, r)
+  in
+  let full, big = run 65536 in
+  Alcotest.(check int) "unwrapped ring" 0 (Obs.Sink.ring_dropped big);
+  Alcotest.(check string) "unwrapped dump = whole trace" full
+    (ring_dump_string big);
+  check_clean "ring dump" (ring_dump_string big);
+  let full2, small = run 16 in
+  Alcotest.(check bool) "ring wrapped" true (Obs.Sink.ring_dropped small > 0);
+  let tail =
+    let lines = jsonl_lines full2 in
+    let n = List.length lines in
+    List.filteri (fun i _ -> i >= n - 16) lines
+    |> List.map (fun l -> l ^ "\n")
+    |> String.concat ""
+  in
+  Alcotest.(check string) "wrapped dump = trace tail" tail
+    (ring_dump_string small);
+  (* seq-dense accepts the windowed base, so a wrapped dump still
+     passes every checker rule. *)
+  check_clean "wrapped ring dump" (ring_dump_string small)
+
+let test_ring_flight_dump_on_crash () =
+  let dumps = ref [] in
+  let r = Obs.Sink.ring ~capacity:8 ~flight:(fun s -> dumps := s :: !dumps) () in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.ring_sink r);
+  Obs.emit o (E.Spawn { pid = 0; parent = -1; kind = "root" });
+  for pid = 1 to 4 do Obs.emit o (E.Spawn { pid; parent = 0; kind = "branch" }) done;
+  Obs.emit o (E.Exit { pid = 3 });
+  Obs.emit o (E.Exit { pid = 4 });
+  Alcotest.(check int) "no dump yet" 0 (Obs.Sink.ring_dumps r);
+  Obs.emit o (E.Crash { pid = 2; fault = "inject:crash" });
+  Alcotest.(check int) "crash dumped" 1 (Obs.Sink.ring_dumps r);
+  Obs.emit o (E.Deadlock { parked = 0 });
+  Alcotest.(check int) "deadlock dumped" 2 (Obs.Sink.ring_dumps r);
+  match !dumps with
+  | [ second; first ] ->
+      let f = parse_ok "flight dump" first in
+      Alcotest.(check int) "crash is last event of its dump" 7
+        f.(Array.length f - 1).Trace.seq;
+      check_clean "flight dump" first;
+      (* The second dump wrapped (9 events through a ring of 8): a
+         mid-run window, still accepted by every checker rule. *)
+      let s = parse_ok "flight dump 2" second in
+      Alcotest.(check int) "second dump holds the window" 8 (Array.length s);
+      Alcotest.(check int) "windowed base" 1 s.(0).Trace.seq;
+      check_clean "wrapped flight dump" second
+  | l -> Alcotest.failf "expected 2 dumps, got %d" (List.length l)
+
+(* ---------------- quantile sketch accuracy ---------------- *)
+
+(* Explicit PRNG so the distributions are reproducible everywhere. *)
+let splitmix st =
+  st := Int64.add !st 0x9e3779b97f4a7c15L;
+  let z = !st in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform01 st =
+  let bits = Int64.to_float (Int64.shift_right_logical (splitmix st) 11) in
+  (bits +. 1.) /. 9007199254740994. (* in (0,1), never exactly 0 *)
+
+let check_sketch_accuracy name values =
+  let alpha = 0.01 in
+  let sk = Obs.Metrics.Sketch.create ~alpha () in
+  Array.iter (Obs.Metrics.Sketch.observe sk) values;
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  List.iter
+    (fun q ->
+      (* Same rank convention as the sketch: value at floor(q·(n−1)). *)
+      let exact = sorted.(int_of_float (q *. float_of_int (n - 1))) in
+      let est = Obs.Metrics.Sketch.quantile sk q in
+      let rel = abs_float (est -. float_of_int exact) /. float_of_int exact in
+      if rel > alpha *. 1.001 then
+        Alcotest.failf "%s: q=%.3f estimate %.2f vs exact %d (rel %.4f > %.4f)"
+          name q est exact rel alpha)
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_sketch_accuracy () =
+  let n = 10_000 in
+  let st = ref 1L in
+  let uniform =
+    Array.init n (fun _ -> 1 + Int64.to_int (Int64.rem (splitmix st) 10_000L))
+  in
+  check_sketch_accuracy "uniform" (Array.map abs uniform);
+  let pareto =
+    (* xm = 10, shape 1.5: a heavy tail spanning several decades. *)
+    Array.init n (fun _ ->
+        int_of_float (10. /. (uniform01 st ** (1. /. 1.5))) |> max 1)
+  in
+  check_sketch_accuracy "pareto" pareto;
+  let bimodal =
+    Array.init n (fun i ->
+        let jitter = 1 + Int64.to_int (Int64.rem (splitmix st) 5L) in
+        if i mod 2 = 0 then 10 + jitter else 100_000 + (100 * jitter))
+  in
+  check_sketch_accuracy "bimodal" bimodal
+
+let test_sketch_merge_lossless () =
+  let st = ref 7L in
+  let a = Array.init 2_000 (fun _ -> 1 + Int64.to_int (Int64.rem (splitmix st) 1_000L)) in
+  let b = Array.init 3_000 (fun _ -> 1 + Int64.to_int (Int64.rem (splitmix st) 500_000L)) in
+  let ska = Obs.Metrics.Sketch.create () and skb = Obs.Metrics.Sketch.create () in
+  let skab = Obs.Metrics.Sketch.create () in
+  Array.iter (Obs.Metrics.Sketch.observe ska) a;
+  Array.iter (Obs.Metrics.Sketch.observe skb) b;
+  Array.iter (Obs.Metrics.Sketch.observe skab) a;
+  Array.iter (Obs.Metrics.Sketch.observe skab) b;
+  Obs.Metrics.Sketch.merge ska skb;
+  Alcotest.(check int) "count" (Obs.Metrics.Sketch.count skab)
+    (Obs.Metrics.Sketch.count ska);
+  Alcotest.(check int) "sum" (Obs.Metrics.Sketch.sum skab) (Obs.Metrics.Sketch.sum ska);
+  Alcotest.(check int) "max" (Obs.Metrics.Sketch.max skab) (Obs.Metrics.Sketch.max ska);
+  (* Lossless: merged buckets = buckets of the concatenated stream, so
+     every quantile agrees exactly, not just within the bound. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.)) "quantile identical"
+        (Obs.Metrics.Sketch.quantile skab q)
+        (Obs.Metrics.Sketch.quantile ska q))
+    [ 0.; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1. ]
+
+let test_sketch_alpha_mismatch () =
+  let a = Obs.Metrics.Sketch.create ~alpha:0.01 () in
+  let b = Obs.Metrics.Sketch.create ~alpha:0.02 () in
+  Alcotest.check_raises "different bounds rejected"
+    (Invalid_argument "Sketch.merge: sketches have different error bounds")
+    (fun () -> Obs.Metrics.Sketch.merge a b)
+
+(* ---------------- metrics merge ---------------- *)
+
+let test_metrics_merge () =
+  let dst = Obs.Metrics.create () and src = Obs.Metrics.create () in
+  Obs.Metrics.incr dst "c";
+  Obs.Metrics.add src "c" 4;
+  Obs.Metrics.incr src "only-src";
+  List.iter (Obs.Metrics.observe dst "h") [ 1; 2; 3 ];
+  List.iter (Obs.Metrics.observe src "h") [ 100; 200 ];
+  List.iter (Obs.Metrics.observe src "h2") [ 9 ];
+  Obs.Metrics.merge dst src;
+  Alcotest.(check int) "counters add" 5
+    (Pcont_util.Counters.get (Obs.Metrics.counters dst) "c");
+  Alcotest.(check int) "src-only counter copied" 1
+    (Pcont_util.Counters.get (Obs.Metrics.counters dst) "only-src");
+  (match Obs.Metrics.find dst "h" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h ->
+      Alcotest.(check int) "hist count" 5 (Obs.Metrics.hist_count h);
+      Alcotest.(check int) "hist sum" 306 (Obs.Metrics.hist_sum h);
+      Alcotest.(check int) "hist max" 200 (Obs.Metrics.hist_max h));
+  (match Obs.Metrics.find dst "h2" with
+  | None -> Alcotest.fail "src-only histogram missing"
+  | Some h -> Alcotest.(check int) "src-only count" 1 (Obs.Metrics.hist_count h));
+  Alcotest.(check int) "sketch merged too" 5
+    (match Obs.Metrics.find_sketch dst "h" with
+    | Some sk -> Obs.Metrics.Sketch.count sk
+    | None -> -1);
+  (* src is read-only under merge. *)
+  Alcotest.(check int) "src untouched" 2
+    (match Obs.Metrics.find src "h" with
+    | Some h -> Obs.Metrics.hist_count h
+    | None -> -1)
+
+(* ---------------- sink fan-out hardening ---------------- *)
+
+let memory_sink acc =
+  Obs.Sink.memory (fun (seq, _ts, ev) -> acc := (seq, ev) :: !acc)
+
+let raising_sink () =
+  {
+    Obs.sink_event = (fun ~seq:_ ~ts:_ _ -> failwith "boom");
+    Obs.sink_close = (fun () -> ());
+  }
+
+let test_fanout_detaches_raising_sink () =
+  let before = ref [] and after = ref [] in
+  let o = Obs.create () in
+  Obs.attach o (memory_sink before);
+  Obs.attach o (raising_sink ());
+  Obs.attach o (memory_sink after);
+  Obs.emit o (E.Exit { pid = 0 });
+  Obs.emit o (E.Exit { pid = 1 });
+  Obs.emit o (E.Exit { pid = 2 });
+  let got l = List.rev_map (fun (s, e) -> (s, E.name e, E.pid e)) !l in
+  let expect =
+    [
+      (0, "exit", 0);
+      (* the detachment warning goes to the surviving sinks *)
+      (1, "crash", -1);
+      (2, "exit", 1);
+      (3, "exit", 2);
+    ]
+  in
+  Alcotest.(check (list (triple int string int))) "sink before survives" expect (got before);
+  Alcotest.(check (list (triple int string int))) "sink after survives" expect (got after);
+  (match List.rev !before with
+  | _ :: (_, E.Crash { fault; _ }) :: _ ->
+      Alcotest.(check bool) "warning names the sink failure" true
+        (String.length fault > 5 && String.sub fault 0 5 = "sink:")
+  | _ -> Alcotest.fail "no crash warning recorded");
+  Alcotest.(check int) "seq advanced once per event" 4 (Obs.seq o)
+
+let test_fanout_single_raising_sink () =
+  (* The single-sink fast path must harden identically: detach, keep
+     the sequence dense, and not propagate the exception. *)
+  let o = Obs.create () in
+  Obs.attach o (raising_sink ());
+  Obs.emit o (E.Exit { pid = 0 });
+  Alcotest.(check bool) "raising sink detached" false (Obs.has_sink o);
+  Alcotest.(check int) "event + warning stamped" 2 (Obs.seq o);
+  Obs.emit o (E.Exit { pid = 1 });
+  Alcotest.(check int) "later emits still stamp" 3 (Obs.seq o)
+
+(* ---------------- causal spans ---------------- *)
+
+let test_pstack_spans () =
+  let buf = Buffer.create 4096 in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+  let v = pstack_run ~obs:o span_src in
+  Obs.close o;
+  Alcotest.(check string) "program result" "44" (Pstack.Value.to_string v);
+  let trace = Buffer.contents buf in
+  check_clean "pstack span trace" trace;
+  let evs = parse_ok "pstack span trace" trace in
+  let begins =
+    Array.to_list evs
+    |> List.filter_map (fun e ->
+           match e.Trace.ev with
+           | E.Span_begin { span; name; parent; _ } -> Some (span, name, parent)
+           | _ -> None)
+  in
+  let ends =
+    Array.to_list evs
+    |> List.filter_map (fun e ->
+           match e.Trace.ev with E.Span_end { span; _ } -> Some span | _ -> None)
+  in
+  Alcotest.(check int) "two spans" 2 (List.length begins);
+  Alcotest.(check bool) "outer at top level" true
+    (List.exists (fun (_, n, p) -> n = "outer" && p = -1) begins);
+  (* The future's branch inherits the opener's context, so "inner"
+     nests under "outer" even though it runs in another tree. *)
+  let outer_id =
+    match List.find_opt (fun (_, n, _) -> n = "outer") begins with
+    | Some (id, _, _) -> id
+    | None -> Alcotest.fail "outer span missing"
+  in
+  Alcotest.(check bool) "inner nests under outer" true
+    (List.exists (fun (_, n, p) -> n = "inner" && p = outer_id) begins);
+  List.iter
+    (fun (id, n, _) ->
+      Alcotest.(check bool) (n ^ " closed") true (List.mem id ends))
+    begins;
+  (* Span rows reach the causal report. *)
+  match Analysis.Report.of_trace evs with
+  | [ r ] ->
+      let names = List.map (fun s -> s.Analysis.Report.sp_name) r.Analysis.Report.r_spans in
+      Alcotest.(check (list string)) "report span rows" [ "inner"; "outer" ] names
+  | rs -> Alcotest.failf "expected one run, got %d" (List.length rs)
+
+let test_pstack_span_determinism () =
+  let run () =
+    let buf = Buffer.create 4096 in
+    let o = Obs.create () in
+    Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+    ignore (pstack_run ~obs:o ~seed:11 span_src);
+    Obs.close o;
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "span ids byte-stable per seed" (run ()) (run ())
+
+let native_span_main () =
+  let ch = Channel.create ~capacity:1 () in
+  let producer =
+    Sched.future (fun () ->
+        Sched.Span.with_ "produce" (fun () ->
+            Channel.send ch 21;
+            1))
+  in
+  Sched.Span.with_ "request" (fun () ->
+      let doubled =
+        Sched.Span.with_ "consume" (fun () ->
+            (* recv adopts the sender's span mid-block, then this span
+               context continues; either way every span still closes. *)
+            2 * Channel.recv ch)
+      in
+      doubled + (21 * Sched.touch producer))
+
+let test_native_spans () =
+  let buf = Buffer.create 4096 in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+  let r = Sched.run ~policy:(Sched.Randomized 3L) ~obs:o native_span_main in
+  Alcotest.(check int) "result" 63 r;
+  Alcotest.(check int) "all spans closed" 0 (Obs.Span.open_count o);
+  Obs.close o;
+  let trace = Buffer.contents buf in
+  check_clean "native span trace" trace;
+  let evs = parse_ok "native span trace" trace in
+  let begins =
+    Array.to_list evs
+    |> List.filter_map (fun e ->
+           match e.Trace.ev with
+           | E.Span_begin { name; _ } -> Some name
+           | _ -> None)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "three spans begun"
+    [ "consume"; "produce"; "request" ] begins;
+  let end_count =
+    Array.to_list evs
+    |> List.filter (fun e ->
+           match e.Trace.ev with E.Span_end _ -> true | _ -> false)
+    |> List.length
+  in
+  Alcotest.(check int) "three spans ended" 3 end_count
+
+(* ---------------- deterministic sampling ---------------- *)
+
+let sampled_pstack_trace ~seed ~rate () =
+  let buf = Buffer.create 4096 in
+  let o = Obs.create () in
+  Obs.attach o (Obs.Sink.sampled ~seed ~rate (Obs.Sink.jsonl (Buffer.add_string buf)));
+  ignore (pstack_run ~obs:o ~seed:5 span_src);
+  Obs.close o;
+  Buffer.contents buf
+
+let test_sampling_deterministic () =
+  let a = sampled_pstack_trace ~seed:9L ~rate:0.4 () in
+  let b = sampled_pstack_trace ~seed:9L ~rate:0.4 () in
+  Alcotest.(check string) "same seed+rate, byte-identical" a b;
+  let full = sampled_pstack_trace ~seed:9L ~rate:1.0 () in
+  Alcotest.(check bool) "sampling drops events" true
+    (List.length (jsonl_lines a) < List.length (jsonl_lines full));
+  (* Structural events always pass: every spawn and exit survives. *)
+  let count tag s =
+    jsonl_lines s
+    |> List.filter (fun l ->
+           match Json.parse l with
+           | Ok v -> Json.member "ev" v = Some (Json.Str tag)
+           | Error _ -> false)
+    |> List.length
+  in
+  Alcotest.(check int) "spawns kept" (count "spawn" full) (count "spawn" a);
+  Alcotest.(check int) "exits kept" (count "exit" full) (count "exit" a)
+
+let test_sampling_native_deterministic () =
+  let run () =
+    let buf = Buffer.create 4096 in
+    let o = Obs.create () in
+    Obs.attach o
+      (Obs.Sink.sampled ~seed:13L ~rate:0.3 (Obs.Sink.jsonl (Buffer.add_string buf)));
+    ignore (Sched.run ~policy:(Sched.Randomized 8L) ~obs:o native_span_main);
+    Obs.close o;
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "native sampled trace byte-stable" (run ()) (run ())
+
+let test_sampler_does_not_perturb_full_trace () =
+  let run with_sampler =
+    let buf = Buffer.create 4096 in
+    let o = Obs.create () in
+    Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+    if with_sampler then
+      Obs.attach o (Obs.Sink.sampled ~seed:2L ~rate:0.5 (Obs.Sink.jsonl ignore));
+    ignore (pstack_run ~obs:o ~seed:17 span_src);
+    Obs.close o;
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "full trace identical with sampler attached"
+    (run false) (run true)
+
+let test_record_with_ring_attached () =
+  (* Extra sinks hung on a recording's handle (the flight-recorder
+     hook) must not change the recorded bytes or break replay. *)
+  let target = Explore.Workloads.gen_pstack in
+  let plain = Explore.Replay.record target in
+  let r = Obs.Sink.ring ~capacity:256 () in
+  let with_ring =
+    Explore.Replay.record ~attach:(fun o -> Obs.attach o (Obs.Sink.ring_sink r)) target
+  in
+  Alcotest.(check string) "recorded bytes unperturbed"
+    plain.Explore.Replay.rec_trace with_ring.Explore.Replay.rec_trace;
+  Alcotest.(check bool) "ring saw the stream" true (Obs.Sink.ring_stored r > 0);
+  match Explore.Replay.check_roundtrip target with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "all constructors round-trip" `Quick
+            test_ring_roundtrip_all_constructors;
+          Alcotest.test_case "wrap-around ordering" `Quick test_ring_wraparound;
+          Alcotest.test_case "dump then continue" `Quick test_ring_dump_then_continue;
+          Alcotest.test_case "dump = trace tail, checks clean" `Quick
+            test_ring_dump_is_trace_tail;
+          Alcotest.test_case "flight dump on crash/deadlock" `Quick
+            test_ring_flight_dump_on_crash;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "relative-error bound" `Quick test_sketch_accuracy;
+          Alcotest.test_case "merge is lossless" `Quick test_sketch_merge_lossless;
+          Alcotest.test_case "alpha mismatch rejected" `Quick test_sketch_alpha_mismatch;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "merge" `Quick test_metrics_merge ] );
+      ( "fan-out",
+        [
+          Alcotest.test_case "raising sink detached" `Quick
+            test_fanout_detaches_raising_sink;
+          Alcotest.test_case "single-sink fast path hardened" `Quick
+            test_fanout_single_raising_sink;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "pstack propagation + balance" `Quick test_pstack_spans;
+          Alcotest.test_case "pstack span ids deterministic" `Quick
+            test_pstack_span_determinism;
+          Alcotest.test_case "native propagation + balance" `Quick test_native_spans;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "pstack deterministic" `Quick test_sampling_deterministic;
+          Alcotest.test_case "native deterministic" `Quick
+            test_sampling_native_deterministic;
+          Alcotest.test_case "full trace unperturbed" `Quick
+            test_sampler_does_not_perturb_full_trace;
+          Alcotest.test_case "record with ring attached" `Quick
+            test_record_with_ring_attached;
+        ] );
+    ]

@@ -399,7 +399,7 @@ let batches_of evs =
 let test_batched_grafts_check () =
   (* Both schedulers announce grafts as one pre-order batch; the batched
      traces — and their expanded twins — still pass every rule. *)
-  Alcotest.(check int) "twelve rules" 12 (List.length Analysis.Check.rules);
+  Alcotest.(check int) "thirteen rules" 13 (List.length Analysis.Check.rules);
   List.iter
     (fun (who, trace) ->
       let evs = parse_exn trace in
