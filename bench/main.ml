@@ -6,6 +6,10 @@
      dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks only
      dune exec bench/main.exe -- quick --json out.json
                                          -- also dump rows as JSON to a file
+     dune exec bench/main.exe -- quick --json out.json --baseline BENCH_baseline.json
+                                         -- and gate on per-experiment median
+                                            ratio vs a previous dump
+                                            (--regress-pct N, default 25)
 
    The paper (Hieb & Dybvig, PPoPP 1990) reports no measured tables; its
    quantitative claims are complexity claims (Section 7) and work-saving
@@ -20,6 +24,7 @@ module Pstack = Pcont_pstack
 module Sched = Pcont_sched.Sched
 module Ops = Pcont_sched.Ops
 module M = Pcont_machine
+module Load = Pcont_load.Load
 
 let quick = ref false
 
@@ -38,10 +43,14 @@ let pint k v = (k, Obs.Json.Num (float_of_int v))
 
 let pstr k v = (k, Obs.Json.Str v)
 
+let baseline_file : string option ref = ref None
+
+let regress_pct = ref 25.0
+
 let jrow ?(metrics = []) ?words ~name ~params ns =
-  match !json_file with
-  | None -> ()
-  | Some _ ->
+  match (!json_file, !baseline_file) with
+  | None, None -> ()
+  | _ ->
       if Buffer.length json_rows > 0 then Buffer.add_string json_rows ",\n";
       let obj =
         Obs.Json.Obj
@@ -77,6 +86,110 @@ let write_json () =
       output_string oc "\n]\n";
       close_out oc;
       Printf.printf "\nwrote JSON rows to %s\n" path
+
+(* --baseline FILE: pair this run's rows against a previous --json dump
+   by (name, params) and gate on the per-experiment median ratio.  The
+   median is the right pairing statistic here: individual rows are
+   best-of-3 wall times and still jitter by tens of percent on shared
+   CI machines, but half of an experiment's rows drifting past the
+   threshold together is a real regression.  Rows present on only one
+   side are counted but never gate. *)
+let compare_baseline () =
+  match !baseline_file with
+  | None -> 0
+  | Some path ->
+      let read_rows path =
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        match Obs.Json.parse s with
+        | Ok (Obs.Json.Arr rows) -> rows
+        | Ok _ -> failwith (path ^ ": expected a JSON array of rows")
+        | Error m -> failwith (path ^ ": " ^ m)
+      in
+      let key row =
+        match
+          (Obs.Json.member "name" row, Obs.Json.member "params" row)
+        with
+        | Some (Obs.Json.Str n), Some p -> Some (n ^ " " ^ Obs.Json.to_string p)
+        | _ -> None
+      in
+      let ns row =
+        match Obs.Json.member "ns_per_op" row with
+        | Some (Obs.Json.Num v) when v > 0. -> Some v
+        | _ -> None
+      in
+      let base = Hashtbl.create 256 in
+      List.iter
+        (fun row ->
+          match (key row, ns row) with
+          | Some k, Some v -> Hashtbl.replace base k v
+          | _ -> ())
+        (read_rows path);
+      let current =
+        match Obs.Json.parse ("[" ^ Buffer.contents json_rows ^ "]") with
+        | Ok (Obs.Json.Arr rows) -> rows
+        | _ -> failwith "internal: bench rows failed to round-trip"
+      in
+      (* experiment prefix ("e3", "micro") -> paired cur/base ratios *)
+      let groups : (string, float list ref) Hashtbl.t = Hashtbl.create 32 in
+      let paired = ref 0 and unpaired = ref 0 in
+      List.iter
+        (fun row ->
+          match (key row, ns row) with
+          | Some k, Some v -> (
+              match Hashtbl.find_opt base k with
+              | None -> incr unpaired
+              | Some b ->
+                  incr paired;
+                  let exp =
+                    let name = List.hd (String.split_on_char ' ' k) in
+                    match String.index_opt name '.' with
+                    | Some i -> String.sub name 0 i
+                    | None -> name
+                  in
+                  let cell =
+                    match Hashtbl.find_opt groups exp with
+                    | Some c -> c
+                    | None ->
+                        let c = ref [] in
+                        Hashtbl.add groups exp c;
+                        c
+                  in
+                  cell := (v /. b) :: !cell)
+          | _ -> ())
+        current;
+      let median l =
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a.(Array.length a / 2)
+      in
+      let rows =
+        Hashtbl.fold (fun exp rs acc -> (exp, median !rs, List.length !rs) :: acc)
+          groups []
+        |> List.sort compare
+      in
+      Printf.printf "\nbaseline compare vs %s (%d paired rows, %d new)\n" path
+        !paired !unpaired;
+      Printf.printf "%-8s %8s %6s\n" "exp" "median" "rows";
+      let limit = 1. +. (!regress_pct /. 100.) in
+      let failures =
+        List.filter_map
+          (fun (exp, m, n) ->
+            Printf.printf "%-8s %7.2fx %6d%s\n" exp m n
+              (if m > limit then "  <-- regression" else "");
+            if m > limit then Some exp else None)
+          rows
+      in
+      if !paired = 0 then (
+        print_endline "no paired rows: nothing to gate on";
+        0)
+      else if failures = [] then 0
+      else (
+        Printf.printf "regression gate: median ratio over %.2fx for %s\n" limit
+          (String.concat ", " failures);
+        3)
 
 (* ------------------------------------------------------------------ *)
 (* Timing helpers                                                      *)
@@ -1149,6 +1262,66 @@ let e15 () =
   print_endline "claim: always-on telemetry costs <=10% at 10^4 fibers (CI-asserted)."
 
 (* ------------------------------------------------------------------ *)
+(* e16: open-loop server scenarios with SLO latency attribution        *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  header "e16  open-loop server scenarios (latency in virtual ticks)";
+  let profile = if !quick then Load.quick else Load.full in
+  let floor_fibers = if !quick then 10_000 else 100_000 in
+  row "%-9s %8s %6s %6s | %7s %7s %7s | %6s %6s %6s %6s | %7s %9s\n" "scenario"
+    "requests" "ok" "t/o" "p50" "p99" "p999" "queue" "svc" "wake" "join" "peak"
+    "req/ktick";
+  List.iter
+    (fun scen ->
+      let st, dt = time_best ~n:3 (fun () -> Load.run profile ~seed:1L scen) in
+      if st.Load.st_attr_residual <> 0 then
+        failwith "e16: latency attribution does not sum to end-to-end";
+      if st.Load.st_peak_live < floor_fibers then
+        failwith
+          (Printf.sprintf "e16: %s peaked at %d fibers (< %d)"
+             st.Load.st_scenario st.Load.st_peak_live floor_fibers);
+      let q p =
+        int_of_float (Obs.Metrics.Sketch.quantile st.Load.st_latency p)
+      in
+      let mean sk = Obs.Metrics.Sketch.mean sk in
+      let imean sk = int_of_float (mean sk) in
+      jrow
+        ~name:("e16." ^ st.Load.st_scenario)
+        ~params:[ pint "requests" st.Load.st_requests; pint "seed" 1 ]
+        ~metrics:
+          [
+            ("p50", q 0.50);
+            ("p99", q 0.99);
+            ("p999", q 0.999);
+            ("queue_mean", imean st.Load.st_queue);
+            ("service_mean", imean st.Load.st_service);
+            ("wake_mean", imean st.Load.st_wake);
+            ("join_mean", imean st.Load.st_join);
+            ("completed", st.Load.st_completed);
+            ("timedout", st.Load.st_timedout);
+            ("peak_fibers", st.Load.st_peak_live);
+            ("fairness_pm", int_of_float (st.Load.st_fairness *. 1000.));
+            ("goodput_cpkt", int_of_float (st.Load.st_goodput *. 100.));
+            ("attr_residual", st.Load.st_attr_residual);
+          ]
+        (dt *. 1e9 /. float_of_int st.Load.st_requests);
+      row "%-9s %8d %6d %6d | %7d %7d %7d | %6d %6d %6d %6d | %7d %9.2f\n"
+        st.Load.st_scenario st.Load.st_requests st.Load.st_completed
+        st.Load.st_timedout (q 0.50) (q 0.99) (q 0.999)
+        (imean st.Load.st_queue)
+        (imean st.Load.st_service)
+        (imean st.Load.st_wake)
+        (imean st.Load.st_join)
+        st.Load.st_peak_live st.Load.st_goodput)
+    Load.scenarios;
+  print_endline "shape: queue-wait dominates under overload (open-loop arrivals do";
+  print_endline "       not slow down with the server); the four phases sum exactly";
+  print_endline "       to end-to-end latency (residual CI-asserted to 0).";
+  print_endline "claim: four server scenarios sustain >=10^5 concurrent fibers";
+  print_endline "       (>=10^4 quick) with seed-deterministic traces."
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel measurements of the native primitives               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1209,6 +1382,7 @@ let experiments =
     ("e13", e13);
     ("e14", e14);
     ("e15", e15);
+    ("e16", e16);
     ("micro", micro);
   ]
 
@@ -1224,6 +1398,23 @@ let () =
         parse acc rest
     | [ "--json" ] ->
         prerr_endline "--json requires a file argument";
+        exit 2
+    | "--baseline" :: file :: rest ->
+        baseline_file := Some file;
+        parse acc rest
+    | [ "--baseline" ] ->
+        prerr_endline "--baseline requires a file argument";
+        exit 2
+    | "--regress-pct" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p > 0. ->
+            regress_pct := p;
+            parse acc rest
+        | _ ->
+            prerr_endline "--regress-pct requires a positive number";
+            exit 2)
+    | [ "--regress-pct" ] ->
+        prerr_endline "--regress-pct requires a number argument";
         exit 2
     | a :: rest -> parse (a :: acc) rest
   in
@@ -1241,4 +1432,5 @@ let () =
           Printf.eprintf "unknown experiment %S (have: %s)\n" name
             (String.concat ", " (List.map fst experiments)))
     selected;
-  write_json ()
+  write_json ();
+  exit (compare_baseline ())

@@ -1,0 +1,217 @@
+(* pload — deterministic open-loop load generation over the
+   process-tree scheduler.
+
+     pload                       run all four scenarios (quick profile)
+     pload -s pool -s ring       just these scenarios
+     pload --full                bench-scale profile (~10^5 fibers)
+     pload --seed 11             a different (still deterministic) run
+     pload --trace-out d         write one JSONL trace per scenario to
+                                 d/<scenario>.jsonl (feed to ptrace slo)
+     pload --flight FILE         ride a flight-recorder ring along and
+                                 dump it on crash/deadlock
+     pload --assert p99<=N       exit 1 unless every scenario's
+                                 completed-request p99 (virtual ticks,
+                                 measured from the scheduled arrival)
+                                 is within the bound; repeatable, and
+                                 a scenario prefix narrows the bound
+                                 (pool:p999<=4000)
+     pload --json                machine-readable stats on stdout
+
+   Everything is a pure function of (profile, seed): stats and traces
+   are byte-identical across runs. *)
+
+module Obs = Pcont_obs.Obs
+module Analysis = Pcont_obs.Analysis
+module Load = Pcont_load.Load
+open Cmdliner
+
+let run_load scens full seed requests workers deadline trace_out flight asserts
+    json =
+  let profile = if full then Load.full else Load.quick in
+  let profile =
+    { profile with
+      Load.requests = Option.value ~default:profile.Load.requests requests;
+      workers = Option.value ~default:profile.Load.workers workers;
+      deadline = Option.value ~default:profile.Load.deadline deadline;
+    }
+  in
+  let scens =
+    match scens with
+    | [] -> Load.scenarios
+    | names ->
+        List.map
+          (fun n ->
+            match Load.scenario_of_name n with
+            | Some s -> s
+            | None ->
+                Printf.eprintf "pload: unknown scenario %S\n" n;
+                exit 2)
+          names
+  in
+  let asserts =
+    List.map
+      (fun a ->
+        match Analysis.Slo.parse_assert a with
+        | Ok a -> a
+        | Error m ->
+            Printf.eprintf "pload: %s\n" m;
+            exit 2)
+      asserts
+  in
+  let all =
+    List.map
+      (fun scen ->
+        let o = Obs.create () in
+        let cleanup = ref [] in
+        (match trace_out with
+        | None -> ()
+        | Some dir ->
+            (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            let path =
+              Filename.concat dir (Load.scenario_name scen ^ ".jsonl")
+            in
+            let oc = open_out path in
+            Obs.attach o (Obs.Sink.jsonl (Obs.Sink.of_channel oc));
+            cleanup := (fun () -> close_out oc) :: !cleanup);
+        (match flight with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            let ring =
+              Obs.Sink.ring ~flight:(Obs.Sink.of_channel oc) ()
+            in
+            Obs.attach o (Obs.Sink.ring_sink ring);
+            cleanup := (fun () -> close_out oc) :: !cleanup);
+        let finish () =
+          Obs.close o;
+          List.iter (fun f -> f ()) !cleanup
+        in
+        let st =
+          try Load.run ~obs:o profile ~seed:(Int64.of_int seed) scen
+          with e ->
+            finish ();
+            raise e
+        in
+        finish ();
+        st)
+      scens
+  in
+  if json then
+    print_endline
+      (Obs.Json.to_string (Obs.Json.Arr (List.map Load.stats_to_json all)))
+  else
+    List.iter (fun st -> Format.printf "%a@." Load.pp_stats st) all;
+  (* Evaluate the SLO assertions against the in-process sketches (the
+     arrival-anchored numbers; ptrace slo applies the same grammar to
+     an exported trace). *)
+  let failures =
+    List.concat_map
+      (fun a ->
+        let applicable =
+          List.filter
+            (fun st ->
+              match a.Analysis.Slo.a_scen with
+              | Some n -> st.Load.st_scenario = n
+              | None -> true)
+            all
+        in
+        if applicable = [] then
+          [ Printf.sprintf "assert matched no scenario (%s)"
+              (Option.value ~default:"*" a.Analysis.Slo.a_scen) ]
+        else
+          List.filter_map
+            (fun st ->
+              let v =
+                Obs.Metrics.Sketch.quantile st.Load.st_latency
+                  a.Analysis.Slo.a_q
+              in
+              if v > a.Analysis.Slo.a_limit then
+                Some
+                  (Printf.sprintf "assert failed: %s %s = %.0f > %.0f"
+                     st.Load.st_scenario
+                     (Analysis.Slo.quantile_name a.Analysis.Slo.a_q)
+                     v a.Analysis.Slo.a_limit)
+              else None)
+            applicable)
+      asserts
+  in
+  List.iter (Printf.eprintf "pload: %s\n") failures;
+  if failures = [] then 0 else 1
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "s"; "scenario" ] ~docv:"NAME"
+        ~doc:
+          "Scenario to run ($(b,pool), $(b,ring), $(b,pipeline), \
+           $(b,stream)); repeatable.  Default: all four.")
+
+let full_arg =
+  Arg.(
+    value & flag
+    & info [ "full" ]
+        ~doc:"Bench-scale profile (~10^5 peak fibers per scenario) instead of \
+              the quick (~10^4) one.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "requests" ] ~docv:"N" ~doc:"Override the profile's request count.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Override the pool-worker / ring-actor count.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline" ] ~docv:"TICKS"
+        ~doc:"Override the per-request deadline (0 disables deadlines).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"DIR"
+        ~doc:"Write one JSONL trace per scenario to $(docv)/<scenario>.jsonl.")
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:"Attach a flight-recorder ring; its window is dumped to $(docv) \
+              on crash or deadlock.")
+
+let assert_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "assert" ] ~docv:"EXPR"
+        ~doc:
+          "SLO bound over completed-request latency, \
+           $(b,[scenario:]p50|p99|p999<=N) (virtual ticks); repeatable.  \
+           Exit 1 on violation.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output.")
+
+let cmd =
+  let doc = "deterministic open-loop load scenarios with SLO attribution" in
+  Cmd.v
+    (Cmd.info "pload" ~version:"1.0.0" ~doc)
+    Term.(
+      const run_load $ scenario_arg $ full_arg $ seed_arg $ requests_arg
+      $ workers_arg $ deadline_arg $ trace_out_arg $ flight_arg $ assert_arg
+      $ json_arg)
+
+let () = exit (Cmd.eval' cmd)

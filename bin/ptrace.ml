@@ -61,6 +61,32 @@ let run_report path json top =
       reports;
   0
 
+let run_slo path asserts json =
+  let events = load_or_die path in
+  let asserts =
+    List.map
+      (fun a ->
+        match Analysis.Slo.parse_assert a with
+        | Ok a -> a
+        | Error m ->
+            Printf.eprintf "ptrace: %s\n" m;
+            exit 2)
+      asserts
+  in
+  let slo = Analysis.Slo.of_trace events in
+  if json then print_endline (Obs.Json.to_string (Analysis.Slo.to_json slo))
+  else Format.printf "%a" Analysis.Slo.pp slo;
+  let failures =
+    List.filter_map
+      (fun a ->
+        match Analysis.Slo.check slo a with
+        | Ok () -> None
+        | Error m -> Some m)
+      asserts
+  in
+  List.iter (Printf.eprintf "ptrace: %s\n") failures;
+  if failures = [] then 0 else 1
+
 let run_diff left right json =
   let l = load_or_die left and r = load_or_die right in
   let d = Analysis.Diff.diff l r in
@@ -492,6 +518,22 @@ let report_cmd =
     (Cmd.info "report" ~doc)
     Term.(const run_report $ trace_arg 0 "TRACE" $ json $ top)
 
+let slo_cmd =
+  let doc = "per-scenario SLO rollup of a load-generator trace" in
+  let asserts =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "assert" ] ~docv:"EXPR"
+          ~doc:
+            "SLO bound over completed-request span latency, \
+             $(b,[scenario:]p50|p99|p999<=N) (virtual ticks); repeatable.  \
+             Exit 1 on violation.")
+  in
+  Cmd.v
+    (Cmd.info "slo" ~doc)
+    Term.(const run_slo $ trace_arg 0 "TRACE" $ asserts $ json)
+
 let diff_cmd =
   let doc = "first causal divergence between two traces" in
   Cmd.v
@@ -656,6 +698,7 @@ let explore_cmd =
 let cmd =
   let doc = "analyze scheduler traces: check invariants, profile, diff, replay, explore" in
   Cmd.group (Cmd.info "ptrace" ~version:"1.0.0" ~doc)
-    [ check_cmd; report_cmd; diff_cmd; gen_cmd; replay_cmd; explore_cmd; top_cmd ]
+    [ check_cmd; report_cmd; slo_cmd; diff_cmd; gen_cmd; replay_cmd;
+      explore_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' cmd)

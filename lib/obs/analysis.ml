@@ -1250,3 +1250,269 @@ module Snapshot = struct
           top);
     Format.fprintf ppf "@]"
 end
+
+(* ------------------------------------------------------------------ *)
+(* SLO rollup.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Slo = struct
+  type scen = {
+    sc_name : string;
+    mutable sc_requests : int;
+    mutable sc_completed : int;
+    mutable sc_timedout : int;
+    mutable sc_cancelled : int;
+    mutable sc_crashed : int;
+    mutable sc_open : int;
+    sc_latency : Obs.Metrics.Sketch.t;
+    sc_service : Obs.Metrics.Sketch.t;
+  }
+
+  type t = {
+    slo_events : int;
+    slo_span : int;
+    slo_fairness : float;
+    slo_scens : scen list;
+  }
+
+  (* The load generator's span conventions (see Pcont_load.Load): a
+     request span is named after its scenario (no '/'); a
+     "<scenario>/service" child covers the handler work; zero-length
+     "<scenario>/timedout" / "/cancelled" / "/crashed" children mark
+     the request's fate.  Everything else in the trace is ignored. *)
+
+  let of_trace (events : Trace.stamped array) =
+    let scens : (string, scen) Hashtbl.t = Hashtbl.create 8 in
+    let scen name =
+      match Hashtbl.find_opt scens name with
+      | Some s -> s
+      | None ->
+          let s =
+            {
+              sc_name = name;
+              sc_requests = 0;
+              sc_completed = 0;
+              sc_timedout = 0;
+              sc_cancelled = 0;
+              sc_crashed = 0;
+              sc_open = 0;
+              sc_latency = Obs.Metrics.Sketch.create ();
+              sc_service = Obs.Metrics.Sketch.create ();
+            }
+          in
+          Hashtbl.add scens name s;
+          s
+    in
+    (* open span id -> (name, begin ts); request ids additionally map to
+       their fate once a marker child lands *)
+    let open_spans : (int, string * int) Hashtbl.t = Hashtbl.create 64 in
+    let fates : (int, string) Hashtbl.t = Hashtbl.create 64 in
+    (* per-pid on-CPU virtual time for the fairness index *)
+    let slice_open : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let on_cpu : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let first_ts = ref max_int and last_ts = ref min_int in
+    Array.iter
+      (fun s ->
+        let ts = s.Trace.ts in
+        if ts < !first_ts then first_ts := ts;
+        if ts > !last_ts then last_ts := ts;
+        match s.Trace.ev with
+        | Obs.Event.Span_begin { span; parent; name; _ } -> (
+            Hashtbl.replace open_spans span (name, ts);
+            match String.index_opt name '/' with
+            | None -> (scen name).sc_requests <- (scen name).sc_requests + 1
+            | Some i -> (
+                match String.sub name (i + 1) (String.length name - i - 1) with
+                | ("timedout" | "cancelled" | "crashed") as fate ->
+                    if parent >= 0 then Hashtbl.replace fates parent fate
+                | _ -> ()))
+        | Obs.Event.Span_end { span; _ } -> (
+            match Hashtbl.find_opt open_spans span with
+            | None -> ()
+            | Some (name, t0) -> (
+                Hashtbl.remove open_spans span;
+                let d = ts - t0 in
+                match String.index_opt name '/' with
+                | None -> (
+                    let sc = scen name in
+                    match Hashtbl.find_opt fates span with
+                    | None ->
+                        sc.sc_completed <- sc.sc_completed + 1;
+                        Obs.Metrics.Sketch.observe sc.sc_latency d
+                    | Some "timedout" -> sc.sc_timedout <- sc.sc_timedout + 1
+                    | Some "cancelled" -> sc.sc_cancelled <- sc.sc_cancelled + 1
+                    | Some _ -> sc.sc_crashed <- sc.sc_crashed + 1)
+                | Some i ->
+                    if
+                      String.sub name (i + 1) (String.length name - i - 1)
+                      = "service"
+                    then
+                      Obs.Metrics.Sketch.observe
+                        (scen (String.sub name 0 i)).sc_service d))
+        | Obs.Event.Slice_begin { pid } -> Hashtbl.replace slice_open pid ts
+        | Obs.Event.Slice_end { pid; _ } -> (
+            match Hashtbl.find_opt slice_open pid with
+            | None -> ()
+            | Some t0 ->
+                Hashtbl.remove slice_open pid;
+                let prev =
+                  Option.value ~default:0 (Hashtbl.find_opt on_cpu pid)
+                in
+                Hashtbl.replace on_cpu pid (prev + Stdlib.max (ts - t0) 1))
+        | _ -> ())
+      events;
+    (* spans still open at end of trace: cancelled fibers never close
+       theirs; count them per scenario *)
+    Hashtbl.iter
+      (fun span (name, _) ->
+        if not (String.contains name '/') && not (Hashtbl.mem fates span) then begin
+          let sc = scen name in
+          sc.sc_open <- sc.sc_open + 1
+        end)
+      open_spans;
+    let n = ref 0 and s1 = ref 0. and s2 = ref 0. in
+    Hashtbl.iter
+      (fun _ v ->
+        if v > 0 then begin
+          incr n;
+          let f = float_of_int v in
+          s1 := !s1 +. f;
+          s2 := !s2 +. (f *. f)
+        end)
+      on_cpu;
+    let fairness =
+      if !n = 0 || !s2 <= 0. then 1.
+      else !s1 *. !s1 /. (float_of_int !n *. !s2)
+    in
+    {
+      slo_events = Array.length events;
+      slo_span =
+        (if !last_ts >= !first_ts then !last_ts - !first_ts else 0);
+      slo_fairness = fairness;
+      slo_scens =
+        Hashtbl.fold (fun _ s acc -> s :: acc) scens []
+        |> List.sort (fun a b -> compare a.sc_name b.sc_name);
+    }
+
+  let goodput t sc =
+    if t.slo_span > 0 then
+      float_of_int sc.sc_completed *. 1000. /. float_of_int t.slo_span
+    else 0.
+
+  type assertion = { a_scen : string option; a_q : float; a_limit : float }
+
+  let parse_assert s =
+    let scen, rest =
+      match String.index_opt s ':' with
+      | Some i ->
+          ( Some (String.sub s 0 i),
+            String.sub s (i + 1) (String.length s - i - 1) )
+      | None -> (None, s)
+    in
+    if scen = Some "" then
+      Error (Printf.sprintf "empty scenario prefix in %S" s)
+    else
+    match String.index_opt rest '<' with
+    | Some i
+      when i + 1 < String.length rest
+           && rest.[i + 1] = '='
+           && (String.sub rest 0 i = "p50"
+              || String.sub rest 0 i = "p99"
+              || String.sub rest 0 i = "p999") -> (
+        let q =
+          match String.sub rest 0 i with
+          | "p50" -> 0.5
+          | "p99" -> 0.99
+          | _ -> 0.999
+        in
+        match
+          float_of_string_opt (String.sub rest (i + 2) (String.length rest - i - 2))
+        with
+        | Some limit -> Ok { a_scen = scen; a_q = q; a_limit = limit }
+        | None -> Error (Printf.sprintf "bad assertion limit in %S" s))
+    | _ ->
+        Error
+          (Printf.sprintf
+             "bad assertion %S (expected [scenario:]p50|p99|p999<=N)" s)
+
+  let quantile_name q = if q = 0.5 then "p50" else if q = 0.99 then "p99" else "p999"
+
+  let check t a =
+    let applicable =
+      List.filter
+        (fun sc ->
+          match a.a_scen with Some n -> sc.sc_name = n | None -> true)
+        t.slo_scens
+    in
+    if applicable = [] then
+      Error
+        (match a.a_scen with
+        | Some n -> Printf.sprintf "assert: no scenario %S in trace" n
+        | None -> "assert: no request spans in trace")
+    else
+      let bad =
+        List.filter_map
+          (fun sc ->
+            let v = Obs.Metrics.Sketch.quantile sc.sc_latency a.a_q in
+            if v > a.a_limit then Some (sc.sc_name, v) else None)
+          applicable
+      in
+      match bad with
+      | [] -> Ok ()
+      | (name, v) :: _ ->
+          Error
+            (Printf.sprintf "assert failed: %s %s = %.0f > %.0f" name
+               (quantile_name a.a_q) v a.a_limit)
+
+  let scen_json t sc =
+    let sk s =
+      Json.Obj
+        [
+          ("count", Json.Num (float_of_int (Obs.Metrics.Sketch.count s)));
+          ("p50", Json.Num (Obs.Metrics.Sketch.quantile s 0.5));
+          ("p99", Json.Num (Obs.Metrics.Sketch.quantile s 0.99));
+          ("p999", Json.Num (Obs.Metrics.Sketch.quantile s 0.999));
+          ("mean", Json.Num (Obs.Metrics.Sketch.mean s));
+          ("max", Json.Num (float_of_int (Obs.Metrics.Sketch.max s)));
+        ]
+    in
+    Json.Obj
+      [
+        ("scenario", Json.Str sc.sc_name);
+        ("requests", Json.Num (float_of_int sc.sc_requests));
+        ("completed", Json.Num (float_of_int sc.sc_completed));
+        ("timedout", Json.Num (float_of_int sc.sc_timedout));
+        ("cancelled", Json.Num (float_of_int sc.sc_cancelled));
+        ("crashed", Json.Num (float_of_int sc.sc_crashed));
+        ("open", Json.Num (float_of_int sc.sc_open));
+        ("goodput_per_ktick", Json.Num (goodput t sc));
+        ("latency", sk sc.sc_latency);
+        ("service", sk sc.sc_service);
+      ]
+
+  let to_json t =
+    Json.Obj
+      [
+        ("events", Json.Num (float_of_int t.slo_events));
+        ("span", Json.Num (float_of_int t.slo_span));
+        ("fairness", Json.Num t.slo_fairness);
+        ("scenarios", Json.Arr (List.map (scen_json t) t.slo_scens));
+      ]
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>%d events over %d vticks, cpu fairness %.3f@,"
+      t.slo_events t.slo_span t.slo_fairness;
+    if t.slo_scens = [] then Format.fprintf ppf "no request spans@,"
+    else begin
+      Format.fprintf ppf "%-10s %8s %8s %8s %6s %9s %9s %9s %9s@," "scenario"
+        "requests" "ok" "timedout" "open" "p50" "p99" "p999" "req/ktick";
+      List.iter
+        (fun sc ->
+          let q p = Obs.Metrics.Sketch.quantile sc.sc_latency p in
+          Format.fprintf ppf "%-10s %8d %8d %8d %6d %9.0f %9.0f %9.0f %9.2f@,"
+            sc.sc_name sc.sc_requests sc.sc_completed sc.sc_timedout sc.sc_open
+            (q 0.5) (q 0.99) (q 0.999) (goodput t sc))
+        t.slo_scens
+    end;
+    Format.fprintf ppf "@]"
+end

@@ -190,3 +190,66 @@ module Snapshot : sig
 
   val pp : Format.formatter -> t -> unit
 end
+
+(** {1 SLO rollup} *)
+
+module Slo : sig
+  (** Per-scenario service-level rollup of a load-generator trace — the
+      fold behind [ptrace slo].
+
+      Works over the span conventions of [Pcont_load.Load]: a request
+      is a span named after its scenario (no ['/'] in the name), the
+      handler work is a [<scenario>/service] child span, and a request
+      that did not complete carries a zero-length [<scenario>/timedout]
+      / [/cancelled] / [/crashed] marker child.  Latency here is
+      admission-to-completion as visible in the trace; the exact
+      arrival-anchored decomposition lives in [Load.stats] (in-process,
+      where the scheduled arrival tick is known). *)
+
+  type scen = {
+    sc_name : string;
+    mutable sc_requests : int;  (** request spans begun *)
+    mutable sc_completed : int;  (** closed without a fate marker *)
+    mutable sc_timedout : int;
+    mutable sc_cancelled : int;
+    mutable sc_crashed : int;
+    mutable sc_open : int;  (** never closed (cut or cancelled fiber) *)
+    sc_latency : Obs.Metrics.Sketch.t;  (** completed request spans *)
+    sc_service : Obs.Metrics.Sketch.t;  (** closed service child spans *)
+  }
+
+  type t = {
+    slo_events : int;
+    slo_span : int;  (** virtual-time extent of the trace *)
+    slo_fairness : float;
+        (** Jain's index over per-pid on-CPU virtual time *)
+    slo_scens : scen list;  (** sorted by name *)
+  }
+
+  val of_trace : Trace.stamped array -> t
+
+  val goodput : t -> scen -> float
+  (** Completed requests per 1000 virtual ticks of trace extent. *)
+
+  type assertion = { a_scen : string option; a_q : float; a_limit : float }
+
+  val parse_assert : string -> (assertion, string) result
+  (** Grammar: [[scenario:]p50|p99|p999<=N] — e.g. ["p99<=250"] or
+      ["pool:p999<=4000"].  Without a scenario prefix the bound applies
+      to every scenario in the trace. *)
+
+  val quantile_name : float -> string
+  (** ["p50"], ["p99"] or ["p999"] — the inverse of {!parse_assert}'s
+      quantile field, for rendering assertion failures. *)
+
+  val check : t -> assertion -> (unit, string) result
+  (** [Error] describes the first scenario whose completed-request
+      latency quantile exceeds the bound (or an assertion that matched
+      no scenario — asserting over an empty trace is itself a
+      failure). *)
+
+  val to_json : t -> Obs.Json.t
+  (** Deterministic: equal rollups serialize to equal bytes. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1275,8 +1275,9 @@ module Summary = struct
     mutable r_recvs : int;
     mutable r_exits : int;
     mutable r_fate : string;
-        (* "" for a normal exit; "cancelled", "crashed" or "restarted"
-           otherwise (restarted > crashed > cancelled when several apply) *)
+        (* "" for a normal exit; "cancelled", "timed-out", "crashed" or
+           "restarted" otherwise (restarted > crashed > timed-out/
+           cancelled when several apply) *)
   }
 
   type t = {
@@ -1350,13 +1351,26 @@ module Summary = struct
           | Event.Recv { pid; _ } ->
               let r = row t pid in
               r.r_recvs <- r.r_recvs + 1
-          | Event.Cancel { pids; _ } ->
+          | Event.Cancel { reason; pids; _ } ->
+              (* A cancel whose reason mentions "timeout" is a deadline
+                 firing (Resil.with_timeout / with_deadline cancel with
+                 reason "timeout", which abort renders as
+                 "cancel: timeout"): those fibers get the distinct
+                 [timed-out] fate so SLO rollups can tell a deadline
+                 kill from an ordinary cancellation. *)
+              let fate =
+                let sub = "timeout" and n = String.length reason in
+                let rec has i =
+                  i + 7 <= n && (String.sub reason i 7 = sub || has (i + 1))
+                in
+                if has 0 then "timed-out" else "cancelled"
+              in
               Array.iter
                 (fun p ->
                   let r = row t p in
                   if r.r_parks > r.r_wakes then
                     t.s_cancelled_parked <- t.s_cancelled_parked + 1;
-                  if r.r_fate = "" then r.r_fate <- "cancelled")
+                  if r.r_fate = "" then r.r_fate <- fate)
                 pids
           | Event.Crash { pid; _ } ->
               if pid >= 0 then begin

@@ -489,9 +489,12 @@ module Summary : sig
     mutable r_recvs : int;
     mutable r_exits : int;  (** 0 or 1 in a well-formed trace *)
     mutable r_fate : string;
-        (** [""] for a normal exit, else ["cancelled"], ["crashed"] or
-            ["restarted"] (restarted > crashed > cancelled when several
-            apply); rendered in place of the exits count by {!pp} *)
+        (** [""] for a normal exit, else ["cancelled"], ["timed-out"]
+            (the cancel's reason named a timeout — a
+            {!Pcont_resil.Resil.with_timeout}/[with_deadline] deadline
+            fired), ["crashed"] or ["restarted"] (restarted > crashed >
+            timed-out/cancelled when several apply); rendered in place
+            of the exits count by {!pp} *)
   }
 
   type t

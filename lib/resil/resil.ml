@@ -181,6 +181,37 @@ let with_timeout ?parent d body =
     ]
     body
 
+(* Same machinery, absolute deadline: the timer sleeps until virtual
+   time [at] (no sleep at all if [at] has already passed — the request
+   is dead on arrival and times out before the body runs a slice).
+   This is the open-loop load generator's per-request deadline: the
+   budget counts from the *scheduled arrival*, not from whenever the
+   scope got around to starting, so admission lag eats into it. *)
+let with_deadline ?parent ~at body =
+  let sc = Scope.make ?parent () in
+  Scope.run_with sc
+    [
+      (fun crash () ->
+        try
+          let d = at - Sched.now () in
+          if d > 0 then Sched.sleep d;
+          match sc.Scope.state with
+          | Scope.Running ->
+              (match Sched.obs () with
+              | None -> ()
+              | Some o ->
+                  Obs.emit o
+                    (E.Timeout { pid = Sched.self_pid (); deadline = Sched.now () }));
+              Scope.cancel sc ~reason:"timeout";
+              Sched.block (Sched.Waitset.create "resil.discard");
+              assert false
+          | Scope.Cancel_requested _ | Scope.Finished ->
+              Sched.block (Sched.Waitset.create "resil.discard");
+              assert false
+        with e -> crash e);
+    ]
+    body
+
 (* ------------------------------------------------------------------ *)
 (* Supervision.                                                        *)
 (* ------------------------------------------------------------------ *)

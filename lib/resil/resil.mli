@@ -76,6 +76,17 @@ val with_timeout : ?parent:Scope.t -> int -> (unit -> 'a) -> 'a outcome
     even when every fiber in the system is blocked — it doubles as a
     deadlock backstop. *)
 
+val with_deadline : ?parent:Scope.t -> at:int -> (unit -> 'a) -> 'a outcome
+(** [with_deadline ~at body] is {!with_timeout} with an {e absolute}
+    virtual-time deadline: the scope is cancelled (reason ["timeout"])
+    if it is still running when the clock reaches [at].  If [at] has
+    already passed when the scope starts, the timer fires without
+    sleeping — the body is cancelled before it can run a slice.  This
+    is the deadline shape an open-loop load generator needs: the
+    request's budget counts from its {e scheduled arrival}, so
+    admission lag (the generator falling behind under load) eats into
+    the budget instead of silently extending it. *)
+
 module Supervisor : sig
   type strategy =
     | One_for_one  (** restart only the failed child *)

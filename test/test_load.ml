@@ -1,0 +1,253 @@
+(* Tests for the open-loop load generator: arrival schedules are pure
+   and independent of handler execution, traces are byte-identical per
+   seed and pass every invariant rule, latency attribution telescopes
+   exactly to end-to-end, deadlines mark requests timed-out all the way
+   to the Summary fate column, and a mid-load deadlock auto-dumps a
+   flight window the checker accepts. *)
+
+module Obs = Pcont_obs.Obs
+module Trace = Pcont_obs.Trace
+module Analysis = Pcont_obs.Analysis
+module Sched = Pcont_sched.Sched
+module Resil = Pcont_resil.Resil
+module Load = Pcont_load.Load
+
+(* A deliberately small profile: every property under test is
+   size-independent, and the suite should stay fast. *)
+let tiny =
+  {
+    Load.quick with
+    Load.requests = 400;
+    workers = 8;
+    burst_on = 32;
+    burst_off = 64.0;
+  }
+
+let jsonl_run ?(profile = tiny) ?(seed = 42L) scen =
+  let o = Obs.create () in
+  let buf = Buffer.create (1 lsl 16) in
+  Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+  let st = Load.run ~obs:o profile ~seed scen in
+  Obs.close o;
+  (st, Buffer.contents buf)
+
+let parse_ok what s =
+  match Trace.parse_string s with
+  | Ok evs -> evs
+  | Error m -> Alcotest.failf "%s does not parse: %s" what m
+
+let check_clean what s =
+  let evs = parse_ok what s in
+  (match Analysis.Check.run evs with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%s violates %s: %s" what v.Analysis.Check.v_rule
+        v.Analysis.Check.v_msg);
+  evs
+
+(* ---------------- arrival schedule ---------------- *)
+
+let test_arrivals_pure () =
+  let a = Load.arrivals tiny ~seed:5L in
+  let b = Load.arrivals tiny ~seed:5L in
+  Alcotest.(check (array int)) "same seed, same schedule" a b;
+  Alcotest.(check int) "one arrival per request" tiny.Load.requests
+    (Array.length a);
+  Array.iteri
+    (fun i t ->
+      if i > 0 && t < a.(i - 1) then
+        Alcotest.failf "arrivals not sorted at %d: %d < %d" i t a.(i - 1))
+    a;
+  let c = Load.arrivals tiny ~seed:6L in
+  if a = c then Alcotest.fail "different seeds gave the same schedule"
+
+(* The open-loop property: the arrival schedule is fixed before the run
+   and cannot depend on which scenario executes or how its handlers
+   interleave.  Running wildly different scenarios between [arrivals]
+   calls must not perturb the schedule. *)
+let test_arrivals_independent_of_execution () =
+  let before = Load.arrivals tiny ~seed:9L in
+  List.iter
+    (fun scen -> ignore (Load.run tiny ~seed:9L scen))
+    Load.scenarios;
+  let after = Load.arrivals tiny ~seed:9L in
+  Alcotest.(check (array int)) "schedule unchanged by execution" before after
+
+(* ---------------- determinism ---------------- *)
+
+let test_traces_byte_identical () =
+  List.iter
+    (fun scen ->
+      let _, t1 = jsonl_run scen in
+      let _, t2 = jsonl_run scen in
+      Alcotest.(check string)
+        (Load.scenario_name scen ^ " trace byte-identical")
+        t1 t2;
+      ignore (check_clean (Load.scenario_name scen ^ " trace") t1))
+    Load.scenarios
+
+let test_stats_deterministic () =
+  let st1, _ = jsonl_run Load.Pipeline in
+  let st2, _ = jsonl_run Load.Pipeline in
+  Alcotest.(check string) "stats JSON identical"
+    (Obs.Json.to_string (Load.stats_to_json st1))
+    (Obs.Json.to_string (Load.stats_to_json st2))
+
+(* ---------------- latency attribution ---------------- *)
+
+let test_attribution_sums () =
+  List.iter
+    (fun scen ->
+      let st = Load.run tiny ~seed:3L scen in
+      let name = Load.scenario_name scen in
+      Alcotest.(check int) (name ^ " residual is zero") 0
+        st.Load.st_attr_residual;
+      Alcotest.(check int)
+        (name ^ " fates partition requests")
+        st.Load.st_requests
+        (st.Load.st_completed + st.Load.st_timedout + st.Load.st_cancelled
+       + st.Load.st_crashed);
+      Alcotest.(check int)
+        (name ^ " one latency sample per completion")
+        st.Load.st_completed
+        (Obs.Metrics.Sketch.count st.Load.st_latency))
+    Load.scenarios
+
+(* ---------------- deadlines and the Summary fate column ------------ *)
+
+let test_timeouts_reach_summary () =
+  let squeezed = { tiny with Load.deadline = 400 } in
+  let o = Obs.create () in
+  let summary = Obs.Summary.create () in
+  Obs.attach o (Obs.Summary.sink summary);
+  let st = Load.run ~obs:o squeezed ~seed:42L Load.Pipeline in
+  Obs.close o;
+  if st.Load.st_timedout = 0 then
+    Alcotest.fail "a 400-tick deadline should time some requests out";
+  Alcotest.(check int) "timed-out latencies are sampled" st.Load.st_timedout
+    (Obs.Metrics.Sketch.count st.Load.st_tlat);
+  let timed_out_rows =
+    List.filter
+      (fun (_, r) -> r.Obs.Summary.r_fate = "timed-out")
+      (Obs.Summary.rows summary)
+  in
+  if List.length timed_out_rows < st.Load.st_timedout then
+    Alcotest.failf "summary shows %d timed-out fibers for %d timeouts"
+      (List.length timed_out_rows)
+      st.Load.st_timedout
+
+let test_slo_rollup_matches_stats () =
+  let squeezed = { tiny with Load.deadline = 400 } in
+  let o = Obs.create () in
+  let buf = Buffer.create (1 lsl 16) in
+  Obs.attach o (Obs.Sink.jsonl (Buffer.add_string buf));
+  let st = Load.run ~obs:o squeezed ~seed:42L Load.Stream in
+  Obs.close o;
+  let evs = check_clean "stream trace under deadline" (Buffer.contents buf) in
+  let slo = Analysis.Slo.of_trace evs in
+  match slo.Analysis.Slo.slo_scens with
+  | [ sc ] ->
+      Alcotest.(check string) "scenario name" "stream" sc.Analysis.Slo.sc_name;
+      Alcotest.(check int) "requests" st.Load.st_requests
+        sc.Analysis.Slo.sc_requests;
+      Alcotest.(check int) "completed" st.Load.st_completed
+        sc.Analysis.Slo.sc_completed;
+      Alcotest.(check int) "timed out" st.Load.st_timedout
+        sc.Analysis.Slo.sc_timedout
+  | scens ->
+      Alcotest.failf "expected one scenario in the rollup, got %d"
+        (List.length scens)
+
+let test_assert_grammar () =
+  (match Analysis.Slo.parse_assert "p99<=250" with
+  | Ok a ->
+      Alcotest.(check (option string)) "no scenario" None a.Analysis.Slo.a_scen;
+      Alcotest.(check (float 0.)) "quantile" 0.99 a.Analysis.Slo.a_q;
+      Alcotest.(check (float 0.)) "limit" 250. a.Analysis.Slo.a_limit
+  | Error m -> Alcotest.failf "p99<=250 rejected: %s" m);
+  (match Analysis.Slo.parse_assert "pool:p999<=4000" with
+  | Ok a ->
+      Alcotest.(check (option string))
+        "scenario prefix" (Some "pool") a.Analysis.Slo.a_scen
+  | Error m -> Alcotest.failf "pool:p999<=4000 rejected: %s" m);
+  List.iter
+    (fun bad ->
+      match Analysis.Slo.parse_assert bad with
+      | Ok _ -> Alcotest.failf "%S should not parse" bad
+      | Error _ -> ())
+    [ "p98<=10"; "p99<10"; "p99<="; "p99<=x"; ":p99<=10" ]
+
+(* ---------------- deadlock flight dump ---------------- *)
+
+(* No workers and no deadlines: every pool client parks on its reply
+   channel forever, no timer can save it, and the scheduler must
+   diagnose a deadlock — at which point the flight ring auto-dumps a
+   window that the checker accepts in window mode. *)
+let test_deadlock_flight_dump () =
+  let stuck =
+    { tiny with Load.requests = 50; workers = 0; deadline = 0 }
+  in
+  let o = Obs.create () in
+  let buf = Buffer.create (1 lsl 16) in
+  Obs.attach o
+    (Obs.Sink.ring_sink (Obs.Sink.ring ~flight:(Buffer.add_string buf) ()));
+  (match Load.run ~obs:o stuck ~seed:1L Load.Pool with
+  | _ -> Alcotest.fail "a worker-less pool should deadlock"
+  | exception Sched.Deadlock _ -> ());
+  Obs.close o;
+  let dump = Buffer.contents buf in
+  if dump = "" then Alcotest.fail "deadlock did not trigger a flight dump";
+  let evs = check_clean "flight dump" dump in
+  let has_deadlock =
+    Array.exists
+      (fun s ->
+        match s.Trace.ev with Obs.Event.Deadlock _ -> true | _ -> false)
+      evs
+  in
+  if not has_deadlock then Alcotest.fail "flight dump lacks the deadlock event"
+
+(* ---------------- with_deadline ---------------- *)
+
+let test_with_deadline_already_past () =
+  Sched.run (fun () ->
+      ignore (Sched.pcall [ (fun () -> Sched.yield ()); (fun () -> ()) ]);
+      match Resil.with_deadline ~at:(Sched.now ()) (fun () -> Sched.sleep 50) with
+      | Error (Resil.Cancelled _) -> ()
+      | Ok () -> Alcotest.fail "a dead-on-arrival deadline returned Ok"
+      | Error (Resil.Crashed m) -> Alcotest.failf "crashed instead: %s" m)
+
+let () =
+  Alcotest.run "load"
+    [
+      ( "arrivals",
+        [
+          Alcotest.test_case "pure function of (profile, seed)" `Quick
+            test_arrivals_pure;
+          Alcotest.test_case "independent of execution" `Quick
+            test_arrivals_independent_of_execution;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "traces byte-identical per seed" `Quick
+            test_traces_byte_identical;
+          Alcotest.test_case "stats deterministic" `Quick
+            test_stats_deterministic;
+        ] );
+      ( "attribution",
+        [ Alcotest.test_case "phases sum exactly" `Quick test_attribution_sums ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "timeouts reach the summary fate" `Quick
+            test_timeouts_reach_summary;
+          Alcotest.test_case "slo rollup matches stats" `Quick
+            test_slo_rollup_matches_stats;
+          Alcotest.test_case "assert grammar" `Quick test_assert_grammar;
+          Alcotest.test_case "with_deadline already past" `Quick
+            test_with_deadline_already_past;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "deadlock auto-dumps a checkable flight window"
+            `Quick test_deadlock_flight_dump;
+        ] );
+    ]
